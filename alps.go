@@ -1,0 +1,168 @@
+// Package alps is a Go implementation of the ALPS object model from
+// P. Vishnubhotla, "Synchronization and Scheduling in ALPS Objects"
+// (ICDCS 1988).
+//
+// ALPS is an object-oriented concurrent language: an object is a data part
+// shared by a set of entry procedures, and an optional high-priority
+// *manager* process intercepts entry calls and implements all
+// synchronization and scheduling for the object with four primitives —
+// accept, start, await, finish. Entries may be *hidden procedure arrays*:
+// exported as a single procedure, implemented as an array of N elements so
+// that up to N calls are serviced concurrently, each identifiable by the
+// manager. The paper's remaining mechanisms — intercepted parameter/result
+// prefixes, hidden parameters and results, request combining,
+// nondeterministic select/loop with acceptance conditions and run-time
+// priorities, asynchronous point-to-point channels, and the par statement —
+// are all provided.
+//
+// # Quick start
+//
+//	buf, _ := alps.New("Buffer",
+//	    alps.WithEntry(alps.EntrySpec{Name: "Deposit", Params: 1, Body: deposit}),
+//	    alps.WithEntry(alps.EntrySpec{Name: "Remove", Results: 1, Body: remove}),
+//	    alps.WithManager(func(m *alps.Mgr) {
+//	        count := 0
+//	        _ = m.Loop(
+//	            alps.OnAccept("Deposit", func(a *alps.Accepted) {
+//	                if _, err := m.Execute(a); err == nil { count++ }
+//	            }).When(func(*alps.Accepted) bool { return count < N }),
+//	            alps.OnAccept("Remove", func(a *alps.Accepted) {
+//	                if _, err := m.Execute(a); err == nil { count-- }
+//	            }).When(func(*alps.Accepted) bool { return count > 0 }),
+//	        )
+//	    }, alps.Intercept("Deposit"), alps.Intercept("Remove")),
+//	)
+//	defer buf.Close()
+//	res, err := buf.Call("Remove")
+//
+// The package is a thin facade over internal/core (objects and managers),
+// internal/channel (asynchronous channels) and internal/sched (the
+// lightweight-process substrate); see DESIGN.md for the architecture.
+package alps
+
+import (
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Core object model types, re-exported.
+type (
+	// Object is an ALPS object instance.
+	Object = core.Object
+	// Option configures an Object at construction time.
+	Option = core.Option
+	// EntrySpec declares one procedure of an object's implementation part.
+	EntrySpec = core.EntrySpec
+	// InterceptSpec is one element of a manager's intercepts clause.
+	InterceptSpec = core.InterceptSpec
+	// Body is an entry procedure implementation.
+	Body = core.Body
+	// Invocation is the body-side view of a call being serviced.
+	Invocation = core.Invocation
+	// Mgr is the manager process's handle on its object.
+	Mgr = core.Mgr
+	// Accepted is the manager's handle on an accepted call.
+	Accepted = core.Accepted
+	// Awaited is the manager's handle on an awaited call.
+	Awaited = core.Awaited
+	// Guard is one alternative of a select or loop statement.
+	Guard = core.Guard
+	// Value is one parameter, result or message value.
+	Value = core.Value
+	// BodyError wraps a panic raised by an entry procedure body.
+	BodyError = core.BodyError
+	// EntryStats is a snapshot of one entry's lifetime counters.
+	EntryStats = core.EntryStats
+)
+
+// Channel types, re-exported.
+type (
+	// Chan is an asynchronous point-to-point channel.
+	Chan = channel.Chan
+	// Message is one tuple sent over a channel.
+	Message = channel.Message
+)
+
+// Pool modes for WithPool (paper §3).
+const (
+	// PoolSpawn creates a fresh lightweight process per started call.
+	PoolSpawn = sched.ModeSpawn
+	// PoolOneToOne pre-creates one process per hidden-array element.
+	PoolOneToOne = sched.ModeOneToOne
+	// PoolShared pre-creates M processes bound to calls at start time.
+	PoolShared = sched.ModePooled
+)
+
+// Errors, re-exported.
+var (
+	// ErrClosed reports an operation on a closed object or channel.
+	ErrClosed = core.ErrClosed
+	// ErrUnknownEntry reports a call to an undeclared procedure.
+	ErrUnknownEntry = core.ErrUnknownEntry
+	// ErrBadArity reports a parameter/result count mismatch.
+	ErrBadArity = core.ErrBadArity
+	// ErrBadState reports a manager protocol violation.
+	ErrBadState = core.ErrBadState
+	// ErrNotIntercepted reports a manager primitive on an entry missing
+	// from the intercepts clause.
+	ErrNotIntercepted = core.ErrNotIntercepted
+)
+
+// New creates, initializes and starts an object.
+func New(name string, opts ...Option) (*Object, error) { return core.New(name, opts...) }
+
+// WithEntry declares one procedure of the object's implementation part.
+func WithEntry(spec EntrySpec) Option { return core.WithEntry(spec) }
+
+// WithManager installs the manager process and its intercepts clause.
+func WithManager(fn func(*Mgr), intercepts ...InterceptSpec) Option {
+	return core.WithManager(fn, intercepts...)
+}
+
+// WithInit registers initialization code run when the object is created,
+// before the manager starts.
+func WithInit(fn func()) Option { return core.WithInit(fn) }
+
+// WithTrace attaches a lifecycle event recorder for monitoring.
+func WithTrace(rec *trace.Recorder) Option { return core.WithTrace(rec) }
+
+// WithPriorityGate controls the high-priority-manager approximation.
+func WithPriorityGate(on bool) Option { return core.WithPriorityGate(on) }
+
+// WithPool selects the lightweight-process provisioning mode.
+func WithPool(mode sched.Mode, workers int) Option { return core.WithPool(mode, workers) }
+
+// Intercept lists an entry in the intercepts clause without parameter or
+// result interception ("intercepts P").
+func Intercept(entry string) InterceptSpec { return core.Intercept(entry) }
+
+// InterceptPR lists an entry with interception of the first params
+// invocation parameters and first results results
+// ("intercepts P(params; results)").
+func InterceptPR(entry string, params, results int) InterceptSpec {
+	return core.InterceptPR(entry, params, results)
+}
+
+// OnAccept builds an "accept P[i] => action" guard.
+func OnAccept(entry string, action func(*Accepted)) Guard { return core.OnAccept(entry, action) }
+
+// OnAwait builds an "await P[i] => action" guard.
+func OnAwait(entry string, action func(*Awaited)) Guard { return core.OnAwait(entry, action) }
+
+// OnReceive builds a "receive C => action" guard.
+func OnReceive(ch *Chan, action func(Message)) Guard { return core.OnReceive(ch, action) }
+
+// OnCond builds a pure boolean "when B => action" guard.
+func OnCond(cond func() bool, action func()) Guard { return core.OnCond(cond, action) }
+
+// NewChan creates an asynchronous point-to-point channel.
+func NewChan(name string, opts ...channel.Option) *Chan { return channel.New(name, opts...) }
+
+// WithArity declares a channel's tuple width.
+func WithArity(n int) channel.Option { return channel.WithArity(n) }
+
+// NewTrace creates a lifecycle recorder holding at most limit events
+// (0 = unlimited).
+func NewTrace(limit int) *trace.Recorder { return trace.NewRecorder(limit) }

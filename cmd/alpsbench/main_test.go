@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	bad := [][]string{
+		{"-nope"},
+		{"-scale", "medium"},
+		{"-run", "E99"},
+		{"-format", "xml"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	// E6 is the fastest experiment with a meaningful pass/fail shape.
+	if err := run([]string{"-scale", "quick", "-run", "E6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	if err := run([]string{"-scale", "quick", "-run", "E6, E9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkdownAndFileOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run skipped in -short mode")
+	}
+	path := t.TempDir() + "/out.md"
+	if err := run([]string{"-scale", "quick", "-run", "E6", "-format", "md", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "### E6") || !strings.Contains(string(data), "|---|") {
+		t.Fatalf("markdown output file:\n%s", data)
+	}
+}

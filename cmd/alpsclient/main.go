@@ -1,0 +1,165 @@
+// Command alpsclient calls objects hosted by an alpsd node.
+//
+// Usage:
+//
+//	alpsclient -addr 127.0.0.1:7100 list
+//	alpsclient -addr 127.0.0.1:7100 search hello world
+//	alpsclient -addr 127.0.0.1:7100 deposit 42
+//	alpsclient -addr 127.0.0.1:7100 remove
+//	alpsclient -addr 127.0.0.1:7100 write 3 99
+//	alpsclient -addr 127.0.0.1:7100 read 3
+//	alpsclient -addr 127.0.0.1:7100 print report.ps 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/rpc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "alpsclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("alpsclient", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7100", "node address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (list, search, deposit, remove, read, write, print, call)")
+	}
+
+	rem, err := rpc.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer rem.Close()
+
+	switch cmd := rest[0]; cmd {
+	case "list":
+		names, err := rem.List()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case "search":
+		if len(rest) < 2 {
+			return fmt.Errorf("search needs at least one word")
+		}
+		for _, word := range rest[1:] {
+			res, err := rem.Call("Dictionary", "Search", word)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s -> %v\n", word, res[0])
+		}
+		return nil
+
+	case "deposit":
+		if len(rest) != 2 {
+			return fmt.Errorf("deposit needs one value")
+		}
+		if _, err := rem.Call("Buffer", "Deposit", rest[1]); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+
+	case "remove":
+		res, err := rem.Call("Buffer", "Remove")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v\n", res[0])
+		return nil
+
+	case "call":
+		// Generic: call OBJECT ENTRY [string args...] — for objects loaded
+		// from a definition file (pure synchronization entries).
+		if len(rest) < 3 {
+			return fmt.Errorf("call needs an object and an entry")
+		}
+		params := make([]any, 0, len(rest)-3)
+		for _, arg := range rest[3:] {
+			params = append(params, arg)
+		}
+		res, err := rem.Call(rest[1], rest[2], params...)
+		if err != nil {
+			return err
+		}
+		if len(res) == 0 {
+			fmt.Println("ok")
+		} else {
+			fmt.Printf("%v\n", res)
+		}
+		return nil
+
+	case "print":
+		if len(rest) != 3 {
+			return fmt.Errorf("print needs a file name and a page count")
+		}
+		pages, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return fmt.Errorf("pages: %w", err)
+		}
+		res, err := rem.Call("Spooler", "Print", rest[1], pages)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("printed on printer %v\n", res[0])
+		return nil
+
+	case "read":
+		if len(rest) != 2 {
+			return fmt.Errorf("read needs a key")
+		}
+		key, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("key: %w", err)
+		}
+		res, err := rem.Call("Database", "Read", key)
+		if err != nil {
+			return err
+		}
+		if ok := res[1].(bool); !ok {
+			fmt.Println("(not found)")
+			return nil
+		}
+		fmt.Printf("%v\n", res[0])
+		return nil
+
+	case "write":
+		if len(rest) != 3 {
+			return fmt.Errorf("write needs a key and a value")
+		}
+		key, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return fmt.Errorf("key: %w", err)
+		}
+		val, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return fmt.Errorf("value: %w", err)
+		}
+		if _, err := rem.Call("Database", "Write", key, val); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

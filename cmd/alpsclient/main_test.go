@@ -1,0 +1,139 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/objects/buffer"
+	"repro/internal/objects/dict"
+	"repro/internal/objects/rwdb"
+	"repro/internal/objects/spooler"
+	"repro/internal/rpc"
+)
+
+func startNode(t *testing.T) string {
+	t.Helper()
+	d, err := dict.New(dict.Options{SearchMax: 8, Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = d.Close() })
+	b, err := buffer.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+	db, err := rwdb.New(rwdb.Config{ReadMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+
+	node := rpc.NewNode("test")
+	if err := node.Publish(d.Object()); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Publish(b.Object()); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Publish(db.Object()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestClientCommands(t *testing.T) {
+	addr := startNode(t)
+	commands := [][]string{
+		{"-addr", addr, "list"},
+		{"-addr", addr, "search", "hello", "world"},
+		{"-addr", addr, "deposit", "42"},
+		{"-addr", addr, "remove"},
+		{"-addr", addr, "write", "3", "99"},
+		{"-addr", addr, "read", "3"},
+		{"-addr", addr, "read", "7777"}, // not found, still ok
+	}
+	for _, args := range commands {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	addr := startNode(t)
+	bad := [][]string{
+		{"-addr", addr},                       // no command
+		{"-addr", addr, "unknown"},            // unknown command
+		{"-addr", addr, "search"},             // missing word
+		{"-addr", addr, "deposit"},            // missing value
+		{"-addr", addr, "deposit", "a", "b"},  // too many values
+		{"-addr", addr, "read"},               // missing key
+		{"-addr", addr, "read", "notanumber"}, // bad key
+		{"-addr", addr, "write", "1"},         // missing value
+		{"-addr", addr, "write", "x", "1"},    // bad key
+		{"-addr", addr, "write", "1", "y"},    // bad value
+		{"-badflag"},                          // flag error
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestClientUnreachableNode(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1", "list"}); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}
+
+func TestClientPrintCommand(t *testing.T) {
+	addr := startNodeWithSpooler(t)
+	if err := run([]string{"-addr", addr, "print", "doc.ps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{
+		{"-addr", addr, "print", "doc.ps"},
+		{"-addr", addr, "print", "doc.ps", "x"},
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("run(%v) succeeded, want error", bad)
+		}
+	}
+}
+
+func startNodeWithSpooler(t *testing.T) string {
+	t.Helper()
+	sp, err := spooler.New(spooler.Config{Printers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sp.Close() })
+	node := rpc.NewNode("test-sp")
+	if err := node.Publish(sp.Object()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestClientGenericCall(t *testing.T) {
+	addr := startNodeWithSpooler(t)
+	// Generic call against the spooler's Print entry with string args would
+	// fail arity/type checks; use errors to verify plumbing.
+	if err := run([]string{"-addr", addr, "call"}); err == nil {
+		t.Error("call without object/entry succeeded")
+	}
+	if err := run([]string{"-addr", addr, "call", "Ghost", "x"}); err == nil {
+		t.Error("call to unknown object succeeded")
+	}
+}

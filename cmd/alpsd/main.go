@@ -1,0 +1,170 @@
+// Command alpsd is a node daemon: it hosts ALPS objects — the combining
+// dictionary (§2.7.1), a bounded buffer (§2.4.1) and the readers-writers
+// database (§2.5.1) — behind a TCP listener, making their entry procedures
+// callable as remote procedure calls (paper §1, §3). Use cmd/alpsclient to
+// talk to it.
+//
+// Usage:
+//
+//	alpsd -addr 127.0.0.1:7100
+//	alpsd -addr 127.0.0.1:7100 -defs coord.defs   # also host declarative
+//	                                              # coordination objects
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	alps "repro"
+	"repro/internal/defs"
+	"repro/internal/objects/buffer"
+	"repro/internal/objects/dict"
+	"repro/internal/objects/rwdb"
+	"repro/internal/objects/spooler"
+	"repro/internal/rpc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "alpsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	srv, bound, err := newServer(args)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("alpsd listening on %s\n", bound)
+	fmt.Printf("objects: %v\n", srv.node.Objects())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+// server bundles the node and its hosted objects so tests can start and
+// stop a daemon in-process.
+type server struct {
+	node *rpc.Node
+	d    *dict.Dict
+	b    *buffer.Buffer
+	db   *rwdb.DB
+	sp   *spooler.Spooler
+
+	defObjs []*alps.Object
+}
+
+// newServer parses flags, builds the objects and starts serving. It
+// returns the bound address.
+func newServer(args []string) (*server, string, error) {
+	fs := flag.NewFlagSet("alpsd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7100", "listen address")
+		name       = fs.String("name", "alpsd", "node name")
+		searchCost = fs.Duration("search-cost", 2*time.Millisecond, "simulated dictionary search time")
+		bufSlots   = fs.Int("buffer-slots", 16, "bounded buffer capacity")
+		readMax    = fs.Int("read-max", 8, "database ReadMax")
+		printers   = fs.Int("printers", 2, "spooler printer pool size")
+		pageCost   = fs.Duration("page-cost", time.Millisecond, "simulated print time per page")
+		defsPath   = fs.String("defs", "", "definition file of additional coordination objects")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	srv := &server{}
+	ok := false
+	defer func() {
+		if !ok {
+			srv.Close()
+		}
+	}()
+
+	var err error
+	srv.d, err = dict.New(dict.Options{
+		SearchMax:  32,
+		SearchCost: *searchCost,
+		Combine:    true,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	srv.b, err = buffer.New(*bufSlots)
+	if err != nil {
+		return nil, "", err
+	}
+	srv.db, err = rwdb.New(rwdb.Config{ReadMax: *readMax})
+	if err != nil {
+		return nil, "", err
+	}
+	srv.sp, err = spooler.New(spooler.Config{Printers: *printers, PageCost: *pageCost})
+	if err != nil {
+		return nil, "", err
+	}
+
+	srv.node = rpc.NewNode(*name)
+	if err := srv.node.Publish(srv.d.Object()); err != nil {
+		return nil, "", err
+	}
+	if err := srv.node.Publish(srv.b.Object()); err != nil {
+		return nil, "", err
+	}
+	if err := srv.node.Publish(srv.db.Object()); err != nil {
+		return nil, "", err
+	}
+	if err := srv.node.Publish(srv.sp.Object()); err != nil {
+		return nil, "", err
+	}
+	if *defsPath != "" {
+		src, err := os.ReadFile(*defsPath)
+		if err != nil {
+			return nil, "", err
+		}
+		srv.defObjs, err = defs.BuildAll(string(src))
+		if err != nil {
+			return nil, "", err
+		}
+		for _, obj := range srv.defObjs {
+			if err := srv.node.Publish(obj); err != nil {
+				return nil, "", err
+			}
+		}
+	}
+	bound, err := srv.node.ListenAndServe(*addr)
+	if err != nil {
+		return nil, "", err
+	}
+	ok = true
+	return srv, bound, nil
+}
+
+// Close tears the node and all hosted objects down.
+func (s *server) Close() {
+	if s.node != nil {
+		s.node.Close()
+	}
+	if s.d != nil {
+		_ = s.d.Close()
+	}
+	if s.b != nil {
+		_ = s.b.Close()
+	}
+	if s.db != nil {
+		_ = s.db.Close()
+	}
+	if s.sp != nil {
+		_ = s.sp.Close()
+	}
+	for _, obj := range s.defObjs {
+		_ = obj.Close()
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+func startTestServer(t *testing.T, args ...string) (*server, string) {
+	t.Helper()
+	srv, addr, err := newServer(append([]string{"-addr", "127.0.0.1:0"}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+func TestServerHostsAllObjects(t *testing.T) {
+	srv, _ := startTestServer(t)
+	got := srv.node.Objects()
+	want := map[string]bool{"Buffer": true, "Database": true, "Dictionary": true, "Spooler": true}
+	if len(got) != len(want) {
+		t.Fatalf("Objects = %v", got)
+	}
+	for _, name := range got {
+		if !want[name] {
+			t.Fatalf("unexpected object %q", name)
+		}
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	_, addr := startTestServer(t, "-search-cost", "0s")
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	res, err := rem.Call("Dictionary", "Search", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "meaning of hello" {
+		t.Fatalf("Search = %v", res)
+	}
+	if _, err := rem.Call("Buffer", "Deposit", "x"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = rem.Call("Buffer", "Remove")
+	if err != nil || res[0] != "x" {
+		t.Fatalf("Remove = %v, %v", res, err)
+	}
+	if _, err := rem.Call("Database", "Write", 1, 42); err != nil {
+		t.Fatal(err)
+	}
+	res, err = rem.Call("Database", "Read", 1)
+	if err != nil || res[0] != 42 || res[1] != true {
+		t.Fatalf("Read = %v, %v", res, err)
+	}
+}
+
+func TestNewServerBadFlags(t *testing.T) {
+	if _, _, err := newServer([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, _, err := newServer([]string{"-addr", "127.0.0.1:0", "-buffer-slots", "0"}); err == nil {
+		t.Fatal("zero buffer slots accepted")
+	}
+	if _, _, err := newServer([]string{"-addr", "127.0.0.1:0", "-read-max", "0"}); err == nil {
+		t.Fatal("zero read-max accepted")
+	}
+	if _, _, err := newServer([]string{"-addr", "no-such-host:99999"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+	_ = errors.Is
+}
+
+func TestServerSpooler(t *testing.T) {
+	_, addr := startTestServer(t, "-page-cost", "0s")
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	res, err := rem.Call("Spooler", "Print", "doc.ps", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := res[0].(int); !ok || p < 0 {
+		t.Fatalf("Print = %v", res)
+	}
+}
+
+func TestServerHostsDefinitionObjects(t *testing.T) {
+	srv, addr := startTestServer(t, "-defs", "testdata/coord.defs")
+	found := map[string]bool{}
+	for _, name := range srv.node.Objects() {
+		found[name] = true
+	}
+	if !found["Mutex"] || !found["Turnstile"] {
+		t.Fatalf("Objects = %v, want Mutex and Turnstile", srv.node.Objects())
+	}
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	if _, err := rem.Call("Mutex", "lock"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rem.Call("Mutex", "unlock"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rem.Call("Turnstile", "enter"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerBadDefsFile(t *testing.T) {
+	if _, _, err := newServer([]string{"-addr", "127.0.0.1:0", "-defs", "testdata/no-such-file"}); err == nil {
+		t.Fatal("missing defs file accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package alps_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	alps "repro"
+)
+
+// Example builds the paper's bounded buffer (§2.4.1): the manager accepts
+// Deposit only while the buffer has room and Remove only while it holds
+// messages; the bodies contain no synchronization at all.
+func Example() {
+	const n = 2
+	var (
+		buf     [n]alps.Value
+		in, out int
+	)
+	obj, err := alps.New("Buffer",
+		alps.WithEntry(alps.EntrySpec{Name: "Deposit", Params: 1,
+			Body: func(inv *alps.Invocation) error {
+				buf[in] = inv.Param(0)
+				in = (in + 1) % n
+				return nil
+			}}),
+		alps.WithEntry(alps.EntrySpec{Name: "Remove", Results: 1,
+			Body: func(inv *alps.Invocation) error {
+				m := buf[out]
+				out = (out + 1) % n
+				inv.Return(m)
+				return nil
+			}}),
+		alps.WithManager(func(m *alps.Mgr) {
+			count := 0
+			_ = m.Loop(
+				alps.OnAccept("Deposit", func(a *alps.Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						count++
+					}
+				}).When(func(*alps.Accepted) bool { return count < n }),
+				alps.OnAccept("Remove", func(a *alps.Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						count--
+					}
+				}).When(func(*alps.Accepted) bool { return count > 0 }),
+			)
+		}, alps.Intercept("Deposit"), alps.Intercept("Remove")),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	for _, msg := range []string{"first", "second"} {
+		if _, err := obj.Call("Deposit", msg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		res, err := obj.Call("Remove")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res[0])
+	}
+	// Output:
+	// first
+	// second
+}
+
+// ExampleMgr_FinishAccepted shows request combining (§2.7): the manager
+// answers a call outright, and the procedure body never runs.
+func ExampleMgr_FinishAccepted() {
+	obj, err := alps.New("Cache",
+		alps.WithEntry(alps.EntrySpec{Name: "Get", Params: 1, Results: 1,
+			Body: func(inv *alps.Invocation) error {
+				inv.Return("computed") // never reached in this example
+				return nil
+			}}),
+		alps.WithManager(func(m *alps.Mgr) {
+			for {
+				a, err := m.Accept("Get")
+				if err != nil {
+					return
+				}
+				// The manager intercepted all params and supplies all
+				// results: finish without start.
+				if err := m.FinishAccepted(a, "cached:"+a.Params[0].(string)); err != nil {
+					return
+				}
+			}
+		}, alps.InterceptPR("Get", 1, 1)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	got, err := alps.Call1[string](obj, "Get", "key")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(got)
+	// Output: cached:key
+}
+
+// ExamplePar runs procedures in parallel and joins them (§2.1.1).
+func ExamplePar() {
+	var mu sync.Mutex
+	var got []int
+	alps.ParFor(1, 3, func(i int) {
+		mu.Lock()
+		got = append(got, i*i)
+		mu.Unlock()
+	})
+	sort.Ints(got)
+	fmt.Println(got)
+	// Output: [1 4 9]
+}
+
+// ExampleChan demonstrates asynchronous point-to-point channels (§2.1.2):
+// sends never block; receives see FIFO order.
+func ExampleChan() {
+	c := alps.NewChan("results", alps.WithArity(2))
+	_ = c.Send("x", 1)
+	_ = c.Send("y", 2)
+	for i := 0; i < 2; i++ {
+		msg, _ := c.Recv()
+		fmt.Println(msg[0], msg[1])
+	}
+	// Output:
+	// x 1
+	// y 2
+}

@@ -1,0 +1,56 @@
+// Dictionary with request combining (§2.7.1): many clients query a slow
+// dictionary with a heavily skewed word distribution; the manager combines
+// concurrent requests for the same word into a single search execution.
+//
+//	go run ./examples/dictionary
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	alps "repro"
+	"repro/internal/objects/dict"
+	"repro/internal/workload"
+)
+
+func main() {
+	d, err := dict.New(dict.Options{
+		SearchMax:  16,
+		MaxActive:  2, // two search processors
+		SearchCost: 5 * time.Millisecond,
+		Combine:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	const clients, perClient = 8, 25
+	start := time.Now()
+	alps.ParFor(0, clients-1, func(c int) {
+		ws, err := workload.NewWordStream(uint64(c)+1, 12, 1.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < perClient; i++ {
+			word := ws.Next()
+			meaning, err := d.Search(word)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if meaning != "meaning of "+word {
+				log.Fatalf("wrong meaning for %q: %q", word, meaning)
+			}
+		}
+	})
+	elapsed := time.Since(start)
+
+	requests, executions, combined := d.Stats()
+	fmt.Printf("answered %d requests in %v\n", requests, elapsed.Round(time.Millisecond))
+	fmt.Printf("executed %d searches; %d requests were combined with an in-flight search\n",
+		executions, combined)
+	fmt.Printf("combining saved %.0f%% of the search work\n",
+		100*float64(requests-executions)/float64(requests))
+}

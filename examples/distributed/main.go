@@ -1,0 +1,88 @@
+// Distributed ALPS (§1, §3): one process plays two nodes connected over TCP
+// loopback. The server node hosts a long-running Render object; the client
+// calls it as a remote procedure and — while it executes — receives progress
+// messages from it on an asynchronous point-to-point channel passed as a
+// call parameter.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	alps "repro"
+	"repro/internal/channel"
+	"repro/internal/rpc"
+)
+
+func main() {
+	// ---- server side -----------------------------------------------------
+	renderer, err := alps.New("Renderer",
+		alps.WithEntry(alps.EntrySpec{Name: "Render", Params: 2, Results: 1, Array: 4,
+			Body: func(inv *alps.Invocation) error {
+				frames := inv.Param(0).(int)
+				progress := inv.Param(1).(*channel.Chan) // the caller's channel
+				for f := 1; f <= frames; f++ {
+					// ... render frame f ...
+					if err := progress.Send("frame", f); err != nil {
+						return err
+					}
+				}
+				inv.Return(fmt.Sprintf("rendered %d frames", frames))
+				return nil
+			}}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer renderer.Close()
+
+	node := rpc.NewNode("render-node")
+	if err := node.Publish(renderer); err != nil {
+		log.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	fmt.Println("node serving on", addr)
+
+	// ---- client side -------------------------------------------------------
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rem.Close()
+
+	names, err := rem.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("remote objects:", names)
+
+	progress := alps.NewChan("progress", alps.WithArity(2))
+	ref := rem.PublishChan("progress", progress)
+
+	// Receive progress concurrently with the remote call.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			msg, ok := progress.Recv()
+			if !ok {
+				return
+			}
+			fmt.Printf("progress: %v %v\n", msg[0], msg[1])
+		}
+	}()
+
+	res, err := rem.Call("Renderer", "Render", 5, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	progress.Close()
+	<-done
+	fmt.Println("result:", res[0])
+}

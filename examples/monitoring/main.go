@@ -1,0 +1,89 @@
+// Object monitoring (§1, §2.3): "the manager provides a facility for pre-
+// and post-processing of entry calls which can be used not only to
+// implement scheduling but also to monitor the object". Two monitoring
+// mechanisms are shown: the manager's own interception of parameters and
+// results (an audit log), and the lifecycle trace recorder attached to the
+// object.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	alps "repro"
+)
+
+func main() {
+	rec := alps.NewTrace(0)
+
+	// The audit log is manager-local state.
+	var mu sync.Mutex
+	var audit []string
+
+	obj, err := alps.New("Account",
+		alps.WithEntry(alps.EntrySpec{Name: "Transfer", Params: 2, Results: 1,
+			Body: func(inv *alps.Invocation) error {
+				from := inv.Param(0).(string)
+				amount := inv.Param(1).(int)
+				inv.Return(fmt.Sprintf("moved %d from %s", amount, from))
+				return nil
+			}}),
+		alps.WithManager(func(m *alps.Mgr) {
+			_ = m.Loop(
+				alps.OnAccept("Transfer", func(a *alps.Accepted) {
+					// Pre-processing: the manager sees the parameters
+					// before the procedure runs...
+					mu.Lock()
+					audit = append(audit, fmt.Sprintf("pre : %v requests %v", a.Params[0], a.Params[1]))
+					mu.Unlock()
+					aw, err := m.Execute(a)
+					if err != nil {
+						return
+					}
+					// ...and post-processing: the results before the caller
+					// gets them.
+					mu.Lock()
+					audit = append(audit, fmt.Sprintf("post: %v", aw.Results[0]))
+					mu.Unlock()
+				}),
+			)
+		}, alps.InterceptPR("Transfer", 2, 1)),
+		alps.WithTrace(rec),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alps.Par(
+		func() { mustTransfer(obj, "alice", 100) },
+		func() { mustTransfer(obj, "bob", 250) },
+	)
+	if err := obj.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("manager audit log:")
+	mu.Lock()
+	for _, line := range audit {
+		fmt.Println(" ", line)
+	}
+	mu.Unlock()
+
+	fmt.Println("lifecycle trace (per call):")
+	for id, events := range rec.ByCall() {
+		fmt.Printf("  call %d:", id)
+		for _, e := range events {
+			fmt.Printf(" %v", e.Kind)
+		}
+		fmt.Println()
+	}
+}
+
+func mustTransfer(obj *alps.Object, from string, amount int) {
+	if _, err := obj.Call("Transfer", from, amount); err != nil {
+		log.Fatal(err)
+	}
+}

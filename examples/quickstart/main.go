@@ -1,0 +1,83 @@
+// Quickstart: the paper's first example (§2.4.1) — a bounded buffer whose
+// manager accepts Deposit only while the buffer has room and Remove only
+// while it holds messages, executing each accepted call to completion.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	alps "repro"
+)
+
+func main() {
+	const n = 4 // buffer capacity
+
+	// Shared data part of the object.
+	var (
+		buf    = make([]alps.Value, n)
+		inptr  int
+		outptr int
+	)
+
+	obj, err := alps.New("Buffer",
+		// proc Deposit(Message)
+		alps.WithEntry(alps.EntrySpec{Name: "Deposit", Params: 1,
+			Body: func(inv *alps.Invocation) error {
+				buf[inptr] = inv.Param(0)
+				inptr = (inptr + 1) % n
+				return nil
+			}}),
+		// proc Remove returns (Message)
+		alps.WithEntry(alps.EntrySpec{Name: "Remove", Results: 1,
+			Body: func(inv *alps.Invocation) error {
+				m := buf[outptr]
+				outptr = (outptr + 1) % n
+				inv.Return(m)
+				return nil
+			}}),
+		// The manager: the entire synchronization policy in one place.
+		alps.WithManager(func(m *alps.Mgr) {
+			count := 0
+			_ = m.Loop(
+				alps.OnAccept("Deposit", func(a *alps.Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						count++
+					}
+				}).When(func(*alps.Accepted) bool { return count < n }),
+				alps.OnAccept("Remove", func(a *alps.Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						count--
+					}
+				}).When(func(*alps.Accepted) bool { return count > 0 }),
+			)
+		}, alps.Intercept("Deposit"), alps.Intercept("Remove")),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	// A producer and a consumer running in parallel (the par statement).
+	const items = 10
+	alps.Par(
+		func() {
+			for i := 0; i < items; i++ {
+				if _, err := obj.Call("Deposit", fmt.Sprintf("msg-%d", i)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		},
+		func() {
+			for i := 0; i < items; i++ {
+				res, err := obj.Call("Remove")
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("received", res[0])
+			}
+		},
+	)
+}

@@ -1,0 +1,78 @@
+// Readers-writers (§2.5.1): the Read entry is exported as a single
+// procedure but implemented as a hidden procedure array of ReadMax
+// elements, so up to ReadMax readers overlap while writers run alone.
+// The #Write pending count and the writer-turn rule prevent starvation.
+//
+//	go run ./examples/readerswriters
+package main
+
+import (
+	"fmt"
+	"log"
+
+	alps "repro"
+)
+
+func main() {
+	const readMax = 3
+	data := make(map[int]int) // the database: no locks anywhere
+
+	obj, err := alps.New("Database",
+		alps.WithEntry(alps.EntrySpec{Name: "Read", Params: 1, Results: 1, Array: readMax,
+			Body: func(inv *alps.Invocation) error {
+				inv.Return(data[inv.Param(0).(int)])
+				return nil
+			}}),
+		alps.WithEntry(alps.EntrySpec{Name: "Write", Params: 2,
+			Body: func(inv *alps.Invocation) error {
+				data[inv.Param(0).(int)] = inv.Param(1).(int)
+				return nil
+			}}),
+		alps.WithManager(func(m *alps.Mgr) {
+			readCount := 0
+			writerLast := false
+			_ = m.Loop(
+				alps.OnAccept("Read", func(a *alps.Accepted) {
+					if err := m.Start(a); err == nil {
+						readCount++
+					}
+				}).When(func(*alps.Accepted) bool {
+					return readCount < readMax && (m.Pending("Write") == 0 || writerLast)
+				}),
+				alps.OnAwait("Read", func(aw *alps.Awaited) {
+					if err := m.Finish(aw); err == nil {
+						readCount--
+						writerLast = false
+					}
+				}),
+				alps.OnAccept("Write", func(a *alps.Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						writerLast = true
+					}
+				}).When(func(*alps.Accepted) bool {
+					return readCount == 0 && (m.Pending("Read") == 0 || !writerLast)
+				}),
+			)
+		}, alps.Intercept("Read"), alps.Intercept("Write")),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	// Writers and readers hammering the same keys in parallel.
+	alps.ParFor(0, 9, func(i int) {
+		if i%3 == 0 {
+			if _, err := obj.Call("Write", i%4, i*100); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("writer %d: wrote key %d\n", i, i%4)
+			return
+		}
+		res, err := obj.Call("Read", i%4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reader %d: key %d = %v\n", i, i%4, res[0])
+	})
+}

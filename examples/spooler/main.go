@@ -1,0 +1,50 @@
+// Printer spooler (§2.8.1): the manager allocates a free printer to each
+// accepted print request and supplies the printer number to the Print
+// procedure as a *hidden parameter*; the procedure returns it as a *hidden
+// result*, so the manager needs no allocation bookkeeping. Callers never
+// see printers at all — they just call Print.
+//
+//	go run ./examples/spooler
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	alps "repro"
+	"repro/internal/objects/spooler"
+)
+
+func main() {
+	var mu sync.Mutex
+	s, err := spooler.New(spooler.Config{
+		Printers: 3,
+		PrintMax: 9,
+		PageCost: 2 * time.Millisecond,
+		Print: func(printer int, file string, pages int) {
+			mu.Lock()
+			fmt.Printf("printer %d: %s (%d pages)\n", printer, file, pages)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	alps.ParFor(1, 12, func(i int) {
+		file := fmt.Sprintf("doc-%02d.ps", i)
+		printer, err := s.Print(file, i%5+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		fmt.Printf("  %s done on printer %d\n", file, printer)
+		mu.Unlock()
+	})
+
+	jobs, perPrinter, violations := s.Stats()
+	fmt.Printf("\n%d jobs, per-printer %v, violations %d\n", jobs, perPrinter, violations)
+}

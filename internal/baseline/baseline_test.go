@@ -1,0 +1,238 @@
+package baseline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMonitorBufferFIFO(t *testing.T) {
+	b := NewMonitorBuffer(4)
+	for i := 0; i < 4; i++ {
+		if err := b.Deposit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for i := 0; i < 4; i++ {
+		v, err := b.Remove()
+		if err != nil || v != i {
+			t.Fatalf("Remove = %v, %v; want %d", v, err, i)
+		}
+	}
+}
+
+func TestMonitorBufferBlocksWhenFull(t *testing.T) {
+	b := NewMonitorBuffer(1)
+	if err := b.Deposit("x"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Deposit("y") }()
+	select {
+	case <-done:
+		t.Fatal("Deposit into full buffer returned")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if _, err := b.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Deposit did not resume")
+	}
+}
+
+func TestMonitorBufferProducerConsumer(t *testing.T) {
+	b := NewMonitorBuffer(8)
+	const items = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			if err := b.Deposit(i); err != nil {
+				t.Errorf("Deposit: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			v, err := b.Remove()
+			if err != nil {
+				t.Errorf("Remove: %v", err)
+				return
+			}
+			if v != i {
+				t.Errorf("Remove = %v, want %d (FIFO)", v, i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestMonitorBufferClose(t *testing.T) {
+	b := NewMonitorBuffer(2)
+	if err := b.Deposit(1); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := b.Remove() // succeeds: one item buffered
+		blocked <- err
+	}()
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, err := b.Remove() // blocks: empty
+		blocked <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	if err := <-blocked; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Remove after Close = %v, want ErrClosed", err)
+	}
+	if err := b.Deposit(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Deposit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSemaphoreBufferProducerConsumer(t *testing.T) {
+	b := NewSemaphoreBuffer(4)
+	const items = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			b.Deposit(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			if v := b.Remove(); v != i {
+				t.Errorf("Remove = %v, want %d (FIFO)", v, i)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRWMutexDB(t *testing.T) {
+	db := NewRWMutexDB()
+	if _, ok := db.Read(1); ok {
+		t.Fatal("Read on empty db reported ok")
+	}
+	db.Write(1, 42)
+	if v, ok := db.Read(1); !ok || v != 42 {
+		t.Fatalf("Read = %d, %v", v, ok)
+	}
+}
+
+func TestBoundedRWDBLimitsReaders(t *testing.T) {
+	const readMax = 2
+	db := NewBoundedRWDB(readMax)
+	db.Write(0, 1)
+	var mu sync.Mutex
+	inRead, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			db.sem <- struct{}{}
+			mu.Lock()
+			inRead++
+			if inRead > peak {
+				peak = inRead
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			mu.Lock()
+			inRead--
+			mu.Unlock()
+			<-db.sem
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > readMax {
+		t.Fatalf("peak concurrent readers %d > ReadMax %d", peak, readMax)
+	}
+}
+
+func TestBoundedRWDBReadWrite(t *testing.T) {
+	db := NewBoundedRWDB(4)
+	db.Write(7, 99)
+	if v, ok := db.Read(7); !ok || v != 99 {
+		t.Fatalf("Read = %d, %v", v, ok)
+	}
+	if _, ok := db.Read(8); ok {
+		t.Fatal("missing key reported ok")
+	}
+}
+
+func TestNoCombineDictCountsEverySearch(t *testing.T) {
+	d := NewNoCombineDict(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := d.Search("same"); got != "meaning of same" {
+				t.Errorf("Search = %q", got)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.Searches(); got != 10 {
+		t.Fatalf("Searches = %d, want 10 (no combining)", got)
+	}
+}
+
+func TestSingleFlightDictCombinesDuplicates(t *testing.T) {
+	d := NewSingleFlightDict(20 * time.Millisecond)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if got := d.Search("same"); got != "meaning of same" {
+				t.Errorf("Search = %q", got)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := d.Searches(); got >= 10 {
+		t.Fatalf("Searches = %d, want far fewer than 10 (duplicates combined)", got)
+	}
+	// Distinct words are not combined.
+	if d.Search("other") != "meaning of other" {
+		t.Fatal("Search(other) wrong")
+	}
+}
+
+func TestNestedMonitorDeadlocks(t *testing.T) {
+	p := NewNestedMonitorPair()
+	err := p.CallP(50 * time.Millisecond)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("CallP = %v, want ErrDeadlock (the nested monitor call problem)", err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package baseline implements the conventional synchronization structures
+// ALPS positions itself against (paper §1): monitors (mutex + condition
+// variables), semaphores, and nested-monitor objects. They serve as the
+// comparison points for the experiment harness — the paper's claim is not
+// that managers are faster, but that they centralize scheduling that these
+// structures scatter across procedures, without losing much performance.
+package baseline
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed reports an operation on a closed baseline structure.
+var ErrClosed = errors.New("baseline: closed")
+
+// MonitorBuffer is the classic monitor-style bounded buffer: the
+// synchronization code (wait/signal on notFull/notEmpty) lives inside the
+// Deposit and Remove procedures themselves — exactly the scattering of the
+// scheduling policy that the manager construct removes.
+type MonitorBuffer struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []any
+	head     int
+	count    int
+	closed   bool
+}
+
+// NewMonitorBuffer creates a bounded buffer with n slots.
+func NewMonitorBuffer(n int) *MonitorBuffer {
+	b := &MonitorBuffer{buf: make([]any, n)}
+	b.notFull = sync.NewCond(&b.mu)
+	b.notEmpty = sync.NewCond(&b.mu)
+	return b
+}
+
+// Deposit blocks while the buffer is full, then stores the message.
+func (b *MonitorBuffer) Deposit(msg any) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.count == len(b.buf) && !b.closed {
+		b.notFull.Wait()
+	}
+	if b.closed {
+		return ErrClosed
+	}
+	b.buf[(b.head+b.count)%len(b.buf)] = msg
+	b.count++
+	b.notEmpty.Signal()
+	return nil
+}
+
+// Remove blocks while the buffer is empty, then returns the oldest message.
+func (b *MonitorBuffer) Remove() (any, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.count == 0 && !b.closed {
+		b.notEmpty.Wait()
+	}
+	if b.count == 0 && b.closed {
+		return nil, ErrClosed
+	}
+	msg := b.buf[b.head]
+	b.buf[b.head] = nil
+	b.head = (b.head + 1) % len(b.buf)
+	b.count--
+	b.notFull.Signal()
+	return msg, nil
+}
+
+// Len reports the number of buffered messages.
+func (b *MonitorBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Close fails blocked and future deposits; buffered messages remain
+// removable.
+func (b *MonitorBuffer) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.notFull.Broadcast()
+	b.notEmpty.Broadcast()
+}
+
+// SemaphoreBuffer is the semaphore-style bounded buffer: empty/full counting
+// semaphores (buffered Go channels) plus a mutex.
+type SemaphoreBuffer struct {
+	empty chan struct{}
+	full  chan struct{}
+	mu    sync.Mutex
+	buf   []any
+	head  int
+	count int
+}
+
+// NewSemaphoreBuffer creates a bounded buffer with n slots.
+func NewSemaphoreBuffer(n int) *SemaphoreBuffer {
+	b := &SemaphoreBuffer{
+		empty: make(chan struct{}, n),
+		full:  make(chan struct{}, n),
+		buf:   make([]any, n),
+	}
+	for i := 0; i < n; i++ {
+		b.empty <- struct{}{}
+	}
+	return b
+}
+
+// Deposit blocks on the empty semaphore, then stores the message.
+func (b *SemaphoreBuffer) Deposit(msg any) {
+	<-b.empty
+	b.mu.Lock()
+	b.buf[(b.head+b.count)%len(b.buf)] = msg
+	b.count++
+	b.mu.Unlock()
+	b.full <- struct{}{}
+}
+
+// Remove blocks on the full semaphore, then returns the oldest message.
+func (b *SemaphoreBuffer) Remove() any {
+	<-b.full
+	b.mu.Lock()
+	msg := b.buf[b.head]
+	b.buf[b.head] = nil
+	b.head = (b.head + 1) % len(b.buf)
+	b.count--
+	b.mu.Unlock()
+	b.empty <- struct{}{}
+	return msg
+}

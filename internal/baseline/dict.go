@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"sync"
+	"time"
+)
+
+// NoCombineDict is the dictionary baseline for experiment E3: every query
+// performs its own full search, even when an identical query is already in
+// flight. The ALPS version combines such requests into a single execution
+// (paper §2.7).
+type NoCombineDict struct {
+	searchCost time.Duration
+	mu         sync.Mutex
+	searches   uint64
+}
+
+// NewNoCombineDict creates a dictionary whose every lookup costs
+// searchCost of (simulated) search time.
+func NewNoCombineDict(searchCost time.Duration) *NoCombineDict {
+	return &NoCombineDict{searchCost: searchCost}
+}
+
+// Search looks up the meaning of word, always paying the full search cost.
+func (d *NoCombineDict) Search(word string) string {
+	d.mu.Lock()
+	d.searches++
+	d.mu.Unlock()
+	SimulateSearch(d.searchCost)
+	return "meaning of " + word
+}
+
+// Searches reports how many full searches were executed.
+func (d *NoCombineDict) Searches() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.searches
+}
+
+// SimulateSearch stands in for scanning the dictionary database. It sleeps
+// rather than spins so that experiments measure scheduling behaviour, not
+// the host's single-core arithmetic throughput; the paper's dictionary
+// lives on a multiprocessor where concurrent searches genuinely overlap.
+func SimulateSearch(cost time.Duration) {
+	if cost > 0 {
+		time.Sleep(cost)
+	}
+}
+
+// SingleFlightDict is the modern Go idiom for the same combining idea
+// (duplicate suppression à la golang.org/x/sync/singleflight), included to
+// position the manager-based combining against how one would write it
+// today. Each in-flight word holds a waiters list; followers block on the
+// leader's result.
+type SingleFlightDict struct {
+	searchCost time.Duration
+	mu         sync.Mutex
+	inflight   map[string]*flightCall
+	searches   uint64
+}
+
+type flightCall struct {
+	done   chan struct{}
+	result string
+}
+
+// NewSingleFlightDict creates a duplicate-suppressing dictionary.
+func NewSingleFlightDict(searchCost time.Duration) *SingleFlightDict {
+	return &SingleFlightDict{
+		searchCost: searchCost,
+		inflight:   make(map[string]*flightCall),
+	}
+}
+
+// Search looks up the meaning of word, joining an identical in-flight
+// search if one exists.
+func (d *SingleFlightDict) Search(word string) string {
+	d.mu.Lock()
+	if fc, ok := d.inflight[word]; ok {
+		d.mu.Unlock()
+		<-fc.done
+		return fc.result
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	d.inflight[word] = fc
+	d.searches++
+	d.mu.Unlock()
+
+	SimulateSearch(d.searchCost)
+	fc.result = "meaning of " + word
+
+	d.mu.Lock()
+	delete(d.inflight, word)
+	d.mu.Unlock()
+	close(fc.done)
+	return fc.result
+}
+
+// Searches reports how many full searches were executed.
+func (d *SingleFlightDict) Searches() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.searches
+}

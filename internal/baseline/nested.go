@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrDeadlock reports that a nested monitor call did not complete within
+// the detection window.
+var ErrDeadlock = errors.New("baseline: nested monitor call deadlocked")
+
+// NestedMonitorPair demonstrates the nested monitor call problem
+// (paper §2.3, [18]): monitor X's entry P, holding X's lock, calls monitor
+// Y's entry Q, which calls back into X's entry R. R needs X's lock, which P
+// still holds — deadlock. DP, Ada and SR suffer from this; an ALPS manager
+// does not, because start is asynchronous and the manager can accept R
+// while P runs.
+type NestedMonitorPair struct {
+	muX sync.Mutex
+	muY sync.Mutex
+}
+
+// NewNestedMonitorPair creates the two-monitor configuration.
+func NewNestedMonitorPair() *NestedMonitorPair {
+	return &NestedMonitorPair{}
+}
+
+// CallP runs X.P -> Y.Q -> X.R with monitor semantics (each entry holds its
+// monitor's lock for its full duration). timeout bounds the deadlock
+// detection: if R cannot acquire X within it, ErrDeadlock is returned.
+func (p *NestedMonitorPair) CallP(timeout time.Duration) error {
+	p.muX.Lock() // enter monitor X (entry P)
+	defer p.muX.Unlock()
+	return p.callQ(timeout)
+}
+
+func (p *NestedMonitorPair) callQ(timeout time.Duration) error {
+	p.muY.Lock() // enter monitor Y (entry Q)
+	defer p.muY.Unlock()
+	return p.callR(timeout)
+}
+
+// callR needs monitor X again; under true monitor semantics this blocks
+// forever. A timed acquisition stands in for the deadlock detector.
+func (p *NestedMonitorPair) callR(timeout time.Duration) error {
+	acquired := make(chan struct{})
+	go func() {
+		p.muX.Lock()
+		close(acquired)
+		p.muX.Unlock()
+	}()
+	select {
+	case <-acquired:
+		return nil // only reachable if P released X, i.e. not monitor semantics
+	case <-time.After(timeout):
+		return ErrDeadlock
+	}
+}

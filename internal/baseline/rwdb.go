@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"sync"
+	"time"
+)
+
+// RWMutexDB is the conventional readers-writers database built directly on
+// sync.RWMutex, the baseline for experiment E2. It has no ReadMax bound and
+// relies on the Go runtime's writer-preference for starvation avoidance —
+// the scheduling policy is fixed by the primitive, which is exactly the
+// inflexibility the manager construct addresses.
+type RWMutexDB struct {
+	mu   sync.RWMutex
+	data map[int]int
+}
+
+// NewRWMutexDB creates an empty database.
+func NewRWMutexDB() *RWMutexDB {
+	return &RWMutexDB{data: make(map[int]int)}
+}
+
+// Read returns the value stored at key.
+func (db *RWMutexDB) Read(key int) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.data[key]
+	return v, ok
+}
+
+// Write stores value at key.
+func (db *RWMutexDB) Write(key, value int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.data[key] = value
+}
+
+// BoundedRWDB adds a ReadMax bound to the RWMutex baseline so the
+// comparison with the ALPS readers-writers object (which enforces ReadMax)
+// is apples-to-apples. The bound is a counting semaphore taken around the
+// read lock — note the policy is again wired through every procedure.
+type BoundedRWDB struct {
+	sem       chan struct{}
+	mu        sync.RWMutex
+	data      map[int]int
+	readCost  time.Duration
+	writeCost time.Duration
+}
+
+// NewBoundedRWDB creates an empty database admitting at most readMax
+// concurrent readers.
+func NewBoundedRWDB(readMax int) *BoundedRWDB {
+	return NewBoundedRWDBCost(readMax, 0, 0)
+}
+
+// NewBoundedRWDBCost additionally simulates per-operation I/O time inside
+// the critical sections, matching the ALPS rwdb configuration for
+// experiment E2.
+func NewBoundedRWDBCost(readMax int, readCost, writeCost time.Duration) *BoundedRWDB {
+	return &BoundedRWDB{
+		sem:       make(chan struct{}, readMax),
+		data:      make(map[int]int),
+		readCost:  readCost,
+		writeCost: writeCost,
+	}
+}
+
+// Read returns the value stored at key, admitting at most ReadMax
+// concurrent readers.
+func (db *BoundedRWDB) Read(key int) (int, bool) {
+	db.sem <- struct{}{}
+	defer func() { <-db.sem }()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.readCost > 0 {
+		time.Sleep(db.readCost)
+	}
+	v, ok := db.data[key]
+	return v, ok
+}
+
+// Write stores value at key in exclusion.
+func (db *BoundedRWDB) Write(key, value int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.writeCost > 0 {
+		time.Sleep(db.writeCost)
+	}
+	db.data[key] = value
+}

@@ -1,0 +1,298 @@
+// Package channel implements ALPS asynchronous point-to-point channels
+// (paper §2.1.2).
+//
+// An ALPS channel carries typed tuples: "var C: chan(T1, ..., Tn)". A send
+// buffers the message and never blocks the sender; a receive blocks until a
+// message is available. Unlike Occam's synchronous channels, ALPS channels
+// are asynchronous with unbounded buffering. Channels are first-class: they
+// can be stored in data structures, passed as procedure parameters, and sent
+// as message values.
+//
+// A message is a tuple represented as []any. Receives are also usable as
+// guards in a manager's select/loop statement; the core package drives that
+// through the Peek/Take and Subscribe hooks.
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is one tuple sent over a channel ("send C(v1, ..., vn)").
+type Message []any
+
+// ErrClosed is returned by Send after Close, and reported by receive
+// operations once a closed channel has drained.
+var ErrClosed = errors.New("channel: closed")
+
+// Chan is an asynchronous point-to-point channel. The zero value is not
+// usable; construct with New.
+type Chan struct {
+	mu             sync.Mutex
+	name           string
+	arity          int // expected tuple width; 0 disables checking
+	queue          []Message
+	head           int // index of first live element in queue
+	closed         bool
+	recvWaiters    []chan struct{} // one-shot wakeups for blocked receivers
+	subs           map[int]chan<- struct{}
+	nextSub        int
+	sent, received uint64
+}
+
+// Option configures a channel at construction time.
+type Option func(*Chan)
+
+// WithArity declares the tuple width of the channel, mirroring the
+// "chan(T1, ..., Tn)" declaration. Sends with a different number of values
+// return an error. Arity 0 (the default) disables the check.
+func WithArity(n int) Option {
+	return func(c *Chan) { c.arity = n }
+}
+
+// New creates a channel. The name is used in errors and traces only.
+func New(name string, opts ...Option) *Chan {
+	c := &Chan{name: name}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Name reports the channel's name.
+func (c *Chan) Name() string { return c.name }
+
+// Arity reports the declared tuple width (0 if unchecked).
+func (c *Chan) Arity() int { return c.arity }
+
+// Send buffers a message and returns immediately ("send C(v1, ..., vn)").
+// It fails only if the channel is closed or the tuple width is wrong.
+func (c *Chan) Send(vals ...any) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("send on %q: %w", c.name, ErrClosed)
+	}
+	if c.arity != 0 && len(vals) != c.arity {
+		c.mu.Unlock()
+		return fmt.Errorf("send on %q: got %d values, channel has arity %d", c.name, len(vals), c.arity)
+	}
+	msg := make(Message, len(vals))
+	copy(msg, vals)
+	c.queue = append(c.queue, msg)
+	c.sent++
+	waiters := c.takeWaitersLocked()
+	subs := c.snapshotSubsLocked()
+	c.mu.Unlock()
+
+	for _, w := range waiters {
+		close(w)
+	}
+	for _, s := range subs {
+		poke(s)
+	}
+	return nil
+}
+
+// Recv blocks until a message is available and returns it
+// ("receive C(x1, ..., xn)"). ok is false once the channel is closed and
+// drained.
+func (c *Chan) Recv() (msg Message, ok bool) {
+	for {
+		c.mu.Lock()
+		if m, found := c.popLocked(); found {
+			c.mu.Unlock()
+			return m, true
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false
+		}
+		w := make(chan struct{})
+		c.recvWaiters = append(c.recvWaiters, w)
+		c.mu.Unlock()
+		<-w
+	}
+}
+
+// RecvDone is like Recv but also aborts when done is closed, returning
+// ErrClosed-free (nil, false). Pass a context's Done() channel for
+// cancellable receives.
+func (c *Chan) RecvDone(done <-chan struct{}) (msg Message, ok bool) {
+	for {
+		c.mu.Lock()
+		if m, found := c.popLocked(); found {
+			c.mu.Unlock()
+			return m, true
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false
+		}
+		w := make(chan struct{})
+		c.recvWaiters = append(c.recvWaiters, w)
+		c.mu.Unlock()
+		select {
+		case <-w:
+		case <-done:
+			return nil, false
+		}
+	}
+}
+
+// TryRecv returns a message if one is immediately available.
+func (c *Chan) TryRecv() (Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.popLocked()
+}
+
+// PeekWhere reports whether a buffered message satisfies pred, returning the
+// first match without consuming it. A nil pred matches any message. This is
+// the eligibility check for "receive C(...) when B" guards: the acceptance
+// condition is evaluated against the values that would be received.
+func (c *Chan) PeekWhere(pred func(Message) bool) (Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := c.head; i < len(c.queue); i++ {
+		if pred == nil || pred(c.queue[i]) {
+			return c.queue[i], true
+		}
+	}
+	return nil, false
+}
+
+// TakeWhere atomically removes and returns the first buffered message
+// satisfying pred (nil matches any). It is the commit step for a selected
+// receive guard.
+func (c *Chan) TakeWhere(pred func(Message) bool) (Message, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := c.head; i < len(c.queue); i++ {
+		if pred == nil || pred(c.queue[i]) {
+			m := c.queue[i]
+			c.removeAtLocked(i)
+			c.received++
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports the number of buffered messages.
+func (c *Chan) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue) - c.head
+}
+
+// Stats reports lifetime sent and received counts.
+func (c *Chan) Stats() (sent, received uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.received
+}
+
+// Close marks the channel closed. Buffered messages remain receivable;
+// further sends fail. Close is idempotent.
+func (c *Chan) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	waiters := c.takeWaitersLocked()
+	subs := c.snapshotSubsLocked()
+	c.mu.Unlock()
+	for _, w := range waiters {
+		close(w)
+	}
+	for _, s := range subs {
+		poke(s)
+	}
+}
+
+// Closed reports whether Close has been called.
+func (c *Chan) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Subscribe registers a poke channel that receives a non-blocking signal
+// whenever a message arrives or the channel closes. It returns an
+// unsubscribe function. The poke channel should be buffered (capacity 1);
+// coalesced wakeups are expected and receivers must re-scan state.
+func (c *Chan) Subscribe(pokeCh chan<- struct{}) (unsubscribe func()) {
+	c.mu.Lock()
+	id := c.nextSub
+	c.nextSub++
+	if c.subs == nil {
+		c.subs = make(map[int]chan<- struct{})
+	}
+	c.subs[id] = pokeCh
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		delete(c.subs, id)
+		c.mu.Unlock()
+	}
+}
+
+func (c *Chan) popLocked() (Message, bool) {
+	if c.head >= len(c.queue) {
+		return nil, false
+	}
+	m := c.queue[c.head]
+	c.removeAtLocked(c.head)
+	c.received++
+	return m, true
+}
+
+// removeAtLocked deletes queue[i], compacting lazily: popping from the front
+// advances head; once half the backing array is dead it is copied down so
+// the buffer does not grow without bound under steady-state traffic.
+func (c *Chan) removeAtLocked(i int) {
+	if i == c.head {
+		c.queue[i] = nil
+		c.head++
+	} else {
+		copy(c.queue[i:], c.queue[i+1:])
+		c.queue[len(c.queue)-1] = nil
+		c.queue = c.queue[:len(c.queue)-1]
+	}
+	if c.head > 32 && c.head*2 >= len(c.queue) {
+		n := copy(c.queue, c.queue[c.head:])
+		for j := n; j < len(c.queue); j++ {
+			c.queue[j] = nil
+		}
+		c.queue = c.queue[:n]
+		c.head = 0
+	}
+}
+
+func (c *Chan) takeWaitersLocked() []chan struct{} {
+	ws := c.recvWaiters
+	c.recvWaiters = nil
+	return ws
+}
+
+func (c *Chan) snapshotSubsLocked() []chan<- struct{} {
+	if len(c.subs) == 0 {
+		return nil
+	}
+	out := make([]chan<- struct{}, 0, len(c.subs))
+	for _, s := range c.subs {
+		out = append(out, s)
+	}
+	return out
+}
+
+func poke(ch chan<- struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,459 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSendRecvFIFO(t *testing.T) {
+	c := New("c")
+	for i := 0; i < 100; i++ {
+		if err := c.Send(i); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, ok := c.Recv()
+		if !ok {
+			t.Fatalf("Recv %d: channel reported closed", i)
+		}
+		if got := m[0].(int); got != i {
+			t.Fatalf("Recv %d: got %d, want FIFO order", i, got)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", c.Len())
+	}
+}
+
+func TestSendNeverBlocks(t *testing.T) {
+	c := New("c")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			if err := c.Send(i); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("asynchronous Send blocked")
+	}
+	if got := c.Len(); got != 10000 {
+		t.Fatalf("Len = %d, want 10000", got)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	c := New("c")
+	got := make(chan Message, 1)
+	go func() {
+		m, _ := c.Recv()
+		got <- m
+	}()
+	select {
+	case <-got:
+		t.Fatal("Recv returned before any Send")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := c.Send("hello", 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m[0] != "hello" || m[1] != 42 {
+			t.Fatalf("got %v, want [hello 42]", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not wake after Send")
+	}
+}
+
+func TestTupleValuesAreCopied(t *testing.T) {
+	c := New("c")
+	vals := []any{1, 2}
+	if err := c.Send(vals...); err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 99
+	m, _ := c.Recv()
+	if m[0] != 1 {
+		t.Fatalf("message aliased sender's slice: got %v", m[0])
+	}
+}
+
+func TestArityChecking(t *testing.T) {
+	c := New("pair", WithArity(2))
+	if err := c.Send(1); err == nil {
+		t.Fatal("Send with 1 value on arity-2 channel succeeded")
+	}
+	if err := c.Send(1, 2, 3); err == nil {
+		t.Fatal("Send with 3 values on arity-2 channel succeeded")
+	}
+	if err := c.Send(1, 2); err != nil {
+		t.Fatalf("Send with matching arity failed: %v", err)
+	}
+	if c.Arity() != 2 {
+		t.Fatalf("Arity = %d, want 2", c.Arity())
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	c := New("c")
+	if err := c.Send(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // idempotent
+
+	if err := c.Send(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after Close: err = %v, want ErrClosed", err)
+	}
+	// Buffered message still receivable.
+	if m, ok := c.Recv(); !ok || m[0] != 1 {
+		t.Fatalf("Recv after Close = %v, %v; want buffered 1", m, ok)
+	}
+	if _, ok := c.Recv(); ok {
+		t.Fatal("Recv on drained closed channel reported ok")
+	}
+	if !c.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestCloseWakesBlockedReceiver(t *testing.T) {
+	c := New("c")
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.Recv()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv returned ok=true on closed empty channel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked receiver not woken by Close")
+	}
+}
+
+func TestRecvDoneCancel(t *testing.T) {
+	c := New("c")
+	done := make(chan struct{})
+	res := make(chan bool, 1)
+	go func() {
+		_, ok := c.RecvDone(done)
+		res <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(done)
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("cancelled RecvDone reported ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecvDone ignored done channel")
+	}
+	// Channel still usable after a cancelled receive.
+	if err := c.Send(7); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := c.TryRecv(); !ok || m[0] != 7 {
+		t.Fatalf("TryRecv = %v, %v", m, ok)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	c := New("c")
+	if _, ok := c.TryRecv(); ok {
+		t.Fatal("TryRecv on empty channel reported ok")
+	}
+	if err := c.Send("x"); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := c.TryRecv(); !ok || m[0] != "x" {
+		t.Fatalf("TryRecv = %v, %v", m, ok)
+	}
+}
+
+func TestPeekAndTakeWhere(t *testing.T) {
+	c := New("c")
+	for i := 1; i <= 5; i++ {
+		if err := c.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	even := func(m Message) bool { return m[0].(int)%2 == 0 }
+
+	if m, ok := c.PeekWhere(even); !ok || m[0] != 2 {
+		t.Fatalf("PeekWhere(even) = %v, %v; want first even = 2", m, ok)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("PeekWhere consumed a message: Len = %d", c.Len())
+	}
+	if m, ok := c.TakeWhere(even); !ok || m[0] != 2 {
+		t.Fatalf("TakeWhere(even) = %v, %v", m, ok)
+	}
+	// FIFO among the rest is preserved: 1, 3, 4, 5.
+	want := []int{1, 3, 4, 5}
+	for _, w := range want {
+		m, ok := c.TryRecv()
+		if !ok || m[0] != w {
+			t.Fatalf("after TakeWhere, got %v, want %d", m, w)
+		}
+	}
+	if _, ok := c.TakeWhere(nil); ok {
+		t.Fatal("TakeWhere on empty channel reported ok")
+	}
+	if _, ok := c.PeekWhere(func(Message) bool { return false }); ok {
+		t.Fatal("PeekWhere with always-false predicate reported ok")
+	}
+}
+
+func TestSubscribePoke(t *testing.T) {
+	c := New("c")
+	pokeCh := make(chan struct{}, 1)
+	unsub := c.Subscribe(pokeCh)
+	if err := c.Send(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-pokeCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber not poked on Send")
+	}
+	unsub()
+	if err := c.Send(2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-pokeCh:
+		t.Fatal("poked after unsubscribe")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSubscribePokeOnClose(t *testing.T) {
+	c := New("c")
+	pokeCh := make(chan struct{}, 1)
+	defer c.Subscribe(pokeCh)()
+	c.Close()
+	select {
+	case <-pokeCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber not poked on Close")
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New("c")
+	for i := 0; i < 3; i++ {
+		if err := c.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.TryRecv()
+	sent, recv := c.Stats()
+	if sent != 3 || recv != 1 {
+		t.Fatalf("Stats = (%d, %d), want (3, 1)", sent, recv)
+	}
+}
+
+func TestChannelsAreFirstClass(t *testing.T) {
+	// Channels can be passed as message values (paper §2.1.2).
+	carrier := New("carrier")
+	inner := New("inner")
+	if err := carrier.Send(inner); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := carrier.Recv()
+	if !ok {
+		t.Fatal("Recv failed")
+	}
+	got, ok := m[0].(*Chan)
+	if !ok {
+		t.Fatalf("message value is %T, want *Chan", m[0])
+	}
+	if err := got.Send("through"); err != nil {
+		t.Fatal(err)
+	}
+	if im, ok := inner.TryRecv(); !ok || im[0] != "through" {
+		t.Fatalf("inner channel did not carry the message: %v, %v", im, ok)
+	}
+}
+
+// TestConcurrentSendersOneReceiver checks no message is lost or duplicated
+// with many senders (point-to-point means one receiver, but ALPS permits the
+// sending side to be any process holding the channel).
+func TestConcurrentSendersOneReceiver(t *testing.T) {
+	const senders, perSender = 8, 500
+	c := New("c")
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := c.Send(s, i); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		c.Close()
+	}()
+
+	seen := make(map[[2]int]bool, senders*perSender)
+	lastPer := make([]int, senders)
+	for i := range lastPer {
+		lastPer[i] = -1
+	}
+	for {
+		m, ok := c.Recv()
+		if !ok {
+			break
+		}
+		key := [2]int{m[0].(int), m[1].(int)}
+		if seen[key] {
+			t.Fatalf("duplicate message %v", key)
+		}
+		seen[key] = true
+		// Per-sender FIFO must hold even with interleaving.
+		if key[1] <= lastPer[key[0]] {
+			t.Fatalf("per-sender order violated: sender %d seq %d after %d", key[0], key[1], lastPer[key[0]])
+		}
+		lastPer[key[0]] = key[1]
+	}
+	if len(seen) != senders*perSender {
+		t.Fatalf("received %d messages, want %d", len(seen), senders*perSender)
+	}
+}
+
+// Property: for any interleaving of sends and receives the channel conserves
+// messages and preserves FIFO order.
+func TestQuickFIFOConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New("q")
+		next := 0
+		expect := 0
+		for _, op := range ops {
+			if op%3 != 0 { // two thirds sends
+				if err := c.Send(next); err != nil {
+					return false
+				}
+				next++
+			} else if m, ok := c.TryRecv(); ok {
+				if m[0].(int) != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		// Drain the rest.
+		for {
+			m, ok := c.TryRecv()
+			if !ok {
+				break
+			}
+			if m[0].(int) != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next && c.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TakeWhere removes exactly one matching element and preserves the
+// relative order of the rest.
+func TestQuickTakeWherePreservesOrder(t *testing.T) {
+	f := func(vals []int, modRaw uint8) bool {
+		mod := int(modRaw%5) + 2
+		c := New("q")
+		for _, v := range vals {
+			if err := c.Send(v); err != nil {
+				return false
+			}
+		}
+		pred := func(m Message) bool { return m[0].(int)%mod == 0 }
+		taken, ok := c.TakeWhere(pred)
+
+		var want []int
+		removed := false
+		for _, v := range vals {
+			if !removed && v%mod == 0 {
+				removed = true
+				continue
+			}
+			want = append(want, v)
+		}
+		if ok != removed {
+			return false
+		}
+		if ok && taken[0].(int)%mod != 0 {
+			return false
+		}
+		for _, w := range want {
+			m, got := c.TryRecv()
+			if !got || m[0].(int) != w {
+				return false
+			}
+		}
+		_, extra := c.TryRecv()
+		return !extra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadCompaction(t *testing.T) {
+	// Exercise the lazy compaction path: heavy pop-from-front traffic must
+	// not grow the backing array without bound.
+	c := New("c")
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 100; i++ {
+			if err := c.Send(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			m, ok := c.TryRecv()
+			if !ok || m[0].(int) != i {
+				t.Fatalf("round %d: got %v, %v", round, m, ok)
+			}
+		}
+	}
+	c.mu.Lock()
+	backing := cap(c.queue)
+	c.mu.Unlock()
+	if backing > 4096 {
+		t.Fatalf("backing array grew to %d despite compaction", backing)
+	}
+}
+
+func ExampleChan() {
+	c := New("results", WithArity(2))
+	_ = c.Send("answer", 42)
+	m, _ := c.Recv()
+	fmt.Println(m[0], m[1])
+	// Output: answer 42
+}

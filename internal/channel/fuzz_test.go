@@ -1,0 +1,78 @@
+package channel
+
+import (
+	"testing"
+)
+
+// FuzzOps drives a channel with an arbitrary operation sequence and checks
+// conservation: everything sent is received exactly once, in FIFO order
+// among the plain receives.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 3, 1, 1})
+	f.Add([]byte{4, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		c := New("fuzz")
+		next := 0
+		received := make(map[int]bool)
+		expectPlain := 0 // next FIFO value a plain receive may see... tracked loosely
+		closed := false
+		_ = expectPlain
+		for _, op := range ops {
+			switch op % 5 {
+			case 0, 1: // send
+				err := c.Send(next)
+				if closed && err == nil {
+					t.Fatal("Send succeeded after Close")
+				}
+				if !closed {
+					if err != nil {
+						t.Fatalf("Send: %v", err)
+					}
+					next++
+				}
+			case 2: // try-receive
+				if m, ok := c.TryRecv(); ok {
+					v := m[0].(int)
+					if received[v] {
+						t.Fatalf("value %d received twice", v)
+					}
+					received[v] = true
+				}
+			case 3: // take even values out of order
+				if m, ok := c.TakeWhere(func(m Message) bool { return m[0].(int)%2 == 0 }); ok {
+					v := m[0].(int)
+					if v%2 != 0 {
+						t.Fatalf("TakeWhere(even) returned %d", v)
+					}
+					if received[v] {
+						t.Fatalf("value %d received twice", v)
+					}
+					received[v] = true
+				}
+			case 4: // close (idempotent)
+				c.Close()
+				closed = true
+			}
+		}
+		// Drain and check conservation.
+		for {
+			m, ok := c.TryRecv()
+			if !ok {
+				break
+			}
+			v := m[0].(int)
+			if received[v] {
+				t.Fatalf("value %d received twice at drain", v)
+			}
+			received[v] = true
+		}
+		if len(received) != next {
+			t.Fatalf("sent %d values, received %d", next, len(received))
+		}
+		sent, recv := c.Stats()
+		if sent != uint64(next) || recv != uint64(next) {
+			t.Fatalf("Stats = (%d, %d), want (%d, %d)", sent, recv, next, next)
+		}
+	})
+}

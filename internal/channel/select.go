@@ -1,0 +1,114 @@
+package channel
+
+// The paper's select/loop constructs are general language constructs: any
+// process may use receive commands in guards (§2.1.2, §2.4), not only
+// managers. This file provides that facility for ordinary processes; the
+// manager's richer select (accept/await guards) lives in internal/core and
+// reuses the same Peek/Take/Subscribe hooks.
+
+// RecvGuard is one "receive C(...) [when B] [pri E]" alternative.
+type RecvGuard struct {
+	Ch       *Chan
+	When     func(Message) bool // acceptance condition on the would-be message
+	Pri      func(Message) int  // run-time priority; nil means PriConst
+	PriConst int
+}
+
+// Select blocks until one guard has an eligible message and receives it,
+// returning the guard's index and the message. Among eligible guards the
+// smallest priority value wins (§2.4). It returns ok=false when done is
+// closed, or when every channel is closed with no eligible message left.
+func Select(done <-chan struct{}, guards ...RecvGuard) (idx int, msg Message, ok bool) {
+	if len(guards) == 0 {
+		return -1, nil, false
+	}
+	poke := make(chan struct{}, 1)
+	unsubs := make([]func(), len(guards))
+	for i, g := range guards {
+		if g.Ch == nil {
+			for j := 0; j < i; j++ {
+				unsubs[j]()
+			}
+			return -1, nil, false
+		}
+		unsubs[i] = g.Ch.Subscribe(poke)
+	}
+	defer func() {
+		for _, u := range unsubs {
+			u()
+		}
+	}()
+
+	for {
+		best := -1
+		bestPri := 0
+		var bestMsg Message
+		// With no eligible message found, the select can only ever fire
+		// again if some channel can still receive sends: predicates are
+		// pure, so a closed channel whose buffered messages all failed
+		// their conditions is dead for this select.
+		allDead := true
+		for i, g := range guards {
+			if !g.Ch.Closed() {
+				allDead = false
+			}
+			m, found := g.Ch.PeekWhere(g.When)
+			if !found {
+				continue
+			}
+			pri := g.PriConst
+			if g.Pri != nil {
+				pri = g.Pri(m)
+			}
+			if best < 0 || pri < bestPri {
+				best, bestPri, bestMsg = i, pri, m
+			}
+		}
+		if best >= 0 {
+			g := guards[best]
+			if m, found := g.Ch.TakeWhere(g.When); found {
+				return best, m, true
+			}
+			_ = bestMsg // stolen between peek and take: rescan
+			continue
+		}
+		if allDead {
+			return -1, nil, false
+		}
+		select {
+		case <-poke:
+		case <-done:
+			return -1, nil, false
+		}
+	}
+}
+
+// TrySelect is Select without blocking: it receives from the best eligible
+// guard if any message is immediately available.
+func TrySelect(guards ...RecvGuard) (idx int, msg Message, ok bool) {
+	best := -1
+	bestPri := 0
+	for i, g := range guards {
+		if g.Ch == nil {
+			continue
+		}
+		m, found := g.Ch.PeekWhere(g.When)
+		if !found {
+			continue
+		}
+		pri := g.PriConst
+		if g.Pri != nil {
+			pri = g.Pri(m)
+		}
+		if best < 0 || pri < bestPri {
+			best, bestPri = i, pri
+		}
+	}
+	if best < 0 {
+		return -1, nil, false
+	}
+	if m, found := guards[best].Ch.TakeWhere(guards[best].When); found {
+		return best, m, true
+	}
+	return -1, nil, false
+}

@@ -1,0 +1,236 @@
+package channel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSelectReceivesFromReadyChannel(t *testing.T) {
+	a, b := New("a"), New("b")
+	if err := b.Send("hello"); err != nil {
+		t.Fatal(err)
+	}
+	idx, msg, ok := Select(nil, RecvGuard{Ch: a}, RecvGuard{Ch: b})
+	if !ok || idx != 1 || msg[0] != "hello" {
+		t.Fatalf("Select = %d, %v, %v", idx, msg, ok)
+	}
+}
+
+func TestSelectBlocksUntilSend(t *testing.T) {
+	a := New("a")
+	got := make(chan Message, 1)
+	go func() {
+		_, msg, ok := Select(nil, RecvGuard{Ch: a})
+		if ok {
+			got <- msg
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("Select returned before any send")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := a.Send(7); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg[0] != 7 {
+			t.Fatalf("msg = %v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Select did not wake on send")
+	}
+}
+
+func TestSelectPriority(t *testing.T) {
+	a, b := New("a"), New("b")
+	if err := a.Send("low"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("high"); err != nil {
+		t.Fatal(err)
+	}
+	idx, msg, ok := Select(nil,
+		RecvGuard{Ch: a, PriConst: 5},
+		RecvGuard{Ch: b, PriConst: 1},
+	)
+	if !ok || idx != 1 || msg[0] != "high" {
+		t.Fatalf("Select = %d, %v, %v; want the pri-1 guard", idx, msg, ok)
+	}
+}
+
+func TestSelectMessagePriority(t *testing.T) {
+	a := New("a")
+	for _, v := range []int{30, 10, 20} {
+		if err := a.Send(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pri over the frontmost eligible message of each guard; one guard per
+	// value class picks the global minimum.
+	small := func(m Message) bool { return m[0].(int) < 15 }
+	big := func(m Message) bool { return m[0].(int) >= 15 }
+	pri := func(m Message) int { return m[0].(int) }
+	idx, msg, ok := Select(nil,
+		RecvGuard{Ch: a, When: big, Pri: pri},
+		RecvGuard{Ch: a, When: small, Pri: pri},
+	)
+	if !ok || idx != 1 || msg[0] != 10 {
+		t.Fatalf("Select = %d, %v, %v; want 10 via the small guard", idx, msg, ok)
+	}
+}
+
+func TestSelectWhenFiltersMessages(t *testing.T) {
+	a := New("a")
+	if err := a.Send(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2); err != nil {
+		t.Fatal(err)
+	}
+	even := func(m Message) bool { return m[0].(int)%2 == 0 }
+	_, msg, ok := Select(nil, RecvGuard{Ch: a, When: even})
+	if !ok || msg[0] != 2 {
+		t.Fatalf("Select(even) = %v, %v", msg, ok)
+	}
+	if a.Len() != 1 {
+		t.Fatalf("ineligible message consumed: Len = %d", a.Len())
+	}
+}
+
+func TestSelectDoneCancels(t *testing.T) {
+	a := New("a")
+	done := make(chan struct{})
+	res := make(chan bool, 1)
+	go func() {
+		_, _, ok := Select(done, RecvGuard{Ch: a})
+		res <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(done)
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("cancelled Select reported ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Select ignored done")
+	}
+}
+
+func TestSelectAllChannelsClosed(t *testing.T) {
+	a, b := New("a"), New("b")
+	if err := a.Send("last"); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+	// Drains the remaining message first...
+	idx, msg, ok := Select(nil, RecvGuard{Ch: a}, RecvGuard{Ch: b})
+	if !ok || idx != 0 || msg[0] != "last" {
+		t.Fatalf("Select = %d, %v, %v", idx, msg, ok)
+	}
+	// ...then reports exhaustion instead of blocking forever.
+	if _, _, ok := Select(nil, RecvGuard{Ch: a}, RecvGuard{Ch: b}); ok {
+		t.Fatal("Select on dead channels reported ok")
+	}
+}
+
+func TestSelectNilAndEmpty(t *testing.T) {
+	if _, _, ok := Select(nil); ok {
+		t.Fatal("empty Select reported ok")
+	}
+	a := New("a")
+	if _, _, ok := Select(nil, RecvGuard{Ch: a}, RecvGuard{}); ok {
+		t.Fatal("Select with nil channel reported ok")
+	}
+}
+
+func TestTrySelect(t *testing.T) {
+	a := New("a")
+	if _, _, ok := TrySelect(RecvGuard{Ch: a}); ok {
+		t.Fatal("TrySelect on empty channel reported ok")
+	}
+	if err := a.Send(9); err != nil {
+		t.Fatal(err)
+	}
+	idx, msg, ok := TrySelect(RecvGuard{Ch: a})
+	if !ok || idx != 0 || msg[0] != 9 {
+		t.Fatalf("TrySelect = %d, %v, %v", idx, msg, ok)
+	}
+	if _, _, ok := TrySelect(RecvGuard{Ch: nil}); ok {
+		t.Fatal("TrySelect with nil channel reported ok")
+	}
+}
+
+func TestSelectConcurrentConsumers(t *testing.T) {
+	// Two selectors race for the same stream; every message is delivered
+	// exactly once.
+	a := New("a")
+	const items = 200
+	var mu sync.Mutex
+	seen := make(map[int]bool, items)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, msg, ok := Select(done, RecvGuard{Ch: a})
+				if !ok {
+					return
+				}
+				mu.Lock()
+				v := msg[0].(int)
+				if seen[v] {
+					t.Errorf("message %d delivered twice", v)
+				}
+				seen[v] = true
+				n := len(seen)
+				mu.Unlock()
+				if n == items {
+					close(done)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		if err := a.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != items {
+		t.Fatalf("delivered %d of %d", len(seen), items)
+	}
+}
+
+func TestSelectClosedWithIneligibleMessages(t *testing.T) {
+	// A closed channel holding only messages that fail the acceptance
+	// condition can never fire: Select must report exhaustion, not hang.
+	a := New("a")
+	if err := a.Send(1); err != nil { // odd: never eligible
+		t.Fatal(err)
+	}
+	a.Close()
+	even := func(m Message) bool { return m[0].(int)%2 == 0 }
+	res := make(chan bool, 1)
+	go func() {
+		_, _, ok := Select(nil, RecvGuard{Ch: a, When: even})
+		res <- ok
+	}()
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("Select fired on an ineligible message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Select hung on a dead channel with ineligible messages")
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import "fmt"
+
+// Value is one ALPS parameter, result, or message value.
+type Value = any
+
+// Body is the implementation of an entry (or local) procedure. It runs on a
+// lightweight process from the object's pool, asynchronously with respect to
+// the manager. Results are produced with inv.Return (and inv.ReturnHidden);
+// a non-nil error fails the call. A panic inside the body is recovered and
+// surfaces to the caller as a *BodyError.
+type Body func(inv *Invocation) error
+
+// EntrySpec declares one procedure of an object's implementation part.
+//
+// Array > 1 declares a hidden procedure array (paper §2.5): the definition
+// part exports a single procedure name while the implementation attaches up
+// to Array concurrent calls, each to its own element. HiddenParams and
+// HiddenResults declare the extra values exchanged only between the manager
+// and the body (paper §2.8); they are invisible to callers.
+type EntrySpec struct {
+	Name          string
+	Params        int // regular invocation parameters
+	Results       int // regular results
+	Array         int // hidden-procedure-array size; 0 or 1 means plain
+	HiddenParams  int
+	HiddenResults int
+	Local         bool // local procedure: callable only from inside the object
+	Body          Body
+}
+
+func (s EntrySpec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: entry with empty name", ErrBadState)
+	}
+	if s.Body == nil {
+		return fmt.Errorf("%w: entry %q has no body", ErrBadState, s.Name)
+	}
+	if s.Params < 0 || s.Results < 0 || s.HiddenParams < 0 || s.HiddenResults < 0 {
+		return fmt.Errorf("%w: entry %q has negative arity", ErrBadArity, s.Name)
+	}
+	if s.Array < 0 {
+		return fmt.Errorf("%w: entry %q has negative array size", ErrBadArity, s.Name)
+	}
+	return nil
+}
+
+// InterceptSpec is one element of a manager's intercepts clause
+// (paper §2.3, §2.6): the named procedure's calls are directed to the
+// manager, which receives the first Params invocation parameters at accept
+// and supplies the first Results results at finish.
+type InterceptSpec struct {
+	Entry   string
+	Params  int // initial subsequence of invocation params given to the manager
+	Results int // initial subsequence of results supplied by the manager
+}
+
+// Intercept lists an entry in the intercepts clause without parameter or
+// result interception ("intercepts P").
+func Intercept(entry string) InterceptSpec {
+	return InterceptSpec{Entry: entry}
+}
+
+// InterceptPR lists an entry with interception of the first params
+// invocation parameters and first results results
+// ("intercepts P(params; results)").
+func InterceptPR(entry string, params, results int) InterceptSpec {
+	return InterceptSpec{Entry: entry, Params: params, Results: results}
+}
+
+type slotState int
+
+const (
+	slotFree     slotState = iota + 1
+	slotAttached           // call bound to this element, not yet accepted
+	slotAccepted           // manager accepted, not yet started
+	slotStarted            // body running
+	slotReady              // body done, awaiting the manager's await
+	slotAwaited            // awaited, awaiting the manager's finish
+)
+
+func (s slotState) String() string {
+	switch s {
+	case slotFree:
+		return "free"
+	case slotAttached:
+		return "attached"
+	case slotAccepted:
+		return "accepted"
+	case slotStarted:
+		return "started"
+	case slotReady:
+		return "ready"
+	case slotAwaited:
+		return "awaited"
+	default:
+		return fmt.Sprintf("slotState(%d)", int(s))
+	}
+}
+
+// slot is one element of a hidden procedure array.
+type slot struct {
+	index int
+	state slotState
+	call  *callRecord
+
+	// listPos is this slot's position in the entry's attached or ready
+	// list, -1 when in neither. Exactly one list can contain a slot at a
+	// time (attached vs ready are disjoint states).
+	listPos int
+}
+
+// entry is the runtime representation of a procedure.
+//
+// The attached and ready lists address the implementation issue of §3: "a
+// hidden procedure array P[1..N] may have only a small number of requests
+// attached to it on the average and it is wasteful to implement a guarded
+// command of the form (i:1..N) accept P[i]" by polling all N elements.
+// Guard evaluation iterates only the slots that can actually fire.
+type entry struct {
+	spec        EntrySpec
+	intercepted bool
+	ipParams    int
+	ipResults   int
+
+	slots     []*slot
+	attached  []*slot       // slots in state slotAttached (accept candidates)
+	ready     []*slot       // slots in state slotReady (await candidates)
+	waitq     []*callRecord // calls waiting for a free element
+	attachRot int           // rotating scan offset for arbitrary slot choice
+	active    int           // bodies started and not yet finished
+
+	// Lifetime counters (under the object lock).
+	calls     uint64 // invocations that passed validation
+	completed uint64 // calls that returned results to their caller
+	combined  uint64 // calls answered without a body execution (§2.7)
+	failed    uint64 // calls that returned an error
+}
+
+// EntryStats is a snapshot of one entry's lifetime counters.
+type EntryStats struct {
+	Calls     uint64 // invocations accepted by the runtime
+	Completed uint64 // calls that returned results
+	Combined  uint64 // calls answered by combining (no body execution)
+	Failed    uint64 // calls that returned an error (body error, close, cancel)
+	Pending   int    // current #P (attached + waiting)
+	Active    int    // bodies started and not finished
+}
+
+// enlist appends s to list and records its position.
+func enlist(list []*slot, s *slot) []*slot {
+	s.listPos = len(list)
+	return append(list, s)
+}
+
+// delist removes s from list by swapping in the last element.
+func delist(list []*slot, s *slot) []*slot {
+	i := s.listPos
+	last := len(list) - 1
+	list[i] = list[last]
+	list[i].listPos = i
+	list[last] = nil
+	s.listPos = -1
+	return list[:last]
+}
+
+func newEntry(spec EntrySpec) *entry {
+	n := spec.Array
+	if n < 1 {
+		n = 1
+	}
+	spec.Array = n
+	e := &entry{spec: spec, slots: make([]*slot, n)}
+	for i := range e.slots {
+		e.slots[i] = &slot{index: i, state: slotFree, listPos: -1}
+	}
+	return e
+}
+
+// pending implements the #P count (paper §2.5.1): calls attached but not yet
+// accepted plus calls waiting to be attached.
+func (e *entry) pending() int {
+	return len(e.waitq) + len(e.attached)
+}
+
+type callResult struct {
+	results []Value
+	err     error
+}
+
+// callRecord tracks one invocation through its lifecycle.
+type callRecord struct {
+	id        uint64
+	entry     *entry
+	params    []Value // full caller-supplied regular parameters
+	resultCh  chan callResult
+	delivered bool
+	slot      *slot // nil until attached
+
+	mgrParams     []Value // intercepted prefix handed to the manager at accept
+	hiddenParams  []Value // supplied by the manager at start
+	bodyResults   []Value // regular results produced by the body
+	hiddenResults []Value // hidden results produced by the body
+	bodyErr       error
+}
+
+func (cr *callRecord) slotIndex() int {
+	if cr.slot == nil {
+		return -1
+	}
+	return cr.slot.index
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrClosed is returned for operations on a closed object, including
+	// calls that were pending when the object closed.
+	ErrClosed = errors.New("alps: object closed")
+
+	// ErrUnknownEntry is returned when a call or manager primitive names a
+	// procedure the object does not implement.
+	ErrUnknownEntry = errors.New("alps: unknown entry procedure")
+
+	// ErrBadArity is returned when a call, start, finish or return supplies
+	// the wrong number of values for the procedure's declaration.
+	ErrBadArity = errors.New("alps: arity mismatch")
+
+	// ErrBadState is returned when a manager primitive is applied to a call
+	// in the wrong lifecycle state (e.g. finish before await, start twice).
+	ErrBadState = errors.New("alps: protocol violation")
+
+	// ErrNotIntercepted is returned when a manager primitive names an entry
+	// that is not listed in the manager's intercepts clause.
+	ErrNotIntercepted = errors.New("alps: entry not intercepted by manager")
+
+	// ErrNoManager is returned when manager-only configuration is used on an
+	// object without a manager.
+	ErrNoManager = errors.New("alps: object has no manager")
+)
+
+// BodyError wraps a panic raised by an entry procedure body. The call that
+// was being serviced fails with this error; the object and its slot recover.
+type BodyError struct {
+	Object string
+	Entry  string
+	Slot   int
+	Reason any
+}
+
+// Error implements the error interface.
+func (e *BodyError) Error() string {
+	return fmt.Sprintf("alps: body %s.%s[%d] panicked: %v", e.Object, e.Entry, e.Slot, e.Reason)
+}

@@ -1,0 +1,716 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/sched"
+)
+
+func TestWithInitRunsBeforeManagerAndReturn(t *testing.T) {
+	initialized := false
+	sawInit := make(chan bool, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithInit(func() { initialized = true }),
+		WithManager(func(m *Mgr) {
+			sawInit <- initialized // manager starts after init (§2.3)
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	if !initialized {
+		t.Fatal("New returned before initialization code ran")
+	}
+	if !<-sawInit {
+		t.Fatal("manager started before initialization code")
+	}
+}
+
+func TestManagerAccessors(t *testing.T) {
+	probe := make(chan any, 3)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Array: 5, Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			probe <- m.ArrayLen("P")
+			probe <- m.ArrayLen("Nope")
+			probe <- m.Object().Name()
+			<-m.Closed()
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-probe; got != 5 {
+		t.Errorf("ArrayLen(P) = %v, want 5", got)
+	}
+	if got := <-probe; got != 0 {
+		t.Errorf("ArrayLen(Nope) = %v, want 0", got)
+	}
+	if got := <-probe; got != "X" {
+		t.Errorf("Object().Name() = %v", got)
+	}
+	mustClose(t, o)
+}
+
+func TestWhenAwaitFiltersByResults(t *testing.T) {
+	// The manager awaits only executions whose (intercepted) result is
+	// even; odd ones are awaited by a second, lower-priority guard.
+	// The unfiltered guard may legitimately receive every result, so its
+	// channel must hold all of them or the manager blocks mid-action.
+	evens := make(chan int, 16)
+	odds := make(chan int, 16)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Array: 8, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			_ = m.Loop(
+				OnAccept("P", func(a *Accepted) { _ = m.Start(a) }),
+				OnAwait("P", func(aw *Awaited) {
+					evens <- aw.Results[0].(int)
+					_ = m.Finish(aw, aw.Results...)
+				}).WhenAwait(func(aw *Awaited) bool {
+					return aw.Err == nil && aw.Results[0].(int)%2 == 0
+				}),
+				OnAwait("P", func(aw *Awaited) {
+					odds <- aw.Results[0].(int)
+					_ = m.Finish(aw, aw.Results...)
+				}),
+			)
+		}, InterceptPR("P", 0, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if res, err := o.Call("P", i); err != nil || res[0] != i {
+				t.Errorf("Call(%d) = %v, %v", i, res, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(evens)
+	close(odds)
+	for v := range evens {
+		if v%2 != 0 {
+			t.Errorf("even-guard awaited %d", v)
+		}
+	}
+	// The odd guard may legitimately see even results too (both guards are
+	// eligible for evens; pri 0 ties break by rotation), so only the even
+	// guard's purity is asserted.
+}
+
+func TestPriAwaitOrdersCompletionHandling(t *testing.T) {
+	// Three bodies complete while the manager is blocked; when it wakes it
+	// must await them smallest-result-first.
+	release := make(chan struct{})
+	order := make(chan int, 3)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Array: 4, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			for i := 0; i < 3; i++ {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.Start(a); err != nil {
+					return
+				}
+			}
+			<-release // all three bodies finish meanwhile
+			for i := 0; i < 3; i++ {
+				_, err := m.Select(
+					OnAwait("P", func(aw *Awaited) {
+						order <- aw.Results[0].(int)
+						_ = m.Finish(aw, aw.Results...)
+					}).PriAwait(func(aw *Awaited) int { return aw.Results[0].(int) }),
+				)
+				if err != nil {
+					return
+				}
+			}
+			<-m.Closed()
+		}, InterceptPR("P", 0, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, v := range []int{30, 10, 20} {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			if _, err := o.Call("P", v); err != nil {
+				t.Errorf("Call(%d): %v", v, err)
+			}
+		}(v)
+	}
+	time.Sleep(50 * time.Millisecond) // bodies run and become ready
+	close(release)
+	wg.Wait()
+	mustClose(t, o)
+	close(order)
+	want := []int{10, 20, 30}
+	i := 0
+	for v := range order {
+		if v != want[i] {
+			t.Fatalf("await order: got %d at %d, want %v", v, i, want)
+		}
+		i++
+	}
+	if i != 3 {
+		t.Fatalf("awaited %d, want 3", i)
+	}
+}
+
+func TestMixedGuardKindsInOneSelect(t *testing.T) {
+	ch := channel.New("cmds")
+	var log []string
+	var mu sync.Mutex
+	record := func(s string) {
+		mu.Lock()
+		log = append(log, s)
+		mu.Unlock()
+	}
+	flag := false
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			_ = m.Loop(
+				OnAccept("P", func(a *Accepted) {
+					record("accept")
+					_, _ = m.Execute(a)
+					flag = true
+				}),
+				OnReceive(ch, func(msg channel.Message) { record("receive") }),
+				OnCond(func() bool { return flag }, func() {
+					record("cond")
+					flag = false
+				}),
+			)
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Call("P"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send("hello"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(log)
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			mu.Lock()
+			t.Fatalf("log = %v, want accept+cond+receive", log)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	mustClose(t, o)
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]bool{}
+	for _, s := range log {
+		seen[s] = true
+	}
+	if !seen["accept"] || !seen["receive"] || !seen["cond"] {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestStaleAcceptedHandleRejected(t *testing.T) {
+	errs := make(chan error, 2)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			a, err := m.Accept("P")
+			if err != nil {
+				return
+			}
+			if _, err := m.Execute(a); err != nil {
+				return
+			}
+			// The call is finished; the handle is stale in every way.
+			errs <- m.Start(a)
+			errs <- m.FinishAccepted(a)
+			<-m.Closed()
+		}, InterceptPR("P", 0, 0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Call("P"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, ErrBadState) {
+			t.Errorf("stale handle op %d: err = %v, want ErrBadState", i, err)
+		}
+	}
+	mustClose(t, o)
+}
+
+func TestWaitQueueIsFIFO(t *testing.T) {
+	// With Array=1 and a gated manager, waiting calls attach in arrival
+	// order (the waitq is FIFO).
+	gate := make(chan struct{})
+	order := make(chan int, 8)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Array: 1, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			<-gate
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				order <- a.Params[0].(int)
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, InterceptPR("P", 1, 0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := o.Call("P", i); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+		}(i)
+		time.Sleep(5 * time.Millisecond) // define the arrival order
+	}
+	close(gate)
+	wg.Wait()
+	mustClose(t, o)
+	close(order)
+	prev := -1
+	for v := range order {
+		if v <= prev {
+			t.Fatalf("attachment order violated FIFO: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOneToOnePoolCountsAllArrays(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "A", Array: 3, Body: func(inv *Invocation) error { return nil }}),
+		WithEntry(EntrySpec{Name: "B", Array: 5, Body: func(inv *Invocation) error { return nil }}),
+		WithPool(sched.ModeOneToOne, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	if st := o.PoolStats(); st.Workers != 8 {
+		t.Fatalf("one-to-one workers = %d, want 3+5", st.Workers)
+	}
+}
+
+func TestCondGuardWithConstantPri(t *testing.T) {
+	picked := make(chan string, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			_, err := m.Select(
+				OnCond(func() bool { return true }, func() { picked <- "low" }).Pri(5),
+				OnCond(func() bool { return true }, func() { picked <- "high" }).Pri(1),
+			)
+			if err != nil {
+				return
+			}
+			<-m.Closed()
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-picked; got != "high" {
+		t.Fatalf("selected %q, want the pri-1 guard", got)
+	}
+	mustClose(t, o)
+}
+
+// Property: a manager-maintained token-bucket object never over-admits
+// under random concurrent load, and every call completes.
+func TestQuickTokenBucketInvariant(t *testing.T) {
+	f := func(tokensRaw, callersRaw uint8) bool {
+		tokens := int(tokensRaw%4) + 1
+		callers := int(callersRaw%12) + 1
+		var cur, peak int
+		var mu sync.Mutex
+		o, err := New("TB",
+			WithEntry(EntrySpec{Name: "Use", Array: 16, Body: func(inv *Invocation) error {
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				return nil
+			}}),
+			WithManager(func(m *Mgr) {
+				inUse := 0
+				_ = m.Loop(
+					OnAccept("Use", func(a *Accepted) {
+						if err := m.Start(a); err == nil {
+							inUse++
+						}
+					}).When(func(*Accepted) bool { return inUse < tokens }),
+					OnAwait("Use", func(aw *Awaited) {
+						if err := m.Finish(aw); err == nil {
+							inUse--
+						}
+					}),
+				)
+			}, Intercept("Use")),
+		)
+		if err != nil {
+			return false
+		}
+		var wg sync.WaitGroup
+		ok := true
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					if _, err := o.Call("Use"); err != nil {
+						ok = false
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		_ = o.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		return ok && peak <= tokens
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMgrReceiveBlocking(t *testing.T) {
+	ch := channel.New("in")
+	got := make(chan channel.Message, 2)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			for {
+				msg, err := m.Receive(ch)
+				if err != nil {
+					return // ErrClosed at object close
+				}
+				got <- msg
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Send("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg[0] != "a" || msg[1] != 1 {
+			t.Fatalf("Receive = %v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("manager Receive did not deliver")
+	}
+	mustClose(t, o) // manager blocked in Receive must exit
+}
+
+// TestNonInterceptedEntryBypassesManager covers §2.3: "Calls to a procedure
+// that is not listed in the intercepts clause are not directed to the
+// manager but the procedure execution is started implicitly" — the paper's
+// example being a status query that must not queue behind scheduling.
+func TestNonInterceptedEntryBypassesManager(t *testing.T) {
+	released := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "Work", Body: func(inv *Invocation) error { return nil }}),
+		WithEntry(EntrySpec{Name: "Status", Results: 1, Body: func(inv *Invocation) error {
+			inv.Return("ok")
+			return nil
+		}}),
+		WithManager(func(m *Mgr) {
+			<-released // the manager is unresponsive for a while
+			for {
+				a, err := m.Accept("Work")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("Work")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+
+	workDone := make(chan error, 1)
+	go func() { _, err := o.Call("Work"); workDone <- err }()
+
+	// Status answers immediately even though the manager accepts nothing.
+	statusDone := make(chan error, 1)
+	go func() {
+		res, err := o.Call("Status")
+		if err == nil && res[0] != "ok" {
+			err = errors.New("wrong status")
+		}
+		statusDone <- err
+	}()
+	select {
+	case err := <-statusDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("non-intercepted Status queued behind the manager")
+	}
+	select {
+	case <-workDone:
+		t.Fatal("intercepted Work ran without the manager")
+	default:
+	}
+	close(released)
+	if err := <-workDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvocationAccessors(t *testing.T) {
+	probe := make(chan string, 4)
+	o, err := New("Obj",
+		WithEntry(EntrySpec{Name: "P", Params: 2, Results: 1, Array: 3, HiddenParams: 1,
+			Body: func(inv *Invocation) error {
+				probe <- inv.Entry()
+				probe <- inv.Object().Name()
+				if inv.Slot() < 0 || inv.Slot() >= 3 {
+					t.Errorf("Slot = %d", inv.Slot())
+				}
+				if inv.CallID() == 0 {
+					t.Error("CallID = 0")
+				}
+				if len(inv.Params()) != 2 || len(inv.HiddenParams()) != 1 {
+					t.Errorf("params %v hidden %v", inv.Params(), inv.HiddenParams())
+				}
+				inv.Return(inv.Param(0).(int) + inv.Param(1).(int) + inv.Hidden(0).(int))
+				return nil
+			}}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.Start(a, 100); err != nil {
+					return
+				}
+				aw, err := m.AwaitCall(a)
+				if err != nil {
+					return
+				}
+				if aw.CallID() != a.CallID() {
+					t.Error("Accepted/Awaited CallID mismatch")
+				}
+				if err := m.Finish(aw); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	res, err := o.Call("P", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 103 {
+		t.Fatalf("result = %v", res[0])
+	}
+	if got := <-probe; got != "P" {
+		t.Errorf("Entry = %q", got)
+	}
+	if got := <-probe; got != "Obj" {
+		t.Errorf("Object = %q", got)
+	}
+}
+
+func TestManagedObjectWithSharedPool(t *testing.T) {
+	// A pooled-M object with a manager: bodies queue for the M workers but
+	// the manager never blocks on start.
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Array: 8, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			_ = m.Loop(
+				OnAccept("P", func(a *Accepted) { _ = m.Start(a) }),
+				OnAwait("P", func(aw *Awaited) { _ = m.Finish(aw) }),
+			)
+		}, Intercept("P")),
+		WithPool(sched.ModePooled, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if res, err := o.Call("P", i); err != nil || res[0] != i {
+				t.Errorf("Call(%d) = %v, %v", i, res, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := o.PoolStats(); st.ProcessesCreated != 2 {
+		t.Fatalf("pooled object created %d processes, want 2", st.ProcessesCreated)
+	}
+	mustClose(t, o)
+}
+
+func TestCallLocalUnknownEntry(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Results: 1, Body: func(inv *Invocation) error {
+			if _, err := inv.CallLocal("Ghost"); !errors.Is(err, ErrUnknownEntry) {
+				return errors.New("CallLocal(Ghost) did not fail")
+			}
+			inv.Return("ok")
+			return nil
+		}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	if res, err := o.Call("P"); err != nil || res[0] != "ok" {
+		t.Fatalf("Call = %v, %v", res, err)
+	}
+}
+
+func TestReceiveGuardOnClosedChannel(t *testing.T) {
+	// A closed, drained channel never fires its guard; the manager simply
+	// blocks on the other guards and exits at object close.
+	ch := channel.New("dead")
+	ch.Close()
+	served := make(chan struct{}, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			_ = m.Loop(
+				OnReceive(ch, func(channel.Message) { t.Error("received from closed channel") }),
+				OnAccept("P", func(a *Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						served <- struct{}{}
+					}
+				}),
+			)
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Call("P"); err != nil {
+		t.Fatal(err)
+	}
+	<-served
+	mustClose(t, o)
+}
+
+func TestEntryStats(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Body: func(inv *Invocation) error {
+			if inv.Param(0).(int) < 0 {
+				return errors.New("negative")
+			}
+			inv.Return(inv.Param(0))
+			return nil
+		}}),
+		WithEntry(EntrySpec{Name: "C", Params: 1, Results: 1, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			_ = m.Loop(
+				OnAccept("C", func(a *Accepted) {
+					_ = m.FinishAccepted(a, a.Params[0]) // combining
+				}),
+			)
+		}, InterceptPR("C", 1, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Call("P", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Call("P", -1); err == nil {
+		t.Fatal("negative call succeeded")
+	}
+	if _, err := o.Call("C", 9); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := o.EntryStats("P")
+	if !ok {
+		t.Fatal("no stats for P")
+	}
+	if st.Calls != 2 || st.Completed != 1 || st.Failed != 1 || st.Combined != 0 {
+		t.Fatalf("P stats = %+v", st)
+	}
+	cst, _ := o.EntryStats("C")
+	if cst.Calls != 1 || cst.Combined != 1 || cst.Completed != 1 {
+		t.Fatalf("C stats = %+v", cst)
+	}
+	if _, ok := o.EntryStats("Ghost"); ok {
+		t.Fatal("stats for unknown entry")
+	}
+	mustClose(t, o)
+	if st, _ := o.EntryStats("P"); st.Pending != 0 || st.Active != 0 {
+		t.Fatalf("post-close stats = %+v", st)
+	}
+}

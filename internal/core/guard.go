@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/trace"
+)
+
+// Guard is one guarded alternative of a select or loop statement (§2.4).
+// Guards are built with OnAccept, OnAwait, OnReceive and OnCond, and refined
+// with When (acceptance conditions, evaluated against the values that would
+// be received) and Pri (run-time priorities; among eligible alternatives the
+// smallest value is selected).
+type Guard struct {
+	kind guardKind
+
+	entry   string
+	slotIdx int // -1 = any element
+
+	ch *channel.Chan
+
+	whenAccept func(*Accepted) bool
+	whenAwait  func(*Awaited) bool
+	whenMsg    func(channel.Message) bool
+	cond       func() bool
+
+	priAccept func(*Accepted) int
+	priAwait  func(*Awaited) int
+	priMsg    func(channel.Message) int
+	priConst  int
+	hasPri    bool
+
+	actAccept func(*Accepted)
+	actAwait  func(*Awaited)
+	actMsg    func(channel.Message)
+	actCond   func()
+}
+
+type guardKind int
+
+const (
+	guardAccept guardKind = iota + 1
+	guardAwait
+	guardReceive
+	guardCond
+)
+
+// OnAccept builds an "accept P[i](...) => action" guard ranging over all
+// elements of P's hidden procedure array ("(i:1..N) accept P[i]").
+func OnAccept(entryName string, action func(*Accepted)) Guard {
+	return Guard{kind: guardAccept, entry: entryName, slotIdx: -1, actAccept: action}
+}
+
+// OnAwait builds an "await P[i](...) => action" guard ranging over all
+// started executions of P that are ready to terminate.
+func OnAwait(entryName string, action func(*Awaited)) Guard {
+	return Guard{kind: guardAwait, entry: entryName, slotIdx: -1, actAwait: action}
+}
+
+// OnReceive builds a "receive C(...) => action" guard.
+func OnReceive(ch *channel.Chan, action func(channel.Message)) Guard {
+	return Guard{kind: guardReceive, ch: ch, actMsg: action}
+}
+
+// OnCond builds a pure boolean "when B => action" guard.
+func OnCond(cond func() bool, action func()) Guard {
+	return Guard{kind: guardCond, cond: cond, actCond: action}
+}
+
+// Slot restricts an accept or await guard to one specific array element.
+func (g Guard) Slot(i int) Guard {
+	g.slotIdx = i
+	return g
+}
+
+// When attaches an acceptance condition to an accept guard; the predicate
+// sees the intercepted parameters the manager would receive (§2.4).
+func (g Guard) When(pred func(*Accepted) bool) Guard {
+	g.whenAccept = pred
+	return g
+}
+
+// WhenAwait attaches an acceptance condition to an await guard.
+func (g Guard) WhenAwait(pred func(*Awaited) bool) Guard {
+	g.whenAwait = pred
+	return g
+}
+
+// WhenMsg attaches an acceptance condition to a receive guard; the predicate
+// sees the message that would be received.
+func (g Guard) WhenMsg(pred func(channel.Message) bool) Guard {
+	g.whenMsg = pred
+	return g
+}
+
+// Pri attaches a constant run-time priority ("pri E"); among eligible
+// alternatives the smallest value is selected. Guards without Pri default
+// to priority 0.
+func (g Guard) Pri(p int) Guard {
+	g.priConst = p
+	g.hasPri = true
+	return g
+}
+
+// PriAccept computes the priority from the accepted call's intercepted
+// parameters (run-time evaluable priorities, §2.4).
+func (g Guard) PriAccept(f func(*Accepted) int) Guard {
+	g.priAccept = f
+	g.hasPri = true
+	return g
+}
+
+// PriAwait computes the priority from the awaited call's results.
+func (g Guard) PriAwait(f func(*Awaited) int) Guard {
+	g.priAwait = f
+	g.hasPri = true
+	return g
+}
+
+// PriMsg computes the priority from the message that would be received.
+func (g Guard) PriMsg(f func(channel.Message) int) Guard {
+	g.priMsg = f
+	g.hasPri = true
+	return g
+}
+
+// candidate is one eligible (guard, datum) pair found during a scan.
+type candidate struct {
+	guardIdx int
+	pri      int
+	commit   func() bool // performs the state change; false if stolen
+	run      func()      // guard action, executed outside the object lock
+}
+
+// Select evaluates the guards and executes exactly one eligible
+// alternative, blocking until one becomes eligible. It returns the index of
+// the selected guard, or ErrClosed once the object has closed. Semantics
+// follow CSP's alternative command with SR-style acceptance conditions and
+// priorities: each array element (or buffered message) is a separate
+// alternative; the acceptance condition is evaluated against the values that
+// would be received; the smallest pri value among eligible alternatives
+// wins, with rotating tie-breaks for fairness.
+func (m *Mgr) Select(guards ...Guard) (int, error) {
+	if len(guards) == 0 {
+		return -1, fmt.Errorf("select with no guards: %w", ErrBadState)
+	}
+	o := m.obj
+	for i, g := range guards {
+		if err := m.checkGuard(g); err != nil {
+			return -1, fmt.Errorf("select guard %d: %w", i, err)
+		}
+		if g.kind == guardReceive {
+			m.subscribe(g.ch)
+		}
+	}
+	for {
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return -1, ErrClosed
+		}
+		m.inScan = true
+		cands := m.scanLocked(guards)
+		m.inScan = false
+		if len(cands) == 0 {
+			o.mu.Unlock()
+			select {
+			case <-m.pokeCh:
+				continue
+			case <-o.closeCh:
+				return -1, ErrClosed
+			}
+		}
+		best := pickCandidate(cands, m.rot)
+		m.rot++
+		if !best.commit() {
+			// A receive guard's message was consumed between peek and take;
+			// rescan.
+			o.mu.Unlock()
+			continue
+		}
+		o.mu.Unlock()
+		best.run()
+		return best.guardIdx, nil
+	}
+}
+
+func (m *Mgr) checkGuard(g Guard) error {
+	switch g.kind {
+	case guardAccept, guardAwait:
+		e, ok := m.obj.entries[g.entry]
+		if !ok {
+			return fmt.Errorf("entry %q: %w", g.entry, ErrUnknownEntry)
+		}
+		if !e.intercepted {
+			return fmt.Errorf("entry %q: %w", g.entry, ErrNotIntercepted)
+		}
+		if g.slotIdx >= e.spec.Array {
+			return fmt.Errorf("entry %q has array size %d, guard names element %d: %w",
+				g.entry, e.spec.Array, g.slotIdx, ErrBadArity)
+		}
+	case guardReceive:
+		if g.ch == nil {
+			return fmt.Errorf("receive guard with nil channel: %w", ErrBadState)
+		}
+	case guardCond:
+		if g.cond == nil {
+			return fmt.Errorf("when guard with nil condition: %w", ErrBadState)
+		}
+	default:
+		return fmt.Errorf("malformed guard: %w", ErrBadState)
+	}
+	return nil
+}
+
+// scanLocked collects every eligible alternative. Called with o.mu held.
+func (m *Mgr) scanLocked(guards []Guard) []candidate {
+	o := m.obj
+	var cands []candidate
+	for gi := range guards {
+		g := guards[gi]
+		switch g.kind {
+		case guardAccept:
+			// Iterate only attached slots (§3: polling all N elements of a
+			// hidden array would be wasteful).
+			e := o.entries[g.entry]
+			if g.slotIdx >= 0 {
+				if s := e.slots[g.slotIdx]; s.state == slotAttached {
+					if c, ok := m.acceptCandidate(gi, g, e, s); ok {
+						cands = append(cands, c)
+					}
+				}
+				continue
+			}
+			for _, s := range e.attached {
+				if c, ok := m.acceptCandidate(gi, g, e, s); ok {
+					cands = append(cands, c)
+				}
+			}
+		case guardAwait:
+			e := o.entries[g.entry]
+			if g.slotIdx >= 0 {
+				if s := e.slots[g.slotIdx]; s.state == slotReady {
+					if c, ok := m.awaitCandidate(gi, g, e, s); ok {
+						cands = append(cands, c)
+					}
+				}
+				continue
+			}
+			for _, s := range e.ready {
+				if c, ok := m.awaitCandidate(gi, g, e, s); ok {
+					cands = append(cands, c)
+				}
+			}
+		case guardReceive:
+			msg, ok := g.ch.PeekWhere(g.whenMsg)
+			if !ok {
+				continue
+			}
+			// Priority is computed from the peeked message; in the rare case
+			// another receiver consumes it before commit, the take below
+			// selects the next message satisfying the same condition.
+			pri := g.priConst
+			if g.priMsg != nil {
+				pri = g.priMsg(msg)
+			}
+			gc := g
+			var taken channel.Message
+			cands = append(cands, candidate{
+				guardIdx: gi,
+				pri:      pri,
+				commit: func() bool {
+					got, ok := gc.ch.TakeWhere(gc.whenMsg)
+					if ok {
+						taken = got
+					}
+					return ok
+				},
+				run: func() { gc.actMsg(taken) },
+			})
+		case guardCond:
+			if !g.cond() {
+				continue
+			}
+			gc := g
+			cands = append(cands, candidate{
+				guardIdx: gi,
+				pri:      g.priConst,
+				commit:   func() bool { return true },
+				run:      func() { gc.actCond() },
+			})
+		}
+	}
+	return cands
+}
+
+func (m *Mgr) acceptCandidate(gi int, g Guard, e *entry, s *slot) (candidate, bool) {
+	o := m.obj
+	cr := s.call
+	a := &Accepted{
+		m:      m,
+		call:   cr,
+		Entry:  e.spec.Name,
+		Slot:   s.index,
+		Params: append([]Value(nil), cr.params[:e.ipParams]...),
+	}
+	if g.whenAccept != nil && !g.whenAccept(a) {
+		return candidate{}, false
+	}
+	pri := g.priConst
+	if g.priAccept != nil {
+		pri = g.priAccept(a)
+	}
+	gc := g
+	return candidate{
+		guardIdx: gi,
+		pri:      pri,
+		commit: func() bool {
+			e.attached = delist(e.attached, s)
+			s.state = slotAccepted
+			cr.mgrParams = a.Params
+			o.rec.Record(o.name, e.spec.Name, s.index, cr.id, trace.Accepted)
+			return true
+		},
+		run: func() { gc.actAccept(a) },
+	}, true
+}
+
+func (m *Mgr) awaitCandidate(gi int, g Guard, e *entry, s *slot) (candidate, bool) {
+	o := m.obj
+	cr := s.call
+	aw := &Awaited{
+		m:      m,
+		call:   cr,
+		Entry:  e.spec.Name,
+		Slot:   s.index,
+		Hidden: append([]Value(nil), cr.hiddenResults...),
+		Err:    cr.bodyErr,
+	}
+	if cr.bodyErr == nil {
+		aw.Results = append([]Value(nil), cr.bodyResults[:e.ipResults]...)
+	} else {
+		aw.Results = make([]Value, e.ipResults)
+	}
+	if g.whenAwait != nil && !g.whenAwait(aw) {
+		return candidate{}, false
+	}
+	pri := g.priConst
+	if g.priAwait != nil {
+		pri = g.priAwait(aw)
+	}
+	gc := g
+	return candidate{
+		guardIdx: gi,
+		pri:      pri,
+		commit: func() bool {
+			e.ready = delist(e.ready, s)
+			s.state = slotAwaited
+			o.rec.Record(o.name, e.spec.Name, s.index, cr.id, trace.Awaited)
+			return true
+		},
+		run: func() { gc.actAwait(aw) },
+	}, true
+}
+
+// pickCandidate selects the minimum-pri candidate. The scan starts at a
+// rotating offset and keeps the first minimum found, so equal-priority
+// alternatives are served fairly across successive selections.
+func pickCandidate(cands []candidate, rot int) candidate {
+	n := len(cands)
+	best := cands[rot%n]
+	for k := 1; k < n; k++ {
+		if c := cands[(rot+k)%n]; c.pri < best.pri {
+			best = c
+		}
+	}
+	return best
+}

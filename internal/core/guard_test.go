@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/channel"
+)
+
+func TestSelectNoGuards(t *testing.T) {
+	done := make(chan error, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			_, err := m.Select()
+			done <- err
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrBadState) {
+		t.Fatalf("Select() = %v, want ErrBadState", err)
+	}
+	mustClose(t, o)
+}
+
+func TestSelectGuardValidation(t *testing.T) {
+	results := make(chan error, 4)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithEntry(EntrySpec{Name: "Free", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			_, err := m.Select(OnAccept("Nope", func(*Accepted) {}))
+			results <- err
+			_, err = m.Select(OnAccept("Free", func(*Accepted) {})) // not intercepted
+			results <- err
+			_, err = m.Select(OnAccept("P", func(*Accepted) {}).Slot(5)) // array size 1
+			results <- err
+			_, err = m.Select(OnReceive(nil, func(channel.Message) {}))
+			results <- err
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	wants := []error{ErrUnknownEntry, ErrNotIntercepted, ErrBadArity, ErrBadState}
+	for i, want := range wants {
+		if got := <-results; !errors.Is(got, want) {
+			t.Errorf("guard validation case %d: err = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestAcceptanceConditionSeesParams exercises §2.4's acceptance conditions:
+// the when-predicate depends on the values received by the accept, so a
+// pending call that fails the condition is left pending while one that
+// passes is accepted, regardless of arrival order.
+func TestAcceptanceConditionSeesParams(t *testing.T) {
+	accepted := make(chan int, 8)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Array: 4, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			err := m.Loop(
+				OnAccept("P", func(a *Accepted) {
+					accepted <- a.Params[0].(int)
+					if _, err := m.Execute(a); err != nil {
+						t.Errorf("execute: %v", err)
+					}
+				}).When(func(a *Accepted) bool { return a.Params[0].(int)%2 == 0 }),
+			)
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("Loop: %v", err)
+			}
+		}, InterceptPR("P", 1, 0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An odd call first: it must wait forever (until close).
+	oddDone := make(chan error, 1)
+	go func() { _, err := o.Call("P", 3); oddDone <- err }()
+	time.Sleep(30 * time.Millisecond)
+
+	// Even calls sail through even though the odd one arrived first.
+	for _, v := range []int{2, 4} {
+		if res, err := o.Call("P", v); err != nil || res[0] != v {
+			t.Fatalf("Call(%d) = %v, %v", v, res, err)
+		}
+	}
+	select {
+	case err := <-oddDone:
+		t.Fatalf("odd call returned early: %v", err)
+	default:
+	}
+	mustClose(t, o)
+	if err := <-oddDone; !errors.Is(err, ErrClosed) {
+		t.Fatalf("odd call after close: %v, want ErrClosed", err)
+	}
+	close(accepted)
+	for v := range accepted {
+		if v%2 != 0 {
+			t.Fatalf("manager accepted odd value %d despite acceptance condition", v)
+		}
+	}
+}
+
+// TestPrioritySelectsSmallest checks the "pri E" clause: among eligible
+// alternatives the one with the smallest run-time priority value wins.
+func TestPrioritySelectsSmallest(t *testing.T) {
+	order := make(chan int, 8)
+	gate := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Array: 8, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			<-gate // let all calls attach first
+			err := m.Loop(
+				OnAccept("P", func(a *Accepted) {
+					order <- a.Params[0].(int)
+					if _, err := m.Execute(a); err != nil {
+						t.Errorf("execute: %v", err)
+					}
+				}).PriAccept(func(a *Accepted) int { return a.Params[0].(int) }),
+			)
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("Loop: %v", err)
+			}
+		}, InterceptPR("P", 1, 0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	vals := []int{5, 1, 4, 2, 3}
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			if _, err := o.Call("P", v); err != nil {
+				t.Errorf("Call(%d): %v", v, err)
+			}
+		}(v)
+	}
+	time.Sleep(50 * time.Millisecond) // all five attach
+	close(gate)
+	wg.Wait()
+	mustClose(t, o)
+	close(order)
+	var got []int
+	for v := range order {
+		got = append(got, v)
+	}
+	if len(got) != 5 {
+		t.Fatalf("accepted %d calls, want 5", len(got))
+	}
+	// The first selection sees all five pending: it must pick 1. After each
+	// completes, the next smallest remaining must be picked.
+	for i, want := range []int{1, 2, 3, 4, 5} {
+		if got[i] != want {
+			t.Fatalf("acceptance order = %v, want ascending priority", got)
+		}
+	}
+}
+
+func TestConstantPriOrdersGuards(t *testing.T) {
+	first := make(chan string, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "A", Array: 2, Body: func(inv *Invocation) error { return nil }}),
+		WithEntry(EntrySpec{Name: "B", Array: 2, Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			// Wait until both calls are pending, then select once.
+			for m.Pending("A") == 0 || m.Pending("B") == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			_, err := m.Select(
+				OnAccept("A", func(a *Accepted) {
+					first <- "A"
+					_, _ = m.Execute(a)
+				}).Pri(2),
+				OnAccept("B", func(a *Accepted) {
+					first <- "B"
+					_, _ = m.Execute(a)
+				}).Pri(1),
+			)
+			if err != nil {
+				return
+			}
+			// Drain the other call.
+			err = m.Loop(
+				OnAccept("A", func(a *Accepted) { _, _ = m.Execute(a) }),
+				OnAccept("B", func(a *Accepted) { _, _ = m.Execute(a) }),
+			)
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("Loop: %v", err)
+			}
+		}, Intercept("A"), Intercept("B")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, name := range []string{"A", "B"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if _, err := o.Call(name); err != nil {
+				t.Errorf("Call(%s): %v", name, err)
+			}
+		}(name)
+	}
+	wg.Wait()
+	if got := <-first; got != "B" {
+		t.Fatalf("first selection = %s, want B (pri 1 < pri 2)", got)
+	}
+	mustClose(t, o)
+}
+
+// TestEqualPriorityFairness checks rotating tie-breaks: with two always-
+// eligible guard alternatives at equal priority, both are selected over time.
+func TestEqualPriorityFairness(t *testing.T) {
+	counts := make(map[string]int)
+	var mu sync.Mutex
+	done := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			for i := 0; i < 100; i++ {
+				_, err := m.Select(
+					OnCond(func() bool { return true }, func() {
+						mu.Lock()
+						counts["a"]++
+						mu.Unlock()
+					}),
+					OnCond(func() bool { return true }, func() {
+						mu.Lock()
+						counts["b"]++
+						mu.Unlock()
+					}),
+				)
+				if err != nil {
+					return
+				}
+			}
+			close(done)
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("manager select loop stalled")
+	}
+	mustClose(t, o)
+	mu.Lock()
+	defer mu.Unlock()
+	if counts["a"] == 0 || counts["b"] == 0 {
+		t.Fatalf("tie-breaking starved a guard: %v", counts)
+	}
+	if counts["a"]+counts["b"] != 100 {
+		t.Fatalf("selected %d alternatives, want 100", counts["a"]+counts["b"])
+	}
+}
+
+func TestReceiveGuardInManager(t *testing.T) {
+	req := channel.New("req")
+	got := make(chan string, 4)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			err := m.Loop(
+				OnReceive(req, func(msg channel.Message) {
+					got <- msg[0].(string)
+				}),
+			)
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("Loop: %v", err)
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"one", "two", "three"} {
+		if err := req.Send(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{"one", "two", "three"} {
+		select {
+		case g := <-got:
+			if g != want {
+				t.Fatalf("received %q, want %q (FIFO)", g, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("manager did not receive message")
+		}
+	}
+	mustClose(t, o)
+}
+
+func TestReceiveGuardAcceptanceCondition(t *testing.T) {
+	req := channel.New("req")
+	got := make(chan int, 8)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			_ = m.Loop(
+				OnReceive(req, func(msg channel.Message) {
+					got <- msg[0].(int)
+				}).WhenMsg(func(msg channel.Message) bool { return msg[0].(int) >= 10 }),
+			)
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{1, 12, 2, 15} {
+		if err := req.Send(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []int{12, 15} {
+		select {
+		case g := <-got:
+			if g != want {
+				t.Fatalf("received %d, want %d", g, want)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("manager did not receive eligible message")
+		}
+	}
+	// Ineligible messages remain buffered.
+	if req.Len() != 2 {
+		t.Fatalf("channel Len = %d, want 2 ineligible messages retained", req.Len())
+	}
+	mustClose(t, o)
+}
+
+func TestReceiveGuardMessagePriority(t *testing.T) {
+	req := channel.New("req")
+	got := make(chan int, 8)
+	release := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			<-release
+			_ = m.Loop(
+				OnReceive(req, func(msg channel.Message) {
+					got <- msg[0].(int)
+				}).PriMsg(func(msg channel.Message) int { return msg[0].(int) }),
+			)
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{30, 10, 20} {
+		if err := req.Send(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	// PriMsg ranks the frontmost eligible message only (one candidate per
+	// receive guard); the front message is 30 regardless. This documents
+	// that priority applies across guards, not within one channel's queue.
+	want := []int{30, 10, 20}
+	for _, w := range want {
+		select {
+		case g := <-got:
+			if g != w {
+				t.Fatalf("received %d, want %d", g, w)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("manager stalled")
+		}
+	}
+	mustClose(t, o)
+}
+
+func TestCondGuardGatesOnState(t *testing.T) {
+	// The bounded-buffer pattern: "accept Deposit when Count < N".
+	const n = 3
+	var count int // manager-local state, only the manager touches it
+	o, err := New("Buf",
+		WithEntry(EntrySpec{Name: "Deposit", Params: 1, Body: func(inv *Invocation) error { return nil }}),
+		WithEntry(EntrySpec{Name: "Remove", Results: 1, Body: func(inv *Invocation) error {
+			inv.Return("item")
+			return nil
+		}}),
+		WithManager(func(m *Mgr) {
+			_ = m.Loop(
+				OnAccept("Deposit", func(a *Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						count++
+					}
+				}).When(func(*Accepted) bool { return count < n }),
+				OnAccept("Remove", func(a *Accepted) {
+					if _, err := m.Execute(a); err == nil {
+						count--
+					}
+				}).When(func(*Accepted) bool { return count > 0 }),
+			)
+		}, Intercept("Deposit"), Intercept("Remove")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the buffer.
+	for i := 0; i < n; i++ {
+		if _, err := o.Call("Deposit", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The n+1st deposit must block until a remove happens.
+	blocked := make(chan error, 1)
+	go func() { _, err := o.Call("Deposit", n); blocked <- err }()
+	select {
+	case <-blocked:
+		t.Fatal("deposit into full buffer did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := o.Call("Remove"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deposit did not unblock after remove")
+	}
+	mustClose(t, o)
+}
+
+// Property: for random interleavings of producers and a manager-gated
+// buffer, the count never exceeds the bound and all calls complete.
+func TestQuickManagerGatedBuffer(t *testing.T) {
+	f := func(seed uint8) bool {
+		bound := int(seed%4) + 1
+		var count, peak int
+		o, err := New("Buf",
+			WithEntry(EntrySpec{Name: "D", Array: 8, Body: func(inv *Invocation) error { return nil }}),
+			WithEntry(EntrySpec{Name: "R", Array: 8, Body: func(inv *Invocation) error { return nil }}),
+			WithManager(func(m *Mgr) {
+				_ = m.Loop(
+					OnAccept("D", func(a *Accepted) {
+						if _, err := m.Execute(a); err == nil {
+							count++
+							if count > peak {
+								peak = count
+							}
+						}
+					}).When(func(*Accepted) bool { return count < bound }),
+					OnAccept("R", func(a *Accepted) {
+						if _, err := m.Execute(a); err == nil {
+							count--
+						}
+					}).When(func(*Accepted) bool { return count > 0 }),
+				)
+			}, Intercept("D"), Intercept("R")),
+		)
+		if err != nil {
+			return false
+		}
+		const items = 20
+		var wg sync.WaitGroup
+		wg.Add(2)
+		ok := true
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				if _, err := o.Call("D"); err != nil {
+					ok = false
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				if _, err := o.Call("R"); err != nil {
+					ok = false
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		_ = o.Close()
+		return ok && count == 0 && peak <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Invocation is the body-side view of one call being serviced: the regular
+// parameters (whether supplied by the caller directly or routed through the
+// manager), the hidden parameters supplied by the manager at start, and the
+// means to produce regular and hidden results.
+type Invocation struct {
+	obj    *Object
+	call   *callRecord
+	params []Value
+	hidden []Value
+
+	returned  bool
+	results   []Value
+	hiddenRes []Value
+}
+
+// Object returns the object this invocation executes in.
+func (inv *Invocation) Object() *Object { return inv.obj }
+
+// Entry reports the procedure name.
+func (inv *Invocation) Entry() string { return inv.call.entry.spec.Name }
+
+// Slot reports the hidden-procedure-array element servicing this call.
+func (inv *Invocation) Slot() int { return inv.call.slotIndex() }
+
+// CallID reports the unique id of the call (monitoring/tracing).
+func (inv *Invocation) CallID() uint64 { return inv.call.id }
+
+// Params returns all regular invocation parameters.
+func (inv *Invocation) Params() []Value { return inv.params }
+
+// Param returns the i-th regular invocation parameter.
+func (inv *Invocation) Param(i int) Value { return inv.params[i] }
+
+// Hidden returns the i-th hidden parameter supplied by the manager (§2.8).
+func (inv *Invocation) Hidden(i int) Value { return inv.hidden[i] }
+
+// HiddenParams returns all hidden parameters.
+func (inv *Invocation) HiddenParams() []Value { return inv.hidden }
+
+// Return records the procedure's regular results. It must be called exactly
+// once (unless the entry declares zero results), with exactly the declared
+// number of values; violations fail the call.
+func (inv *Invocation) Return(results ...Value) {
+	if inv.returned {
+		panic(fmt.Sprintf("alps: body %s.%s called Return twice", inv.obj.name, inv.Entry()))
+	}
+	inv.returned = true
+	inv.results = append([]Value(nil), results...)
+}
+
+// ReturnHidden records hidden results delivered to the manager's await, not
+// to the caller (§2.8).
+func (inv *Invocation) ReturnHidden(hidden ...Value) {
+	inv.hiddenRes = append([]Value(nil), hidden...)
+}
+
+// Done is closed when the object is closing; long-running bodies should
+// monitor it and terminate promptly.
+func (inv *Invocation) Done() <-chan struct{} { return inv.obj.closeCh }
+
+// CallLocal invokes another procedure of the same object from inside a
+// body. If the target is listed in the manager's intercepts clause the call
+// is directed to the manager like any entry call — this is how two entries
+// sharing a local procedure R put the manager in sole charge of scheduling
+// (§2.3).
+func (inv *Invocation) CallLocal(name string, params ...Value) ([]Value, error) {
+	return inv.CallLocalCtx(context.Background(), name, params...)
+}
+
+// CallLocalCtx is CallLocal with a context.
+func (inv *Invocation) CallLocalCtx(ctx context.Context, name string, params ...Value) ([]Value, error) {
+	cr, err := inv.obj.submit(name, params, true)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-cr.resultCh:
+		return res.results, res.err
+	case <-ctx.Done():
+	}
+	if inv.obj.withdraw(cr) {
+		return nil, ctx.Err()
+	}
+	res := <-cr.resultCh
+	return res.results, res.err
+}

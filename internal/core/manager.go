@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/trace"
+)
+
+// Mgr is the handle the manager process uses to run the object's
+// synchronization and scheduling. It provides the paper's four primitives —
+// accept, start, await, finish — plus the packaged execute, combining
+// (FinishAccepted), pending-call counts, and the select/loop guard engine.
+//
+// All methods must be called from the manager function's process only.
+type Mgr struct {
+	obj    *Object
+	pokeCh chan struct{}
+	rot    int // rotation counter for fair tie-breaking among equal-pri guards
+	subs   map[*channel.Chan]func()
+
+	// inScan is true while Select holds the object lock to evaluate guards.
+	// Guard predicates run in that window on the manager's own process, so
+	// Pending/Active must read state directly instead of re-locking. Only
+	// the manager goroutine reads or writes this field.
+	inScan bool
+}
+
+func newMgr(o *Object) *Mgr {
+	return &Mgr{
+		obj:    o,
+		pokeCh: make(chan struct{}, 1),
+		subs:   make(map[*channel.Chan]func()),
+	}
+}
+
+// Object returns the object this manager controls.
+func (m *Mgr) Object() *Object { return m.obj }
+
+func (m *Mgr) poke() {
+	select {
+	case m.pokeCh <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Mgr) unsubscribeAll() {
+	for _, unsub := range m.subs {
+		unsub()
+	}
+	m.subs = nil
+}
+
+// subscribe lazily registers the manager's poke channel with a channel used
+// in a receive guard, for the lifetime of the manager.
+func (m *Mgr) subscribe(ch *channel.Chan) {
+	if m.subs == nil {
+		return // manager exiting
+	}
+	if _, ok := m.subs[ch]; ok {
+		return
+	}
+	m.subs[ch] = ch.Subscribe(m.pokeCh)
+}
+
+// Accepted is the manager's handle on a call it has accepted. Params holds
+// the intercepted parameter prefix; the manager may inspect or replace the
+// values before Start supplies them to the procedure.
+type Accepted struct {
+	m      *Mgr
+	call   *callRecord
+	Entry  string
+	Slot   int
+	Params []Value
+}
+
+// CallID reports the accepted call's unique id. Ids are assigned in
+// arrival order at the object, so they double as arrival sequence numbers
+// (useful for FIFO scheduling policies via run-time priorities).
+func (a *Accepted) CallID() uint64 { return a.call.id }
+
+// Awaited is the manager's handle on a call whose body has terminated and
+// been awaited. Results holds the intercepted result prefix; Hidden holds
+// all hidden results; Err is non-nil if the body failed (panic or error).
+type Awaited struct {
+	m       *Mgr
+	call    *callRecord
+	Entry   string
+	Slot    int
+	Results []Value
+	Hidden  []Value
+	Err     error
+}
+
+// CallID reports the awaited call's unique id.
+func (aw *Awaited) CallID() uint64 { return aw.call.id }
+
+// Pending implements the #P notation: calls attached but not yet accepted
+// plus calls waiting to be attached (§2.5.1).
+func (m *Mgr) Pending(entryName string) int {
+	o := m.obj
+	if !m.inScan {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+	}
+	e, ok := o.entries[entryName]
+	if !ok {
+		return 0
+	}
+	return e.pending()
+}
+
+// Active reports the number of started-but-unfinished executions of an entry.
+func (m *Mgr) Active(entryName string) int {
+	o := m.obj
+	if !m.inScan {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+	}
+	e, ok := o.entries[entryName]
+	if !ok {
+		return 0
+	}
+	return e.active
+}
+
+// ArrayLen reports the hidden-procedure-array size of an entry.
+func (m *Mgr) ArrayLen(entryName string) int {
+	e, ok := m.obj.entries[entryName]
+	if !ok {
+		return 0
+	}
+	return e.spec.Array
+}
+
+// Closed returns a channel closed when the object closes.
+func (m *Mgr) Closed() <-chan struct{} { return m.obj.closeCh }
+
+// Accept blocks until a call to the named entry is attached to some array
+// element and accepts it ("accept P[i](...)"), returning the intercepted
+// parameter prefix in the handle.
+func (m *Mgr) Accept(entryName string) (*Accepted, error) {
+	var out *Accepted
+	g := OnAccept(entryName, func(a *Accepted) { out = a })
+	if _, err := m.Select(g); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AcceptSlot blocks until a call is attached to the specific element i and
+// accepts it. Per §2.5, "if P[i] does not have a request attached and an
+// accept P[i] is executed, it is delayed until a request is attached".
+func (m *Mgr) AcceptSlot(entryName string, i int) (*Accepted, error) {
+	var out *Accepted
+	g := OnAccept(entryName, func(a *Accepted) { out = a }).Slot(i)
+	if _, err := m.Select(g); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Start begins executing an accepted call asynchronously with respect to
+// the manager ("start P[i](...)"), supplying the (possibly modified)
+// intercepted parameters and the hidden parameters (§2.8). The caller's
+// remaining parameters are passed directly to the procedure.
+func (m *Mgr) Start(a *Accepted, hidden ...Value) error {
+	o := m.obj
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cr := a.call
+	e := cr.entry
+	if cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAccepted {
+		return fmt.Errorf("start %s.%s: call not in accepted state: %w", o.name, a.Entry, ErrBadState)
+	}
+	if len(a.Params) != e.ipParams {
+		return fmt.Errorf("start %s.%s: manager supplies %d params, intercepts clause says %d: %w",
+			o.name, a.Entry, len(a.Params), e.ipParams, ErrBadArity)
+	}
+	if len(hidden) != e.spec.HiddenParams {
+		return fmt.Errorf("start %s.%s: %d hidden params, declared %d: %w",
+			o.name, a.Entry, len(hidden), e.spec.HiddenParams, ErrBadArity)
+	}
+	regular := make([]Value, 0, e.spec.Params)
+	regular = append(regular, a.Params...)
+	regular = append(regular, cr.params[e.ipParams:]...)
+	o.startBodyLocked(cr, regular, append([]Value(nil), hidden...))
+	return nil
+}
+
+// Await blocks until some started execution of the named entry is ready to
+// terminate and awaits it ("await P[i](...)").
+func (m *Mgr) Await(entryName string) (*Awaited, error) {
+	var out *Awaited
+	g := OnAwait(entryName, func(aw *Awaited) { out = aw })
+	if _, err := m.Select(g); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AwaitCall blocks until the specific accepted-and-started call is ready to
+// terminate and awaits it.
+func (m *Mgr) AwaitCall(a *Accepted) (*Awaited, error) {
+	var out *Awaited
+	g := OnAwait(a.Entry, func(aw *Awaited) { out = aw }).Slot(a.Slot)
+	if _, err := m.Select(g); err != nil {
+		return nil, err
+	}
+	if out.call != a.call {
+		return nil, fmt.Errorf("await %s.%s[%d]: slot reused by another call: %w",
+			m.obj.name, a.Entry, a.Slot, ErrBadState)
+	}
+	return out, nil
+}
+
+// Finish endorses an awaited call's termination ("finish P[i](...)"): the
+// supplied values replace the intercepted result prefix, the caller receives
+// them together with the body's remaining results, and the array element is
+// freed for the next waiting call. Finish never blocks (§2.3).
+func (m *Mgr) Finish(aw *Awaited, results ...Value) error {
+	o := m.obj
+	o.mu.Lock()
+	cr := aw.call
+	e := cr.entry
+	if cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAwaited {
+		o.mu.Unlock()
+		return fmt.Errorf("finish %s.%s: call not in awaited state: %w", o.name, aw.Entry, ErrBadState)
+	}
+	if len(results) != e.ipResults {
+		o.mu.Unlock()
+		return fmt.Errorf("finish %s.%s: manager supplies %d results, intercepts clause says %d: %w",
+			o.name, aw.Entry, len(results), e.ipResults, ErrBadArity)
+	}
+	if cr.bodyErr != nil {
+		o.deliverLocked(cr, nil, cr.bodyErr)
+	} else {
+		final := make([]Value, 0, e.spec.Results)
+		final = append(final, results...)
+		final = append(final, cr.bodyResults[e.ipResults:]...)
+		o.deliverLocked(cr, final, nil)
+	}
+	e.active--
+	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Finished)
+	o.freeSlotLocked(cr.slot)
+	o.attachWaitingLocked(e)
+	o.mu.Unlock()
+	return nil
+}
+
+// FinishAccepted finishes an accepted call without starting it — request
+// combining (§2.7). The manager must have intercepted all invocation
+// parameters and must supply all results the caller expects.
+func (m *Mgr) FinishAccepted(a *Accepted, results ...Value) error {
+	o := m.obj
+	o.mu.Lock()
+	cr := a.call
+	e := cr.entry
+	if cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAccepted {
+		o.mu.Unlock()
+		return fmt.Errorf("finish %s.%s: call not in accepted state: %w", o.name, a.Entry, ErrBadState)
+	}
+	if e.ipParams != e.spec.Params {
+		o.mu.Unlock()
+		return fmt.Errorf("combining %s.%s: manager intercepts %d of %d params; must intercept all: %w",
+			o.name, a.Entry, e.ipParams, e.spec.Params, ErrBadState)
+	}
+	if len(results) != e.spec.Results {
+		o.mu.Unlock()
+		return fmt.Errorf("combining %s.%s: manager supplies %d results, entry declares %d: %w",
+			o.name, a.Entry, len(results), e.spec.Results, ErrBadArity)
+	}
+	o.deliverLocked(cr, append([]Value(nil), results...), nil)
+	e.combined++
+	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Combined)
+	o.freeSlotLocked(cr.slot)
+	o.attachWaitingLocked(e)
+	o.mu.Unlock()
+	return nil
+}
+
+// Execute runs an accepted call to completion in exclusion with respect to
+// the manager: "execute P(params, results)" is equivalent to
+// "start P(params); await P(results); finish P(results)" (§2.3). The
+// intercepted results pass through unchanged; the Awaited handle is returned
+// for monitoring.
+func (m *Mgr) Execute(a *Accepted, hidden ...Value) (*Awaited, error) {
+	if err := m.Start(a, hidden...); err != nil {
+		return nil, err
+	}
+	aw, err := m.AwaitCall(a)
+	if err != nil {
+		return nil, err
+	}
+	return aw, m.Finish(aw, aw.Results...)
+}
+
+// Receive blocks until a message is available on the channel and returns
+// it ("receive C(...)" outside a guard position). It aborts with ErrClosed
+// when the object closes.
+func (m *Mgr) Receive(ch *channel.Chan) (channel.Message, error) {
+	var out channel.Message
+	g := OnReceive(ch, func(msg channel.Message) { out = msg })
+	if _, err := m.Select(g); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Loop repeatedly runs Select over the guards until the object closes,
+// implementing the paper's "loop G1 => S1 or ... or Gn => Sn end loop".
+func (m *Mgr) Loop(guards ...Guard) error {
+	for {
+		if _, err := m.Select(guards...); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,695 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// managedEcho builds an object whose manager runs each accepted call with
+// the sequence accept → start → await → finish, exercising the full
+// four-primitive protocol with parameter and result interception.
+func managedEcho(t *testing.T, mgrBody func(m *Mgr)) *Object {
+	t.Helper()
+	o, err := New("Echo",
+		WithEntry(EntrySpec{Name: "P", Params: 2, Results: 2, Array: 4, Body: func(inv *Invocation) error {
+			a, b := inv.Param(0).(int), inv.Param(1).(int)
+			inv.Return(a+b, a*b)
+			return nil
+		}}),
+		WithManager(mgrBody, InterceptPR("P", 1, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestAcceptStartAwaitFinish(t *testing.T) {
+	var acceptedParam, awaitedResult Value
+	o := managedEcho(t, func(m *Mgr) {
+		for {
+			a, err := m.Accept("P")
+			if err != nil {
+				return
+			}
+			acceptedParam = a.Params[0] // intercepted first param
+			if err := m.Start(a); err != nil {
+				t.Errorf("Start: %v", err)
+				return
+			}
+			aw, err := m.AwaitCall(a)
+			if err != nil {
+				return
+			}
+			awaitedResult = aw.Results[0] // intercepted first result
+			if err := m.Finish(aw, aw.Results...); err != nil {
+				t.Errorf("Finish: %v", err)
+				return
+			}
+		}
+	})
+	defer mustClose(t, o)
+
+	res, err := o.Call("P", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 7 || res[1] != 12 {
+		t.Fatalf("Call = %v, want [7 12]", res)
+	}
+	if acceptedParam != 3 {
+		t.Errorf("manager saw intercepted param %v, want 3", acceptedParam)
+	}
+	if awaitedResult != 7 {
+		t.Errorf("manager saw intercepted result %v, want 7", awaitedResult)
+	}
+}
+
+func TestManagerModifiesInterceptedParamsAndResults(t *testing.T) {
+	// §2.6: the manager receives the intercepted prefix, supplies it at
+	// start (possibly altered), and can monitor/alter the intercepted
+	// results at finish.
+	o := managedEcho(t, func(m *Mgr) {
+		for {
+			a, err := m.Accept("P")
+			if err != nil {
+				return
+			}
+			a.Params[0] = a.Params[0].(int) * 10 // rewrite first param
+			if err := m.Start(a); err != nil {
+				return
+			}
+			aw, err := m.AwaitCall(a)
+			if err != nil {
+				return
+			}
+			if err := m.Finish(aw, aw.Results[0].(int)+1000); err != nil { // rewrite first result
+				return
+			}
+		}
+	})
+	defer mustClose(t, o)
+	res, err := o.Call("P", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// body sees (30, 4): sum=34, prod=120; manager rewrites sum to 1034.
+	if res[0] != 1034 || res[1] != 120 {
+		t.Fatalf("Call = %v, want [1034 120]", res)
+	}
+}
+
+func TestCallDelayedUntilAccepted(t *testing.T) {
+	release := make(chan struct{})
+	bodyRan := make(chan struct{}, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error {
+			bodyRan <- struct{}{}
+			return nil
+		}}),
+		WithManager(func(m *Mgr) {
+			<-release // refuse to accept for a while
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+
+	done := make(chan error, 1)
+	go func() { _, err := o.Call("P"); done <- err }()
+	select {
+	case <-bodyRan:
+		t.Fatal("body ran before the manager accepted the call")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	<-bodyRan
+}
+
+func TestExecuteRunsToCompletion(t *testing.T) {
+	// execute = start; await; finish — results pass through unchanged.
+	o := managedEcho(t, func(m *Mgr) {
+		for {
+			a, err := m.Accept("P")
+			if err != nil {
+				return
+			}
+			if _, err := m.Execute(a); err != nil {
+				return
+			}
+		}
+	})
+	defer mustClose(t, o)
+	res, err := o.Call("P", 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 11 || res[1] != 30 {
+		t.Fatalf("Call = %v, want [11 30]", res)
+	}
+}
+
+func TestHiddenParamsAndResults(t *testing.T) {
+	// §2.8: manager supplies a hidden slot index at start; body returns it
+	// as a hidden result; the caller never sees either.
+	var gotHidden Value
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, HiddenParams: 1, HiddenResults: 1,
+			Body: func(inv *Invocation) error {
+				place := inv.Hidden(0).(int)
+				inv.Return(fmt.Sprintf("stored %v at %d", inv.Param(0), place))
+				inv.ReturnHidden(place)
+				return nil
+			}}),
+		WithManager(func(m *Mgr) {
+			next := 7
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.Start(a, next); err != nil {
+					return
+				}
+				aw, err := m.AwaitCall(a)
+				if err != nil {
+					return
+				}
+				gotHidden = aw.Hidden[0]
+				if err := m.Finish(aw); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	res, err := o.Call("P", "msg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "stored msg at 7" {
+		t.Fatalf("result = %v", res[0])
+	}
+	if len(res) != 1 {
+		t.Fatalf("hidden result leaked to caller: %v", res)
+	}
+	if gotHidden != 7 {
+		t.Fatalf("manager's hidden result = %v, want 7", gotHidden)
+	}
+}
+
+func TestCombiningFinishAccepted(t *testing.T) {
+	// §2.7: manager answers a call without starting any body.
+	rec := trace.NewRecorder(0)
+	bodyRuns := 0
+	o, err := New("Dict",
+		WithEntry(EntrySpec{Name: "Search", Params: 1, Results: 1, Array: 4,
+			Body: func(inv *Invocation) error {
+				bodyRuns++
+				inv.Return("meaning of " + inv.Param(0).(string))
+				return nil
+			}}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("Search")
+				if err != nil {
+					return
+				}
+				if err := m.FinishAccepted(a, "cached: "+a.Params[0].(string)); err != nil {
+					return
+				}
+			}
+		}, InterceptPR("Search", 1, 1)),
+		WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Call("Search", "word")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "cached: word" {
+		t.Fatalf("combined result = %v", res)
+	}
+	mustClose(t, o)
+	if bodyRuns != 0 {
+		t.Fatalf("body ran %d times; combining must not start a body", bodyRuns)
+	}
+	if rec.Count("Search", trace.Combined) != 1 {
+		t.Fatal("no Combined trace event")
+	}
+	if rec.Count("Search", trace.Started) != 0 {
+		t.Fatal("Started event recorded for a combined call")
+	}
+}
+
+func TestCombiningRequiresFullParamInterception(t *testing.T) {
+	errCh := make(chan error, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 2, Results: 0, Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			a, err := m.Accept("P")
+			if err != nil {
+				return
+			}
+			errCh <- m.FinishAccepted(a)
+			// Recover: run the call properly so the caller returns.
+			if err := m.Start(a); err != nil {
+				return
+			}
+			aw, err := m.AwaitCall(a)
+			if err != nil {
+				return
+			}
+			_ = m.Finish(aw)
+		}, InterceptPR("P", 1, 0)), // only 1 of 2 params intercepted
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	if _, err := o.Call("P", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrBadState) {
+		t.Fatalf("FinishAccepted with partial interception: err = %v, want ErrBadState", err)
+	}
+}
+
+func TestProtocolViolations(t *testing.T) {
+	type result struct {
+		startTwice     error
+		finishNoAwait  error
+		combineStarted error
+		badHidden      error
+	}
+	resCh := make(chan result, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 0, Results: 0, HiddenParams: 0, Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			var r result
+			a, err := m.Accept("P")
+			if err != nil {
+				return
+			}
+			r.badHidden = m.Start(a, "unexpected hidden param")
+			if err := m.Start(a); err != nil {
+				return
+			}
+			r.startTwice = m.Start(a)
+			r.combineStarted = m.FinishAccepted(a)
+			// The slot is started or ready, but not awaited: finishing a
+			// hand-built handle must be rejected.
+			r.finishNoAwait = m.Finish(&Awaited{m: m, call: a.call, Entry: "P", Slot: a.Slot})
+			aw, err := m.AwaitCall(a)
+			if err != nil {
+				return
+			}
+			_ = m.Finish(aw)
+			resCh <- r
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	if _, err := o.Call("P"); err != nil {
+		t.Fatal(err)
+	}
+	r := <-resCh
+	if !errors.Is(r.badHidden, ErrBadArity) {
+		t.Errorf("start with undeclared hidden param: %v, want ErrBadArity", r.badHidden)
+	}
+	if !errors.Is(r.startTwice, ErrBadState) {
+		t.Errorf("double start: %v, want ErrBadState", r.startTwice)
+	}
+	if !errors.Is(r.combineStarted, ErrBadState) {
+		t.Errorf("combine after start: %v, want ErrBadState", r.combineStarted)
+	}
+	if r.finishNoAwait == nil {
+		t.Error("finish before await succeeded")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	// #P counts attached-but-unaccepted plus waiting-to-attach (§2.5.1).
+	probe := make(chan int)
+	proceed := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Array: 2, Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			<-proceed
+			probe <- m.Pending("P")
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ { // 2 attach, 3 wait
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := o.Call("P"); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(proceed)
+	if got := <-probe; got != 5 {
+		t.Errorf("Pending = %d, want 5", got)
+	}
+	wg.Wait()
+	mustClose(t, o)
+}
+
+func TestActiveCount(t *testing.T) {
+	inBody := make(chan struct{}, 3)
+	release := make(chan struct{})
+	probe := make(chan int)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Array: 3, Body: func(inv *Invocation) error {
+			inBody <- struct{}{}
+			<-release
+			return nil
+		}}),
+		WithManager(func(m *Mgr) {
+			for i := 0; i < 3; i++ {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.Start(a); err != nil {
+					return
+				}
+			}
+			probe <- m.Active("P")
+			for i := 0; i < 3; i++ {
+				aw, err := m.Await("P")
+				if err != nil {
+					return
+				}
+				if err := m.Finish(aw); err != nil {
+					return
+				}
+			}
+			probe <- m.Active("P")
+			m.Loop() // returns error immediately (no guards) — exit
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := o.Call("P"); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		<-inBody
+	}
+	if got := <-probe; got != 3 {
+		t.Errorf("Active = %d with 3 running bodies", got)
+	}
+	close(release)
+	if got := <-probe; got != 0 {
+		t.Errorf("Active = %d after all finished, want 0", got)
+	}
+	wg.Wait()
+	mustClose(t, o)
+}
+
+func TestAcceptSlotWaitsForSpecificElement(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Array: 3, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			for {
+				// Service elements strictly in order 0, 1, 2, ...
+				for i := 0; i < 3; i++ {
+					a, err := m.AcceptSlot("P", i)
+					if err != nil {
+						return
+					}
+					if a.Slot != i {
+						t.Errorf("AcceptSlot(%d) returned slot %d", i, a.Slot)
+					}
+					if _, err := m.Execute(a); err != nil {
+						return
+					}
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	var wg sync.WaitGroup
+	for i := 0; i < 9; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if res, err := o.Call("P", i); err != nil || res[0] != i {
+				t.Errorf("Call(%d) = %v, %v", i, res, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestAwaitedErrPropagatesBodyFailure(t *testing.T) {
+	sentinel := errors.New("body failed")
+	sawErr := make(chan error, 1)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Results: 1, Body: func(inv *Invocation) error {
+			return sentinel
+		}}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.Start(a); err != nil {
+					return
+				}
+				aw, err := m.AwaitCall(a)
+				if err != nil {
+					return
+				}
+				sawErr <- aw.Err
+				if err := m.Finish(aw, aw.Results...); err != nil {
+					return
+				}
+			}
+		}, InterceptPR("P", 0, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	if _, err := o.Call("P"); !errors.Is(err, sentinel) {
+		t.Fatalf("caller err = %v, want body error", err)
+	}
+	if err := <-sawErr; !errors.Is(err, sentinel) {
+		t.Fatalf("manager Awaited.Err = %v, want body error", err)
+	}
+	// Slot recovered: a second call also round-trips.
+	if _, err := o.Call("P"); !errors.Is(err, sentinel) {
+		t.Fatalf("second call err = %v", err)
+	}
+}
+
+func TestManagerPanicIsRecorded(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			panic("manager bug")
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	mustClose(t, o)
+	if err := o.ManagerErr(); err == nil || !strings.Contains(err.Error(), "manager bug") {
+		t.Fatalf("ManagerErr = %v", err)
+	}
+}
+
+func TestManagerExitsOnClose(t *testing.T) {
+	exited := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(inv *Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			defer close(exited)
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustClose(t, o)
+	select {
+	case <-exited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("manager did not exit on Close")
+	}
+}
+
+func TestCallLocalThroughManager(t *testing.T) {
+	// §2.3: entries P and Q share local procedure R; the manager intercepts
+	// R so it remains in sole charge of the critical section even after
+	// starting P and Q.
+	var mu sync.Mutex
+	inR, peakR := 0, 0
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 0, Results: 1, Array: 4, Body: func(inv *Invocation) error {
+			res, err := inv.CallLocal("R")
+			if err != nil {
+				return err
+			}
+			inv.Return(res[0])
+			return nil
+		}}),
+		WithEntry(EntrySpec{Name: "R", Params: 0, Results: 1, Array: 4, Local: true, Body: func(inv *Invocation) error {
+			mu.Lock()
+			inR++
+			if inR > peakR {
+				peakR = inR
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inR--
+			mu.Unlock()
+			inv.Return("r")
+			return nil
+		}}),
+		WithManager(func(m *Mgr) {
+			err := m.Loop(
+				OnAccept("P", func(a *Accepted) {
+					if err := m.Start(a); err != nil {
+						t.Errorf("start P: %v", err)
+					}
+				}),
+				OnAwait("P", func(aw *Awaited) {
+					if err := m.Finish(aw); err != nil {
+						t.Errorf("finish P: %v", err)
+					}
+				}),
+				// R is executed in mutual exclusion: the manager is its only
+				// scheduler, one at a time.
+				OnAccept("R", func(a *Accepted) {
+					if _, err := m.Execute(a); err != nil {
+						t.Errorf("execute R: %v", err)
+					}
+				}),
+			)
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("Loop: %v", err)
+			}
+		}, Intercept("P"), Intercept("R")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if res, err := o.Call("P"); err != nil || res[0] != "r" {
+				t.Errorf("Call(P) = %v, %v", res, err)
+			}
+		}()
+	}
+	wg.Wait()
+	mustClose(t, o)
+	mu.Lock()
+	defer mu.Unlock()
+	if peakR != 1 {
+		t.Fatalf("peak concurrent R executions = %d, want 1 (manager-enforced exclusion)", peakR)
+	}
+}
+
+func TestTraceLifecycleManaged(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Body: echoBody}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+		WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Call("P", 1); err != nil {
+		t.Fatal(err)
+	}
+	mustClose(t, o)
+	var kinds []trace.Kind
+	for _, e := range rec.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []trace.Kind{trace.Arrived, trace.Attached, trace.Accepted,
+		trace.Started, trace.Ready, trace.Awaited, trace.Finished}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("managed lifecycle = %v, want %v", kinds, want)
+	}
+}

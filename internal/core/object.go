@@ -1,0 +1,560 @@
+// Package core implements the ALPS object model: objects with shared data
+// and entry procedures, manager processes that intercept calls and implement
+// all synchronization and scheduling, and hidden procedure arrays
+// (Vishnubhotla, "Synchronization and Scheduling in ALPS Objects",
+// ICDCS 1988).
+//
+// An Object is built from EntrySpecs and an optional manager function. Calls
+// to intercepted entries are delayed until the manager accepts them; the
+// manager then starts, awaits and finishes each call (or finishes an
+// accepted call directly, combining several requests into one execution).
+// Entries declared with Array > 1 are hidden procedure arrays: callers see a
+// single procedure while the implementation services up to Array calls
+// concurrently, each attached to its own array element.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Object is an ALPS object instance: a data part shared by a set of entry
+// procedures, plus an optional manager process that owns all scheduling.
+type Object struct {
+	name string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []string // declaration order, for deterministic introspection
+	closed  bool
+
+	closeCh chan struct{}
+	pool    *sched.Pool
+	rec     *trace.Recorder
+	gate    bool // priority gate: yield to the manager after state changes
+
+	mgrFn      func(*Mgr)
+	mgr        *Mgr
+	mgrDone    chan struct{}
+	mgrErr     error
+	initFn     func()
+	nextCallID atomic.Uint64
+	bodyWG     sync.WaitGroup
+
+	poolMode    sched.Mode
+	poolWorkers int
+}
+
+// Option configures an Object at construction time.
+type Option func(*config)
+
+type config struct {
+	entries     []EntrySpec
+	mgrFn       func(*Mgr)
+	intercepts  []InterceptSpec
+	initFn      func()
+	rec         *trace.Recorder
+	gate        bool
+	gateSet     bool
+	poolMode    sched.Mode
+	poolWorkers int
+}
+
+// WithEntry declares one procedure of the object's implementation part.
+func WithEntry(spec EntrySpec) Option {
+	return func(c *config) { c.entries = append(c.entries, spec) }
+}
+
+// WithManager installs the manager process and its intercepts clause. The
+// function runs on its own process, started implicitly after the object's
+// initialization code (paper §2.3); it should return when its Loop or Select
+// reports ErrClosed.
+func WithManager(fn func(*Mgr), intercepts ...InterceptSpec) Option {
+	return func(c *config) {
+		c.mgrFn = fn
+		c.intercepts = append(c.intercepts, intercepts...)
+	}
+}
+
+// WithInit registers initialization code executed when the object is
+// created, before the manager starts.
+func WithInit(fn func()) Option {
+	return func(c *config) { c.initFn = fn }
+}
+
+// WithTrace attaches a lifecycle event recorder (object monitoring).
+func WithTrace(rec *trace.Recorder) Option {
+	return func(c *config) { c.rec = rec }
+}
+
+// WithPriorityGate controls whether state-changing processes yield to the
+// scheduler after waking the manager, approximating the paper's
+// high-priority manager (§3). Default on.
+func WithPriorityGate(on bool) Option {
+	return func(c *config) { c.gate = on; c.gateSet = true }
+}
+
+// WithPool selects the lightweight-process provisioning mode (paper §3).
+// workers is M for sched.ModePooled and is ignored otherwise: ModeOneToOne
+// always pre-creates one process per hidden-array element. The default is
+// sched.ModeSpawn (a fresh process per started call).
+func WithPool(mode sched.Mode, workers int) Option {
+	return func(c *config) { c.poolMode = mode; c.poolWorkers = workers }
+}
+
+// New creates, initializes and starts an object: the initialization code
+// runs first, then the manager process is created and started (paper §2.3).
+func New(name string, opts ...Option) (*Object, error) {
+	cfg := config{gate: true, poolMode: sched.ModeSpawn}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.gateSet && cfg.mgrFn == nil {
+		return nil, fmt.Errorf("object %s: WithPriorityGate: %w", name, ErrNoManager)
+	}
+	if len(cfg.intercepts) > 0 && cfg.mgrFn == nil {
+		return nil, fmt.Errorf("object %s: intercepts clause without manager: %w", name, ErrNoManager)
+	}
+
+	o := &Object{
+		name:     name,
+		entries:  make(map[string]*entry, len(cfg.entries)),
+		closeCh:  make(chan struct{}),
+		rec:      cfg.rec,
+		gate:     cfg.gate && cfg.mgrFn != nil,
+		mgrFn:    cfg.mgrFn,
+		initFn:   cfg.initFn,
+		poolMode: cfg.poolMode,
+	}
+	if len(cfg.entries) == 0 {
+		return nil, fmt.Errorf("object %s: no entry procedures: %w", name, ErrBadState)
+	}
+	totalSlots := 0
+	for _, spec := range cfg.entries {
+		if err := spec.validate(); err != nil {
+			return nil, fmt.Errorf("object %s: %w", name, err)
+		}
+		if _, dup := o.entries[spec.Name]; dup {
+			return nil, fmt.Errorf("object %s: duplicate entry %q: %w", name, spec.Name, ErrBadState)
+		}
+		e := newEntry(spec)
+		o.entries[spec.Name] = e
+		o.order = append(o.order, spec.Name)
+		totalSlots += e.spec.Array
+	}
+	for _, is := range cfg.intercepts {
+		e, ok := o.entries[is.Entry]
+		if !ok {
+			return nil, fmt.Errorf("object %s: intercepts %q: %w", name, is.Entry, ErrUnknownEntry)
+		}
+		if e.intercepted {
+			return nil, fmt.Errorf("object %s: entry %q intercepted twice: %w", name, is.Entry, ErrBadState)
+		}
+		if is.Params < 0 || is.Params > e.spec.Params {
+			return nil, fmt.Errorf("object %s: intercepts %s(%d params) but entry declares %d: %w",
+				name, is.Entry, is.Params, e.spec.Params, ErrBadArity)
+		}
+		if is.Results < 0 || is.Results > e.spec.Results {
+			return nil, fmt.Errorf("object %s: intercepts %s(%d results) but entry declares %d: %w",
+				name, is.Entry, is.Results, e.spec.Results, ErrBadArity)
+		}
+		e.intercepted = true
+		e.ipParams = is.Params
+		e.ipResults = is.Results
+	}
+
+	workers := cfg.poolWorkers
+	if cfg.poolMode == sched.ModeOneToOne {
+		workers = totalSlots
+	}
+	pool, err := sched.New(cfg.poolMode, workers)
+	if err != nil {
+		return nil, fmt.Errorf("object %s: %w", name, err)
+	}
+	o.pool = pool
+	o.poolWorkers = workers
+
+	if o.initFn != nil {
+		o.initFn()
+	}
+	if o.mgrFn != nil {
+		o.mgr = newMgr(o)
+		o.mgrDone = make(chan struct{})
+		go o.runManager()
+	}
+	return o, nil
+}
+
+// Name reports the object's name.
+func (o *Object) Name() string { return o.name }
+
+// Entries reports the declared procedure names in declaration order.
+func (o *Object) Entries() []string {
+	out := make([]string, len(o.order))
+	copy(out, o.order)
+	return out
+}
+
+// EntryInfo reports the declared arities of an entry.
+func (o *Object) EntryInfo(name string) (EntrySpec, bool) {
+	e, ok := o.entries[name]
+	if !ok {
+		return EntrySpec{}, false
+	}
+	spec := e.spec
+	spec.Body = nil
+	return spec, true
+}
+
+// PoolStats reports lightweight-process statistics for the object.
+func (o *Object) PoolStats() sched.Stats { return o.pool.Stats() }
+
+// EntryStats reports an entry's lifetime counters and current queue state,
+// the monitoring counterpart to the #P notation.
+func (o *Object) EntryStats(name string) (EntryStats, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	e, ok := o.entries[name]
+	if !ok {
+		return EntryStats{}, false
+	}
+	return EntryStats{
+		Calls:     e.calls,
+		Completed: e.completed,
+		Combined:  e.combined,
+		Failed:    e.failed,
+		Pending:   e.pending(),
+		Active:    e.active,
+	}, true
+}
+
+// Call invokes an entry procedure and blocks until it terminates, returning
+// its regular results ("X.P(...)", paper §2.2).
+func (o *Object) Call(name string, params ...Value) ([]Value, error) {
+	return o.CallCtx(context.Background(), name, params...)
+}
+
+// CallCtx is Call with a context. Cancellation is honoured while the call is
+// waiting to be attached or accepted; once the manager has accepted the
+// call, it runs to completion and the results are discarded.
+func (o *Object) CallCtx(ctx context.Context, name string, params ...Value) ([]Value, error) {
+	cr, err := o.submit(name, params, false)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-cr.resultCh:
+		return res.results, res.err
+	case <-ctx.Done():
+	}
+	// Try to withdraw the call; if it is already accepted we must wait.
+	if o.withdraw(cr) {
+		return nil, ctx.Err()
+	}
+	res := <-cr.resultCh
+	return res.results, res.err
+}
+
+// submit validates and enqueues a call. internal marks calls originating
+// from inside the object (local procedure interception, paper §2.3).
+func (o *Object) submit(name string, params []Value, internal bool) (*callRecord, error) {
+	o.mu.Lock()
+	e, ok := o.entries[name]
+	if !ok {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("object %s: call %q: %w", o.name, name, ErrUnknownEntry)
+	}
+	if e.spec.Local && !internal {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("object %s: %q is a local procedure: %w", o.name, name, ErrUnknownEntry)
+	}
+	if len(params) != e.spec.Params {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("object %s: call %s with %d params, declared %d: %w",
+			o.name, name, len(params), e.spec.Params, ErrBadArity)
+	}
+	if o.closed {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("object %s: %w", o.name, ErrClosed)
+	}
+	cr := &callRecord{
+		id:       o.nextCallID.Add(1),
+		entry:    e,
+		params:   append([]Value(nil), params...),
+		resultCh: make(chan callResult, 1),
+	}
+	e.calls++
+	o.rec.Record(o.name, name, -1, cr.id, trace.Arrived)
+	e.waitq = append(e.waitq, cr)
+	o.attachWaitingLocked(e)
+	o.mu.Unlock()
+	o.wakeManager()
+	return cr, nil
+}
+
+// withdraw removes a cancelled call if it has not been accepted yet.
+// It reports whether the call was withdrawn.
+func (o *Object) withdraw(cr *callRecord) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if cr.delivered {
+		return false
+	}
+	e := cr.entry
+	for i, w := range e.waitq {
+		if w == cr {
+			e.waitq = append(e.waitq[:i], e.waitq[i+1:]...)
+			cr.delivered = true
+			e.failed++
+			o.rec.Record(o.name, e.spec.Name, -1, cr.id, trace.Failed)
+			return true
+		}
+	}
+	if cr.slot != nil && cr.slot.state == slotAttached {
+		o.freeSlotLocked(cr.slot)
+		cr.delivered = true
+		e.failed++
+		o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Failed)
+		o.attachWaitingLocked(e)
+		return true
+	}
+	return false // accepted or beyond: must run to completion
+}
+
+// attachWaitingLocked binds waiting calls to free hidden-array elements,
+// choosing elements by rotating scan ("selected arbitrarily by the
+// implementation", §2.5). Non-intercepted entries start immediately.
+func (o *Object) attachWaitingLocked(e *entry) {
+	for len(e.waitq) > 0 {
+		s := o.findFreeSlotLocked(e)
+		if s == nil {
+			return
+		}
+		cr := e.waitq[0]
+		e.waitq = e.waitq[1:]
+		s.state = slotAttached
+		s.call = cr
+		cr.slot = s
+		o.rec.Record(o.name, e.spec.Name, s.index, cr.id, trace.Attached)
+		if e.intercepted {
+			e.attached = enlist(e.attached, s)
+		} else {
+			o.startBodyLocked(cr, cr.params, nil)
+		}
+	}
+}
+
+func (o *Object) findFreeSlotLocked(e *entry) *slot {
+	n := len(e.slots)
+	for i := 0; i < n; i++ {
+		s := e.slots[(e.attachRot+i)%n]
+		if s.state == slotFree {
+			e.attachRot = (s.index + 1) % n
+			return s
+		}
+	}
+	return nil
+}
+
+// startBodyLocked transitions a call to started and submits its body to the
+// process pool. regular and hidden are the parameter vectors the body sees.
+func (o *Object) startBodyLocked(cr *callRecord, regular, hidden []Value) {
+	e := cr.entry
+	cr.slot.state = slotStarted
+	cr.hiddenParams = hidden
+	e.active++
+	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Started)
+	o.bodyWG.Add(1)
+	inv := &Invocation{obj: o, call: cr, params: regular, hidden: hidden}
+	if err := o.pool.Go(func() { o.runBody(inv) }); err != nil {
+		// Pool closed: the object is shutting down; fail the call.
+		o.bodyWG.Done()
+		e.active--
+		o.deliverLocked(cr, nil, ErrClosed)
+		o.freeSlotLocked(cr.slot)
+	}
+}
+
+// runBody executes a body on a pool process and routes its termination.
+func (o *Object) runBody(inv *Invocation) {
+	defer o.bodyWG.Done()
+	cr := inv.call
+	e := cr.entry
+	err := runSafely(o, cr, e.spec.Body, inv)
+	if err == nil {
+		if !inv.returned && e.spec.Results > 0 {
+			err = fmt.Errorf("body %s.%s returned no results (declared %d): %w",
+				o.name, e.spec.Name, e.spec.Results, ErrBadArity)
+		}
+		if inv.returned && len(inv.results) != e.spec.Results {
+			err = fmt.Errorf("body %s.%s returned %d results, declared %d: %w",
+				o.name, e.spec.Name, len(inv.results), e.spec.Results, ErrBadArity)
+		}
+		if err == nil && len(inv.hiddenRes) != e.spec.HiddenResults {
+			err = fmt.Errorf("body %s.%s returned %d hidden results, declared %d: %w",
+				o.name, e.spec.Name, len(inv.hiddenRes), e.spec.HiddenResults, ErrBadArity)
+		}
+	}
+
+	o.mu.Lock()
+	cr.bodyResults = inv.results
+	cr.hiddenResults = inv.hiddenRes
+	cr.bodyErr = err
+	if e.intercepted && !o.closed {
+		// Wait for the manager's endorsement of termination (§2.3).
+		cr.slot.state = slotReady
+		e.ready = enlist(e.ready, cr.slot)
+		o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Ready)
+		o.mu.Unlock()
+		o.wakeManager()
+		return
+	}
+	// Non-intercepted entry (or closing object): terminate directly.
+	e.active--
+	if err != nil {
+		o.deliverLocked(cr, nil, err)
+	} else if o.closed && e.intercepted {
+		o.deliverLocked(cr, nil, ErrClosed)
+	} else {
+		o.deliverLocked(cr, cr.bodyResults, nil)
+	}
+	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Finished)
+	o.freeSlotLocked(cr.slot)
+	o.attachWaitingLocked(e)
+	o.mu.Unlock()
+	o.wakeManager()
+}
+
+func runSafely(o *Object, cr *callRecord, body Body, inv *Invocation) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &BodyError{Object: o.name, Entry: cr.entry.spec.Name, Slot: cr.slotIndex(), Reason: r}
+		}
+	}()
+	return body(inv)
+}
+
+func (o *Object) deliverLocked(cr *callRecord, results []Value, err error) {
+	if cr.delivered {
+		return
+	}
+	cr.delivered = true
+	if err != nil {
+		cr.entry.failed++
+	} else {
+		cr.entry.completed++
+	}
+	cr.resultCh <- callResult{results: results, err: err}
+}
+
+func (o *Object) freeSlotLocked(s *slot) {
+	if s.listPos >= 0 {
+		e := s.call.entry
+		switch s.state {
+		case slotAttached:
+			e.attached = delist(e.attached, s)
+		case slotReady:
+			e.ready = delist(e.ready, s)
+		}
+	}
+	s.state = slotFree
+	s.call = nil
+}
+
+// wakeManager pokes the manager's selector and, when the priority gate is
+// on, yields the processor so the high-priority manager runs first (§3).
+func (o *Object) wakeManager() {
+	if o.mgr == nil {
+		return
+	}
+	o.mgr.poke()
+	if o.gate {
+		runtime.Gosched()
+	}
+}
+
+func (o *Object) runManager() {
+	defer close(o.mgrDone)
+	defer func() {
+		if r := recover(); r != nil {
+			o.mu.Lock()
+			o.mgrErr = fmt.Errorf("alps: manager of %s panicked: %v", o.name, r)
+			o.mu.Unlock()
+		}
+		o.mgr.unsubscribeAll()
+	}()
+	o.mgrFn(o.mgr)
+}
+
+// ManagerErr reports a manager panic, if any.
+func (o *Object) ManagerErr() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.mgrErr
+}
+
+// Done is closed when the object closes; long-running bodies should monitor
+// it and terminate.
+func (o *Object) Done() <-chan struct{} { return o.closeCh }
+
+// Close shuts the object down: pending (unaccepted) calls fail with
+// ErrClosed, the manager process exits, running bodies finish, and their
+// callers — whom the manager can no longer serve — receive ErrClosed.
+// Close blocks until shutdown completes and is idempotent.
+func (o *Object) Close() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		if o.mgrDone != nil {
+			<-o.mgrDone
+		}
+		o.bodyWG.Wait()
+		return nil
+	}
+	o.closed = true
+	close(o.closeCh)
+	for _, name := range o.order {
+		e := o.entries[name]
+		for _, cr := range e.waitq {
+			o.deliverLocked(cr, nil, ErrClosed)
+			o.rec.Record(o.name, name, -1, cr.id, trace.Failed)
+		}
+		e.waitq = nil
+		for _, s := range e.slots {
+			if s.state == slotAttached || s.state == slotAccepted {
+				o.deliverLocked(s.call, nil, ErrClosed)
+				o.rec.Record(o.name, name, s.index, s.call.id, trace.Failed)
+				o.freeSlotLocked(s)
+			}
+		}
+	}
+	o.mu.Unlock()
+
+	if o.mgr != nil {
+		o.mgr.poke()
+		<-o.mgrDone
+	}
+	o.bodyWG.Wait()
+	o.pool.Close()
+
+	// Bodies that completed but were never finished by the manager.
+	o.mu.Lock()
+	for _, name := range o.order {
+		e := o.entries[name]
+		for _, s := range e.slots {
+			if s.state != slotFree && s.call != nil {
+				o.deliverLocked(s.call, nil, ErrClosed)
+				o.rec.Record(o.name, name, s.index, s.call.id, trace.Failed)
+				o.freeSlotLocked(s)
+			}
+		}
+	}
+	o.mu.Unlock()
+	return nil
+}

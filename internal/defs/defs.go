@@ -1,0 +1,268 @@
+// Package defs loads object *definition parts* (paper §2.2) from a small
+// declarative text format and instantiates them as live ALPS objects whose
+// entries are pure synchronization points (no-op bodies). This turns the
+// node daemon into a coordination service: clients call entries purely for
+// their scheduling semantics — mutexes, turnstiles, rendezvous, and any
+// path-expression-governed protocol — with the entire policy declared in
+// the definition, exactly the separation the paper argues for.
+//
+// Format (line oriented; '#' starts a comment):
+//
+//	object Mutex
+//	  procs lock, unlock
+//	  path 1:(lock; unlock)
+//
+//	object Turnstile
+//	  procs enter
+//	  policy concurrent enter=5
+//
+//	object Log
+//	  procs append, rotate
+//	  policy exclusive
+//
+// Each object names its procedures, then exactly one scheduling clause:
+// `path <expr>` (compiled by internal/pathexpr; its procedures must be a
+// subset of procs) or `policy exclusive|fifo|concurrent k=v,...`.
+package defs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	alps "repro"
+	"repro/internal/pathexpr"
+	"repro/internal/policy"
+)
+
+// Def is one parsed object definition.
+type Def struct {
+	Name   string
+	Procs  []string
+	Path   string         // path expression, if any
+	Policy string         // "exclusive", "fifo", "concurrent", if any
+	Limits map[string]int // concurrent policy limits
+	Array  int            // hidden array size per entry (default 8)
+}
+
+// Parse reads definitions from the textual format.
+func Parse(src string) ([]Def, error) {
+	var defs []Def
+	var cur *Def
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.validate(); err != nil {
+			return err
+		}
+		defs = append(defs, *cur)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "object":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("defs line %d: object needs exactly one name", lineNo)
+			}
+			cur = &Def{Name: fields[1], Array: 8}
+		case "procs":
+			if cur == nil {
+				return nil, fmt.Errorf("defs line %d: procs outside an object", lineNo)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "procs"))
+			for _, name := range strings.Split(rest, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					return nil, fmt.Errorf("defs line %d: empty procedure name", lineNo)
+				}
+				cur.Procs = append(cur.Procs, name)
+			}
+		case "array":
+			if cur == nil {
+				return nil, fmt.Errorf("defs line %d: array outside an object", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("defs line %d: array needs a size", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("defs line %d: bad array size %q", lineNo, fields[1])
+			}
+			cur.Array = n
+		case "path":
+			if cur == nil {
+				return nil, fmt.Errorf("defs line %d: path outside an object", lineNo)
+			}
+			if cur.Path != "" || cur.Policy != "" {
+				return nil, fmt.Errorf("defs line %d: object %s already has a scheduling clause", lineNo, cur.Name)
+			}
+			cur.Path = strings.TrimSpace(strings.TrimPrefix(line, "path"))
+			if cur.Path == "" {
+				return nil, fmt.Errorf("defs line %d: empty path expression", lineNo)
+			}
+		case "policy":
+			if cur == nil {
+				return nil, fmt.Errorf("defs line %d: policy outside an object", lineNo)
+			}
+			if cur.Path != "" || cur.Policy != "" {
+				return nil, fmt.Errorf("defs line %d: object %s already has a scheduling clause", lineNo, cur.Name)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("defs line %d: policy needs a kind", lineNo)
+			}
+			cur.Policy = fields[1]
+			switch cur.Policy {
+			case "exclusive", "fifo":
+				if len(fields) > 2 {
+					return nil, fmt.Errorf("defs line %d: policy %s takes no arguments", lineNo, cur.Policy)
+				}
+			case "concurrent":
+				cur.Limits = make(map[string]int)
+				for _, kv := range fields[2:] {
+					name, val, ok := strings.Cut(kv, "=")
+					if !ok {
+						return nil, fmt.Errorf("defs line %d: concurrent wants name=limit, got %q", lineNo, kv)
+					}
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 1 {
+						return nil, fmt.Errorf("defs line %d: bad limit %q", lineNo, kv)
+					}
+					cur.Limits[strings.TrimSuffix(name, ",")] = n
+				}
+				if len(cur.Limits) == 0 {
+					return nil, fmt.Errorf("defs line %d: concurrent needs at least one name=limit", lineNo)
+				}
+			default:
+				return nil, fmt.Errorf("defs line %d: unknown policy %q", lineNo, cur.Policy)
+			}
+		default:
+			return nil, fmt.Errorf("defs line %d: unknown keyword %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("defs: no objects defined")
+	}
+	return defs, nil
+}
+
+func (d *Def) validate() error {
+	if len(d.Procs) == 0 {
+		return fmt.Errorf("defs: object %s has no procs", d.Name)
+	}
+	seen := make(map[string]bool, len(d.Procs))
+	for _, p := range d.Procs {
+		if seen[p] {
+			return fmt.Errorf("defs: object %s: duplicate proc %s", d.Name, p)
+		}
+		seen[p] = true
+	}
+	if d.Path == "" && d.Policy == "" {
+		return fmt.Errorf("defs: object %s has no scheduling clause", d.Name)
+	}
+	if d.Path != "" {
+		p, err := pathexpr.Compile(d.Path)
+		if err != nil {
+			return fmt.Errorf("defs: object %s: %w", d.Name, err)
+		}
+		for _, name := range p.Procs() {
+			if !seen[name] {
+				return fmt.Errorf("defs: object %s: path uses undeclared proc %s", d.Name, name)
+			}
+		}
+	}
+	if d.Policy == "concurrent" {
+		for name := range d.Limits {
+			if !seen[name] {
+				return fmt.Errorf("defs: object %s: limit for undeclared proc %s", d.Name, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Build instantiates one definition as a live object. Bodies are no-ops:
+// calls return when (and only when) the declared scheduling admits and
+// completes them.
+func (d *Def) Build() (*alps.Object, error) {
+	var mgr func(*alps.Mgr)
+	var icpts []alps.InterceptSpec
+	switch {
+	case d.Path != "":
+		p, err := pathexpr.Compile(d.Path)
+		if err != nil {
+			return nil, err
+		}
+		mgr, icpts = p.Manager()
+	case d.Policy == "exclusive":
+		mgr, icpts = policy.Exclusive(d.Procs...)
+	case d.Policy == "fifo":
+		mgr, icpts = policy.FIFO(d.Procs...)
+	case d.Policy == "concurrent":
+		limits := make(map[string]int, len(d.Procs))
+		for _, p := range d.Procs {
+			limits[p] = 1
+		}
+		for name, n := range d.Limits {
+			limits[name] = n
+		}
+		mgr, icpts = policy.Concurrent(limits)
+	default:
+		return nil, fmt.Errorf("defs: object %s: no scheduling clause", d.Name)
+	}
+
+	// Procs not mentioned in the path run implicitly, like any entry
+	// missing from an intercepts clause (paper §2.3).
+	opts := []alps.Option{alps.WithManager(mgr, icpts...)}
+	for _, name := range d.Procs {
+		opts = append(opts, alps.WithEntry(alps.EntrySpec{
+			Name:  name,
+			Array: d.Array,
+			Body:  func(inv *alps.Invocation) error { return nil },
+		}))
+	}
+	return alps.New(d.Name, opts...)
+}
+
+// BuildAll parses src and instantiates every definition, closing the
+// already-built objects if a later one fails.
+func BuildAll(src string) ([]*alps.Object, error) {
+	ds, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]*alps.Object, 0, len(ds))
+	for i := range ds {
+		obj, err := ds[i].Build()
+		if err != nil {
+			for _, o := range objs {
+				_ = o.Close()
+			}
+			return nil, err
+		}
+		objs = append(objs, obj)
+	}
+	return objs, nil
+}

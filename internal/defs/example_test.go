@@ -1,0 +1,32 @@
+package defs_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/defs"
+)
+
+// Example loads a mutex from its definition part and uses it: the lock and
+// unlock entries exist purely for their scheduling semantics.
+func Example() {
+	objs, err := defs.BuildAll(`
+object Mutex
+  procs lock, unlock
+  path 1:(lock; unlock)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mutex := objs[0]
+	defer mutex.Close()
+
+	if _, err := mutex.Call("lock"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("critical section")
+	if _, err := mutex.Call("unlock"); err != nil {
+		log.Fatal(err)
+	}
+	// Output: critical section
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	alps "repro"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/simnet"
+)
+
+// E12SimulatedLinks (§4): the paper's runtime targeted a 16-node transputer
+// network whose links have real latency. We run the rpc substrate over the
+// simulated network and sweep the one-way link latency: client-observed
+// call latency must track 2×link (request + response) plus the local
+// service constant, confirming the simulation behaves like a network and
+// the protocol adds no hidden round trips.
+func E12SimulatedLinks(scale Scale) (*metrics.Table, error) {
+	calls := pick(scale, 100, 500)
+	table := metrics.NewTable(
+		fmt.Sprintf("E12: remote echo over simulated links, %d calls per row", calls),
+		"one-way link latency", "mean call latency", "minus 2x link", "throughput")
+
+	for _, latency := range []time.Duration{0, 200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		obj, err := alps.New("Echo",
+			alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 4,
+				Body: func(inv *alps.Invocation) error {
+					inv.Return(inv.Param(0))
+					return nil
+				}}),
+		)
+		if err != nil {
+			return nil, err
+		}
+		node := rpc.NewNode("sim")
+		if err := node.Publish(obj); err != nil {
+			return nil, err
+		}
+		network := simnet.New(simnet.Config{Latency: latency})
+		lis, err := network.Listen("sim")
+		if err != nil {
+			return nil, err
+		}
+		serveDone := make(chan struct{})
+		go func() {
+			defer close(serveDone)
+			_ = node.Serve(lis)
+		}()
+		conn, err := network.Dial("sim")
+		if err != nil {
+			return nil, err
+		}
+		rem := rpc.DialConn(conn)
+
+		hist := metrics.NewHistogram(0)
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			t0 := time.Now()
+			if _, err := rem.Call("Echo", "P", i); err != nil {
+				return nil, err
+			}
+			hist.Observe(time.Since(t0))
+		}
+		elapsed := time.Since(start)
+
+		rem.Close()
+		node.Close()
+		<-serveDone
+		_ = obj.Close()
+
+		mean := hist.Mean()
+		overhead := mean - 2*latency
+		table.AddRow(latency, mean, overhead, throughput(calls, elapsed))
+	}
+	return table, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/objects/allocator"
+	"repro/internal/workload"
+)
+
+// E13Allocator (§1): scheduling "based on the invocation parameters". A
+// counting allocator serves a stream of small requests while occasional
+// whole-pool requests arrive. The policy trade-off the manager expresses
+// in one line each: FirstFit maximizes utilization but can starve the
+// large requests behind the small stream; Ordered admits in arrival order,
+// bounding the large request's wait at the cost of idling units.
+func E13Allocator(scale Scale) (*metrics.Table, error) {
+	var (
+		units     = 8
+		smallOps  = pick(scale, 300, 1_500) // per small worker
+		workers   = 6
+		largeOnes = 5
+		holdTime  = 300 * time.Microsecond
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E13: allocator, %d units, %d small workers, %d whole-pool requests",
+			units, workers, largeOnes),
+		"policy", "small throughput", "peak util", "mean large wait", "max large wait", "violations")
+
+	for _, pol := range []struct {
+		name string
+		p    allocator.Policy
+	}{
+		{"first-fit", allocator.FirstFit},
+		{"ordered", allocator.Ordered},
+	} {
+		a, err := allocator.New(allocator.Config{Units: units, Policy: pol.p, AcquireMax: 64})
+		if err != nil {
+			return nil, err
+		}
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, workers+largeOnes)
+		start := time.Now()
+
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := workload.NewRNG(uint64(w) + 21)
+				for i := 0; i < smallOps; i++ {
+					n := rng.Intn(2) + 1
+					if err := a.Acquire(n); err != nil {
+						errCh <- err
+						return
+					}
+					time.Sleep(holdTime)
+					if err := a.Release(n); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w)
+		}
+
+		largeWaits := make(chan time.Duration, largeOnes)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < largeOnes; i++ {
+				time.Sleep(5 * time.Millisecond)
+				t0 := time.Now()
+				if err := a.Acquire(units); err != nil {
+					errCh <- err
+					return
+				}
+				largeWaits <- time.Since(t0)
+				if err := a.Release(units); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(largeWaits)
+		select {
+		case err := <-errCh:
+			_ = a.Close()
+			return nil, err
+		default:
+		}
+		var sum, max time.Duration
+		n := 0
+		for d := range largeWaits {
+			sum += d
+			if d > max {
+				max = d
+			}
+			n++
+		}
+		mean := time.Duration(0)
+		if n > 0 {
+			mean = sum / time.Duration(n)
+		}
+		peak, violations := a.Stats()
+		_ = a.Close()
+		table.AddRow(pol.name, throughput(workers*smallOps, elapsed),
+			fmt.Sprintf("%d/%d", peak, units), mean, max, violations)
+	}
+	return table, nil
+}

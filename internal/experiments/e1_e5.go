@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/objects/buffer"
+	"repro/internal/objects/dict"
+	"repro/internal/objects/parbuffer"
+	"repro/internal/objects/rwdb"
+	"repro/internal/objects/spooler"
+	"repro/internal/workload"
+)
+
+// E1BoundedBuffer (§2.4.1): one producer and one consumer stream items
+// through a bounded buffer of N slots. The ALPS manager centralizes the
+// scheduling; the monitor and semaphore baselines scatter it. The expected
+// shape: all three are correct, and the manager pays a bounded constant
+// factor for centralization.
+func E1BoundedBuffer(scale Scale) (*metrics.Table, error) {
+	items := pick(scale, 5_000, 50_000)
+	table := metrics.NewTable(
+		fmt.Sprintf("E1: bounded buffer, 1 producer + 1 consumer, %d items", items),
+		"impl", "N", "throughput", "per item", "vs monitor")
+
+	for _, n := range []int{1, 8, 64} {
+		monOps := 0.0
+		for _, impl := range []string{"monitor", "semaphore", "alps-manager"} {
+			elapsed, err := runE1(impl, n, items)
+			if err != nil {
+				return nil, err
+			}
+			ops := opsPerSec(items, elapsed)
+			if impl == "monitor" {
+				monOps = ops
+			}
+			perItem := (elapsed / time.Duration(items)).Round(10 * time.Nanosecond)
+			table.AddRow(impl, n, throughput(items, elapsed), perItem.String(),
+				fmtFactor(ops/monOps))
+		}
+	}
+	return table, nil
+}
+
+func runE1(impl string, n, items int) (time.Duration, error) {
+	var deposit func(v any) error
+	var remove func() (any, error)
+	var cleanup func()
+
+	switch impl {
+	case "monitor":
+		b := baseline.NewMonitorBuffer(n)
+		deposit = b.Deposit
+		remove = b.Remove
+		cleanup = b.Close
+	case "semaphore":
+		b := baseline.NewSemaphoreBuffer(n)
+		deposit = func(v any) error { b.Deposit(v); return nil }
+		remove = func() (any, error) { return b.Remove(), nil }
+		cleanup = func() {}
+	case "alps-manager":
+		b, err := buffer.New(n)
+		if err != nil {
+			return 0, err
+		}
+		deposit = b.Deposit
+		remove = b.Remove
+		cleanup = func() { _ = b.Close() }
+	default:
+		return 0, fmt.Errorf("unknown impl %q", impl)
+	}
+	defer cleanup()
+
+	start := time.Now()
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < items; i++ {
+			if err := deposit(i); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	for i := 0; i < items; i++ {
+		v, err := remove()
+		if err != nil {
+			return 0, err
+		}
+		if v != i {
+			return 0, fmt.Errorf("%s: FIFO violated at %d (got %v)", impl, i, v)
+		}
+	}
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// E2ReadersWriters (§2.5.1): K clients issue a 90/10 read/write mix against
+// the managed database and the RWMutex baseline, with simulated I/O inside
+// the critical sections. The shape: read throughput grows with ReadMax
+// (hidden-array concurrency), safety violations are zero, and the baseline
+// with the same reader bound behaves comparably.
+func E2ReadersWriters(scale Scale) (*metrics.Table, error) {
+	var (
+		ops       = pick(scale, 400, 4_000)
+		clients   = 8
+		readCost  = 200 * time.Microsecond
+		writeCost = 500 * time.Microsecond
+		writeFrac = 0.1
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E2: readers-writers, %d clients, %d ops, 10%% writes, read %v / write %v",
+			clients, ops, readCost, writeCost),
+		"impl", "ReadMax", "throughput", "peak readers", "violations")
+
+	for _, readMax := range []int{1, 4, 16} {
+		db, err := rwdb.New(rwdb.Config{ReadMax: readMax, ReadCost: readCost, WriteCost: writeCost})
+		if err != nil {
+			return nil, err
+		}
+		elapsed, err := driveMix(clients, ops, writeFrac, func(key int) error {
+			_, _, err := db.Read(key)
+			return err
+		}, func(key, val int) error {
+			return db.Write(key, val)
+		})
+		if err != nil {
+			_ = db.Close()
+			return nil, err
+		}
+		peak, violations := db.Stats()
+		_ = db.Close()
+		table.AddRow("alps-rwdb", readMax, throughput(ops, elapsed), peak, violations)
+
+		base := baseline.NewBoundedRWDBCost(readMax, readCost, writeCost)
+		elapsed, err = driveMix(clients, ops, writeFrac, func(key int) error {
+			base.Read(key)
+			return nil
+		}, func(key, val int) error {
+			base.Write(key, val)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow("rwmutex", readMax, throughput(ops, elapsed), "-", "-")
+	}
+	return table, nil
+}
+
+// driveMix runs a closed-loop read/write mix across clients.
+func driveMix(clients, totalOps int, writeFrac float64, read func(int) error, write func(int, int) error) (time.Duration, error) {
+	per := totalOps / clients
+	start := time.Now()
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mix, err := workload.NewOpMix(uint64(c)+1, 32, writeFrac)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < per; i++ {
+				op := mix.Next()
+				if op.Write {
+					err = write(op.Key, op.Value)
+				} else {
+					err = read(op.Key)
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return time.Since(start), nil
+}
+
+// E3Combining (§2.7): clients query a slow dictionary with uniform and
+// Zipf-skewed word streams. The shape: with duplication, combining executes
+// far fewer searches than it answers requests and wins wall-clock time; on
+// a duplicate-free workload it costs nothing material.
+func E3Combining(scale Scale) (*metrics.Table, error) {
+	var (
+		requests   = pick(scale, 240, 2_000)
+		clients    = 12
+		searchMax  = 24 // hidden array: all concurrent requests visible to the manager
+		maxActive  = 2  // database bandwidth: simultaneous search executions
+		searchCost = time.Millisecond
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E3: dictionary, %d clients, %d requests, %d search processors, %v/search",
+			clients, requests, maxActive, searchCost),
+		"impl", "workload", "dup ratio", "executions", "elapsed", "vs no-combine")
+
+	workloads := []struct {
+		name  string
+		vocab int
+		skew  float64
+	}{
+		{"uniform-4096", 4096, 0},
+		{"zipf1.1-16", 16, 1.1},
+	}
+	for _, wl := range workloads {
+		dup, err := workload.DuplicationRatio(99, wl.vocab, wl.skew, requests)
+		if err != nil {
+			return nil, err
+		}
+		var noCombine float64
+		for _, combine := range []bool{false, true} {
+			d, err := dict.New(dict.Options{
+				SearchMax:  searchMax,
+				MaxActive:  maxActive,
+				SearchCost: searchCost,
+				Combine:    combine,
+			})
+			if err != nil {
+				return nil, err
+			}
+			elapsed, err := driveWords(d.Search, clients, requests, wl.vocab, wl.skew)
+			if err != nil {
+				_ = d.Close()
+				return nil, err
+			}
+			_, executions, _ := d.Stats()
+			_ = d.Close()
+			ops := opsPerSec(requests, elapsed)
+			name := "no-combine"
+			if combine {
+				name = "alps-combine"
+			} else {
+				noCombine = ops
+			}
+			table.AddRow(name, wl.name, fmt.Sprintf("%.2f", dup), executions,
+				elapsed.Round(time.Millisecond), fmtFactor(ops/noCombine))
+		}
+		// Modern Go idiom for the same trick, for perspective (unbounded
+		// concurrency, so not an apples-to-apples elapsed comparison).
+		sf := baseline.NewSingleFlightDict(searchCost)
+		elapsed, err := driveWords(func(w string) (string, error) { return sf.Search(w), nil },
+			clients, requests, wl.vocab, wl.skew)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow("singleflight", wl.name, fmt.Sprintf("%.2f", dup), sf.Searches(),
+			elapsed.Round(time.Millisecond), fmtFactor(opsPerSec(requests, elapsed)/noCombine))
+	}
+	return table, nil
+}
+
+func driveWords(search func(string) (string, error), clients, requests, vocab int, skew float64) (time.Duration, error) {
+	per := requests / clients
+	start := time.Now()
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ws, err := workload.NewWordStream(uint64(c)+7, vocab, skew)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < per; i++ {
+				word := ws.Next()
+				got, err := search(word)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got == "" {
+					errCh <- fmt.Errorf("empty meaning for %q", word)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return time.Since(start), nil
+}
+
+// E4Spooler (§2.8.1): jobs with varying sizes over printer pools. The
+// shape: zero double-allocations, all printers utilized, and elapsed time
+// shrinking roughly with pool size.
+func E4Spooler(scale Scale) (*metrics.Table, error) {
+	var (
+		jobs     = pick(scale, 60, 400)
+		pageCost = 500 * time.Microsecond
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E4: spooler, %d jobs, 1-5 pages, %v/page", jobs, pageCost),
+		"printers", "elapsed", "throughput", "min/printer", "max/printer", "violations")
+
+	for _, printers := range []int{1, 2, 4} {
+		s, err := spooler.New(spooler.Config{Printers: printers, PrintMax: 4 * printers, PageCost: pageCost})
+		if err != nil {
+			return nil, err
+		}
+		sizes, err := workload.NewJobSizes(3, 1, 5)
+		if err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+		pages := make([]int, jobs)
+		for i := range pages {
+			pages[i] = sizes.Next()
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, jobs)
+		for i := 0; i < jobs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := s.Print(fmt.Sprintf("job-%d", i), pages[i]); err != nil {
+					errCh <- err
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errCh:
+			_ = s.Close()
+			return nil, err
+		default:
+		}
+		_, per, violations := s.Stats()
+		_ = s.Close()
+		minJ, maxJ := per[0], per[0]
+		for _, v := range per {
+			if v < minJ {
+				minJ = v
+			}
+			if v > maxJ {
+				maxJ = v
+			}
+		}
+		table.AddRow(printers, elapsed.Round(time.Millisecond), throughput(jobs, elapsed), minJ, maxJ, violations)
+	}
+	return table, nil
+}
+
+// E5ParallelBuffer (§2.8.2): producers and consumers move messages with a
+// simulated long copy through the parallel buffer versus the serial §2.4.1
+// buffer. The shape: the serial buffer's elapsed time is about
+// items × 2 × copyCost regardless of parallelism, while the parallel
+// buffer's shrinks as producers/consumers grow.
+func E5ParallelBuffer(scale Scale) (*metrics.Table, error) {
+	var (
+		items    = pick(scale, 64, 512)
+		copyCost = time.Millisecond
+		slots    = 16
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E5: buffer with %v message copies, %d items, %d slots", copyCost, items, slots),
+		"impl", "producers=consumers", "elapsed", "throughput", "vs serial")
+
+	for _, k := range []int{1, 4} {
+		serial, err := buffer.NewCost(slots, copyCost)
+		if err != nil {
+			return nil, err
+		}
+		elapsedSerial, err := driveBuffer(serial.Deposit, serial.Remove, k, items)
+		_ = serial.Close()
+		if err != nil {
+			return nil, err
+		}
+		serialOps := opsPerSec(items, elapsedSerial)
+		table.AddRow("serial (§2.4.1)", k, elapsedSerial.Round(time.Millisecond),
+			throughput(items, elapsedSerial), fmtFactor(1))
+
+		par, err := parbuffer.New(parbuffer.Config{
+			Slots: slots, ProducerMax: k, ConsumerMax: k, CopyCost: copyCost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		elapsedPar, err := driveBuffer(par.Deposit, par.Remove, k, items)
+		if err != nil {
+			_ = par.Close()
+			return nil, err
+		}
+		_, _, violations := par.Stats()
+		_ = par.Close()
+		if violations != 0 {
+			return nil, fmt.Errorf("parbuffer: %d slot violations", violations)
+		}
+		table.AddRow("parallel (§2.8.2)", k, elapsedPar.Round(time.Millisecond),
+			throughput(items, elapsedPar), fmtFactor(opsPerSec(items, elapsedPar)/serialOps))
+	}
+	return table, nil
+}
+
+func driveBuffer(deposit func(any) error, remove func() (any, error), k, items int) (time.Duration, error) {
+	per := items / k
+	start := time.Now()
+	errCh := make(chan error, 2*k)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := deposit([2]int{p, i}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(p)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := remove(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return time.Since(start), nil
+}

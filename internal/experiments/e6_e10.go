@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	alps "repro"
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/objects/buffer"
+	"repro/internal/objects/crossobj"
+	"repro/internal/objects/dict"
+	"repro/internal/objects/diskhead"
+	"repro/internal/rpc"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// E6NestedCalls (§2.3): X.P → Y.Q → X.R. The ALPS version completes because
+// X's manager, having *started* P, is free to accept R; the monitor version
+// deadlocks (detected by timeout).
+func E6NestedCalls(scale Scale) (*metrics.Table, error) {
+	drivers := pick(scale, 8, 64)
+	table := metrics.NewTable(
+		fmt.Sprintf("E6: nested calls X.P -> Y.Q -> X.R, %d concurrent drivers", drivers),
+		"impl", "outcome", "completed", "elapsed")
+
+	pair, err := crossobj.New()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, drivers)
+	for i := 0; i < drivers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := pair.CallP(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	_ = pair.Close()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	table.AddRow("alps-manager", "completed", pair.RRuns(), elapsed.Round(time.Millisecond))
+
+	mon := baseline.NewNestedMonitorPair()
+	start = time.Now()
+	monErr := mon.CallP(100 * time.Millisecond)
+	outcome := "completed"
+	if monErr != nil {
+		outcome = "DEADLOCK (timeout)"
+	}
+	table.AddRow("nested-monitor", outcome, 0, time.Since(start).Round(time.Millisecond))
+	return table, nil
+}
+
+// E7PoolSizing (§3): the same offered load over the paper's three process-
+// provisioning strategies. The shape: a pool of M ≪ N processes creates far
+// fewer processes while keeping throughput within a small factor of
+// one-to-one at moderate load.
+func E7PoolSizing(scale Scale) (*metrics.Table, error) {
+	var (
+		arrayN   = 64
+		callers  = 32
+		calls    = pick(scale, 40, 300) // per caller
+		bodyCost = 200 * time.Microsecond
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E7: hidden array N=%d, %d callers x %d calls, %v/body",
+			arrayN, callers, calls, bodyCost),
+		"pool", "workers", "created", "max resident", "throughput")
+
+	configs := []struct {
+		name    string
+		mode    sched.Mode
+		workers int
+	}{
+		{"one-to-one (N)", sched.ModeOneToOne, arrayN},
+		{"pooled M=8", sched.ModePooled, 8},
+		{"pooled M=2", sched.ModePooled, 2},
+		{"spawn", sched.ModeSpawn, 0},
+	}
+	for _, cfg := range configs {
+		obj, err := alps.New("Service",
+			alps.WithEntry(alps.EntrySpec{Name: "P", Array: arrayN, Body: func(inv *alps.Invocation) error {
+				time.Sleep(bodyCost)
+				return nil
+			}}),
+			alps.WithPool(cfg.mode, cfg.workers),
+		)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, callers)
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < calls; i++ {
+					if _, err := obj.Call("P"); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st := obj.PoolStats()
+		_ = obj.Close()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		table.AddRow(cfg.name, st.Workers, st.ProcessesCreated, st.MaxResident,
+			throughput(callers*calls, elapsed))
+	}
+	return table, nil
+}
+
+// E8PriorityGate (§3): the paper asks for a high-priority manager so it is
+// "more receptive to entry calls". We measure accept latency (arrival to
+// accept, from the lifecycle trace) with the wake-ordering gate on and off.
+func E8PriorityGate(scale Scale) (*metrics.Table, error) {
+	items := pick(scale, 3_000, 20_000)
+	table := metrics.NewTable(
+		fmt.Sprintf("E8: bounded buffer under load, %d items: manager priority gate", items),
+		"gate", "throughput", "mean accept latency", "max accept latency")
+
+	for _, gate := range []bool{true, false} {
+		rec := trace.NewRecorder(0)
+		b, err := buffer.New(8, alps.WithTrace(rec), alps.WithPriorityGate(gate))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		errCh := make(chan error, 1)
+		go func() {
+			for i := 0; i < items; i++ {
+				if err := b.Deposit(i); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}()
+		for i := 0; i < items; i++ {
+			if _, err := b.Remove(); err != nil {
+				return nil, err
+			}
+		}
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		_ = b.Close()
+
+		aa := trace.Between(rec.Events(), trace.Arrived, trace.Accepted)
+		label := "on"
+		if !gate {
+			label = "off"
+		}
+		table.AddRow(label, throughput(2*items, elapsed), aa.Mean, aa.Max)
+	}
+	return table, nil
+}
+
+// E9DiskSchedule (§2.4): value-dependent pri guards give shortest-seek-
+// time-first. The shape: total head travel well below FIFO, close to the
+// offline greedy schedule.
+func E9DiskSchedule(scale Scale) (*metrics.Table, error) {
+	requests := pick(scale, 48, 256)
+	const cylinders = 1000
+	tr, err := workload.NewTracks(17, cylinders)
+	if err != nil {
+		return nil, err
+	}
+	tracks := make([]int, requests)
+	for i := range tracks {
+		tracks[i] = tr.Next()
+	}
+	start := cylinders / 2
+
+	table := metrics.NewTable(
+		fmt.Sprintf("E9: disk head scheduling, %d requests over %d cylinders", requests, cylinders),
+		"policy", "total seek", "vs FIFO")
+
+	fifo := diskhead.FIFOSeek(start, tracks)
+	greedy := diskhead.GreedySSTF(start, tracks)
+	table.AddRow("FIFO (offline)", fifo, fmtFactor(1))
+	table.AddRow("greedy SSTF (offline)", greedy, fmtFactor(float64(greedy)/float64(fifo)))
+
+	// Head travel takes real time, so the request queue builds up and the
+	// pri guard has pending alternatives to choose among. SSTF and SCAN are
+	// the same guard with different run-time priority functions.
+	for _, pol := range []diskhead.Policy{diskhead.SSTF, diskhead.SCAN} {
+		s, err := diskhead.New(diskhead.Config{
+			QueueMax: requests, Start: start, Cylinders: cylinders,
+			Policy: pol, TrackCost: 3 * time.Microsecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, requests)
+		for _, track := range tracks {
+			wg.Add(1)
+			go func(track int) {
+				defer wg.Done()
+				if err := s.Seek(track); err != nil {
+					errCh <- err
+				}
+			}(track)
+		}
+		wg.Wait()
+		_, total := s.Stats()
+		_ = s.Close()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		table.AddRow(fmt.Sprintf("alps pri-guard %v (online)", pol), total,
+			fmtFactor(float64(total)/float64(fifo)))
+	}
+	return table, nil
+}
+
+// E10RemoteCalls (§1, §3): the dictionary served over TCP loopback. The
+// shape: remote calls cost a transport constant over local ones, and
+// combining still collapses duplicate requests arriving from remote
+// clients.
+func E10RemoteCalls(scale Scale) (*metrics.Table, error) {
+	var (
+		requests   = pick(scale, 240, 2_000)
+		clients    = 8
+		vocab      = 16
+		searchCost = time.Millisecond
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E10: dictionary over TCP loopback, %d clients, %d requests, %v/search",
+			clients, requests, searchCost),
+		"access", "executions", "elapsed", "throughput")
+
+	// Local.
+	d, err := dict.New(dict.Options{SearchMax: clients * 2, SearchCost: searchCost, Combine: true})
+	if err != nil {
+		return nil, err
+	}
+	elapsed, err := driveWords(d.Search, clients, requests, vocab, 1.1)
+	if err != nil {
+		_ = d.Close()
+		return nil, err
+	}
+	_, localExec, _ := d.Stats()
+	_ = d.Close()
+	table.AddRow("local", localExec, elapsed.Round(time.Millisecond), throughput(requests, elapsed))
+
+	// Remote.
+	d2, err := dict.New(dict.Options{SearchMax: clients * 2, SearchCost: searchCost, Combine: true})
+	if err != nil {
+		return nil, err
+	}
+	node := rpc.NewNode("dictnode")
+	if err := node.Publish(d2.Object()); err != nil {
+		return nil, err
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rems := make([]*rpc.Remote, clients)
+	for i := range rems {
+		rem, err := rpc.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		rems[i] = rem
+	}
+	per := requests / clients
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ws, err := workload.NewWordStream(uint64(c)+7, vocab, 1.1)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			ro := rems[c].Object("Dictionary")
+			for i := 0; i < per; i++ {
+				if _, err := ro.Call("Search", ws.Next()); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsedRemote := time.Since(start)
+	_, remoteExec, _ := d2.Stats()
+	for _, rem := range rems {
+		rem.Close()
+	}
+	node.Close()
+	_ = d2.Close()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	table.AddRow("remote (TCP)", remoteExec, elapsedRemote.Round(time.Millisecond),
+		throughput(requests, elapsedRemote))
+	return table, nil
+}

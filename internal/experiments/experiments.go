@@ -1,0 +1,86 @@
+// Package experiments regenerates the paper's evaluation. The ICDCS 1988
+// paper contains no numbered tables or figures — its evaluation is the
+// worked examples of §2.4–2.8 and the implementation claims of §3 — so each
+// experiment here reproduces one example or claim, with the conventional
+// baseline the paper positions managers against. See DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(scale Scale) (*metrics.Table, error)
+}
+
+// Scale selects how much work each experiment does.
+type Scale int
+
+const (
+	// Quick keeps the full suite under roughly a minute.
+	Quick Scale = iota + 1
+	// Full runs the sizes recorded in EXPERIMENTS.md.
+	Full
+)
+
+// pick returns q under Quick and f under Full.
+func pick(scale Scale, q, f int) int {
+	if scale == Full {
+		return f
+	}
+	return q
+}
+
+// All lists the experiments in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Bounded buffer: manager vs monitor vs semaphore (§2.4.1)", Run: E1BoundedBuffer},
+		{ID: "E2", Title: "Readers-writers: hidden array vs RWMutex (§2.5.1)", Run: E2ReadersWriters},
+		{ID: "E3", Title: "Request combining in the dictionary (§2.7)", Run: E3Combining},
+		{ID: "E4", Title: "Printer spooler: hidden params/results (§2.8.1)", Run: E4Spooler},
+		{ID: "E5", Title: "Parallel vs serial bounded buffer (§2.8.2)", Run: E5ParallelBuffer},
+		{ID: "E6", Title: "Nested calls: manager vs monitor deadlock (§2.3)", Run: E6NestedCalls},
+		{ID: "E7", Title: "Process pools: one-to-one vs M«N vs spawn (§3)", Run: E7PoolSizing},
+		{ID: "E8", Title: "Manager priority gate: accept latency (§3)", Run: E8PriorityGate},
+		{ID: "E9", Title: "Run-time pri guards: SSTF disk scheduling (§2.4)", Run: E9DiskSchedule},
+		{ID: "E10", Title: "Remote calls and remote combining (§1, §3)", Run: E10RemoteCalls},
+		{ID: "E11", Title: "Monitors, serializers, path expressions as managers (§1)", Run: E11Generality},
+		{ID: "E12", Title: "Remote calls over simulated transputer links (§4)", Run: E12SimulatedLinks},
+		{ID: "E13", Title: "Parameter-based scheduling: allocator policies (§1)", Run: E13Allocator},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// throughput formats ops over elapsed.
+func throughput(ops int, elapsed time.Duration) string {
+	return metrics.Rate(uint64(ops), elapsed)
+}
+
+// opsPerSec is the numeric form used for speedup columns.
+func opsPerSec(ops int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// fmtFactor renders a ×-factor column.
+func fmtFactor(f float64) string {
+	return fmt.Sprintf("%.2fx", f)
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if got, want := h.Mean(), 50500*time.Microsecond; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("Min = %v, want 1ms", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("Max = %v, want 100ms", got)
+	}
+	if got := h.Percentile(50); got < 45*time.Millisecond || got > 55*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~50ms", got)
+	}
+	if got := h.Percentile(99); got < 95*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 95ms", got)
+	}
+	if got := h.Percentile(0.0001); got != time.Millisecond {
+		t.Fatalf("p~0 = %v, want min sample", got)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(i))
+	}
+	h.mu.Lock()
+	n := len(h.samples)
+	h.mu.Unlock()
+	if n != 64 {
+		t.Fatalf("reservoir holds %d samples, want 64", n)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d, want exact 10000", h.Count())
+	}
+	// Percentiles remain plausible even when downsampled.
+	if p := h.Percentile(50); p < 1000 || p > 9000 {
+		t.Fatalf("downsampled p50 = %v, implausible", p)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("E1: bounded buffer", "impl", "throughput", "factor")
+	tbl.AddRow("alps-manager", "123456 ops/s", 1.0)
+	tbl.AddRow("monitor", "234567 ops/s", 1.9)
+	if tbl.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", tbl.Rows())
+	}
+	s := tbl.String()
+	for _, want := range []string{"E1: bounded buffer", "impl", "alps-manager", "1.90", "----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestTableFormatsDurations(t *testing.T) {
+	tbl := NewTable("", "lat")
+	tbl.AddRow(1500 * time.Nanosecond)
+	if s := tbl.String(); !strings.Contains(s, "2µs") && !strings.Contains(s, "1µs") {
+		t.Fatalf("duration not rounded to microseconds: %s", s)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1000, time.Second); got != "1000 ops/s" {
+		t.Fatalf("Rate = %q", got)
+	}
+	if got := Rate(5, 0); got != "inf" {
+		t.Fatalf("Rate with zero elapsed = %q", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != "1.50" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Fatalf("Ratio by zero = %q", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d, want 4000", h.Count())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("T1", "a", "b")
+	tbl.AddRow(1, "x")
+	md := tbl.Markdown()
+	for _, want := range []string{"**T1**", "| a | b |", "|---|---|", "| 1 | x |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package alarmclock
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	alps "repro"
+)
+
+// waitParked blocks until n sleepers are parked in the manager.
+func waitParked(t *testing.T, c *Clock, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Sleeping() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d sleepers parked", c.Sleeping(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{SleeperMax: -1}); err == nil {
+		t.Fatal("negative SleeperMax succeeded")
+	}
+}
+
+func TestImmediateWake(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	woke, err := c.Wakeme(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woke != 0 {
+		t.Fatalf("woke at tick %d, clock never ticked", woke)
+	}
+}
+
+func TestSleeperWaitsForTicks(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		woke, err := c.Wakeme(3)
+		if err != nil {
+			t.Errorf("Wakeme: %v", err)
+		}
+		done <- woke
+	}()
+	waitParked(t, c, 1)
+	// Not woken by 2 ticks.
+	for i := 0; i < 2; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case w := <-done:
+		t.Fatalf("woke at %d after only 2 ticks", w)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := c.Sleeping(); got != 1 {
+		t.Fatalf("Sleeping = %d, want 1", got)
+	}
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case w := <-done:
+		if w != 3 {
+			t.Fatalf("woke at tick %d, want 3", w)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sleeper not woken by 3rd tick")
+	}
+}
+
+func TestMultipleSleepersWakeInDueOrder(t *testing.T) {
+	c, err := New(Config{SleeperMax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for _, n := range []int{5, 1, 3} {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			if _, err := c.Wakeme(n); err != nil {
+				t.Errorf("Wakeme(%d): %v", n, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, n)
+			mu.Unlock()
+		}(n)
+	}
+	waitParked(t, c, 3)
+	for i := 0; i < 6; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond) // let wakes land between ticks
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("wake order %v, want due order [1 3 5]", order)
+	}
+	if c.Now() != 6 {
+		t.Fatalf("Now = %d, want 6", c.Now())
+	}
+}
+
+func TestSameDueTickWakeTogether(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	woke := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := c.Wakeme(2)
+			if err != nil {
+				t.Errorf("Wakeme: %v", err)
+				return
+			}
+			woke <- w
+		}()
+	}
+	waitParked(t, c, 3)
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(woke)
+	for w := range woke {
+		if w != 2 {
+			t.Fatalf("woke at %d, want 2", w)
+		}
+	}
+}
+
+func TestTickerDrivesClock(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go c.Ticker(2*time.Millisecond, stop)
+
+	woke, err := c.Wakeme(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if woke < 5 {
+		t.Fatalf("woke at tick %d, want >= 5", woke)
+	}
+}
+
+func TestCloseFailsParkedSleepers(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Wakeme(100)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, alps.ErrClosed) {
+			t.Fatalf("parked sleeper err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked sleeper not released by Close")
+	}
+}

@@ -1,0 +1,38 @@
+package alarmclock_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/objects/alarmclock"
+)
+
+// Example drives the clock by hand: a sleeper parks until enough ticks
+// arrive on the manager's receive guard.
+func Example() {
+	clock, err := alarmclock.New(alarmclock.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer clock.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		woke, err := clock.Wakeme(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		done <- woke
+	}()
+	for clock.Sleeping() == 0 {
+		time.Sleep(time.Millisecond) // wait until the sleeper has parked
+	}
+	for i := 0; i < 2; i++ {
+		if err := clock.Tick(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("woke at tick", <-done)
+	// Output: woke at tick 2
+}

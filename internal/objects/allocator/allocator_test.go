@@ -1,0 +1,177 @@
+package allocator
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Units: 0}); err == nil {
+		t.Fatal("0 units succeeded")
+	}
+	if _, err := New(Config{Units: 4, AcquireMax: -1}); err == nil {
+		t.Fatal("negative AcquireMax succeeded")
+	}
+}
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	a, err := New(Config{Units: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Acquire(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(0); err == nil {
+		t.Fatal("Acquire(0) succeeded")
+	}
+	if err := a.Acquire(5); err == nil {
+		t.Fatal("Acquire > Units succeeded")
+	}
+	if err := a.Release(0); err == nil {
+		t.Fatal("Release(0) succeeded")
+	}
+	if a.Units() != 4 {
+		t.Fatalf("Units = %d", a.Units())
+	}
+}
+
+func TestAcquireBlocksUntilUnitsFree(t *testing.T) {
+	a, err := New(Config{Units: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Acquire(3); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.Acquire(2) }() // 2 > 1 free: must wait
+	select {
+	case <-done:
+		t.Fatal("Acquire(2) with 1 free did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := a.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not resume after Release")
+	}
+}
+
+// stress drives random acquire/release pairs and checks no over-allocation.
+func stress(t *testing.T, policy Policy) *Allocator {
+	t.Helper()
+	const units = 6
+	a, err := New(Config{Units: units, Policy: policy, AcquireMax: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 11)
+			for i := 0; i < 40; i++ {
+				n := rng.Intn(3) + 1
+				if err := a.Acquire(n); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				if err := a.Release(n); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	peak, violations := a.Stats()
+	if violations != 0 {
+		t.Fatalf("policy %d: %d over-allocations", policy, violations)
+	}
+	if peak > units {
+		t.Fatalf("policy %d: peak %d > %d units", policy, peak, units)
+	}
+	if peak < units/2 {
+		t.Errorf("policy %d: peak %d; pool badly under-used", policy, peak)
+	}
+	return a
+}
+
+func TestFirstFitNeverOverAllocates(t *testing.T) {
+	a := stress(t, FirstFit)
+	defer a.Close()
+}
+
+func TestOrderedNeverOverAllocates(t *testing.T) {
+	a := stress(t, Ordered)
+	defer a.Close()
+}
+
+// TestOrderedLargeRequestNotStarved: under FirstFit a continuous stream of
+// small requests can starve a big one; under Ordered the big request at
+// the queue head blocks later small ones and completes.
+func TestOrderedLargeRequestNotStarved(t *testing.T) {
+	a, err := New(Config{Units: 4, Policy: Ordered, AcquireMax: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Keep the pool busy with small requests.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := a.Acquire(1); err != nil {
+					return
+				}
+				time.Sleep(time.Millisecond)
+				if err := a.Release(1); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	// The big request needs the whole pool.
+	bigDone := make(chan error, 1)
+	go func() { bigDone <- a.Acquire(4) }()
+	select {
+	case err := <-bigDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Acquire(4) starved under Ordered policy")
+	}
+	if err := a.Release(4); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

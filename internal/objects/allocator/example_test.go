@@ -1,0 +1,26 @@
+package allocator_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/objects/allocator"
+)
+
+// Example acquires and releases resource units; the acceptance condition
+// reads the requested amount from the invocation parameters (§1).
+func Example() {
+	a, err := allocator.New(allocator.Config{Units: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Acquire(3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("holding 3 of", a.Units())
+	if err := a.Release(3); err != nil {
+		log.Fatal(err)
+	}
+	// Output: holding 3 of 4
+}

@@ -1,0 +1,112 @@
+// Package buffer implements the paper's first example (§2.4.1): a bounded
+// buffer object whose manager accepts Deposit only while the buffer is not
+// full and Remove only while it is not empty, executing each accepted call
+// to completion before accepting another.
+//
+// The shared data part (Buf, Inptr, Outptr) is mutated by the Deposit and
+// Remove procedure bodies; the manager-local Count variable gates
+// acceptance. Because the manager uses execute (start; await; finish), the
+// bodies run in mutual exclusion and need no synchronization of their own —
+// the entire scheduling policy lives in one place.
+package buffer
+
+import (
+	"fmt"
+	"time"
+
+	alps "repro"
+)
+
+// Buffer is a bounded buffer shared by one or more producers and consumers.
+type Buffer struct {
+	obj *alps.Object
+
+	// Shared data part. Exclusive access is guaranteed by the manager's
+	// execute discipline, not by locks.
+	buf    []alps.Value
+	inptr  int
+	outptr int
+}
+
+// New creates a bounded buffer with n slots. Extra object options (tracing,
+// pool mode) may be supplied.
+func New(n int, opts ...alps.Option) (*Buffer, error) {
+	return NewCost(n, 0, opts...)
+}
+
+// NewCost creates a bounded buffer whose message copies additionally take
+// copyCost of simulated time each. Because this buffer's manager executes
+// every call to completion, the copies serialize — the comparison point for
+// the parallel buffer of §2.8.2 (experiment E5).
+func NewCost(n int, copyCost time.Duration, opts ...alps.Option) (*Buffer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("buffer: size %d", n)
+	}
+	b := &Buffer{buf: make([]alps.Value, n)}
+
+	deposit := func(inv *alps.Invocation) error {
+		if copyCost > 0 {
+			time.Sleep(copyCost) // long message copy, inside the exclusion
+		}
+		b.buf[b.inptr] = inv.Param(0)
+		b.inptr = (b.inptr + 1) % n
+		return nil
+	}
+	remove := func(inv *alps.Invocation) error {
+		if copyCost > 0 {
+			time.Sleep(copyCost)
+		}
+		m := b.buf[b.outptr]
+		b.buf[b.outptr] = nil
+		b.outptr = (b.outptr + 1) % n
+		inv.Return(m)
+		return nil
+	}
+	manager := func(m *alps.Mgr) {
+		count := 0 // manager-local synchronization state
+		_ = m.Loop(
+			alps.OnAccept("Deposit", func(a *alps.Accepted) {
+				if _, err := m.Execute(a); err == nil {
+					count++
+				}
+			}).When(func(*alps.Accepted) bool { return count < n }),
+			alps.OnAccept("Remove", func(a *alps.Accepted) {
+				if _, err := m.Execute(a); err == nil {
+					count--
+				}
+			}).When(func(*alps.Accepted) bool { return count > 0 }),
+		)
+	}
+
+	obj, err := alps.New("Buffer", append(opts,
+		alps.WithEntry(alps.EntrySpec{Name: "Deposit", Params: 1, Body: deposit}),
+		alps.WithEntry(alps.EntrySpec{Name: "Remove", Results: 1, Body: remove}),
+		alps.WithManager(manager, alps.Intercept("Deposit"), alps.Intercept("Remove")),
+	)...)
+	if err != nil {
+		return nil, err
+	}
+	b.obj = obj
+	return b, nil
+}
+
+// Deposit stores a message, blocking while the buffer is full.
+func (b *Buffer) Deposit(msg alps.Value) error {
+	_, err := b.obj.Call("Deposit", msg)
+	return err
+}
+
+// Remove returns the oldest message, blocking while the buffer is empty.
+func (b *Buffer) Remove() (alps.Value, error) {
+	res, err := b.obj.Call("Remove")
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// Object exposes the underlying ALPS object (for tracing and experiments).
+func (b *Buffer) Object() *alps.Object { return b.obj }
+
+// Close shuts the buffer down; blocked callers fail with alps.ErrClosed.
+func (b *Buffer) Close() error { return b.obj.Close() }

@@ -1,0 +1,219 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	alps "repro"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+}
+
+func TestFIFOSingleProducerConsumer(t *testing.T) {
+	b, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const items = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			if err := b.Deposit(i); err != nil {
+				t.Errorf("Deposit: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < items; i++ {
+		v, err := b.Remove()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("Remove = %v, want %d (FIFO violated)", v, i)
+		}
+	}
+	wg.Wait()
+}
+
+func TestDepositBlocksWhenFull(t *testing.T) {
+	b, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 2; i++ {
+		if err := b.Deposit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Deposit(99) }()
+	select {
+	case <-done:
+		t.Fatal("Deposit into full buffer returned")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := b.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Deposit did not unblock after Remove")
+	}
+}
+
+func TestRemoveBlocksWhenEmpty(t *testing.T) {
+	b, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	done := make(chan alps.Value, 1)
+	go func() {
+		v, err := b.Remove()
+		if err != nil {
+			t.Errorf("Remove: %v", err)
+		}
+		done <- v
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("Remove on empty buffer returned %v", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := b.Deposit("x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != "x" {
+			t.Fatalf("Remove = %v", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Remove did not unblock after Deposit")
+	}
+}
+
+func TestMultipleProducersConsumersConservation(t *testing.T) {
+	b, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const producers, perProducer = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := b.Deposit([2]int{p, i}); err != nil {
+					t.Errorf("Deposit: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[[2]int]bool)
+	lastPer := map[int]int{}
+	var cwg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for i := 0; i < producers*perProducer/2; i++ {
+				v, err := b.Remove()
+				if err != nil {
+					t.Errorf("Remove: %v", err)
+					return
+				}
+				key := v.([2]int)
+				mu.Lock()
+				if seen[key] {
+					t.Errorf("duplicate message %v", key)
+				}
+				seen[key] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	cwg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d messages, want %d", len(seen), producers*perProducer)
+	}
+	_ = lastPer
+}
+
+func TestCloseUnblocksCallers(t *testing.T) {
+	b, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Remove()
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, alps.ErrClosed) {
+			t.Fatalf("Remove after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock Remove")
+	}
+}
+
+// Property: for random buffer sizes and item counts, every deposited item is
+// removed exactly once and per-producer order is preserved.
+func TestQuickConservationAndOrder(t *testing.T) {
+	f := func(sizeRaw, itemsRaw uint8) bool {
+		size := int(sizeRaw%7) + 1
+		items := int(itemsRaw%50) + 1
+		b, err := New(size)
+		if err != nil {
+			return false
+		}
+		defer b.Close()
+		go func() {
+			for i := 0; i < items; i++ {
+				if err := b.Deposit(i); err != nil {
+					return
+				}
+			}
+		}()
+		for i := 0; i < items; i++ {
+			v, err := b.Remove()
+			if err != nil || v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package buffer_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/objects/buffer"
+)
+
+// Example is the paper's §2.4.1 bounded buffer in three calls.
+func Example() {
+	b, err := buffer.New(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Deposit("hello"); err != nil {
+		log.Fatal(err)
+	}
+	msg, err := b.Remove()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(msg)
+	// Output: hello
+}

@@ -1,0 +1,102 @@
+// Package crossobj demonstrates the paper's nested-call claim (§2.3): "two
+// objects X and Y can be programmed without deadlock such that an entry
+// procedure P in X calls a procedure Q in Y which in turn calls another
+// entry R in X. Deadlock can be avoided because X's manager can be
+// programmed such that after starting the execution of P it can be ready to
+// accept calls to R." Monitors (DP, Ada, SR) deadlock on this pattern —
+// see internal/baseline.NestedMonitorPair.
+package crossobj
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	alps "repro"
+)
+
+// Pair is the X/Y object configuration.
+type Pair struct {
+	X, Y *alps.Object
+
+	rRuns atomic.Uint64
+}
+
+// New wires up the two objects. depth is how many nested P→Q→R chains each
+// call performs (1 reproduces the paper's scenario exactly).
+func New() (*Pair, error) {
+	p := &Pair{}
+
+	// Y.Q calls back into X.R. Y needs no manager: Q is a pure relay.
+	yq := func(inv *alps.Invocation) error {
+		res, err := p.X.Call("R", inv.Param(0))
+		if err != nil {
+			return fmt.Errorf("Y.Q calling X.R: %w", err)
+		}
+		inv.Return(res[0])
+		return nil
+	}
+	y, err := alps.New("Y",
+		alps.WithEntry(alps.EntrySpec{Name: "Q", Params: 1, Results: 1, Array: 8, Body: yq}),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	// X.P calls Y.Q; X.R is the reentrant entry.
+	xp := func(inv *alps.Invocation) error {
+		res, err := p.Y.Call("Q", inv.Param(0))
+		if err != nil {
+			return fmt.Errorf("X.P calling Y.Q: %w", err)
+		}
+		inv.Return(res[0])
+		return nil
+	}
+	xr := func(inv *alps.Invocation) error {
+		p.rRuns.Add(1)
+		inv.Return(inv.Param(0).(int) + 1)
+		return nil
+	}
+	// X's manager: after *starting* P (not executing it), it stays ready to
+	// accept R — this is what start's asynchrony buys.
+	xmgr := func(m *alps.Mgr) {
+		_ = m.Loop(
+			alps.OnAccept("P", func(a *alps.Accepted) { _ = m.Start(a) }),
+			alps.OnAwait("P", func(aw *alps.Awaited) { _ = m.Finish(aw) }),
+			alps.OnAccept("R", func(a *alps.Accepted) { _, _ = m.Execute(a) }),
+		)
+	}
+	x, err := alps.New("X",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 8, Body: xp}),
+		alps.WithEntry(alps.EntrySpec{Name: "R", Params: 1, Results: 1, Array: 8, Body: xr}),
+		alps.WithManager(xmgr, alps.Intercept("P"), alps.Intercept("R")),
+	)
+	if err != nil {
+		_ = y.Close()
+		return nil, err
+	}
+	p.X = x
+	p.Y = y
+	return p, nil
+}
+
+// CallP runs the full X.P → Y.Q → X.R chain and returns R's result.
+func (p *Pair) CallP(v int) (int, error) {
+	res, err := p.X.Call("P", v)
+	if err != nil {
+		return 0, err
+	}
+	return res[0].(int), nil
+}
+
+// RRuns reports how many times the reentrant entry R executed.
+func (p *Pair) RRuns() uint64 { return p.rRuns.Load() }
+
+// Close shuts both objects down.
+func (p *Pair) Close() error {
+	errX := p.X.Close()
+	errY := p.Y.Close()
+	if errX != nil {
+		return errX
+	}
+	return errY
+}

@@ -1,0 +1,89 @@
+package crossobj
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNestedCallCompletes(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got, err := p.CallP(41)
+		if err != nil {
+			t.Errorf("CallP: %v", err)
+			return
+		}
+		if got != 42 {
+			t.Errorf("CallP = %d, want 42", got)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("X.P → Y.Q → X.R deadlocked; the manager did not accept R while P ran")
+	}
+	if p.RRuns() != 1 {
+		t.Fatalf("R ran %d times, want 1", p.RRuns())
+	}
+}
+
+func TestManyConcurrentNestedCalls(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const drivers = 16
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < drivers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := p.CallP(i)
+				if err != nil {
+					t.Errorf("CallP(%d): %v", i, err)
+					return
+				}
+				if got != i+1 {
+					t.Errorf("CallP(%d) = %d", i, got)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent nested calls deadlocked")
+	}
+	if p.RRuns() != drivers {
+		t.Fatalf("R ran %d times, want %d", p.RRuns(), drivers)
+	}
+}
+
+func TestRepeatedSequentialNestedCalls(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 50; i++ {
+		got, err := p.CallP(i)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if got != i+1 {
+			t.Fatalf("CallP(%d) = %d", i, got)
+		}
+	}
+}

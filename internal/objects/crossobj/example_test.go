@@ -1,0 +1,24 @@
+package crossobj_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/objects/crossobj"
+)
+
+// Example runs the nested call chain X.P -> Y.Q -> X.R that deadlocks
+// under monitor semantics but completes under a manager (§2.3).
+func Example() {
+	pair, err := crossobj.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pair.Close()
+	got, err := pair.CallP(41)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(got)
+	// Output: 42
+}

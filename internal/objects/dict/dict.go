@@ -1,0 +1,183 @@
+// Package dict implements the paper's dictionary database example (§2.7.1):
+// a Search entry exported as a single procedure, implemented as a hidden
+// procedure array of SearchMax elements so multiple queries are serviced
+// simultaneously — and a manager that *combines* requests for a word that is
+// already being searched, answering the followers from the leader's result
+// without starting their bodies. The paper calls this a software adaptation
+// of the NYU Ultracomputer's memory combining.
+//
+// The manager's intercepts clause is "intercepts Search(String; String)":
+// it receives the queried word at accept and the meaning at await, which is
+// exactly what combining requires.
+package dict
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	alps "repro"
+)
+
+// LookupFunc computes the meaning of a word (the actual database search).
+type LookupFunc func(word string) string
+
+// DefaultLookup is used when no lookup function is supplied.
+func DefaultLookup(word string) string { return "meaning of " + word }
+
+// Dict is a combining dictionary database.
+type Dict struct {
+	obj *alps.Object
+
+	requests   atomic.Uint64 // calls answered
+	executions atomic.Uint64 // bodies actually started
+	combined   atomic.Uint64 // calls answered from another call's execution
+}
+
+// Options configures a dictionary.
+type Options struct {
+	SearchMax  int           // hidden array size (default 8)
+	MaxActive  int           // max concurrent search executions (0 = SearchMax)
+	SearchCost time.Duration // simulated per-search database scan time
+	Lookup     LookupFunc    // meaning function (default DefaultLookup)
+	Combine    bool          // enable request combining (§2.7)
+	ObjOpts    []alps.Option
+}
+
+// New creates a dictionary object.
+func New(opts Options) (*Dict, error) {
+	if opts.SearchMax == 0 {
+		opts.SearchMax = 8
+	}
+	if opts.SearchMax < 1 {
+		return nil, fmt.Errorf("dict: SearchMax %d", opts.SearchMax)
+	}
+	if opts.Lookup == nil {
+		opts.Lookup = DefaultLookup
+	}
+	d := &Dict{}
+
+	search := func(inv *alps.Invocation) error {
+		d.executions.Add(1)
+		if opts.SearchCost > 0 {
+			// Stand-in for scanning the dictionary database.
+			select {
+			case <-time.After(opts.SearchCost):
+			case <-inv.Done():
+			}
+		}
+		inv.Return(opts.Lookup(inv.Param(0).(string)))
+		return nil
+	}
+
+	maxActive := opts.MaxActive
+	if maxActive <= 0 {
+		maxActive = opts.SearchMax
+	}
+	manager := func(m *alps.Mgr) {
+		// word -> leader's slot; word -> accepted followers awaiting the
+		// leader's meaning. The slot-to-word map lets await find the word
+		// without the body returning it as a hidden result. MaxActive
+		// bounds the simultaneous search executions (the database has
+		// limited bandwidth); accepted requests that cannot start yet are
+		// queued manager-side, where they remain visible for combining.
+		leaders := make(map[string]int)  // word -> leader slot
+		slotWord := make(map[int]string) // leader slot -> word
+		followers := make(map[string][]*alps.Accepted)
+		var startQueue []*alps.Accepted
+		active := 0
+
+		startOrJoin := func(a *alps.Accepted) {
+			word := a.Params[0].(string)
+			if opts.Combine {
+				if _, inFlight := leaders[word]; inFlight {
+					// Record that word is now being searched on behalf of
+					// this request too; do not start another body.
+					followers[word] = append(followers[word], a)
+					return
+				}
+			}
+			if active >= maxActive {
+				startQueue = append(startQueue, a)
+				return
+			}
+			if opts.Combine {
+				leaders[word] = a.Slot
+				slotWord[a.Slot] = word
+			}
+			if err := m.Start(a); err == nil {
+				active++
+			}
+		}
+
+		_ = m.Loop(
+			alps.OnAccept("Search", func(a *alps.Accepted) {
+				d.requests.Add(1)
+				startOrJoin(a)
+			}),
+			alps.OnAwait("Search", func(aw *alps.Awaited) {
+				meaning := ""
+				if aw.Err == nil {
+					meaning = aw.Results[0].(string)
+				}
+				if err := m.Finish(aw, aw.Results...); err != nil {
+					return
+				}
+				active--
+				if opts.Combine {
+					if word, ok := slotWord[aw.Slot]; ok {
+						delete(slotWord, aw.Slot)
+						delete(leaders, word)
+						for _, f := range followers[word] {
+							// Combining: finish the follower without starting it.
+							if err := m.FinishAccepted(f, meaning); err == nil {
+								d.combined.Add(1)
+							}
+						}
+						delete(followers, word)
+					}
+				}
+				for active < maxActive && len(startQueue) > 0 {
+					next := startQueue[0]
+					startQueue = startQueue[1:]
+					startOrJoin(next)
+				}
+			}),
+		)
+	}
+
+	obj, err := alps.New("Dictionary", append(opts.ObjOpts,
+		alps.WithEntry(alps.EntrySpec{
+			Name: "Search", Params: 1, Results: 1, Array: opts.SearchMax, Body: search,
+		}),
+		alps.WithManager(manager, alps.InterceptPR("Search", 1, 1)),
+	)...)
+	if err != nil {
+		return nil, err
+	}
+	d.obj = obj
+	return d, nil
+}
+
+// Search returns the meaning of word, blocking until the (possibly shared)
+// database search completes.
+func (d *Dict) Search(word string) (string, error) {
+	res, err := d.obj.Call("Search", word)
+	if err != nil {
+		return "", err
+	}
+	return res[0].(string), nil
+}
+
+// Stats reports requests accepted (counted manager-side, so remote calls
+// are included), search bodies executed, and requests answered by
+// combining. With combining off, executions == requests.
+func (d *Dict) Stats() (requests, executions, combined uint64) {
+	return d.requests.Load(), d.executions.Load(), d.combined.Load()
+}
+
+// Object exposes the underlying ALPS object.
+func (d *Dict) Object() *alps.Object { return d.obj }
+
+// Close shuts the dictionary down.
+func (d *Dict) Close() error { return d.obj.Close() }

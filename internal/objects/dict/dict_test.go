@@ -1,0 +1,227 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	alps "repro"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{SearchMax: -1}); err == nil {
+		t.Fatal("negative SearchMax succeeded")
+	}
+}
+
+func TestSearchReturnsMeaning(t *testing.T) {
+	d, err := New(Options{Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := d.Search("apple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "meaning of apple" {
+		t.Fatalf("Search = %q", got)
+	}
+}
+
+func TestCustomLookup(t *testing.T) {
+	d, err := New(Options{
+		Combine: true,
+		Lookup:  func(w string) string { return "def:" + w },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, err := d.Search("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "def:x" {
+		t.Fatalf("Search = %q", got)
+	}
+}
+
+// TestCombiningSavesExecutions is the heart of §2.7: concurrent requests for
+// the same word execute one search body; every caller still gets the right
+// meaning.
+func TestCombiningSavesExecutions(t *testing.T) {
+	d, err := New(Options{
+		SearchMax:  16,
+		SearchCost: 30 * time.Millisecond,
+		Combine:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const callers = 10
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := d.Search("same")
+			if err != nil {
+				t.Errorf("Search: %v", err)
+				return
+			}
+			if got != "meaning of same" {
+				t.Errorf("Search = %q", got)
+			}
+		}()
+	}
+	wg.Wait()
+	requests, executions, combined := d.Stats()
+	if requests != callers {
+		t.Fatalf("requests = %d, want %d", requests, callers)
+	}
+	if executions >= callers {
+		t.Fatalf("executions = %d; combining saved nothing", executions)
+	}
+	if combined == 0 {
+		t.Fatal("no requests were combined")
+	}
+	if executions+combined != requests {
+		t.Fatalf("executions(%d) + combined(%d) != requests(%d)", executions, combined, requests)
+	}
+}
+
+func TestDistinctWordsNotCombined(t *testing.T) {
+	d, err := New(Options{SearchMax: 8, Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			word := fmt.Sprintf("w%d", i)
+			got, err := d.Search(word)
+			if err != nil || got != "meaning of "+word {
+				t.Errorf("Search(%s) = %q, %v", word, got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	_, executions, _ := d.Stats()
+	if executions != 8 {
+		t.Fatalf("executions = %d, want 8 (no false combining)", executions)
+	}
+}
+
+// TestEveryCallerGetsItsOwnMeaning interleaves many words with duplication
+// and checks no caller ever receives the meaning of a different word —
+// combining must key strictly on the queried word.
+func TestEveryCallerGetsItsOwnMeaning(t *testing.T) {
+	d, err := New(Options{
+		SearchMax:  8,
+		SearchCost: time.Millisecond,
+		Combine:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			word := fmt.Sprintf("w%d", i%7)
+			got, err := d.Search(word)
+			if err != nil {
+				t.Errorf("Search: %v", err)
+				return
+			}
+			if got != "meaning of "+word {
+				t.Errorf("Search(%q) = %q: cross-talk", word, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	requests, executions, combined := d.Stats()
+	if executions+combined != requests {
+		t.Fatalf("accounting broken: %d + %d != %d", executions, combined, requests)
+	}
+}
+
+func TestCombiningOffExecutesEveryRequest(t *testing.T) {
+	d, err := New(Options{SearchMax: 16, SearchCost: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const callers = 10
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.Search("same"); err != nil {
+				t.Errorf("Search: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	_, executions, combined := d.Stats()
+	if executions != callers {
+		t.Fatalf("executions = %d, want %d with combining off", executions, callers)
+	}
+	if combined != 0 {
+		t.Fatalf("combined = %d with combining off", combined)
+	}
+}
+
+func TestSequentialRepeatsAreNotCombined(t *testing.T) {
+	// Combining applies to *concurrent* duplicates only: once the leader
+	// finishes, a later identical request searches again (no caching).
+	d, err := New(Options{SearchMax: 4, Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := d.Search("same"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, executions, combined := d.Stats()
+	if executions != 3 || combined != 0 {
+		t.Fatalf("executions = %d, combined = %d; want 3, 0", executions, combined)
+	}
+}
+
+func TestCloseUnblocksSearchers(t *testing.T) {
+	d, err := New(Options{SearchMax: 2, SearchCost: 10 * time.Second, Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.Search("slow")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Search survived Close with a 10s search cost")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the searcher")
+	}
+	_ = alps.ErrClosed
+}

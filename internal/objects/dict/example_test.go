@@ -1,0 +1,44 @@
+package dict_test
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/objects/dict"
+)
+
+// Example shows request combining: ten concurrent queries for the same
+// word execute far fewer than ten searches.
+func Example() {
+	d, err := dict.New(dict.Options{
+		SearchMax:  16,
+		SearchCost: 20 * time.Millisecond,
+		Combine:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.Search("ubiquitous"); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	requests, executions, combined := d.Stats()
+	fmt.Println("requests:", requests)
+	fmt.Println("fewer executions than requests:", executions < requests)
+	fmt.Println("combined:", combined == requests-executions)
+	// Output:
+	// requests: 10
+	// fewer executions than requests: true
+	// combined: true
+}

@@ -1,0 +1,27 @@
+package parbuffer_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/objects/parbuffer"
+)
+
+// Example moves a message through the §2.8.2 parallel buffer: the manager
+// brokers slot indices; the copies run outside it.
+func Example() {
+	b, err := parbuffer.New(parbuffer.Config{Slots: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Deposit("payload"); err != nil {
+		log.Fatal(err)
+	}
+	msg, err := b.Remove()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(msg)
+	// Output: payload
+}

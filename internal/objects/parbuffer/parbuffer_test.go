@@ -1,0 +1,221 @@
+package parbuffer
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Slots: 0}); err == nil {
+		t.Fatal("0 slots succeeded")
+	}
+	if _, err := New(Config{Slots: 4, ProducerMax: -1}); err == nil {
+		t.Fatal("negative ProducerMax succeeded")
+	}
+}
+
+func TestDepositRemoveRoundTrip(t *testing.T) {
+	b, err := New(Config{Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Deposit("hello"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Remove()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "hello" {
+		t.Fatalf("Remove = %v", v)
+	}
+}
+
+func TestConservationManyProducersConsumers(t *testing.T) {
+	b, err := New(Config{Slots: 8, ProducerMax: 4, ConsumerMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const producers, perProducer = 4, 100
+	total := producers * perProducer
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := b.Deposit([2]int{p, i}); err != nil {
+					t.Errorf("Deposit: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	seen := make(map[[2]int]bool, total)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				v, err := b.Remove()
+				if err != nil {
+					t.Errorf("Remove: %v", err)
+					return
+				}
+				key := v.([2]int)
+				mu.Lock()
+				if seen[key] {
+					t.Errorf("duplicate message %v", key)
+				}
+				seen[key] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != total {
+		t.Fatalf("received %d distinct messages, want %d", len(seen), total)
+	}
+	deposits, removes, violations := b.Stats()
+	if deposits != uint64(total) || removes != uint64(total) {
+		t.Fatalf("deposits/removes = %d/%d, want %d", deposits, removes, total)
+	}
+	if violations != 0 {
+		t.Fatalf("%d slot-sharing violations", violations)
+	}
+}
+
+func TestBlocksWhenFullAndEmpty(t *testing.T) {
+	b, err := New(Config{Slots: 2, ProducerMax: 4, ConsumerMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Remove on empty blocks.
+	removed := make(chan struct{})
+	go func() {
+		if _, err := b.Remove(); err == nil {
+			close(removed)
+		}
+	}()
+	select {
+	case <-removed:
+		t.Fatal("Remove on empty buffer returned")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Fill: 2 slots + the blocked remove consumes one deposit.
+	for i := 0; i < 3; i++ {
+		if err := b.Deposit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-removed
+	// Now 2 slots full. A third deposit must block.
+	deposited := make(chan struct{})
+	go func() {
+		if err := b.Deposit(99); err == nil {
+			close(deposited)
+		}
+	}()
+	select {
+	case <-deposited:
+		t.Fatal("Deposit into full buffer returned")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if _, err := b.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-deposited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Deposit did not unblock")
+	}
+}
+
+// TestCopiesOverlap verifies the point of the design: with slow copies,
+// multiple deposits/removes are in flight at once (the manager only brokers
+// indices), unlike the serial §2.4.1 buffer.
+func TestCopiesOverlap(t *testing.T) {
+	const copyCost = 20 * time.Millisecond
+	b, err := New(Config{Slots: 8, ProducerMax: 4, ConsumerMax: 4, CopyCost: copyCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := b.Deposit(i); err != nil {
+				t.Errorf("Deposit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Serial execution would take >= 4 × copyCost = 80ms. Allow generous
+	// margin: anything under 3 × copyCost proves overlap.
+	if elapsed >= 3*copyCost {
+		t.Fatalf("4 deposits with %v copies took %v; copies did not overlap", copyCost, elapsed)
+	}
+	_, _, violations := b.Stats()
+	if violations != 0 {
+		t.Fatalf("%d slot-sharing violations", violations)
+	}
+}
+
+func TestNoSlotSharingUnderStress(t *testing.T) {
+	b, err := New(Config{Slots: 4, ProducerMax: 8, ConsumerMax: 8, CopyCost: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	const items = 200
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		var pwg sync.WaitGroup
+		for i := 0; i < items; i++ {
+			pwg.Add(1)
+			go func(i int) {
+				defer pwg.Done()
+				if err := b.Deposit(i); err != nil {
+					t.Errorf("Deposit: %v", err)
+				}
+			}(i)
+		}
+		pwg.Wait()
+	}()
+	go func() {
+		defer wg.Done()
+		var cwg sync.WaitGroup
+		for i := 0; i < items; i++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				if _, err := b.Remove(); err != nil {
+					t.Errorf("Remove: %v", err)
+				}
+			}()
+		}
+		cwg.Wait()
+	}()
+	wg.Wait()
+	deposits, removes, violations := b.Stats()
+	if deposits != items || removes != items {
+		t.Fatalf("deposits/removes = %d/%d", deposits, removes)
+	}
+	if violations != 0 {
+		t.Fatalf("%d slot-sharing violations", violations)
+	}
+}

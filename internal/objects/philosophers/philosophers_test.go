@@ -1,0 +1,135 @@
+package philosophers
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Seats: 1}); err == nil {
+		t.Fatal("1 seat succeeded")
+	}
+}
+
+func TestSeatValidation(t *testing.T) {
+	tbl, err := New(Config{Seats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	if err := tbl.Dine(-1); err == nil {
+		t.Fatal("Dine(-1) succeeded")
+	}
+	if err := tbl.Dine(3); err == nil {
+		t.Fatal("Dine(3) succeeded")
+	}
+	if tbl.Seats() != 3 {
+		t.Fatalf("Seats = %d", tbl.Seats())
+	}
+}
+
+func TestSingleMeal(t *testing.T) {
+	tbl, err := New(Config{Seats: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	if err := tbl.Dine(2); err != nil {
+		t.Fatal(err)
+	}
+	meals, violations := tbl.Stats()
+	if meals != 1 || violations != 0 {
+		t.Fatalf("Stats = %d, %d", meals, violations)
+	}
+}
+
+// TestNoDeadlockNoAdjacentEating is the classic stress: all philosophers
+// repeatedly hungry at once. The run must finish (no deadlock) and no two
+// neighbours may ever eat simultaneously.
+func TestNoDeadlockNoAdjacentEating(t *testing.T) {
+	const seats, rounds = 5, 20
+	tbl, err := New(Config{Seats: seats, EatTime: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for seat := 0; seat < seats; seat++ {
+			wg.Add(1)
+			go func(seat int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if err := tbl.Dine(seat); err != nil {
+						t.Errorf("Dine(%d): %v", seat, err)
+						return
+					}
+				}
+			}(seat)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("philosophers deadlocked")
+	}
+	meals, violations := tbl.Stats()
+	if meals != seats*rounds {
+		t.Fatalf("meals = %d, want %d", meals, seats*rounds)
+	}
+	if violations != 0 {
+		t.Fatalf("%d adjacency violations", violations)
+	}
+}
+
+// TestNonAdjacentEatConcurrently: with 5 seats and slow meals, seats 0 and
+// 2 can eat at the same time — the manager does not serialize the table.
+func TestNonAdjacentEatConcurrently(t *testing.T) {
+	tbl, err := New(Config{Seats: 5, EatTime: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, seat := range []int{0, 2} {
+		wg.Add(1)
+		go func(seat int) {
+			defer wg.Done()
+			if err := tbl.Dine(seat); err != nil {
+				t.Errorf("Dine(%d): %v", seat, err)
+			}
+		}(seat)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed >= 55*time.Millisecond {
+		t.Fatalf("non-adjacent meals took %v; they were serialized", elapsed)
+	}
+}
+
+func TestMalformedDirectCallRejected(t *testing.T) {
+	tbl, err := New(Config{Seats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	// Bypass the wrapper: bad seat and bad type go straight to the object.
+	if _, err := tbl.Object().Call("Dine", 99); err == nil {
+		t.Fatal("out-of-range seat succeeded")
+	}
+	if _, err := tbl.Object().Call("Dine", "two"); err == nil {
+		t.Fatal("non-int seat succeeded")
+	}
+	// The table still works afterwards.
+	if err := tbl.Dine(1); err != nil {
+		t.Fatal(err)
+	}
+	if merr := tbl.Object().ManagerErr(); merr != nil {
+		t.Fatalf("manager crashed: %v", merr)
+	}
+}

@@ -1,0 +1,27 @@
+package rwdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/objects/rwdb"
+)
+
+// Example reads and writes the §2.5.1 database; up to ReadMax readers may
+// overlap while the manager keeps writers exclusive.
+func Example() {
+	db, err := rwdb.New(rwdb.Config{ReadMax: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Write(7, 42); err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := db.Read(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v, ok)
+	// Output: 42 true
+}

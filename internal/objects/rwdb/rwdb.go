@@ -1,0 +1,152 @@
+// Package rwdb implements the paper's readers-writers example (§2.5.1): a
+// database object whose Read entry is a hidden procedure array of ReadMax
+// elements, so up to ReadMax readers access the database simultaneously,
+// while writers run in exclusion. Starvation freedom follows the paper's
+// alternation rule: a read is accepted if there are no pending writes *or a
+// writer has just used the database*; a write is accepted if no readers are
+// active and there are no pending reads *or a writer is due its turn*.
+package rwdb
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	alps "repro"
+)
+
+// Config configures a readers-writers database.
+type Config struct {
+	ReadMax   int           // hidden Read array size (max concurrent readers)
+	ReadCost  time.Duration // simulated I/O per read (0 = none)
+	WriteCost time.Duration // simulated I/O per write (0 = none)
+	ObjOpts   []alps.Option
+}
+
+// DB is a readers-writers database managed by an ALPS manager.
+type DB struct {
+	obj     *alps.Object
+	readMax int
+
+	// Shared data part: concurrent readers, exclusive writers — guaranteed
+	// by the manager, not by locks (the race detector verifies this in the
+	// tests).
+	data map[int]int
+
+	// Monitoring counters (atomic: incremented from concurrent read bodies).
+	curReaders  atomic.Int64
+	peakReaders atomic.Int64
+	violations  atomic.Int64 // writer overlapped a reader or another writer
+	writerIn    atomic.Bool
+}
+
+// New creates a database admitting at most cfg.ReadMax concurrent readers.
+func New(cfg Config) (*DB, error) {
+	if cfg.ReadMax < 1 {
+		return nil, fmt.Errorf("rwdb: ReadMax %d", cfg.ReadMax)
+	}
+	db := &DB{readMax: cfg.ReadMax, data: make(map[int]int)}
+
+	read := func(inv *alps.Invocation) error {
+		if db.writerIn.Load() {
+			db.violations.Add(1)
+		}
+		cur := db.curReaders.Add(1)
+		for {
+			peak := db.peakReaders.Load()
+			if cur <= peak || db.peakReaders.CompareAndSwap(peak, cur) {
+				break
+			}
+		}
+		if cfg.ReadCost > 0 {
+			time.Sleep(cfg.ReadCost) // simulated database I/O
+		}
+		key := inv.Param(0).(int)
+		v, ok := db.data[key]
+		db.curReaders.Add(-1)
+		inv.Return(v, ok)
+		return nil
+	}
+	write := func(inv *alps.Invocation) error {
+		if db.curReaders.Load() > 0 || !db.writerIn.CompareAndSwap(false, true) {
+			db.violations.Add(1)
+		}
+		if cfg.WriteCost > 0 {
+			time.Sleep(cfg.WriteCost)
+		}
+		db.data[inv.Param(0).(int)] = inv.Param(1).(int)
+		db.writerIn.Store(false)
+		return nil
+	}
+
+	manager := func(m *alps.Mgr) {
+		readCount := 0      // active readers
+		writerLast := false // the last completed user was a writer
+		_ = m.Loop(
+			alps.OnAccept("Read", func(a *alps.Accepted) {
+				if err := m.Start(a); err == nil {
+					readCount++
+				}
+			}).When(func(*alps.Accepted) bool {
+				return readCount < db.readMax && (m.Pending("Write") == 0 || writerLast)
+			}),
+			alps.OnAwait("Read", func(aw *alps.Awaited) {
+				if err := m.Finish(aw); err == nil {
+					readCount--
+					writerLast = false
+				}
+			}),
+			alps.OnAccept("Write", func(a *alps.Accepted) {
+				// execute: the manager runs the writer to completion before
+				// accepting anything else — writers are exclusive.
+				if _, err := m.Execute(a); err == nil {
+					writerLast = true
+				}
+			}).When(func(*alps.Accepted) bool {
+				return readCount == 0 && (m.Pending("Read") == 0 || !writerLast)
+			}),
+		)
+	}
+
+	obj, err := alps.New("Database", append(cfg.ObjOpts,
+		alps.WithEntry(alps.EntrySpec{Name: "Read", Params: 1, Results: 2, Array: cfg.ReadMax, Body: read}),
+		alps.WithEntry(alps.EntrySpec{Name: "Write", Params: 2, Body: write}),
+		alps.WithManager(manager, alps.Intercept("Read"), alps.Intercept("Write")),
+	)...)
+	if err != nil {
+		return nil, err
+	}
+	db.obj = obj
+	return db, nil
+}
+
+// Read returns the value stored at key.
+func (db *DB) Read(key int) (int, bool, error) {
+	res, err := db.obj.Call("Read", key)
+	if err != nil {
+		return 0, false, err
+	}
+	return res[0].(int), res[1].(bool), nil
+}
+
+// Write stores value at key.
+func (db *DB) Write(key, value int) error {
+	_, err := db.obj.Call("Write", key, value)
+	return err
+}
+
+// Stats reports observed concurrency: the peak number of simultaneous
+// readers and the number of exclusion violations (always 0 if the manager
+// is correct).
+func (db *DB) Stats() (peakReaders int, violations int) {
+	return int(db.peakReaders.Load()), int(db.violations.Load())
+}
+
+// ReadMax reports the configured reader bound.
+func (db *DB) ReadMax() int { return db.readMax }
+
+// Object exposes the underlying ALPS object.
+func (db *DB) Object() *alps.Object { return db.obj }
+
+// Close shuts the database down.
+func (db *DB) Close() error { return db.obj.Close() }

@@ -1,0 +1,24 @@
+package spooler_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/objects/spooler"
+)
+
+// Example prints a job; the manager allocates a printer via hidden
+// parameters and recovers it via hidden results (§2.8.1).
+func Example() {
+	s, err := spooler.New(spooler.Config{Printers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	printer, err := s.Print("report.ps", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("printed on a real printer:", printer >= 0 && printer < 2)
+	// Output: printed on a real printer: true
+}

@@ -1,0 +1,153 @@
+// Package spooler implements the paper's printer spooler example (§2.8.1):
+// a Print entry implemented as a hidden procedure array so several print
+// requests are serviced simultaneously. After accepting a request the
+// manager allocates a free printer and supplies its number to the Print
+// procedure as a *hidden parameter*; the procedure returns the printer
+// number as a *hidden result*, which "eliminates a lot of bookkeeping for
+// the manager to remember which printer has been allocated to which
+// procedure".
+package spooler
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	alps "repro"
+)
+
+// PrintFunc performs the actual printing of a file on a printer.
+// pages controls the simulated duration.
+type PrintFunc func(printer int, file string, pages int)
+
+// Config configures a spooler.
+type Config struct {
+	Printers int           // size of the printer pool
+	PrintMax int           // hidden Print array size (default: 2×Printers)
+	PageCost time.Duration // simulated time per page (0 = none)
+	Print    PrintFunc     // optional hook invoked for each job
+	ObjOpts  []alps.Option
+}
+
+// Spooler schedules print requests onto a pool of printers.
+type Spooler struct {
+	obj      *alps.Object
+	printers int
+
+	// busy[p] is 1 while printer p is printing; used to detect scheduling
+	// violations (two jobs on one printer).
+	busy       []atomic.Int32
+	violations atomic.Int64
+	jobs       atomic.Uint64
+	perPrinter []atomic.Uint64
+}
+
+// New creates a spooler with cfg.Printers printers.
+func New(cfg Config) (*Spooler, error) {
+	if cfg.Printers < 1 {
+		return nil, fmt.Errorf("spooler: %d printers", cfg.Printers)
+	}
+	if cfg.PrintMax == 0 {
+		cfg.PrintMax = 2 * cfg.Printers
+	}
+	if cfg.PrintMax < 1 {
+		return nil, fmt.Errorf("spooler: PrintMax %d", cfg.PrintMax)
+	}
+	s := &Spooler{
+		printers:   cfg.Printers,
+		busy:       make([]atomic.Int32, cfg.Printers),
+		perPrinter: make([]atomic.Uint64, cfg.Printers),
+	}
+
+	print := func(inv *alps.Invocation) error {
+		file := inv.Param(0).(string)
+		pages := inv.Param(1).(int)
+		printer := inv.Hidden(0).(int) // supplied by the manager at start
+
+		if !s.busy[printer].CompareAndSwap(0, 1) {
+			s.violations.Add(1)
+		}
+		if cfg.Print != nil {
+			cfg.Print(printer, file, pages)
+		}
+		if cfg.PageCost > 0 {
+			select {
+			case <-time.After(time.Duration(pages) * cfg.PageCost):
+			case <-inv.Done():
+			}
+		}
+		s.busy[printer].Store(0)
+		s.jobs.Add(1)
+		s.perPrinter[printer].Add(1)
+
+		inv.Return(printer)
+		// The printer number goes back to the manager as a hidden result so
+		// it can be returned to the free pool without any manager-side map.
+		inv.ReturnHidden(printer)
+		return nil
+	}
+
+	manager := func(m *alps.Mgr) {
+		// Free printer pool, manager-local.
+		free := make([]int, cfg.Printers)
+		for i := range free {
+			free[i] = i
+		}
+		_ = m.Loop(
+			alps.OnAccept("Print", func(a *alps.Accepted) {
+				p := free[len(free)-1]
+				free = free[:len(free)-1]
+				if err := m.Start(a, p); err != nil {
+					free = append(free, p) // start failed; printer stays free
+				}
+			}).When(func(*alps.Accepted) bool { return len(free) > 0 }),
+			alps.OnAwait("Print", func(aw *alps.Awaited) {
+				if err := m.Finish(aw); err != nil {
+					return
+				}
+				if aw.Err == nil {
+					free = append(free, aw.Hidden[0].(int))
+				}
+			}),
+		)
+	}
+
+	obj, err := alps.New("Spooler", append(cfg.ObjOpts,
+		alps.WithEntry(alps.EntrySpec{
+			Name: "Print", Params: 2, Results: 1, Array: cfg.PrintMax,
+			HiddenParams: 1, HiddenResults: 1, Body: print,
+		}),
+		alps.WithManager(manager, alps.Intercept("Print")),
+	)...)
+	if err != nil {
+		return nil, err
+	}
+	s.obj = obj
+	return s, nil
+}
+
+// Print submits a job and blocks until it has printed, returning the
+// printer that serviced it.
+func (s *Spooler) Print(file string, pages int) (printer int, err error) {
+	res, err := s.obj.Call("Print", file, pages)
+	if err != nil {
+		return -1, err
+	}
+	return res[0].(int), nil
+}
+
+// Stats reports jobs printed, jobs per printer, and scheduling violations
+// (two jobs on one printer at once — always 0 if the manager is correct).
+func (s *Spooler) Stats() (jobs uint64, perPrinter []uint64, violations int) {
+	per := make([]uint64, s.printers)
+	for i := range per {
+		per[i] = s.perPrinter[i].Load()
+	}
+	return s.jobs.Load(), per, int(s.violations.Load())
+}
+
+// Object exposes the underlying ALPS object.
+func (s *Spooler) Object() *alps.Object { return s.obj }
+
+// Close shuts the spooler down.
+func (s *Spooler) Close() error { return s.obj.Close() }

@@ -1,0 +1,157 @@
+package spooler
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Printers: 0}); err == nil {
+		t.Fatal("0 printers succeeded")
+	}
+	if _, err := New(Config{Printers: 2, PrintMax: -1}); err == nil {
+		t.Fatal("negative PrintMax succeeded")
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	s, err := New(Config{Printers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p, err := s.Print("report.txt", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0 || p >= 2 {
+		t.Fatalf("printed on printer %d, pool has 2", p)
+	}
+	jobs, _, violations := s.Stats()
+	if jobs != 1 || violations != 0 {
+		t.Fatalf("jobs = %d, violations = %d", jobs, violations)
+	}
+}
+
+// TestNeverTwoJobsOnOnePrinter floods the spooler and relies on the per-
+// printer busy flags to detect any double allocation.
+func TestNeverTwoJobsOnOnePrinter(t *testing.T) {
+	s, err := New(Config{Printers: 3, PrintMax: 12, PageCost: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Print("f", 2); err != nil {
+				t.Errorf("Print: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	jobs, _, violations := s.Stats()
+	if jobs != 60 {
+		t.Fatalf("jobs = %d, want 60", jobs)
+	}
+	if violations != 0 {
+		t.Fatalf("%d printer-sharing violations", violations)
+	}
+}
+
+// TestAllPrintersUtilized checks the pool actually spreads work: with slow
+// jobs and more requests than printers, every printer prints something.
+func TestAllPrintersUtilized(t *testing.T) {
+	const printers = 3
+	s, err := New(Config{Printers: printers, PageCost: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Print("f", 3); err != nil {
+				t.Errorf("Print: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	_, per, _ := s.Stats()
+	for p, n := range per {
+		if n == 0 {
+			t.Errorf("printer %d printed nothing: %v", p, per)
+		}
+	}
+}
+
+func TestReturnedPrinterMatchesHook(t *testing.T) {
+	var mu sync.Mutex
+	hookPrinter := make(map[string]int)
+	s, err := New(Config{
+		Printers: 4,
+		Print: func(printer int, file string, pages int) {
+			mu.Lock()
+			hookPrinter[file] = printer
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			file := string(rune('a' + i))
+			p, err := s.Print(file, 1)
+			if err != nil {
+				t.Errorf("Print: %v", err)
+				return
+			}
+			mu.Lock()
+			want := hookPrinter[file]
+			mu.Unlock()
+			if p != want {
+				t.Errorf("Print(%s) returned printer %d, hook saw %d", file, p, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestJobsQueueWhenPrintersBusy(t *testing.T) {
+	// One printer, slow jobs: a second job must wait, not overlap.
+	s, err := New(Config{Printers: 1, PrintMax: 4, PageCost: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Print("f", 2); err != nil {
+				t.Errorf("Print: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("3 jobs × 20ms on one printer finished in %v; they overlapped", elapsed)
+	}
+	_, _, violations := s.Stats()
+	if violations != 0 {
+		t.Fatalf("%d violations", violations)
+	}
+}

@@ -1,0 +1,44 @@
+package pathexpr_test
+
+import (
+	"fmt"
+	"log"
+
+	alps "repro"
+	"repro/internal/pathexpr"
+)
+
+// Example compiles the one-slot bounded buffer path and shows the strict
+// alternation it enforces.
+func Example() {
+	p, err := pathexpr.Compile("1:(deposit; remove)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("procs:", p.Procs())
+
+	mgr, icpts := p.Manager()
+	noop := func(inv *alps.Invocation) error { return nil }
+	obj, err := alps.New("Buffer",
+		alps.WithEntry(alps.EntrySpec{Name: "deposit", Array: 2, Body: noop}),
+		alps.WithEntry(alps.EntrySpec{Name: "remove", Array: 2, Body: noop}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := obj.Call("deposit"); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := obj.Call("remove"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("two deposit/remove cycles completed")
+	// Output:
+	// procs: [deposit remove]
+	// two deposit/remove cycles completed
+}

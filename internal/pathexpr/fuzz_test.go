@@ -1,0 +1,56 @@
+package pathexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile checks the parser/translator never panics and that every
+// successfully compiled path has a consistent shape: at least one
+// procedure, every procedure has at least one rule, and all counter
+// references are in range.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"a",
+		"a;b",
+		"a|b",
+		"3:(a)",
+		"1:(deposit; remove)",
+		"open; 3:(read|write); close",
+		"a;b | b;a",
+		"((a))",
+		"10:(x;y;z)",
+		"",
+		"a;;b",
+		"2:(", "0:(a)", "a b", "!?", "9999999999999999999:(a)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		procs := p.Procs()
+		if len(procs) == 0 {
+			t.Fatalf("Compile(%q) succeeded with no procedures", src)
+		}
+		for _, name := range procs {
+			rules := p.rules[name]
+			if len(rules) == 0 {
+				t.Fatalf("Compile(%q): procedure %q has no rules", src, name)
+			}
+			for _, r := range rules {
+				for _, c := range append(append([]int(nil), r.pre...), r.post...) {
+					if c < 0 || c >= len(p.inits) {
+						t.Fatalf("Compile(%q): counter %d out of range %d", src, c, len(p.inits))
+					}
+				}
+			}
+		}
+		if !strings.Contains(p.Describe(), "path") {
+			t.Fatalf("Describe broken for %q", src)
+		}
+	})
+}

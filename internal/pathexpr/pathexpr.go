@@ -1,0 +1,380 @@
+// Package pathexpr compiles Campbell–Habermann style path expressions into
+// ALPS manager processes. The paper claims the manager generalizes path
+// expressions (§1: "all scheduling is implemented separately in the
+// [manager] … was first used in path expressions"); this package is the
+// constructive proof: a path expression is parsed, translated to
+// counting-semaphore prologues/epilogues (the classic open-path
+// translation), and enforced by a generated manager that gates accepts on
+// the prologues and releases the epilogues at finish.
+//
+// Grammar (whitespace insensitive):
+//
+//	expr   := seq
+//	seq    := term (';' term)*            sequencing
+//	term   := factor ('|' factor)*        selection ('|' binds tighter)
+//	factor := NUMBER ':' '(' expr ')'     restriction (≤ N concurrent)
+//	        | '(' expr ')'
+//	        | IDENT                       a procedure name
+//
+// Open-path semantics: the whole path repeats implicitly and places no
+// global bound unless restricted. "deposit; remove" lets every remove be
+// preceded by a distinct completed deposit; "1:(deposit; remove)" is the
+// one-slot bounded buffer; "3:(read | write)" admits at most three
+// concurrent operations of either kind.
+package pathexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	alps "repro"
+)
+
+// Path is a compiled path expression.
+type Path struct {
+	src   string
+	inits []int             // initial value of each counter
+	rules map[string][]rule // per procedure: its occurrences in the path
+	procs []string          // declaration order
+}
+
+// rule is one occurrence of a procedure: the counters it must decrement to
+// start and increment on completion.
+type rule struct {
+	pre  []int // counter indices P'd (decremented) at accept
+	post []int // counter indices V'd (incremented) at finish
+}
+
+// Compile parses and translates a path expression.
+func Compile(src string) (*Path, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("pathexpr %q: %w", src, err)
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseSeq()
+	if err != nil {
+		return nil, fmt.Errorf("pathexpr %q: %w", src, err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("pathexpr %q: trailing input at %q", src, p.peek().text)
+	}
+	c := &Path{src: src, rules: make(map[string][]rule)}
+	c.translate(root, nil, nil)
+	return c, nil
+}
+
+// Procs reports the procedure names appearing in the path, in first-
+// appearance order. The object installing the path must declare them all.
+func (p *Path) Procs() []string {
+	out := make([]string, len(p.procs))
+	copy(out, p.procs)
+	return out
+}
+
+// String returns the source expression.
+func (p *Path) String() string { return p.src }
+
+// Manager returns the generated manager function and its intercepts
+// clause, ready for alps.WithManager.
+func (p *Path) Manager() (func(*alps.Mgr), []alps.InterceptSpec) {
+	icpts := make([]alps.InterceptSpec, len(p.procs))
+	for i, name := range p.procs {
+		icpts[i] = alps.Intercept(name)
+	}
+	mgrFn := func(m *alps.Mgr) {
+		counters := make([]int, len(p.inits))
+		copy(counters, p.inits)
+		// slotKey -> the rule chosen when the call was started.
+		type slotKey struct {
+			proc string
+			slot int
+		}
+		chosen := make(map[slotKey]rule)
+
+		passable := func(r rule) bool {
+			for _, c := range r.pre {
+				if counters[c] <= 0 {
+					return false
+				}
+			}
+			return true
+		}
+		firstPassable := func(proc string) (rule, bool) {
+			for _, r := range p.rules[proc] {
+				if passable(r) {
+					return r, true
+				}
+			}
+			return rule{}, false
+		}
+
+		guards := make([]alps.Guard, 0, 2*len(p.procs))
+		for _, proc := range p.procs {
+			proc := proc
+			guards = append(guards,
+				alps.OnAccept(proc, func(a *alps.Accepted) {
+					r, ok := firstPassable(proc)
+					if !ok {
+						return // raced; the When re-evaluates next round
+					}
+					for _, c := range r.pre {
+						counters[c]--
+					}
+					if err := m.Start(a); err != nil {
+						for _, c := range r.pre {
+							counters[c]++
+						}
+						return
+					}
+					chosen[slotKey{proc, a.Slot}] = r
+				}).When(func(*alps.Accepted) bool {
+					_, ok := firstPassable(proc)
+					return ok
+				}),
+				alps.OnAwait(proc, func(aw *alps.Awaited) {
+					if err := m.Finish(aw); err != nil {
+						return
+					}
+					key := slotKey{proc, aw.Slot}
+					r := chosen[key]
+					delete(chosen, key)
+					for _, c := range r.post {
+						counters[c]++
+					}
+				}),
+			)
+		}
+		_ = m.Loop(guards...)
+	}
+	return mgrFn, icpts
+}
+
+// ---- translation -----------------------------------------------------------
+
+type node interface{ isNode() }
+
+type nameNode struct{ name string }
+type seqNode struct{ children []node }
+type selNode struct{ children []node }
+type restrictNode struct {
+	n     int
+	child node
+}
+
+func (nameNode) isNode()     {}
+func (seqNode) isNode()      {}
+func (selNode) isNode()      {}
+func (restrictNode) isNode() {}
+
+// newCounter allocates a counter with the given initial value.
+func (p *Path) newCounter(init int) int {
+	p.inits = append(p.inits, init)
+	return len(p.inits) - 1
+}
+
+// translate implements the open-path translation: sequencing introduces a
+// zero-initialized counter between adjacent elements; selection shares the
+// context; restriction wraps the context in an n-initialized counter.
+func (p *Path) translate(n node, pre, post []int) {
+	switch t := n.(type) {
+	case nameNode:
+		if _, seen := p.rules[t.name]; !seen {
+			p.procs = append(p.procs, t.name)
+		}
+		p.rules[t.name] = append(p.rules[t.name], rule{
+			pre:  append([]int(nil), pre...),
+			post: append([]int(nil), post...),
+		})
+	case seqNode:
+		k := len(t.children)
+		links := make([]int, k-1)
+		for i := range links {
+			links[i] = p.newCounter(0)
+		}
+		for i, child := range t.children {
+			childPre := pre
+			childPost := post
+			if i > 0 {
+				childPre = []int{links[i-1]}
+			}
+			if i < k-1 {
+				childPost = []int{links[i]}
+			}
+			p.translate(child, childPre, childPost)
+		}
+	case selNode:
+		for _, child := range t.children {
+			p.translate(child, pre, post)
+		}
+	case restrictNode:
+		c := p.newCounter(t.n)
+		p.translate(t.child, append([]int{c}, pre...), append(append([]int(nil), post...), c))
+	}
+}
+
+// ---- lexer and parser -------------------------------------------------------
+
+type token struct {
+	kind rune // 'i' ident, 'n' number, or the punctuation itself
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	rs := []rune(src)
+	for i := 0; i < len(rs); {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == ';' || r == '|' || r == ':' || r == '(' || r == ')':
+			toks = append(toks, token{kind: r, text: string(r)})
+			i++
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: 'n', text: string(rs[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: 'i', text: string(rs[i:j])})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", r)
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("empty expression")
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) eat(kind rune) (token, error) {
+	if p.eof() || p.toks[p.pos].kind != kind {
+		return token{}, fmt.Errorf("expected %q at %s", string(kind), p.where())
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) where() string {
+	if p.eof() {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", p.toks[p.pos].text)
+}
+
+func (p *parser) parseSeq() (node, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	children := []node{first}
+	for !p.eof() && p.peek().kind == ';' {
+		p.pos++
+		next, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return first, nil
+	}
+	return seqNode{children: children}, nil
+}
+
+func (p *parser) parseTerm() (node, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	children := []node{first}
+	for !p.eof() && p.peek().kind == '|' {
+		p.pos++
+		next, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return first, nil
+	}
+	return selNode{children: children}, nil
+}
+
+func (p *parser) parseFactor() (node, error) {
+	switch t := p.peek(); t.kind {
+	case 'n':
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("restriction bound %q must be a positive integer", t.text)
+		}
+		if _, err := p.eat(':'); err != nil {
+			return nil, err
+		}
+		if _, err := p.eat('('); err != nil {
+			return nil, err
+		}
+		child, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(')'); err != nil {
+			return nil, err
+		}
+		return restrictNode{n: n, child: child}, nil
+	case '(':
+		p.pos++
+		child, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(')'); err != nil {
+			return nil, err
+		}
+		return child, nil
+	case 'i':
+		p.pos++
+		return nameNode{name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("expected a procedure name, '(' or 'N:(' at %s", p.where())
+	}
+}
+
+// Describe renders the compiled counter rules, for debugging and tests.
+func (p *Path) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "path %s: %d counters %v\n", p.src, len(p.inits), p.inits)
+	for _, proc := range p.procs {
+		for _, r := range p.rules[proc] {
+			fmt.Fprintf(&b, "  %s: P%v V%v\n", proc, r.pre, r.post)
+		}
+	}
+	return b.String()
+}

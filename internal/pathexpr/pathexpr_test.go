@@ -1,0 +1,284 @@
+package pathexpr
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	alps "repro"
+)
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a;;b",
+		"a |",
+		"2:(a",
+		"0:(a)",
+		"-1:(a)",
+		"a b",
+		"(a",
+		"a)",
+		"2:a",
+		"!?",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCompileShapes(t *testing.T) {
+	tests := []struct {
+		src      string
+		procs    []string
+		counters int
+	}{
+		{"a", []string{"a"}, 0},
+		{"a;b", []string{"a", "b"}, 1},
+		{"a;b;c", []string{"a", "b", "c"}, 2},
+		{"a|b", []string{"a", "b"}, 0},
+		{"3:(a)", []string{"a"}, 1},
+		{"1:(a;b)", []string{"a", "b"}, 2},
+		{"2:(r|w)", []string{"r", "w"}, 1},
+		{"open; 3:(read|write); close", []string{"open", "read", "write", "close"}, 3},
+	}
+	for _, tt := range tests {
+		p, err := Compile(tt.src)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", tt.src, err)
+			continue
+		}
+		if got := p.Procs(); len(got) != len(tt.procs) {
+			t.Errorf("Compile(%q).Procs() = %v, want %v", tt.src, got, tt.procs)
+			continue
+		}
+		for i, name := range p.Procs() {
+			if name != tt.procs[i] {
+				t.Errorf("Compile(%q).Procs() = %v, want %v", tt.src, p.Procs(), tt.procs)
+			}
+		}
+		if got := len(p.inits); got != tt.counters {
+			t.Errorf("Compile(%q) allocated %d counters, want %d\n%s", tt.src, got, tt.counters, p.Describe())
+		}
+		if p.String() != tt.src {
+			t.Errorf("String() = %q", p.String())
+		}
+		if !strings.Contains(p.Describe(), "path") {
+			t.Errorf("Describe() = %q", p.Describe())
+		}
+	}
+}
+
+// install builds an object with the given path over entries that track
+// per-entry concurrency and a global execution log.
+type probe struct {
+	mu    sync.Mutex
+	log   []string
+	cur   map[string]int
+	peak  map[string]int
+	total atomic.Int64
+}
+
+func installPath(t *testing.T, src string, hold time.Duration, arrays map[string]int) (*alps.Object, *probe) {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &probe{cur: make(map[string]int), peak: make(map[string]int)}
+	mgrFn, icpts := p.Manager()
+	opts := []alps.Option{alps.WithManager(mgrFn, icpts...)}
+	for _, name := range p.Procs() {
+		name := name
+		array := 8
+		if arrays != nil && arrays[name] > 0 {
+			array = arrays[name]
+		}
+		opts = append(opts, alps.WithEntry(alps.EntrySpec{Name: name, Array: array,
+			Body: func(inv *alps.Invocation) error {
+				pr.mu.Lock()
+				pr.log = append(pr.log, name)
+				pr.cur[name]++
+				if pr.cur[name] > pr.peak[name] {
+					pr.peak[name] = pr.cur[name]
+				}
+				pr.mu.Unlock()
+				pr.total.Add(1)
+				if hold > 0 {
+					time.Sleep(hold)
+				}
+				pr.mu.Lock()
+				pr.cur[name]--
+				pr.mu.Unlock()
+				return nil
+			}}))
+	}
+	obj, err := alps.New("Pathed", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj, pr
+}
+
+func callN(t *testing.T, obj *alps.Object, entry string, n int) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := obj.Call(entry); err != nil {
+				t.Errorf("Call(%s): %v", entry, err)
+			}
+		}()
+	}
+	return &wg
+}
+
+// TestSequencePath: "produce; consume" — every consume must be preceded by
+// a distinct completed produce.
+func TestSequencePath(t *testing.T) {
+	obj, pr := installPath(t, "produce; consume", 0, nil)
+	defer obj.Close()
+
+	// Consumers first: they must block.
+	cwg := callN(t, obj, "consume", 3)
+	time.Sleep(30 * time.Millisecond)
+	if pr.total.Load() != 0 {
+		t.Fatal("consume ran before any produce")
+	}
+	pwg := callN(t, obj, "produce", 3)
+	pwg.Wait()
+	cwg.Wait()
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	// Prefix property: at every prefix, #produce >= #consume.
+	bal := 0
+	for _, e := range pr.log {
+		if e == "produce" {
+			bal++
+		} else {
+			bal--
+		}
+		if bal < 0 {
+			t.Fatalf("log %v: consume overtook produce", pr.log)
+		}
+	}
+}
+
+// TestRestrictionBoundsConcurrency: "3:(work)" — at most 3 concurrent.
+func TestRestrictionBoundsConcurrency(t *testing.T) {
+	obj, pr := installPath(t, "3:(work)", 3*time.Millisecond, map[string]int{"work": 8})
+	defer obj.Close()
+	callN(t, obj, "work", 12).Wait()
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.peak["work"] > 3 {
+		t.Fatalf("peak concurrency %d > restriction 3", pr.peak["work"])
+	}
+	if pr.peak["work"] < 2 {
+		t.Fatalf("peak concurrency %d; restriction never exploited", pr.peak["work"])
+	}
+}
+
+// TestBoundedBufferPath: "1:(deposit; remove)" is a one-slot buffer —
+// strict alternation deposit, remove, deposit, remove...
+func TestBoundedBufferPath(t *testing.T) {
+	obj, pr := installPath(t, "1:(deposit; remove)", 0, nil)
+	defer obj.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); callN(t, obj, "deposit", 10).Wait() }()
+	go func() { defer wg.Done(); callN(t, obj, "remove", 10).Wait() }()
+	wg.Wait()
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if len(pr.log) != 20 {
+		t.Fatalf("executed %d, want 20", len(pr.log))
+	}
+	for i, e := range pr.log {
+		want := "deposit"
+		if i%2 == 1 {
+			want = "remove"
+		}
+		if e != want {
+			t.Fatalf("log %v: not strictly alternating at %d", pr.log, i)
+		}
+	}
+}
+
+// TestSelectionShares: "2:(read | write)" — reads and writes share one
+// 2-bounded restriction.
+func TestSelectionShares(t *testing.T) {
+	obj, pr := installPath(t, "2:(read | write)", 3*time.Millisecond, nil)
+	defer obj.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); callN(t, obj, "read", 10).Wait() }()
+	go func() { defer wg.Done(); callN(t, obj, "write", 10).Wait() }()
+	wg.Wait()
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.peak["read"]+pr.peak["write"] > 4 { // 2 at once, peaks may not coincide
+		t.Logf("peaks: %v", pr.peak)
+	}
+	if pr.peak["read"] > 2 || pr.peak["write"] > 2 {
+		t.Fatalf("individual peaks %v exceed shared bound", pr.peak)
+	}
+}
+
+// TestFileProtocolPath is the classic: open; (read|write)*-ish; close —
+// here "1:(open; 3:(read|write); close)": one session at a time; within a
+// session at most 3 concurrent reads/writes; close ends the session.
+// Because open paths count completions, a single read unlocks close; we
+// assert ordering, not exhaustiveness.
+func TestFileProtocolPath(t *testing.T) {
+	obj, pr := installPath(t, "open; 3:(read|write); close", 0, nil)
+	defer obj.Close()
+
+	// close and read block until open completes.
+	rwg := callN(t, obj, "read", 1)
+	time.Sleep(20 * time.Millisecond)
+	if pr.total.Load() != 0 {
+		t.Fatal("read ran before open")
+	}
+	callN(t, obj, "open", 1).Wait()
+	rwg.Wait()
+	callN(t, obj, "close", 1).Wait()
+
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if len(pr.log) != 3 || pr.log[0] != "open" || pr.log[2] != "close" {
+		t.Fatalf("log %v, want open read close", pr.log)
+	}
+}
+
+// TestRepeatedProcOccurrence: a procedure appearing twice in the path can
+// play either role: "a;b | b;a" means b after a OR b before a... with
+// shared counters both interleavings of the two occurrences are legal; we
+// simply verify all calls complete (no deadlock) and compile allocates two
+// rules for each name.
+func TestRepeatedProcOccurrence(t *testing.T) {
+	p, err := Compile("a;b | b;a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.rules["a"]) != 2 || len(p.rules["b"]) != 2 {
+		t.Fatalf("rules: a=%d b=%d, want 2 occurrences each\n%s",
+			len(p.rules["a"]), len(p.rules["b"]), p.Describe())
+	}
+	obj, pr := installPath(t, "a;b | b;a", 0, nil)
+	defer obj.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); callN(t, obj, "a", 5).Wait() }()
+	go func() { defer wg.Done(); callN(t, obj, "b", 5).Wait() }()
+	wg.Wait()
+	if pr.total.Load() != 10 {
+		t.Fatalf("executed %d, want 10", pr.total.Load())
+	}
+}

@@ -1,0 +1,41 @@
+package policy_test
+
+import (
+	"fmt"
+	"log"
+
+	alps "repro"
+	"repro/internal/policy"
+)
+
+// Example installs the monitor policy: one line turns an object into a
+// monitor, with the bodies untouched.
+func Example() {
+	mgr, icpts := policy.Exclusive("Inc")
+	n := 0
+	obj, err := alps.New("Counter",
+		alps.WithEntry(alps.EntrySpec{Name: "Inc", Results: 1,
+			Body: func(inv *alps.Invocation) error {
+				n++ // safe: the manager serializes executions
+				inv.Return(n)
+				return nil
+			}}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	for i := 0; i < 3; i++ {
+		res, err := obj.Call("Inc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res[0])
+	}
+	// Output:
+	// 1
+	// 2
+	// 3
+}

@@ -1,0 +1,151 @@
+// Package policy provides prebuilt manager processes for common
+// synchronization abstractions. The paper positions the manager as "a
+// generalization of the well-known synchronization abstractions monitor,
+// serializer and path expressions" (§1); this package makes the claim
+// concrete: each abstraction is a few lines of manager code, installable
+// with alps.WithManager(policy.Xxx(...), intercepts...).
+//
+// Every policy returns a manager function plus the intercepts clause it
+// needs, so installation is one call:
+//
+//	mgr, icpts := policy.Exclusive("Deposit", "Remove")
+//	obj, err := alps.New("Buffer",
+//	    alps.WithEntry(...),
+//	    alps.WithManager(mgr, icpts...),
+//	)
+package policy
+
+import (
+	alps "repro"
+)
+
+// Exclusive is the monitor policy: each accepted call executes to
+// completion before another is accepted, across all listed entries
+// ("Monitor-like mutual exclusion can be implemented by programming the
+// manager to execute each request to completion before accepting another
+// request", §1).
+func Exclusive(entries ...string) (func(*alps.Mgr), []alps.InterceptSpec) {
+	return func(m *alps.Mgr) {
+		guards := make([]alps.Guard, 0, len(entries))
+		for _, name := range entries {
+			guards = append(guards, alps.OnAccept(name, func(a *alps.Accepted) {
+				_, _ = m.Execute(a)
+			}))
+		}
+		_ = m.Loop(guards...)
+	}, intercepts(entries)
+}
+
+// FIFO is the strict arrival-order policy: calls across all listed entries
+// execute one at a time, in exactly the order they arrived at the object.
+// It is expressed entirely with run-time priorities: pri = arrival
+// sequence number (§2.4).
+func FIFO(entries ...string) (func(*alps.Mgr), []alps.InterceptSpec) {
+	return func(m *alps.Mgr) {
+		guards := make([]alps.Guard, 0, len(entries))
+		for _, name := range entries {
+			guards = append(guards, alps.OnAccept(name, func(a *alps.Accepted) {
+				_, _ = m.Execute(a)
+			}).PriAccept(func(a *alps.Accepted) int { return int(a.CallID()) }))
+		}
+		_ = m.Loop(guards...)
+	}, intercepts(entries)
+}
+
+// Concurrent is the serializer-style policy: each entry runs with at most
+// its configured number of simultaneous executions ("The manager can be
+// programmed to allow multiple users to access the resource simultaneously
+// — a facility sought in the design of the serializer mechanism", §1).
+// Entries map to their concurrency limits; a limit below 1 is treated as 1.
+func Concurrent(limits map[string]int) (func(*alps.Mgr), []alps.InterceptSpec) {
+	names := make([]string, 0, len(limits))
+	for name := range limits {
+		names = append(names, name)
+	}
+	return func(m *alps.Mgr) {
+		active := make(map[string]int, len(limits))
+		guards := make([]alps.Guard, 0, 2*len(limits))
+		for name, limit := range limits {
+			if limit < 1 {
+				limit = 1
+			}
+			name, limit := name, limit
+			guards = append(guards,
+				alps.OnAccept(name, func(a *alps.Accepted) {
+					if err := m.Start(a); err == nil {
+						active[name]++
+					}
+				}).When(func(*alps.Accepted) bool { return active[name] < limit }),
+				alps.OnAwait(name, func(aw *alps.Awaited) {
+					if err := m.Finish(aw); err == nil {
+						active[name]--
+					}
+				}),
+			)
+		}
+		_ = m.Loop(guards...)
+	}, intercepts(names)
+}
+
+// ReadersWriters is the §2.5.1 policy over arbitrary entry names: readers
+// share (up to readMax simultaneously), writers exclude everyone, and the
+// writer-turn alternation prevents starvation on both sides.
+func ReadersWriters(readEntry, writeEntry string, readMax int) (func(*alps.Mgr), []alps.InterceptSpec) {
+	if readMax < 1 {
+		readMax = 1
+	}
+	return func(m *alps.Mgr) {
+		readCount := 0
+		writerLast := false
+		_ = m.Loop(
+			alps.OnAccept(readEntry, func(a *alps.Accepted) {
+				if err := m.Start(a); err == nil {
+					readCount++
+				}
+			}).When(func(*alps.Accepted) bool {
+				return readCount < readMax && (m.Pending(writeEntry) == 0 || writerLast)
+			}),
+			alps.OnAwait(readEntry, func(aw *alps.Awaited) {
+				if err := m.Finish(aw); err == nil {
+					readCount--
+					writerLast = false
+				}
+			}),
+			alps.OnAccept(writeEntry, func(a *alps.Accepted) {
+				if _, err := m.Execute(a); err == nil {
+					writerLast = true
+				}
+			}).When(func(*alps.Accepted) bool {
+				return readCount == 0 && (m.Pending(readEntry) == 0 || !writerLast)
+			}),
+		)
+	}, intercepts([]string{readEntry, writeEntry})
+}
+
+// Pipeline enforces a strict cyclic order over the listed entries: one
+// execution of entries[0], then one of entries[1], ..., wrapping around —
+// the manager expression of the path "e1; e2; ...; en" (§1's path
+// expressions; see internal/pathexpr for the general compiler).
+func Pipeline(entries ...string) (func(*alps.Mgr), []alps.InterceptSpec) {
+	return func(m *alps.Mgr) {
+		turn := 0
+		guards := make([]alps.Guard, 0, len(entries))
+		for i, name := range entries {
+			i := i
+			guards = append(guards, alps.OnAccept(name, func(a *alps.Accepted) {
+				if _, err := m.Execute(a); err == nil {
+					turn = (turn + 1) % len(entries)
+				}
+			}).When(func(*alps.Accepted) bool { return turn == i }))
+		}
+		_ = m.Loop(guards...)
+	}, intercepts(entries)
+}
+
+func intercepts(entries []string) []alps.InterceptSpec {
+	out := make([]alps.InterceptSpec, len(entries))
+	for i, name := range entries {
+		out[i] = alps.Intercept(name)
+	}
+	return out
+}

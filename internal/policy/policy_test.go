@@ -1,0 +1,305 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	alps "repro"
+)
+
+// tracker counts concurrent executions per entry name.
+type tracker struct {
+	mu      sync.Mutex
+	cur     map[string]int
+	peak    map[string]int
+	order   []string
+	touched int
+}
+
+func newTracker() *tracker {
+	return &tracker{cur: make(map[string]int), peak: make(map[string]int)}
+}
+
+func (tr *tracker) body(name string, hold time.Duration) alps.Body {
+	return func(inv *alps.Invocation) error {
+		tr.mu.Lock()
+		tr.cur[name]++
+		tr.touched++
+		if tr.cur[name] > tr.peak[name] {
+			tr.peak[name] = tr.cur[name]
+		}
+		tr.order = append(tr.order, name)
+		tr.mu.Unlock()
+		if hold > 0 {
+			time.Sleep(hold)
+		}
+		tr.mu.Lock()
+		tr.cur[name]--
+		tr.mu.Unlock()
+		return nil
+	}
+}
+
+func (tr *tracker) totalPeak() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	total := 0
+	for _, p := range tr.peak {
+		total += p
+	}
+	return total
+}
+
+func callAll(t *testing.T, obj *alps.Object, entry string, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := obj.Call(entry); err != nil {
+				t.Errorf("Call(%s): %v", entry, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestExclusiveIsAMonitor(t *testing.T) {
+	tr := newTracker()
+	mgr, icpts := Exclusive("A", "B")
+	obj, err := alps.New("Mon",
+		alps.WithEntry(alps.EntrySpec{Name: "A", Array: 4, Body: tr.body("A", time.Millisecond)}),
+		alps.WithEntry(alps.EntrySpec{Name: "B", Array: 4, Body: tr.body("B", time.Millisecond)}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); callAll(t, obj, "A", 10) }()
+	go func() { defer wg.Done(); callAll(t, obj, "B", 10) }()
+	wg.Wait()
+	// Monitor semantics: never more than one body inside, across entries.
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.peak["A"] > 1 || tr.peak["B"] > 1 {
+		t.Fatalf("peaks %v exceed monitor exclusion", tr.peak)
+	}
+	if tr.touched != 20 {
+		t.Fatalf("executed %d calls, want 20", tr.touched)
+	}
+}
+
+func TestFIFOOrdersAcrossEntries(t *testing.T) {
+	var mu sync.Mutex
+	var served []uint64
+	seen := func(a *alps.Accepted) {
+		mu.Lock()
+		served = append(served, a.CallID())
+		mu.Unlock()
+	}
+	// Wrap FIFO manually so we can observe acceptance order.
+	obj, err := alps.New("Fifo",
+		alps.WithEntry(alps.EntrySpec{Name: "A", Array: 8, Body: func(inv *alps.Invocation) error { return nil }}),
+		alps.WithEntry(alps.EntrySpec{Name: "B", Array: 8, Body: func(inv *alps.Invocation) error { return nil }}),
+		alps.WithManager(func(m *alps.Mgr) {
+			// Give all callers time to enqueue, then serve FIFO.
+			for m.Pending("A")+m.Pending("B") < 8 {
+				time.Sleep(time.Millisecond)
+			}
+			_ = m.Loop(
+				alps.OnAccept("A", func(a *alps.Accepted) { seen(a); _, _ = m.Execute(a) }).
+					PriAccept(func(a *alps.Accepted) int { return int(a.CallID()) }),
+				alps.OnAccept("B", func(a *alps.Accepted) { seen(a); _, _ = m.Execute(a) }).
+					PriAccept(func(a *alps.Accepted) int { return int(a.CallID()) }),
+			)
+		}, alps.Intercept("A"), alps.Intercept("B")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		entry := "A"
+		if i%2 == 1 {
+			entry = "B"
+		}
+		go func(entry string) {
+			defer wg.Done()
+			if _, err := obj.Call(entry); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+		}(entry)
+		time.Sleep(2 * time.Millisecond) // stagger arrivals for a defined order
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(served); i++ {
+		if served[i] < served[i-1] {
+			t.Fatalf("service order %v not FIFO by arrival", served)
+		}
+	}
+	if len(served) != 8 {
+		t.Fatalf("served %d, want 8", len(served))
+	}
+}
+
+func TestFIFOPolicyRuns(t *testing.T) {
+	tr := newTracker()
+	mgr, icpts := FIFO("A")
+	obj, err := alps.New("Fifo2",
+		alps.WithEntry(alps.EntrySpec{Name: "A", Array: 4, Body: tr.body("A", 0)}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	callAll(t, obj, "A", 20)
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.touched != 20 {
+		t.Fatalf("executed %d, want 20", tr.touched)
+	}
+}
+
+func TestConcurrentLimits(t *testing.T) {
+	tr := newTracker()
+	mgr, icpts := Concurrent(map[string]int{"A": 3, "B": 1})
+	obj, err := alps.New("Ser",
+		alps.WithEntry(alps.EntrySpec{Name: "A", Array: 8, Body: tr.body("A", 2*time.Millisecond)}),
+		alps.WithEntry(alps.EntrySpec{Name: "B", Array: 8, Body: tr.body("B", 2*time.Millisecond)}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); callAll(t, obj, "A", 15) }()
+	go func() { defer wg.Done(); callAll(t, obj, "B", 15) }()
+	wg.Wait()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.peak["A"] > 3 {
+		t.Fatalf("A peak %d > limit 3", tr.peak["A"])
+	}
+	if tr.peak["B"] > 1 {
+		t.Fatalf("B peak %d > limit 1", tr.peak["B"])
+	}
+	if tr.peak["A"] < 2 {
+		t.Fatalf("A peak %d; limit 3 never exploited", tr.peak["A"])
+	}
+}
+
+func TestConcurrentLimitBelowOne(t *testing.T) {
+	tr := newTracker()
+	mgr, icpts := Concurrent(map[string]int{"A": 0}) // clamped to 1
+	obj, err := alps.New("Ser2",
+		alps.WithEntry(alps.EntrySpec{Name: "A", Array: 4, Body: tr.body("A", time.Millisecond)}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	callAll(t, obj, "A", 6)
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.peak["A"] > 1 {
+		t.Fatalf("A peak %d despite clamped limit", tr.peak["A"])
+	}
+}
+
+func TestReadersWritersPolicy(t *testing.T) {
+	var cur, peak, writerIn, violations atomic.Int64
+	readBody := func(inv *alps.Invocation) error {
+		if writerIn.Load() > 0 {
+			violations.Add(1)
+		}
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	writeBody := func(inv *alps.Invocation) error {
+		if cur.Load() > 0 || writerIn.Add(1) > 1 {
+			violations.Add(1)
+		}
+		time.Sleep(time.Millisecond)
+		writerIn.Add(-1)
+		return nil
+	}
+	mgr, icpts := ReadersWriters("R", "W", 3)
+	obj, err := alps.New("RW",
+		alps.WithEntry(alps.EntrySpec{Name: "R", Array: 3, Body: readBody}),
+		alps.WithEntry(alps.EntrySpec{Name: "W", Array: 2, Body: writeBody}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); callAll(t, obj, "R", 30) }()
+	go func() { defer wg.Done(); callAll(t, obj, "W", 10) }()
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d exclusion violations", v)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak readers %d > 3", p)
+	}
+}
+
+func TestPipelineCyclicOrder(t *testing.T) {
+	tr := newTracker()
+	mgr, icpts := Pipeline("First", "Second", "Third")
+	obj, err := alps.New("Pipe",
+		alps.WithEntry(alps.EntrySpec{Name: "First", Array: 4, Body: tr.body("First", 0)}),
+		alps.WithEntry(alps.EntrySpec{Name: "Second", Array: 4, Body: tr.body("Second", 0)}),
+		alps.WithEntry(alps.EntrySpec{Name: "Third", Array: 4, Body: tr.body("Third", 0)}),
+		alps.WithManager(mgr, icpts...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	const rounds = 5
+	var wg sync.WaitGroup
+	for _, name := range []string{"Third", "First", "Second"} { // deliberately out of order
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			callAll(t, obj, name, rounds)
+		}(name)
+	}
+	wg.Wait()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	want := []string{"First", "Second", "Third"}
+	if len(tr.order) != 3*rounds {
+		t.Fatalf("executed %d, want %d", len(tr.order), 3*rounds)
+	}
+	for i, name := range tr.order {
+		if name != want[i%3] {
+			t.Fatalf("execution order %v violates the pipeline at %d", tr.order, i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/channel"
+)
+
+// Remote is a client connection to a node. It can call remote objects,
+// list them, and publish channels for executing remote procedures to send
+// messages back on.
+type Remote struct {
+	link *link
+}
+
+// Dial connects to a node at addr.
+func Dial(addr string) (*Remote, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return DialConn(conn), nil
+}
+
+// DialConn wraps an established connection as a client — the injection
+// point for alternative transports such as the simulated transputer
+// network (internal/simnet).
+func DialConn(conn net.Conn) *Remote {
+	return &Remote{link: newLink(conn, nil)}
+}
+
+// Call invokes an entry procedure of a remote object ("X.P(...)") and
+// blocks until it terminates.
+func (r *Remote) Call(object, entry string, params ...any) ([]any, error) {
+	return r.CallCtx(context.Background(), object, entry, params...)
+}
+
+// CallCtx is Call with a context for cancellation. Cancellation abandons
+// the wait; the remote call itself may still complete on the node.
+func (r *Remote) CallCtx(ctx context.Context, object, entry string, params ...any) ([]any, error) {
+	return r.link.call(ctx, object, entry, params)
+}
+
+// List reports the object names hosted by the node.
+func (r *Remote) List() ([]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return r.link.list(ctx)
+}
+
+// PublishChan registers a local channel and returns the ChanRef to pass as
+// a call parameter: the executing remote procedure receives a live channel
+// whose sends are delivered into ch (message passing to an executing
+// remote procedure, paper §1).
+func (r *Remote) PublishChan(name string, ch *channel.Chan) ChanRef {
+	return r.link.publishChan(name, ch)
+}
+
+// Object returns a handle binding the object name, for call-site brevity.
+func (r *Remote) Object(name string) *RemoteObject {
+	return &RemoteObject{remote: r, name: name}
+}
+
+// Close tears the connection down; in-flight calls fail with ErrLinkClosed.
+func (r *Remote) Close() {
+	r.link.close()
+}
+
+// RemoteObject is a bound handle on one remote object.
+type RemoteObject struct {
+	remote *Remote
+	name   string
+}
+
+// Name reports the bound object name.
+func (ro *RemoteObject) Name() string { return ro.name }
+
+// Call invokes an entry of the bound object.
+func (ro *RemoteObject) Call(entry string, params ...any) ([]any, error) {
+	return ro.remote.Call(ro.name, entry, params...)
+}
+
+// CallCtx is Call with a context.
+func (ro *RemoteObject) CallCtx(ctx context.Context, entry string, params ...any) ([]any, error) {
+	return ro.remote.CallCtx(ctx, ro.name, entry, params...)
+}

@@ -1,0 +1,206 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestDistributedNestedCalls is the §2.3 nested-call scenario spread over
+// two nodes: X lives on node A, Y on node B; X.P calls Y.Q *over the
+// network*, and Y.Q calls back into X.R over the network. X's manager,
+// having started P asynchronously, stays receptive to R — so the chain
+// completes even though it reenters X while P is still executing.
+func TestDistributedNestedCalls(t *testing.T) {
+	nodeA := NewNode("A")
+	nodeB := NewNode("B")
+
+	addrA, err := nodeA.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	addrB, err := nodeB.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	// Y on node B calls back to X on node A.
+	backToA, err := Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backToA.Close()
+	y, err := core.New("Y",
+		core.WithEntry(core.EntrySpec{Name: "Q", Params: 1, Results: 1, Array: 8,
+			Body: func(inv *core.Invocation) error {
+				res, err := backToA.Call("X", "R", inv.Param(0))
+				if err != nil {
+					return err
+				}
+				inv.Return(res[0])
+				return nil
+			}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer y.Close()
+	if err := nodeB.Publish(y); err != nil {
+		t.Fatal(err)
+	}
+
+	// X on node A calls out to Y on node B.
+	toB, err := Dial(addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toB.Close()
+	x, err := core.New("X",
+		core.WithEntry(core.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 8,
+			Body: func(inv *core.Invocation) error {
+				res, err := toB.Call("Y", "Q", inv.Param(0))
+				if err != nil {
+					return err
+				}
+				inv.Return(res[0])
+				return nil
+			}}),
+		core.WithEntry(core.EntrySpec{Name: "R", Params: 1, Results: 1, Array: 8,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(inv.Param(0).(int) + 1)
+				return nil
+			}}),
+		core.WithManager(func(m *core.Mgr) {
+			_ = m.Loop(
+				core.OnAccept("P", func(a *core.Accepted) { _ = m.Start(a) }),
+				core.OnAwait("P", func(aw *core.Awaited) { _ = m.Finish(aw) }),
+				core.OnAccept("R", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+			)
+		}, core.Intercept("P"), core.Intercept("R")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if err := nodeA.Publish(x); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the chain from a third party.
+	client, err := Dial(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := client.Call("X", "P", i)
+				if err != nil {
+					t.Errorf("X.P(%d): %v", i, err)
+					return
+				}
+				if res[0] != i+1 {
+					t.Errorf("X.P(%d) = %v, want %d", i, res[0], i+1)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("distributed nested calls deadlocked")
+	}
+}
+
+// TestNodeCloseFailsClients verifies that tearing a node down fails
+// in-flight and subsequent client calls instead of hanging them.
+func TestNodeCloseFailsClients(t *testing.T) {
+	gate := make(chan struct{})
+	obj, err := core.New("Slow",
+		core.WithEntry(core.EntrySpec{Name: "P", Results: 1,
+			Body: func(inv *core.Invocation) error {
+				select {
+				case <-gate:
+				case <-inv.Done():
+				}
+				inv.Return("late")
+				return nil
+			}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	defer close(gate)
+
+	node := NewNode("doomed")
+	if err := node.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := rem.Call("Slow", "P")
+		inflight <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	node.Close()
+	select {
+	case err := <-inflight:
+		if err == nil {
+			t.Fatal("in-flight call survived node Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung through node Close")
+	}
+	if _, err := rem.Call("Slow", "P"); !errors.Is(err, ErrLinkClosed) {
+		t.Fatalf("call after node Close: %v, want ErrLinkClosed", err)
+	}
+}
+
+// TestServeOnClosedNode checks Serve's behaviour after Close.
+func TestServeOnClosedNode(t *testing.T) {
+	node := NewNode("x")
+	node.Close()
+	if _, err := node.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Fatal("ListenAndServe on closed node succeeded")
+	}
+}
+
+// TestPublishAfterClose checks Publish's behaviour after Close.
+func TestPublishAfterClose(t *testing.T) {
+	node := NewNode("x")
+	node.Close()
+	obj, err := core.New("A",
+		core.WithEntry(core.EntrySpec{Name: "P", Body: func(inv *core.Invocation) error { return nil }}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	if err := node.Publish(obj); err == nil {
+		t.Fatal("Publish on closed node succeeded")
+	}
+}

@@ -1,0 +1,48 @@
+package rpc_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// Example publishes an object on a node and calls it remotely over TCP
+// loopback — "calls to the entry procedures of an object are implemented
+// as remote procedure calls" (§1).
+func Example() {
+	obj, err := core.New("Adder",
+		core.WithEntry(core.EntrySpec{Name: "Add", Params: 2, Results: 1,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(inv.Param(0).(int) + inv.Param(1).(int))
+				return nil
+			}}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obj.Close()
+
+	node := rpc.NewNode("example")
+	if err := node.Publish(obj); err != nil {
+		log.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rem.Close()
+	res, err := rem.Call("Adder", "Add", 40, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res[0])
+	// Output: 42
+}

@@ -1,0 +1,311 @@
+package rpc
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/channel"
+)
+
+// objectResolver resolves object names to callable objects (the node's
+// registry on the serving side; empty on pure clients).
+type objectResolver interface {
+	lookup(name string) (callable, bool)
+	names() []string
+}
+
+// callable is the subset of core.Object the link needs (an interface so
+// tests can stub it).
+type callable interface {
+	CallCtx(ctx context.Context, entry string, params ...any) ([]any, error)
+}
+
+// link is one end of a connection: it can issue requests, serve requests
+// (when it has a resolver), and route channel messages both ways.
+type link struct {
+	conn net.Conn
+	res  objectResolver
+
+	encMu sync.Mutex
+	enc   *gob.Encoder
+
+	mu       sync.Mutex
+	pending  map[uint64]chan frame
+	chans    map[string]*channel.Chan // locally published channels
+	proxies  map[string]*channel.Chan // outbound proxies for received ChanRefs
+	closed   bool
+	closeErr error
+
+	nextID  atomic.Uint64
+	nextRef atomic.Uint64
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// ctx is cancelled at shutdown so served calls still waiting to be
+	// accepted by a remote object's manager are withdrawn.
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func newLink(conn net.Conn, res objectResolver) *link {
+	registerDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &link{
+		conn:    conn,
+		res:     res,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan frame),
+		chans:   make(map[string]*channel.Chan),
+		proxies: make(map[string]*channel.Chan),
+		done:    make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	l.wg.Add(1)
+	go l.readLoop()
+	return l
+}
+
+func (l *link) send(f *frame) error {
+	l.encMu.Lock()
+	defer l.encMu.Unlock()
+	if err := l.enc.Encode(f); err != nil {
+		return fmt.Errorf("rpc: encode: %w", err)
+	}
+	return nil
+}
+
+// call issues a request and waits for its response.
+func (l *link) call(ctx context.Context, object, entry string, params []any) ([]any, error) {
+	id := l.nextID.Add(1)
+	respCh := make(chan frame, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, l.closeReason()
+	}
+	l.pending[id] = respCh
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.pending, id)
+		l.mu.Unlock()
+	}()
+
+	if err := l.send(&frame{Kind: frameRequest, ID: id, Object: object, Entry: entry, Params: params}); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-respCh:
+		if err := decodeErr(resp.Err, resp.ErrKind); err != nil {
+			return nil, err
+		}
+		return resp.Results, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-l.done:
+		return nil, l.closeReason()
+	}
+}
+
+// list asks the peer for its hosted object names.
+func (l *link) list(ctx context.Context) ([]string, error) {
+	id := l.nextID.Add(1)
+	respCh := make(chan frame, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, l.closeReason()
+	}
+	l.pending[id] = respCh
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.pending, id)
+		l.mu.Unlock()
+	}()
+
+	if err := l.send(&frame{Kind: frameList, ID: id}); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-respCh:
+		return resp.Names, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-l.done:
+		return nil, l.closeReason()
+	}
+}
+
+// publishChan registers ch under a unique name and returns the ChanRef to
+// embed in call parameters. Messages arriving for the ref are delivered
+// into ch.
+func (l *link) publishChan(name string, ch *channel.Chan) ChanRef {
+	if name == "" {
+		name = fmt.Sprintf("chan-%d", l.nextRef.Add(1))
+	}
+	l.mu.Lock()
+	l.chans[name] = ch
+	l.mu.Unlock()
+	return ChanRef{Name: name}
+}
+
+// resolveParams replaces incoming ChanRef values with live proxy channels
+// whose sends are forwarded back over this link.
+func (l *link) resolveParams(params []any) []any {
+	out := params
+	for i, p := range params {
+		ref, ok := p.(ChanRef)
+		if !ok {
+			continue
+		}
+		out[i] = l.proxyFor(ref)
+	}
+	return out
+}
+
+func (l *link) proxyFor(ref ChanRef) *channel.Chan {
+	l.mu.Lock()
+	if proxy, ok := l.proxies[ref.Name]; ok {
+		l.mu.Unlock()
+		return proxy
+	}
+	proxy := channel.New("proxy:" + ref.Name)
+	l.proxies[ref.Name] = proxy
+	l.mu.Unlock()
+
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			msg, ok := proxy.RecvDone(l.done)
+			if !ok {
+				return
+			}
+			if err := l.send(&frame{Kind: frameChanSend, Chan: ref.Name, Params: msg}); err != nil {
+				return
+			}
+		}
+	}()
+	return proxy
+}
+
+func (l *link) readLoop() {
+	defer l.wg.Done()
+	dec := gob.NewDecoder(l.conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			l.shutdown(fmt.Errorf("%w: %v", ErrLinkClosed, err))
+			return
+		}
+		switch f.Kind {
+		case frameRequest:
+			l.wg.Add(1)
+			go func(f frame) {
+				defer l.wg.Done()
+				l.serveRequest(f)
+			}(f)
+		case frameResponse, frameListResp:
+			l.mu.Lock()
+			respCh, ok := l.pending[f.ID]
+			l.mu.Unlock()
+			if ok {
+				respCh <- f
+			}
+		case frameChanSend:
+			l.mu.Lock()
+			ch, ok := l.chans[f.Chan]
+			l.mu.Unlock()
+			if ok {
+				_ = ch.Send(f.Params...)
+			}
+		case frameList:
+			names := []string(nil)
+			if l.res != nil {
+				names = l.res.names()
+			}
+			_ = l.send(&frame{Kind: frameListResp, ID: f.ID, Names: names})
+		}
+	}
+}
+
+func (l *link) serveRequest(f frame) {
+	resp := frame{Kind: frameResponse, ID: f.ID}
+	var obj callable
+	ok := false
+	if l.res != nil {
+		obj, ok = l.res.lookup(f.Object)
+	}
+	if !ok {
+		resp.Err, resp.ErrKind = encodeErr(fmt.Errorf("object %q: %w", f.Object, ErrUnknownObject))
+		_ = l.send(&resp)
+		return
+	}
+	params := l.resolveParams(f.Params)
+	type callResult struct {
+		results []any
+		err     error
+	}
+	resCh := make(chan callResult, 1)
+	// The call runs on its own goroutine so a link teardown abandons the
+	// wait instead of blocking shutdown behind a long-running body; the
+	// object's own Close remains responsible for the body itself.
+	go func() {
+		results, err := obj.CallCtx(l.ctx, f.Entry, params...)
+		resCh <- callResult{results, err}
+	}()
+	select {
+	case res := <-resCh:
+		if res.err != nil {
+			resp.Err, resp.ErrKind = encodeErr(res.err)
+		} else {
+			resp.Results = res.results
+		}
+		_ = l.send(&resp)
+	case <-l.done:
+	}
+}
+
+func (l *link) closeReason() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closeErr != nil {
+		return l.closeErr
+	}
+	return ErrLinkClosed
+}
+
+// shutdown tears the link down exactly once, failing pending calls.
+func (l *link) shutdown(reason error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.closeErr = reason
+	proxies := make([]*channel.Chan, 0, len(l.proxies))
+	for _, p := range l.proxies {
+		proxies = append(proxies, p)
+	}
+	l.mu.Unlock()
+
+	close(l.done)
+	l.cancel()
+	_ = l.conn.Close()
+	for _, p := range proxies {
+		p.Close()
+	}
+}
+
+// close shuts the link down and waits for its goroutines.
+func (l *link) close() {
+	l.shutdown(ErrLinkClosed)
+	l.wg.Wait()
+}

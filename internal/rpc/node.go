@@ -1,0 +1,166 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Node hosts ALPS objects behind a listener, making their entry procedures
+// callable as remote procedure calls.
+type Node struct {
+	name string
+
+	mu      sync.Mutex
+	objects map[string]callable
+	links   map[*link]struct{}
+	lis     net.Listener
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewNode creates a node.
+func NewNode(name string) *Node {
+	registerDefaults()
+	return &Node{
+		name:    name,
+		objects: make(map[string]callable),
+		links:   make(map[*link]struct{}),
+	}
+}
+
+// Name reports the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Publish makes an object callable by remote clients under its object name.
+func (n *Node) Publish(obj *core.Object) error {
+	return n.publish(obj.Name(), obj)
+}
+
+// PublishAs makes any callable available under an explicit name (used for
+// wrapped objects and in tests).
+func (n *Node) PublishAs(name string, obj callable) error {
+	return n.publish(name, obj)
+}
+
+func (n *Node) publish(name string, obj callable) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("node %s: %w", n.name, ErrLinkClosed)
+	}
+	if _, dup := n.objects[name]; dup {
+		return fmt.Errorf("node %s: object %q already published", n.name, name)
+	}
+	n.objects[name] = obj
+	return nil
+}
+
+// Objects reports the published object names, sorted.
+func (n *Node) Objects() []string {
+	return n.names()
+}
+
+// Serve accepts connections on lis until the node closes. It returns the
+// accept error (net.ErrClosed after Close). Call it on its own goroutine.
+func (n *Node) Serve(lis net.Listener) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = lis.Close()
+		return fmt.Errorf("node %s: %w", n.name, ErrLinkClosed)
+	}
+	n.lis = lis
+	n.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("node %s: accept: %w", n.name, err)
+		}
+		l := newLink(conn, n)
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			l.close()
+			continue
+		}
+		n.links[l] = struct{}{}
+		n.mu.Unlock()
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:7100") and serves.
+// The returned address is the bound address (useful with port 0).
+func (n *Node) ListenAndServe(addr string) (string, error) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return "", fmt.Errorf("node %s: %w", n.name, ErrLinkClosed)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("node %s: %w", n.name, err)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_ = n.Serve(lis)
+	}()
+	return lis.Addr().String(), nil
+}
+
+// Close stops accepting connections, closes existing links, and waits for
+// outstanding request handlers.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	lis := n.lis
+	links := make([]*link, 0, len(n.links))
+	for l := range n.links {
+		links = append(links, l)
+	}
+	n.mu.Unlock()
+
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, l := range links {
+		l.close()
+	}
+	n.wg.Wait()
+}
+
+// lookup implements objectResolver.
+func (n *Node) lookup(name string) (callable, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	obj, ok := n.objects[name]
+	return obj, ok
+}
+
+// names implements objectResolver.
+func (n *Node) names() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.objects))
+	for name := range n.objects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,135 @@
+package rpc
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Job is a user-defined parameter type carried through gob.
+type Job struct {
+	Name  string
+	Pages int
+	Tags  []string
+}
+
+func TestUserDefinedTypesOverTheWire(t *testing.T) {
+	Register(Job{})
+
+	obj, err := core.New("Printer",
+		core.WithEntry(core.EntrySpec{Name: "Submit", Params: 1, Results: 1,
+			Body: func(inv *core.Invocation) error {
+				job, ok := inv.Param(0).(Job)
+				if !ok {
+					t.Errorf("param decoded as %T", inv.Param(0))
+					inv.Return(Job{})
+					return nil
+				}
+				job.Tags = append(job.Tags, "printed")
+				inv.Return(job)
+				return nil
+			}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+
+	node := NewNode("types")
+	if err := node.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	rem, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	sent := Job{Name: "thesis.ps", Pages: 142, Tags: []string{"duplex"}}
+	res, err := rem.Call("Printer", "Submit", sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res[0].(Job)
+	if !ok {
+		t.Fatalf("result decoded as %T", res[0])
+	}
+	if got.Name != sent.Name || got.Pages != sent.Pages {
+		t.Fatalf("round trip mangled the struct: %+v", got)
+	}
+	if len(got.Tags) != 2 || got.Tags[1] != "printed" {
+		t.Fatalf("Tags = %v", got.Tags)
+	}
+}
+
+func TestCompositeBuiltinsOverTheWire(t *testing.T) {
+	obj, err := core.New("EchoAny",
+		core.WithEntry(core.EntrySpec{Name: "P", Params: 1, Results: 1,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(inv.Param(0))
+				return nil
+			}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	node := NewNode("builtins")
+	if err := node.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	rem, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	vals := []any{
+		"string",
+		42,
+		3.14,
+		true,
+		[]byte{1, 2, 3},
+		[]any{"nested", 1},
+		map[string]any{"k": "v"},
+	}
+	for _, v := range vals {
+		res, err := rem.Call("EchoAny", "P", v)
+		if err != nil {
+			t.Errorf("echo %T: %v", v, err)
+			continue
+		}
+		switch want := v.(type) {
+		case []byte:
+			got, ok := res[0].([]byte)
+			if !ok || string(got) != string(want) {
+				t.Errorf("echo []byte = %v", res[0])
+			}
+		case []any:
+			got, ok := res[0].([]any)
+			if !ok || len(got) != len(want) {
+				t.Errorf("echo []any = %v", res[0])
+			}
+		case map[string]any:
+			got, ok := res[0].(map[string]any)
+			if !ok || got["k"] != "v" {
+				t.Errorf("echo map = %v", res[0])
+			}
+		default:
+			if res[0] != v {
+				t.Errorf("echo %T: got %v, want %v", v, res[0], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package rpc is the distributed substrate for ALPS objects (paper §1, §3):
+// calls to the entry procedures of a remote object are remote procedure
+// calls, and a caller can further communicate with an executing remote
+// procedure by message passing on point-to-point channels passed as call
+// parameters.
+//
+// A Node hosts objects (and channels) behind a TCP listener; a Remote is a
+// client connection. Frames are gob-encoded over a persistent connection;
+// parameter and result values must be gob-encodable (basic types work out
+// of the box, user-defined types are registered with Register).
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// frameKind discriminates wire frames.
+type frameKind int
+
+const (
+	frameRequest  frameKind = iota + 1 // call an entry procedure
+	frameResponse                      // results of a request
+	frameChanSend                      // message for a published channel
+	frameList                          // list hosted objects
+	frameListResp                      // response to frameList
+)
+
+// errKind carries sentinel-error identity across the wire.
+type errKind int
+
+const (
+	errNone errKind = iota
+	errGeneric
+	errClosed
+	errUnknownEntry
+	errUnknownObject
+	errBadArity
+)
+
+// frame is the single wire message type.
+type frame struct {
+	Kind    frameKind
+	ID      uint64
+	Object  string
+	Entry   string
+	Params  []any
+	Results []any
+	Err     string
+	ErrKind errKind
+	Chan    string
+	Names   []string
+}
+
+// ChanRef names a channel published on the sending side of a call. When a
+// ChanRef arrives as a call parameter, the receiving node replaces it with
+// a live channel whose sends are forwarded back to the publisher — this is
+// how a user communicates with an executing remote procedure (§1).
+type ChanRef struct {
+	Name string
+}
+
+// ErrUnknownObject is returned when a call names an object the node does
+// not host.
+var ErrUnknownObject = errors.New("rpc: unknown object")
+
+// ErrLinkClosed is returned for calls over a closed or failed connection.
+var ErrLinkClosed = errors.New("rpc: connection closed")
+
+var registerOnce sync.Once
+
+// registerDefaults registers the types commonly carried inside []any.
+func registerDefaults() {
+	registerOnce.Do(func() {
+		gob.Register(ChanRef{})
+		gob.Register([]any{})
+		gob.Register(map[string]any{})
+		gob.Register([]byte(nil))
+		gob.Register([2]int{})
+	})
+}
+
+// Register makes a user-defined type transmissible as a parameter, result
+// or message value. It must be called identically on both ends before the
+// type is used.
+func Register(value any) {
+	registerDefaults()
+	gob.Register(value)
+}
+
+// encodeErr maps an error to its wire representation.
+func encodeErr(err error) (string, errKind) {
+	if err == nil {
+		return "", errNone
+	}
+	kind := errGeneric
+	switch {
+	case errors.Is(err, core.ErrClosed):
+		kind = errClosed
+	case errors.Is(err, core.ErrUnknownEntry):
+		kind = errUnknownEntry
+	case errors.Is(err, ErrUnknownObject):
+		kind = errUnknownObject
+	case errors.Is(err, core.ErrBadArity):
+		kind = errBadArity
+	}
+	return err.Error(), kind
+}
+
+// decodeErr reconstructs an error from its wire representation, preserving
+// sentinel identity for errors.Is.
+func decodeErr(msg string, kind errKind) error {
+	if kind == errNone {
+		return nil
+	}
+	switch kind {
+	case errClosed:
+		return fmt.Errorf("%s: %w", msg, core.ErrClosed)
+	case errUnknownEntry:
+		return fmt.Errorf("%s: %w", msg, core.ErrUnknownEntry)
+	case errUnknownObject:
+		return fmt.Errorf("%s: %w", msg, ErrUnknownObject)
+	case errBadArity:
+		return fmt.Errorf("%s: %w", msg, core.ErrBadArity)
+	default:
+		return errors.New(msg)
+	}
+}

@@ -1,0 +1,225 @@
+// Package sched provides the lightweight-process substrate ALPS objects run
+// on (paper §3).
+//
+// The paper discusses three ways to obtain the process that executes a
+// started entry procedure:
+//
+//   - create a process dynamically at call time (expensive on 1988 OSes;
+//     cheap for goroutines — kept as ModeSpawn for comparison),
+//   - pre-create one process per hidden-procedure-array element when the
+//     object is created (ModeOneToOne: "the mapping between the procedures
+//     and processes is one-to-one"),
+//   - pre-allocate a pool of M processes where M is much less than N and
+//     bind a process to a call when it is started rather than when it
+//     arrives (ModePooled: attractive "for resources in high demand where
+//     the average number of waiting requests is significant").
+//
+// The paper suggests the programmer chooses between these with compiler
+// switches; here it is a per-object option. Experiment E7 measures the
+// trade-off.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode selects how processes are provided for started procedures.
+type Mode int
+
+const (
+	// ModeSpawn creates a fresh process (goroutine) per started call.
+	ModeSpawn Mode = iota + 1
+	// ModeOneToOne pre-creates one worker per hidden-array element at
+	// object creation time.
+	ModeOneToOne
+	// ModePooled pre-creates M workers (M typically much less than the
+	// total array size) and binds one to a call at start time.
+	ModePooled
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSpawn:
+		return "spawn"
+	case ModeOneToOne:
+		return "one-to-one"
+	case ModePooled:
+		return "pooled"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrClosed is returned by Go after Close.
+var ErrClosed = errors.New("sched: pool closed")
+
+// Stats is a snapshot of pool activity.
+type Stats struct {
+	Mode             Mode
+	Workers          int    // configured worker count (0 for ModeSpawn)
+	ProcessesCreated uint64 // total processes ever created
+	MaxResident      int    // peak simultaneously-live processes
+	TasksExecuted    uint64
+	MaxQueueLen      int // peak tasks waiting for a worker
+}
+
+// Pool runs tasks on lightweight processes according to its Mode. Submission
+// never blocks: a started procedure must run asynchronously with respect to
+// the manager (paper §2.3), so excess tasks queue.
+type Pool struct {
+	mode    Mode
+	workers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []func()
+	closed   bool
+	draining bool
+
+	wg     sync.WaitGroup // persistent workers and spawned processes
+	taskWG sync.WaitGroup // outstanding (queued or running) tasks
+
+	created  uint64
+	resident int
+	maxRes   int
+	executed uint64
+	maxQueue int
+}
+
+// New creates a pool. workers is the pre-created process count for
+// ModeOneToOne (the total hidden-array size) and ModePooled (M); it is
+// ignored for ModeSpawn.
+func New(mode Mode, workers int) (*Pool, error) {
+	switch mode {
+	case ModeSpawn:
+		workers = 0
+	case ModeOneToOne, ModePooled:
+		if workers < 1 {
+			return nil, fmt.Errorf("sched: mode %v requires at least 1 worker, got %d", mode, workers)
+		}
+	default:
+		return nil, fmt.Errorf("sched: unknown mode %d", int(mode))
+	}
+	p := &Pool{mode: mode, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.created = uint64(workers)
+	p.resident = workers
+	p.maxRes = workers
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+// Mode reports the pool's mode.
+func (p *Pool) Mode() Mode { return p.mode }
+
+// Go submits a task. It never blocks the caller; the task runs on a pool
+// process as soon as one is available.
+func (p *Pool) Go(f func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.taskWG.Add(1)
+	if p.mode == ModeSpawn {
+		p.created++
+		p.resident++
+		if p.resident > p.maxRes {
+			p.maxRes = p.resident
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.taskWG.Done()
+			f()
+			p.mu.Lock()
+			p.executed++
+			p.resident--
+			p.mu.Unlock()
+		}()
+		return nil
+	}
+	p.queue = append(p.queue, f)
+	if len(p.queue) > p.maxQueue {
+		p.maxQueue = len(p.queue)
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+	return nil
+}
+
+// Wait blocks until all submitted tasks have completed. It does not prevent
+// new submissions.
+func (p *Pool) Wait() {
+	p.taskWG.Wait()
+}
+
+// Close stops accepting tasks, waits for queued and running tasks to finish,
+// and shuts down the workers. It is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.taskWG.Wait()
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of pool activity.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Mode:             p.mode,
+		Workers:          p.workers,
+		ProcessesCreated: p.created,
+		MaxResident:      p.maxRes,
+		TasksExecuted:    p.executed,
+		MaxQueueLen:      p.maxQueue,
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		p.resident--
+		p.mu.Unlock()
+	}()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.draining {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		f := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		f()
+
+		p.mu.Lock()
+		p.executed++
+		p.mu.Unlock()
+		p.taskWG.Done()
+	}
+}

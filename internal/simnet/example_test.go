@@ -1,0 +1,48 @@
+package simnet_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Example opens a simulated link with 5ms one-way latency and measures a
+// round trip across it.
+func Example() {
+	network := simnet.New(simnet.Config{Latency: 5 * time.Millisecond})
+	lis, err := network.Listen("server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 16)
+		n, _ := conn.Read(buf)
+		_, _ = conn.Write(buf[:n])
+	}()
+
+	conn, err := network.Dial("server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("echo:", string(buf[:n]))
+	fmt.Println("round trip took at least 10ms:", time.Since(start) >= 10*time.Millisecond)
+	// Output:
+	// echo: ping
+	// round trip took at least 10ms: true
+}

@@ -1,0 +1,357 @@
+// Package simnet is an in-memory network simulator implementing net.Conn
+// and net.Listener. The paper's runtime targeted a 16-node transputer
+// network (§4); real transputer links are unavailable, so experiments that
+// need controllable link characteristics run the rpc substrate over simnet
+// instead of TCP loopback: every connection gets a configurable one-way
+// latency (optionally jittered) and bandwidth, while preserving reliable,
+// ordered byte-stream semantics.
+//
+//	net := simnet.New(simnet.Config{Latency: 500 * time.Microsecond})
+//	lis, _ := net.Listen("nodeA")
+//	go node.Serve(lis)
+//	conn, _ := net.Dial("nodeA")
+//	rem := rpc.DialConn(conn)
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Config describes the links of a simulated network.
+type Config struct {
+	Latency   time.Duration // one-way delay added to every write
+	Jitter    time.Duration // uniform extra delay in [0, Jitter)
+	Bandwidth int           // bytes per second; 0 = infinite
+	Seed      uint64        // jitter randomness seed
+}
+
+// Network is a set of named listeners connected by simulated links.
+type Network struct {
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[string]*listener
+	rng       *workload.RNG
+}
+
+// New creates a network.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:       cfg,
+		listeners: make(map[string]*listener),
+		rng:       workload.NewRNG(cfg.Seed),
+	}
+}
+
+// Listen registers a named endpoint. Names play the role of addresses.
+func (n *Network) Listen(name string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.listeners[name]; dup {
+		return nil, fmt.Errorf("simnet: %q already listening", name)
+	}
+	l := &listener{
+		net:     n,
+		name:    name,
+		backlog: make(chan net.Conn, 16),
+		done:    make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to a named endpoint, returning the client side of a new
+// simulated connection.
+func (n *Network) Dial(name string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[name]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: dial %q: no such endpoint", name)
+	}
+	client, server := n.newPair(name)
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("simnet: dial %q: %w", name, net.ErrClosed)
+	}
+}
+
+// jitterDelay computes one write's total delay.
+func (n *Network) jitterDelay(size int) time.Duration {
+	d := n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Intn(int(n.cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	if n.cfg.Bandwidth > 0 {
+		d += time.Duration(int64(size) * int64(time.Second) / int64(n.cfg.Bandwidth))
+	}
+	return d
+}
+
+// newPair builds the two half-duplex pipes of one connection.
+func (n *Network) newPair(name string) (client, server net.Conn) {
+	c2s := newHalf(n)
+	s2c := newHalf(n)
+	client = &conn{net: n, read: s2c, write: c2s, local: "client", remote: name}
+	server = &conn{net: n, read: c2s, write: s2c, local: name, remote: "client"}
+	return client, server
+}
+
+type listener struct {
+	net     *Network
+	name    string
+	backlog chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.name)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *listener) Addr() net.Addr { return addr(l.name) }
+
+type addr string
+
+func (a addr) Network() string { return "sim" }
+func (a addr) String() string  { return string(a) }
+
+// chunk is a delayed byte segment in flight.
+type chunk struct {
+	data []byte
+	at   time.Time // earliest delivery time
+}
+
+// half is one direction of a connection: a latency-delayed, ordered,
+// reliable byte stream.
+type half struct {
+	net *Network
+
+	mu      sync.Mutex
+	chunks  []chunk
+	lastAt  time.Time // monotonic delivery ordering
+	closed  bool
+	broken  bool
+	waiters []chan struct{}
+}
+
+func newHalf(n *Network) *half { return &half{net: n} }
+
+func (h *half) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.broken {
+		return 0, fmt.Errorf("simnet: %w", net.ErrClosed)
+	}
+	at := time.Now().Add(h.net.jitterDelay(len(p)))
+	if at.Before(h.lastAt) {
+		at = h.lastAt // preserve stream order under jitter
+	}
+	h.lastAt = at
+	data := make([]byte, len(p))
+	copy(data, p)
+	h.chunks = append(h.chunks, chunk{data: data, at: at})
+	h.wakeLocked()
+	return len(p), nil
+}
+
+// read blocks until delayed data is deliverable, EOF, or the deadline.
+func (h *half) read(p []byte, deadline time.Time) (int, error) {
+	for {
+		h.mu.Lock()
+		if h.broken {
+			h.mu.Unlock()
+			return 0, fmt.Errorf("simnet: link broken: %w", io.ErrUnexpectedEOF)
+		}
+		now := time.Now()
+		if len(h.chunks) > 0 && !h.chunks[0].at.After(now) {
+			c := &h.chunks[0]
+			n := copy(p, c.data)
+			if n == len(c.data) {
+				h.chunks = h.chunks[1:]
+			} else {
+				c.data = c.data[n:]
+			}
+			h.mu.Unlock()
+			return n, nil
+		}
+		if h.closed && len(h.chunks) == 0 {
+			h.mu.Unlock()
+			return 0, io.EOF
+		}
+		// Nothing deliverable yet: wait for new data, in-flight data to
+		// mature, close, or deadline.
+		var matureIn time.Duration = -1
+		if len(h.chunks) > 0 {
+			matureIn = h.chunks[0].at.Sub(now)
+		}
+		w := make(chan struct{}, 1)
+		h.waiters = append(h.waiters, w)
+		h.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if matureIn >= 0 {
+			timer = time.NewTimer(matureIn)
+			timeout = timer.C
+		}
+		var deadlineCh <-chan time.Time
+		var dTimer *time.Timer
+		if !deadline.IsZero() {
+			dTimer = time.NewTimer(time.Until(deadline))
+			deadlineCh = dTimer.C
+		}
+		select {
+		case <-w:
+		case <-timeout:
+		case <-deadlineCh:
+			stopTimer(timer)
+			stopTimer(dTimer)
+			return 0, os.ErrDeadlineExceeded
+		}
+		stopTimer(timer)
+		stopTimer(dTimer)
+	}
+}
+
+func (h *half) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.wakeLocked()
+	h.mu.Unlock()
+}
+
+func (h *half) breakLink() {
+	h.mu.Lock()
+	h.broken = true
+	h.chunks = nil
+	h.wakeLocked()
+	h.mu.Unlock()
+}
+
+func (h *half) wakeLocked() {
+	for _, w := range h.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	h.waiters = nil
+}
+
+func stopTimer(t *time.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// conn is one endpoint of a simulated connection.
+type conn struct {
+	net    *Network
+	read   *half
+	write  *half
+	local  string
+	remote string
+
+	mu           sync.Mutex
+	readDeadline time.Time
+}
+
+var _ net.Conn = (*conn)(nil)
+
+// Read implements net.Conn.
+func (c *conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	deadline := c.readDeadline
+	c.mu.Unlock()
+	return c.read.read(p, deadline)
+}
+
+// Write implements net.Conn.
+func (c *conn) Write(p []byte) (int, error) {
+	return c.write.write(p)
+}
+
+// Close implements net.Conn: it half-closes both directions, so the peer
+// reads EOF after draining in-flight data.
+func (c *conn) Close() error {
+	c.write.close()
+	c.read.close()
+	return nil
+}
+
+// Break severs the connection abruptly: in-flight data is lost and both
+// sides fail — the link-failure injection hook for tests.
+func (c *conn) Break() {
+	c.write.breakLink()
+	c.read.breakLink()
+}
+
+// LocalAddr implements net.Conn.
+func (c *conn) LocalAddr() net.Addr { return addr(c.local) }
+
+// RemoteAddr implements net.Conn.
+func (c *conn) RemoteAddr() net.Addr { return addr(c.remote) }
+
+// SetDeadline implements net.Conn (read side only; writes never block).
+func (c *conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn (writes are buffered and never
+// block, so this is a no-op).
+func (c *conn) SetWriteDeadline(time.Time) error { return nil }
+
+// Breaker is implemented by simnet connections for failure injection.
+type Breaker interface {
+	Break()
+}
+
+// ErrNotSimnet is returned by BreakConn on foreign connections.
+var ErrNotSimnet = errors.New("simnet: not a simulated connection")
+
+// BreakConn severs a simulated connection; it fails on other net.Conns.
+func BreakConn(c net.Conn) error {
+	b, ok := c.(Breaker)
+	if !ok {
+		return ErrNotSimnet
+	}
+	b.Break()
+	return nil
+}

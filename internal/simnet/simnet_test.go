@@ -1,0 +1,300 @@
+package simnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T, cfg Config) (client, server net.Conn) {
+	t.Helper()
+	n := New(cfg)
+	lis, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		accepted <- c
+	}()
+	client, err = n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = <-accepted
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+		_ = lis.Close()
+	})
+	return client, server
+}
+
+func TestRoundTrip(t *testing.T) {
+	client, server := pair(t, Config{})
+	msg := []byte("hello transputer")
+	go func() {
+		if _, err := client.Write(msg); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	}()
+	buf := make([]byte, 64)
+	n, err := server.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("Read = %q", buf[:n])
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	client, server := pair(t, Config{})
+	go func() {
+		buf := make([]byte, 16)
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := server.Write(bytes.ToUpper(buf[:n])); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "PING" {
+		t.Fatalf("echo = %q", buf[:n])
+	}
+}
+
+func TestLatencyIsApplied(t *testing.T) {
+	const latency = 30 * time.Millisecond
+	client, server := pair(t, Config{Latency: latency})
+	start := time.Now()
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < latency {
+		t.Fatalf("message arrived after %v, configured latency %v", elapsed, latency)
+	}
+}
+
+func TestOrderPreservedUnderJitter(t *testing.T) {
+	client, server := pair(t, Config{Latency: time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 3})
+	var want bytes.Buffer
+	go func() {
+		for i := 0; i < 50; i++ {
+			msg := []byte{byte(i)}
+			if _, err := client.Write(msg); err != nil {
+				t.Errorf("Write: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		want.WriteByte(byte(i))
+	}
+	got := make([]byte, 0, 50)
+	buf := make([]byte, 8)
+	for len(got) < 50 {
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("stream reordered under jitter:\n got %v\nwant %v", got, want.Bytes())
+	}
+}
+
+func TestBandwidthDelaysLargeWrites(t *testing.T) {
+	// 10 KB at 100 KB/s = 100ms serialization delay.
+	client, server := pair(t, Config{Bandwidth: 100_000})
+	payload := make([]byte, 10_000)
+	start := time.Now()
+	go func() {
+		if _, err := client.Write(payload); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+	}()
+	buf := make([]byte, len(payload))
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("10KB at 100KB/s arrived in %v", elapsed)
+	}
+}
+
+func TestCloseGivesEOFAfterDrain(t *testing.T) {
+	client, server := pair(t, Config{Latency: 10 * time.Millisecond})
+	if _, err := client.Write([]byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Close()
+	// The in-flight message is still delivered...
+	buf := make([]byte, 8)
+	n, err := server.Read(buf)
+	if err != nil || string(buf[:n]) != "last" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+	// ...then EOF.
+	if _, err := server.Read(buf); err != io.EOF {
+		t.Fatalf("Read after close = %v, want EOF", err)
+	}
+	// Writes on the closed conn fail.
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+func TestBreakSeversAbruptly(t *testing.T) {
+	client, server := pair(t, Config{Latency: 50 * time.Millisecond})
+	if _, err := client.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := BreakConn(client); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := server.Read(buf); err == nil || err == io.EOF {
+		t.Fatalf("Read on broken link = %v, want hard error", err)
+	}
+	var fake net.Conn = &net.TCPConn{}
+	if err := BreakConn(fake); !errors.Is(err, ErrNotSimnet) {
+		t.Fatalf("BreakConn(tcp) = %v", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	client, _ := pair(t, Config{})
+	if err := client.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	start := time.Now()
+	_, err := client.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline ignored")
+	}
+	// Clearing the deadline restores blocking reads.
+	if err := client.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SetWriteDeadline(time.Now()); err != nil {
+		t.Fatal(err) // no-op but must not error
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	n := New(Config{})
+	if _, err := n.Dial("ghost"); err == nil {
+		t.Fatal("dial to unknown endpoint succeeded")
+	}
+	lis, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	_ = lis.Close()
+	if _, err := n.Dial("a"); err == nil {
+		t.Fatal("dial to closed endpoint succeeded")
+	}
+	// Name freed after close: can listen again.
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	n := New(Config{})
+	lis, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := lis.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = lis.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Accept = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept not unblocked by Close")
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	client, server := pair(t, Config{})
+	if client.RemoteAddr().String() != "srv" || client.RemoteAddr().Network() != "sim" {
+		t.Fatalf("client remote = %v", client.RemoteAddr())
+	}
+	if server.LocalAddr().String() != "srv" {
+		t.Fatalf("server local = %v", server.LocalAddr())
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	client, server := pair(t, Config{})
+	const writers, per = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := client.Write([]byte{7}); err != nil {
+					t.Errorf("Write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	total := 0
+	buf := make([]byte, 64)
+	for total < writers*per {
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range buf[:n] {
+			if b != 7 {
+				t.Fatalf("corrupted byte %d", b)
+			}
+		}
+		total += n
+	}
+	wg.Wait()
+}

@@ -1,0 +1,100 @@
+package trace
+
+import "time"
+
+// Transition names one edge of the call lifecycle, e.g. Arrived→Accepted.
+type Transition struct {
+	From, To Kind
+}
+
+// LatencyStats summarizes the observed durations of one transition.
+type LatencyStats struct {
+	Count int
+	Mean  time.Duration
+	Max   time.Duration
+}
+
+// Analyze computes per-transition latency statistics from a recorder's
+// events: for every call, the time spent between consecutive lifecycle
+// states. This is how experiment E8 measures the manager's receptivity
+// (Arrived→Accepted) and how tests assert where time goes.
+func Analyze(events []Event) map[Transition]LatencyStats {
+	type sums struct {
+		count int
+		total time.Duration
+		max   time.Duration
+	}
+	byCall := make(map[uint64]Event)
+	acc := make(map[Transition]*sums)
+	for _, e := range events {
+		prev, ok := byCall[e.CallID]
+		byCall[e.CallID] = e
+		if !ok {
+			continue
+		}
+		tr := Transition{From: prev.Kind, To: e.Kind}
+		s := acc[tr]
+		if s == nil {
+			s = &sums{}
+			acc[tr] = s
+		}
+		d := e.Time.Sub(prev.Time)
+		s.count++
+		s.total += d
+		if d > s.max {
+			s.max = d
+		}
+	}
+	out := make(map[Transition]LatencyStats, len(acc))
+	for tr, s := range acc {
+		out[tr] = LatencyStats{
+			Count: s.count,
+			Mean:  s.total / time.Duration(s.count),
+			Max:   s.max,
+		}
+	}
+	return out
+}
+
+// Latency reports the mean duration of one transition (0 if unobserved).
+func Latency(events []Event, from, to Kind) time.Duration {
+	return Analyze(events)[Transition{From: from, To: to}].Mean
+}
+
+// Between computes latency statistics between two not-necessarily-adjacent
+// lifecycle states: for each call, the time from its first `from` event to
+// its first subsequent `to` event. Calls missing either event are skipped.
+func Between(events []Event, from, to Kind) LatencyStats {
+	type mark struct {
+		fromAt time.Time
+		seen   bool
+		done   bool
+	}
+	marks := make(map[uint64]*mark)
+	var stats LatencyStats
+	var total time.Duration
+	for _, e := range events {
+		m := marks[e.CallID]
+		if m == nil {
+			m = &mark{}
+			marks[e.CallID] = m
+		}
+		switch {
+		case e.Kind == from && !m.seen:
+			m.fromAt = e.Time
+			m.seen = true
+		case e.Kind == to && m.seen && !m.done:
+			m.done = true
+			d := e.Time.Sub(m.fromAt)
+			stats.Count++
+			total += d
+			if d > stats.Max {
+				stats.Max = d
+			}
+		}
+	}
+	if stats.Count > 0 {
+		stats.Mean = total / time.Duration(stats.Count)
+	}
+	return stats
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func evt(callID uint64, kind Kind, at time.Time) Event {
+	return Event{Time: at, Object: "X", Entry: "P", CallID: callID, Kind: kind}
+}
+
+func TestAnalyzeTransitions(t *testing.T) {
+	t0 := time.Now()
+	events := []Event{
+		evt(1, Arrived, t0),
+		evt(1, Accepted, t0.Add(10*time.Millisecond)),
+		evt(1, Finished, t0.Add(30*time.Millisecond)),
+		evt(2, Arrived, t0),
+		evt(2, Accepted, t0.Add(20*time.Millisecond)),
+	}
+	stats := Analyze(events)
+
+	aa := stats[Transition{Arrived, Accepted}]
+	if aa.Count != 2 {
+		t.Fatalf("Arrived→Accepted count = %d, want 2", aa.Count)
+	}
+	if aa.Mean != 15*time.Millisecond {
+		t.Fatalf("mean = %v, want 15ms", aa.Mean)
+	}
+	if aa.Max != 20*time.Millisecond {
+		t.Fatalf("max = %v, want 20ms", aa.Max)
+	}
+	af := stats[Transition{Accepted, Finished}]
+	if af.Count != 1 || af.Mean != 20*time.Millisecond {
+		t.Fatalf("Accepted→Finished = %+v", af)
+	}
+	if _, ok := stats[Transition{Arrived, Finished}]; ok {
+		t.Fatal("non-adjacent transition reported")
+	}
+}
+
+func TestAnalyzeInterleavedCalls(t *testing.T) {
+	// Events of different calls interleave in the recorder; Analyze must
+	// pair per call, not globally.
+	t0 := time.Now()
+	events := []Event{
+		evt(1, Arrived, t0),
+		evt(2, Arrived, t0.Add(time.Millisecond)),
+		evt(2, Accepted, t0.Add(2*time.Millisecond)),
+		evt(1, Accepted, t0.Add(9*time.Millisecond)),
+	}
+	got := Latency(events, Arrived, Accepted)
+	// call 1: 9ms; call 2: 1ms → mean 5ms.
+	if got != 5*time.Millisecond {
+		t.Fatalf("mean = %v, want 5ms", got)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if got := Analyze(nil); len(got) != 0 {
+		t.Fatalf("Analyze(nil) = %v", got)
+	}
+	if got := Latency(nil, Arrived, Accepted); got != 0 {
+		t.Fatalf("Latency(nil) = %v", got)
+	}
+}
+
+func TestAnalyzeFromLiveRecorder(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record("X", "P", 0, 1, Arrived)
+	time.Sleep(2 * time.Millisecond)
+	r.Record("X", "P", 0, 1, Accepted)
+	got := Latency(r.Events(), Arrived, Accepted)
+	if got < time.Millisecond {
+		t.Fatalf("live latency = %v, want >= 1ms", got)
+	}
+}
+
+func TestBetweenNonAdjacent(t *testing.T) {
+	t0 := time.Now()
+	events := []Event{
+		evt(1, Arrived, t0),
+		evt(1, Attached, t0.Add(time.Millisecond)),
+		evt(1, Accepted, t0.Add(4*time.Millisecond)),
+		evt(2, Arrived, t0),
+		evt(2, Attached, t0.Add(time.Millisecond)), // never accepted
+	}
+	st := Between(events, Arrived, Accepted)
+	if st.Count != 1 || st.Mean != 4*time.Millisecond || st.Max != 4*time.Millisecond {
+		t.Fatalf("Between = %+v", st)
+	}
+	if st := Between(nil, Arrived, Accepted); st.Count != 0 {
+		t.Fatalf("Between(nil) = %+v", st)
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("X", "P", 0, 1, Arrived) // must not panic
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder Events = %v, want nil", got)
+	}
+	r.Reset()
+	if got := r.Count("", Arrived); got != 0 {
+		t.Fatalf("nil recorder Count = %d", got)
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record("Buf", "Deposit", 0, 1, Arrived)
+	r.Record("Buf", "Deposit", 0, 1, Attached)
+	r.Record("Buf", "Deposit", 0, 1, Accepted)
+	r.Record("Buf", "Remove", 1, 2, Arrived)
+
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(evs))
+	}
+	if evs[0].Kind != Arrived || evs[2].Kind != Accepted {
+		t.Fatalf("event order not preserved: %v", evs)
+	}
+	if got := r.Count("Deposit", Arrived); got != 1 {
+		t.Errorf("Count(Deposit, Arrived) = %d, want 1", got)
+	}
+	if got := r.Count("", Arrived); got != 2 {
+		t.Errorf("Count(all, Arrived) = %d, want 2", got)
+	}
+
+	byCall := r.ByCall()
+	if len(byCall[1]) != 3 || len(byCall[2]) != 1 {
+		t.Fatalf("ByCall grouping wrong: %v", byCall)
+	}
+}
+
+func TestLimitDropsOldest(t *testing.T) {
+	r := NewRecorder(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Record("X", "P", 0, i, Arrived)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d, want 3", len(evs))
+	}
+	if evs[0].CallID != 3 || evs[2].CallID != 5 {
+		t.Fatalf("oldest events not dropped: %v", evs)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record("X", "P", 0, 1, Arrived)
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	e := Event{Object: "Buf", Entry: "Deposit", Slot: 2, CallID: 7, Kind: Started}
+	s := e.String()
+	for _, want := range []string{"Buf", "Deposit", "[2]", "#7", "started"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown Kind String = %q", got)
+	}
+	for k := Arrived; k <= Failed; k++ {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("X", "P", g, uint64(g*100+i), Arrived)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 800 {
+		t.Fatalf("recorded %d events, want 800", got)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record("X", "P", 0, 1, Arrived)
+	evs := r.Events()
+	evs[0].Object = "mutated"
+	if r.Events()[0].Object != "X" {
+		t.Fatal("Events exposed internal slice")
+	}
+}

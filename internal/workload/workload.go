@@ -1,0 +1,215 @@
+// Package workload provides deterministic workload generators for the
+// experiment harness: seeded PRNG streams, Zipf-distributed word queries for
+// the combining dictionary (E3), read/write operation mixes for the
+// readers-writers database (E2), and job-size streams for the spooler (E4).
+//
+// Everything is seeded and reproducible: the same seed always yields the
+// same stream, so experiment tables are stable across runs.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; prefer NewRNG for explicit seeds.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG creates a generator with the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: Intn(%d)", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. Skew s = 0 degenerates to the uniform distribution; s
+// around 1 gives the heavy duplication that makes request combining
+// worthwhile (paper §2.7).
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf creates a Zipf sampler over n ranks with skew s >= 0.
+func NewZipf(rng *RNG, n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: Zipf over %d ranks", n)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("workload: negative Zipf skew %v", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}, nil
+}
+
+// Next draws the next rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Words returns a deterministic vocabulary of n distinct words.
+func Words(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("word-%05d", i)
+	}
+	return out
+}
+
+// WordStream yields queries over a vocabulary of vocab words with Zipf skew
+// s, for the combining-dictionary experiment.
+type WordStream struct {
+	words []string
+	zipf  *Zipf
+}
+
+// NewWordStream builds a word query stream.
+func NewWordStream(seed uint64, vocab int, skew float64) (*WordStream, error) {
+	z, err := NewZipf(NewRNG(seed), vocab, skew)
+	if err != nil {
+		return nil, err
+	}
+	return &WordStream{words: Words(vocab), zipf: z}, nil
+}
+
+// Next returns the next queried word.
+func (w *WordStream) Next() string {
+	return w.words[w.zipf.Next()]
+}
+
+// Op is a readers-writers operation.
+type Op struct {
+	Write bool
+	Key   int
+	Value int
+}
+
+// OpMix yields a deterministic stream of read/write operations with the
+// given write fraction over keys [0, keys).
+type OpMix struct {
+	rng       *RNG
+	writeFrac float64
+	keys      int
+	seq       int
+}
+
+// NewOpMix builds an operation mix. writeFrac is the probability an
+// operation is a write.
+func NewOpMix(seed uint64, keys int, writeFrac float64) (*OpMix, error) {
+	if keys <= 0 {
+		return nil, fmt.Errorf("workload: OpMix over %d keys", keys)
+	}
+	if writeFrac < 0 || writeFrac > 1 {
+		return nil, fmt.Errorf("workload: write fraction %v out of [0,1]", writeFrac)
+	}
+	return &OpMix{rng: NewRNG(seed), writeFrac: writeFrac, keys: keys}, nil
+}
+
+// Next returns the next operation.
+func (m *OpMix) Next() Op {
+	m.seq++
+	return Op{
+		Write: m.rng.Bool(m.writeFrac),
+		Key:   m.rng.Intn(m.keys),
+		Value: m.seq,
+	}
+}
+
+// JobSizes yields deterministic job sizes in [min, max] for the spooler
+// experiment.
+type JobSizes struct {
+	rng      *RNG
+	min, max int
+}
+
+// NewJobSizes builds a job size stream.
+func NewJobSizes(seed uint64, min, max int) (*JobSizes, error) {
+	if min <= 0 || max < min {
+		return nil, fmt.Errorf("workload: job size range [%d, %d]", min, max)
+	}
+	return &JobSizes{rng: NewRNG(seed), min: min, max: max}, nil
+}
+
+// Next returns the next job size.
+func (j *JobSizes) Next() int {
+	return j.min + j.rng.Intn(j.max-j.min+1)
+}
+
+// Tracks yields deterministic disk track numbers in [0, cylinders) for the
+// disk-head scheduling experiment (E9).
+type Tracks struct {
+	rng       *RNG
+	cylinders int
+}
+
+// NewTracks builds a track-number stream.
+func NewTracks(seed uint64, cylinders int) (*Tracks, error) {
+	if cylinders <= 0 {
+		return nil, fmt.Errorf("workload: %d cylinders", cylinders)
+	}
+	return &Tracks{rng: NewRNG(seed), cylinders: cylinders}, nil
+}
+
+// Next returns the next requested track.
+func (t *Tracks) Next() int {
+	return t.rng.Intn(t.cylinders)
+}
+
+// DuplicationRatio reports the fraction of duplicate queries in a stream of
+// n draws from the given word stream — a workload property the combining
+// experiment reports alongside its results.
+func DuplicationRatio(seed uint64, vocab int, skew float64, n int) (float64, error) {
+	ws, err := NewWordStream(seed, vocab, skew)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[string]bool, vocab)
+	dups := 0
+	for i := 0; i < n; i++ {
+		w := ws.Next()
+		if seen[w] {
+			dups++
+		}
+		seen[w] = true
+	}
+	return float64(dups) / float64(n), nil
+}

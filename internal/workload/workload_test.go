@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(3)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) hit rate %v, want ~0.3", frac)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipf(NewRNG(1), 0, 1); err == nil {
+		t.Error("Zipf over 0 ranks succeeded")
+	}
+	if _, err := NewZipf(NewRNG(1), 10, -1); err == nil {
+		t.Error("negative skew succeeded")
+	}
+}
+
+func TestZipfUniformAtSkewZero(t *testing.T) {
+	z, err := NewZipf(NewRNG(7), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for rank, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("rank %d frequency %v, want ~0.1 (uniform)", rank, frac)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	z, err := NewZipf(NewRNG(7), 1000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	top10 := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 10 {
+			top10++
+		}
+	}
+	if frac := float64(top10) / n; frac < 0.4 {
+		t.Fatalf("top-10 ranks got %v of mass at s=1.1, want > 0.4", frac)
+	}
+}
+
+func TestZipfRanksInRange(t *testing.T) {
+	f := func(seedRaw uint32, skewRaw uint8) bool {
+		z, err := NewZipf(NewRNG(uint64(seedRaw)), 50, float64(skewRaw%30)/10)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if r := z.Next(); r < 0 || r >= 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	ws := Words(3)
+	if len(ws) != 3 || ws[0] == ws[1] || ws[1] == ws[2] {
+		t.Fatalf("Words(3) = %v", ws)
+	}
+}
+
+func TestWordStreamDeterministic(t *testing.T) {
+	a, err := NewWordStream(11, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWordStream(11, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("word streams with same seed diverged")
+		}
+	}
+}
+
+func TestOpMix(t *testing.T) {
+	if _, err := NewOpMix(1, 0, 0.5); err == nil {
+		t.Error("OpMix over 0 keys succeeded")
+	}
+	if _, err := NewOpMix(1, 10, 1.5); err == nil {
+		t.Error("write fraction > 1 succeeded")
+	}
+	m, err := NewOpMix(5, 16, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, n := 0, 10000
+	seqs := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		op := m.Next()
+		if op.Key < 0 || op.Key >= 16 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+		if seqs[op.Value] {
+			t.Fatalf("sequence value %d repeated", op.Value)
+		}
+		seqs[op.Value] = true
+		if op.Write {
+			writes++
+		}
+	}
+	if frac := float64(writes) / float64(n); math.Abs(frac-0.1) > 0.02 {
+		t.Fatalf("write fraction %v, want ~0.1", frac)
+	}
+}
+
+func TestJobSizes(t *testing.T) {
+	if _, err := NewJobSizes(1, 0, 5); err == nil {
+		t.Error("min 0 succeeded")
+	}
+	if _, err := NewJobSizes(1, 5, 4); err == nil {
+		t.Error("max < min succeeded")
+	}
+	j, err := NewJobSizes(9, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		s := j.Next()
+		if s < 2 || s > 6 {
+			t.Fatalf("job size %d out of [2,6]", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("saw %d distinct sizes, want 5", len(seen))
+	}
+}
+
+func TestTracks(t *testing.T) {
+	if _, err := NewTracks(1, 0); err == nil {
+		t.Error("0 cylinders succeeded")
+	}
+	tr, err := NewTracks(3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := tr.Next(); v < 0 || v >= 200 {
+			t.Fatalf("track %d out of range", v)
+		}
+	}
+}
+
+func TestDuplicationRatio(t *testing.T) {
+	// Uniform over a huge vocabulary: almost no duplicates.
+	low, err := DuplicationRatio(1, 100000, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low > 0.05 {
+		t.Fatalf("uniform/huge-vocab duplication = %v, want ~0", low)
+	}
+	// Skewed over a small vocabulary: mostly duplicates.
+	high, err := DuplicationRatio(1, 50, 1.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high < 0.8 {
+		t.Fatalf("skewed/small-vocab duplication = %v, want > 0.8", high)
+	}
+	if _, err := DuplicationRatio(1, 0, 1, 10); err == nil {
+		t.Error("DuplicationRatio with 0 vocab succeeded")
+	}
+}

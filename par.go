@@ -1,0 +1,80 @@
+package alps
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Par executes the given functions in parallel and returns when all of them
+// have terminated, implementing the paper's
+// "par P(...), Q(...) and R(...) end par" (§2.1.1). If any function panics,
+// Par panics with the first panic value after all functions complete.
+func Par(fs ...func()) {
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		firstPanic any
+		panicked   bool
+	)
+	for _, f := range fs {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if !panicked {
+						panicked = true
+						firstPanic = r
+					}
+					mu.Unlock()
+				}
+			}()
+			f()
+		}(f)
+	}
+	wg.Wait()
+	if panicked {
+		panic(fmt.Sprintf("alps: Par branch panicked: %v", firstPanic))
+	}
+}
+
+// ParFor executes f(m), f(m+1), ..., f(n) in parallel and returns when all
+// n-m+1 executions have terminated, implementing the paper's
+// "par i = m to n do P(i) end par" (§2.1.1). It is a no-op when n < m.
+func ParFor(m, n int, f func(i int)) {
+	if n < m {
+		return
+	}
+	fs := make([]func(), 0, n-m+1)
+	for i := m; i <= n; i++ {
+		i := i
+		fs = append(fs, func() { f(i) })
+	}
+	Par(fs...)
+}
+
+// ParErr executes the functions in parallel and returns the first non-nil
+// error, a convenience for Go-style bodies.
+func ParErr(fs ...func() error) error {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, f := range fs {
+		wg.Add(1)
+		go func(f func() error) {
+			defer wg.Done()
+			if err := f(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(f)
+	}
+	wg.Wait()
+	return firstErr
+}

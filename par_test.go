@@ -1,0 +1,130 @@
+package alps
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParRunsAllBranches(t *testing.T) {
+	var n atomic.Int64
+	Par(
+		func() { n.Add(1) },
+		func() { n.Add(10) },
+		func() { n.Add(100) },
+	)
+	if got := n.Load(); got != 111 {
+		t.Fatalf("sum = %d, want 111", got)
+	}
+}
+
+func TestParWaitsForAll(t *testing.T) {
+	var slowDone atomic.Bool
+	Par(
+		func() {},
+		func() {
+			time.Sleep(30 * time.Millisecond)
+			slowDone.Store(true)
+		},
+	)
+	if !slowDone.Load() {
+		t.Fatal("Par returned before the slow branch terminated")
+	}
+}
+
+func TestParBranchesRunConcurrently(t *testing.T) {
+	// Two branches that can only complete together prove concurrency.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	done := make(chan struct{})
+	go func() {
+		Par(
+			func() { wg.Done(); wg.Wait() },
+			func() { wg.Done(); wg.Wait() },
+		)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Par branches did not run concurrently")
+	}
+}
+
+func TestParPropagatesPanic(t *testing.T) {
+	var otherRan atomic.Bool
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Par did not re-panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value = %v", r)
+		}
+		if !otherRan.Load() {
+			t.Fatal("Par panicked before all branches completed")
+		}
+	}()
+	Par(
+		func() { panic("boom") },
+		func() {
+			time.Sleep(20 * time.Millisecond)
+			otherRan.Store(true)
+		},
+	)
+}
+
+func TestParEmpty(t *testing.T) {
+	Par() // must not hang or panic
+}
+
+func TestParFor(t *testing.T) {
+	var sum atomic.Int64
+	ParFor(3, 7, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 3+4+5+6+7 {
+		t.Fatalf("sum = %d, want 25", got)
+	}
+}
+
+func TestParForEmptyRange(t *testing.T) {
+	ran := false
+	ParFor(5, 4, func(i int) { ran = true })
+	if ran {
+		t.Fatal("ParFor ran f on empty range")
+	}
+}
+
+func TestParForDistinctIndices(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	ParFor(0, 99, func(i int) {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+	})
+	if len(seen) != 100 {
+		t.Fatalf("saw %d distinct indices, want 100", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestParErr(t *testing.T) {
+	sentinel := errors.New("branch failed")
+	err := ParErr(
+		func() error { return nil },
+		func() error { return sentinel },
+	)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("ParErr = %v, want sentinel", err)
+	}
+	if err := ParErr(func() error { return nil }); err != nil {
+		t.Fatalf("ParErr all-nil = %v", err)
+	}
+}

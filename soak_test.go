@@ -1,0 +1,178 @@
+package alps_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/objects/alarmclock"
+	"repro/internal/objects/buffer"
+	"repro/internal/objects/dict"
+	"repro/internal/objects/parbuffer"
+	"repro/internal/objects/rwdb"
+	"repro/internal/objects/spooler"
+	"repro/internal/rpc"
+	"repro/internal/workload"
+)
+
+// TestSoakMixedWorkload drives every example object concurrently for a
+// while, then closes everything and verifies no goroutines leaked — the
+// whole-system shakedown.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	buf, err := buffer.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbuf, err := parbuffer.New(parbuffer.Config{Slots: 8, ProducerMax: 4, ConsumerMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := rwdb.New(rwdb.Config{ReadMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dict.New(dict.Options{SearchMax: 8, MaxActive: 2, Combine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spooler.New(spooler.Config{Printers: 2, PrintMax: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, err := alarmclock.New(alarmclock.Config{SleeperMax: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopTicks := make(chan struct{})
+	go clock.Ticker(time.Millisecond, stopTicks)
+
+	// A remote view of the dictionary, through a real TCP loopback.
+	node := rpc.NewNode("soak")
+	if err := node.Publish(d.Object()); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, opsPer = 8, 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(w) + 1)
+			ws, err := workload.NewWordStream(uint64(w)+100, 12, 1.0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < opsPer; i++ {
+				switch rng.Intn(8) {
+				case 0:
+					if err := buf.Deposit(i); err != nil {
+						t.Errorf("buf.Deposit: %v", err)
+						return
+					}
+					if _, err := buf.Remove(); err != nil {
+						t.Errorf("buf.Remove: %v", err)
+						return
+					}
+				case 1:
+					if err := pbuf.Deposit(i); err != nil {
+						t.Errorf("pbuf.Deposit: %v", err)
+						return
+					}
+					if _, err := pbuf.Remove(); err != nil {
+						t.Errorf("pbuf.Remove: %v", err)
+						return
+					}
+				case 2:
+					if err := db.Write(rng.Intn(16), i); err != nil {
+						t.Errorf("db.Write: %v", err)
+						return
+					}
+				case 3:
+					if _, _, err := db.Read(rng.Intn(16)); err != nil {
+						t.Errorf("db.Read: %v", err)
+						return
+					}
+				case 4:
+					if _, err := d.Search(ws.Next()); err != nil {
+						t.Errorf("dict.Search: %v", err)
+						return
+					}
+				case 5:
+					if _, err := sp.Print(fmt.Sprintf("w%d-i%d", w, i), rng.Intn(3)+1); err != nil {
+						t.Errorf("spooler.Print: %v", err)
+						return
+					}
+				case 6:
+					if _, err := clock.Wakeme(rng.Intn(3)); err != nil {
+						t.Errorf("clock.Wakeme: %v", err)
+						return
+					}
+				case 7:
+					if _, err := rem.Call("Dictionary", "Search", ws.Next()); err != nil {
+						t.Errorf("remote Search: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Safety invariants across the whole run.
+	if _, violations := db.Stats(); violations != 0 {
+		t.Errorf("rwdb: %d exclusion violations", violations)
+	}
+	if _, _, violations := pbuf.Stats(); violations != 0 {
+		t.Errorf("parbuffer: %d slot violations", violations)
+	}
+	if _, _, violations := sp.Stats(); violations != 0 {
+		t.Errorf("spooler: %d printer violations", violations)
+	}
+	requests, executions, combined := d.Stats()
+	if executions+combined != requests {
+		t.Errorf("dict accounting: %d + %d != %d", executions, combined, requests)
+	}
+
+	// Orderly shutdown of everything.
+	close(stopTicks)
+	rem.Close()
+	node.Close()
+	for _, c := range []interface{ Close() error }{buf, pbuf, db, d, sp, clock} {
+		if err := c.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+
+	// Goroutine-leak check with settling time.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			bufStack := make([]byte, 1<<16)
+			n := runtime.Stack(bufStack, true)
+			t.Fatalf("goroutines: before %d, after %d — leak?\n%s", before, after, bufStack[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,108 @@
+package alps
+
+import (
+	"context"
+	"fmt"
+)
+
+// The Value-based API mirrors ALPS's runtime-checked parameter passing; the
+// helpers below recover Go-level type safety at call sites.
+
+// As converts a single Value, reporting a descriptive error on type
+// mismatch instead of panicking.
+func As[T any](v Value) (T, error) {
+	t, ok := v.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%w: value is %T, want %T", ErrBadArity, v, zero)
+	}
+	return t, nil
+}
+
+// Call0 invokes an entry that returns no results.
+func Call0(o *Object, entry string, params ...Value) error {
+	res, err := o.Call(entry, params...)
+	if err != nil {
+		return err
+	}
+	if len(res) != 0 {
+		return fmt.Errorf("%w: %s returned %d results, want 0", ErrBadArity, entry, len(res))
+	}
+	return nil
+}
+
+// Call1 invokes an entry that returns one result of type T.
+func Call1[T any](o *Object, entry string, params ...Value) (T, error) {
+	return Call1Ctx[T](context.Background(), o, entry, params...)
+}
+
+// Call1Ctx is Call1 with a context.
+func Call1Ctx[T any](ctx context.Context, o *Object, entry string, params ...Value) (T, error) {
+	var zero T
+	res, err := o.CallCtx(ctx, entry, params...)
+	if err != nil {
+		return zero, err
+	}
+	if len(res) != 1 {
+		return zero, fmt.Errorf("%w: %s returned %d results, want 1", ErrBadArity, entry, len(res))
+	}
+	return As[T](res[0])
+}
+
+// Call2 invokes an entry that returns two results of types T and U.
+func Call2[T, U any](o *Object, entry string, params ...Value) (T, U, error) {
+	var (
+		zt T
+		zu U
+	)
+	res, err := o.Call(entry, params...)
+	if err != nil {
+		return zt, zu, err
+	}
+	if len(res) != 2 {
+		return zt, zu, fmt.Errorf("%w: %s returned %d results, want 2", ErrBadArity, entry, len(res))
+	}
+	t, err := As[T](res[0])
+	if err != nil {
+		return zt, zu, fmt.Errorf("result 0: %w", err)
+	}
+	u, err := As[U](res[1])
+	if err != nil {
+		return zt, zu, fmt.Errorf("result 1: %w", err)
+	}
+	return t, u, nil
+}
+
+// Param extracts the i-th regular parameter of an invocation as type T,
+// turning a mismatch into a call failure instead of a panic.
+func Param[T any](inv *Invocation, i int) (T, error) {
+	if i < 0 || i >= len(inv.Params()) {
+		var zero T
+		return zero, fmt.Errorf("%w: param index %d of %d", ErrBadArity, i, len(inv.Params()))
+	}
+	return As[T](inv.Param(i))
+}
+
+// Hidden extracts the i-th hidden parameter of an invocation as type T.
+func Hidden[T any](inv *Invocation, i int) (T, error) {
+	if i < 0 || i >= len(inv.HiddenParams()) {
+		var zero T
+		return zero, fmt.Errorf("%w: hidden param index %d of %d", ErrBadArity, i, len(inv.HiddenParams()))
+	}
+	return As[T](inv.Hidden(i))
+}
+
+// Recv1 receives one message from a channel and extracts its single value
+// as type T. ok is false if the channel is closed and drained.
+func Recv1[T any](c *Chan) (T, bool, error) {
+	var zero T
+	msg, ok := c.Recv()
+	if !ok {
+		return zero, false, nil
+	}
+	if len(msg) != 1 {
+		return zero, true, fmt.Errorf("%w: message has %d values, want 1", ErrBadArity, len(msg))
+	}
+	v, err := As[T](msg[0])
+	return v, true, err
+}

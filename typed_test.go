@@ -1,0 +1,188 @@
+package alps_test
+
+import (
+	"errors"
+	"testing"
+
+	alps "repro"
+)
+
+func newCalc(t *testing.T) *alps.Object {
+	t.Helper()
+	obj, err := alps.New("Calc",
+		alps.WithEntry(alps.EntrySpec{Name: "Add", Params: 2, Results: 1,
+			Body: func(inv *alps.Invocation) error {
+				a, err := alps.Param[int](inv, 0)
+				if err != nil {
+					return err
+				}
+				b, err := alps.Param[int](inv, 1)
+				if err != nil {
+					return err
+				}
+				inv.Return(a + b)
+				return nil
+			}}),
+		alps.WithEntry(alps.EntrySpec{Name: "DivMod", Params: 2, Results: 2,
+			Body: func(inv *alps.Invocation) error {
+				a := inv.Param(0).(int)
+				b := inv.Param(1).(int)
+				if b == 0 {
+					return errors.New("division by zero")
+				}
+				inv.Return(a/b, a%b)
+				return nil
+			}}),
+		alps.WithEntry(alps.EntrySpec{Name: "Noop", Params: 0, Results: 0,
+			Body: func(inv *alps.Invocation) error { return nil }}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestCall1(t *testing.T) {
+	obj := newCalc(t)
+	defer obj.Close()
+	sum, err := alps.Call1[int](obj, "Add", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 5 {
+		t.Fatalf("Add = %d", sum)
+	}
+	// Wrong type parameter: descriptive error, no panic.
+	if _, err := alps.Call1[string](obj, "Add", 2, 3); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("type mismatch err = %v", err)
+	}
+	// Wrong result count.
+	if _, err := alps.Call1[int](obj, "DivMod", 7, 2); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("result count err = %v", err)
+	}
+	// Body error propagates.
+	if _, err := alps.Call1[int](obj, "Add", "x", 3); err == nil {
+		t.Fatal("bad param type did not fail the call")
+	}
+}
+
+func TestCall2(t *testing.T) {
+	obj := newCalc(t)
+	defer obj.Close()
+	q, r, err := alps.Call2[int, int](obj, "DivMod", 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 || r != 1 {
+		t.Fatalf("DivMod = %d, %d", q, r)
+	}
+	if _, _, err := alps.Call2[int, string](obj, "DivMod", 7, 2); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("second result type mismatch err = %v", err)
+	}
+	if _, _, err := alps.Call2[int, int](obj, "Add", 1, 2); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("result count err = %v", err)
+	}
+	if _, _, err := alps.Call2[int, int](obj, "DivMod", 7, 0); err == nil || errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("body error lost: %v", err)
+	}
+}
+
+func TestCall0(t *testing.T) {
+	obj := newCalc(t)
+	defer obj.Close()
+	if err := alps.Call0(obj, "Noop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alps.Call0(obj, "Add", 1, 2); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("Call0 on 1-result entry: %v", err)
+	}
+}
+
+func TestAs(t *testing.T) {
+	v, err := alps.As[int](42)
+	if err != nil || v != 42 {
+		t.Fatalf("As[int] = %d, %v", v, err)
+	}
+	if _, err := alps.As[string](42); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("As mismatch err = %v", err)
+	}
+}
+
+func TestParamHelpers(t *testing.T) {
+	obj, err := alps.New("X",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, HiddenParams: 1,
+			Body: func(inv *alps.Invocation) error {
+				// Out-of-range and mismatch cases.
+				if _, err := alps.Param[int](inv, 5); !errors.Is(err, alps.ErrBadArity) {
+					return errors.New("out-of-range param not rejected")
+				}
+				if _, err := alps.Hidden[string](inv, 0); !errors.Is(err, alps.ErrBadArity) {
+					return errors.New("hidden type mismatch not rejected")
+				}
+				h, err := alps.Hidden[int](inv, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := alps.Hidden[int](inv, 9); !errors.Is(err, alps.ErrBadArity) {
+					return errors.New("out-of-range hidden not rejected")
+				}
+				p, err := alps.Param[string](inv, 0)
+				if err != nil {
+					return err
+				}
+				inv.Return(p + "!")
+				_ = h
+				return nil
+			}}),
+		alps.WithManager(func(m *alps.Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.Start(a, 7); err != nil {
+					return
+				}
+				aw, err := m.AwaitCall(a)
+				if err != nil {
+					return
+				}
+				if err := m.Finish(aw); err != nil {
+					return
+				}
+			}
+		}, alps.Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	got, err := alps.Call1[string](obj, "P", "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hi!" {
+		t.Fatalf("P = %q", got)
+	}
+}
+
+func TestRecv1(t *testing.T) {
+	c := alps.NewChan("t")
+	if err := c.Send(42); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := alps.Recv1[int](c)
+	if err != nil || !ok || v != 42 {
+		t.Fatalf("Recv1 = %d, %v, %v", v, ok, err)
+	}
+	if err := c.Send(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := alps.Recv1[int](c); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("wide message err = %v", err)
+	}
+	c.Close()
+	if _, ok, err := alps.Recv1[int](c); ok || err != nil {
+		t.Fatalf("closed channel Recv1 = %v, %v", ok, err)
+	}
+}
