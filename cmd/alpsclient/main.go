@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/rpc"
 )
@@ -30,6 +32,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("alpsclient", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7100", "node address")
+	timeout := fs.Duration("timeout", 10*time.Second, "dial, list and per-call deadline")
+	retries := fs.Int("retries", 0, "retries after a transport failure (at-most-once safe)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,11 +42,18 @@ func run(args []string) error {
 		return fmt.Errorf("missing command (list, search, deposit, remove, read, write, print, call)")
 	}
 
-	rem, err := rpc.Dial(*addr)
+	rem, err := rpc.DialWith(*addr, rpc.DialOptions{
+		Timeout:     *timeout,
+		ListTimeout: *timeout,
+		Retry:       rpc.RetryPolicy{Max: *retries},
+	})
 	if err != nil {
 		return err
 	}
 	defer rem.Close()
+	call := func(object, entry string, params ...any) ([]any, error) {
+		return rem.CallWith(context.Background(), rpc.CallOptions{Deadline: *timeout}, object, entry, params...)
+	}
 
 	switch cmd := rest[0]; cmd {
 	case "list":
@@ -60,7 +71,7 @@ func run(args []string) error {
 			return fmt.Errorf("search needs at least one word")
 		}
 		for _, word := range rest[1:] {
-			res, err := rem.Call("Dictionary", "Search", word)
+			res, err := call("Dictionary", "Search", word)
 			if err != nil {
 				return err
 			}
@@ -72,14 +83,14 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("deposit needs one value")
 		}
-		if _, err := rem.Call("Buffer", "Deposit", rest[1]); err != nil {
+		if _, err := call("Buffer", "Deposit", rest[1]); err != nil {
 			return err
 		}
 		fmt.Println("ok")
 		return nil
 
 	case "remove":
-		res, err := rem.Call("Buffer", "Remove")
+		res, err := call("Buffer", "Remove")
 		if err != nil {
 			return err
 		}
@@ -96,7 +107,7 @@ func run(args []string) error {
 		for _, arg := range rest[3:] {
 			params = append(params, arg)
 		}
-		res, err := rem.Call(rest[1], rest[2], params...)
+		res, err := call(rest[1], rest[2], params...)
 		if err != nil {
 			return err
 		}
@@ -115,7 +126,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("pages: %w", err)
 		}
-		res, err := rem.Call("Spooler", "Print", rest[1], pages)
+		res, err := call("Spooler", "Print", rest[1], pages)
 		if err != nil {
 			return err
 		}
@@ -130,7 +141,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("key: %w", err)
 		}
-		res, err := rem.Call("Database", "Read", key)
+		res, err := call("Database", "Read", key)
 		if err != nil {
 			return err
 		}
@@ -153,7 +164,7 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("value: %w", err)
 		}
-		if _, err := rem.Call("Database", "Write", key, val); err != nil {
+		if _, err := call("Database", "Write", key, val); err != nil {
 			return err
 		}
 		fmt.Println("ok")

@@ -92,6 +92,29 @@ func TestClientUnreachableNode(t *testing.T) {
 	}
 }
 
+func TestClientTimeoutAndRetryFlags(t *testing.T) {
+	addr := startNode(t)
+	commands := [][]string{
+		{"-addr", addr, "-timeout", "5s", "-retries", "2", "search", "hello"},
+		{"-addr", addr, "-timeout", "250ms", "list"},
+		{"-addr", addr, "-retries", "1", "deposit", "7"},
+		{"-addr", addr, "-retries", "1", "remove"},
+	}
+	for _, args := range commands {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"-addr", addr, "-timeout", "nonsense", "list"}); err == nil {
+		t.Error("bad -timeout accepted")
+	}
+	// Retries against a dead address still fail, but only after the retry
+	// budget — and they must return an error, not hang.
+	if err := run([]string{"-addr", "127.0.0.1:1", "-timeout", "2s", "-retries", "2", "list"}); err == nil {
+		t.Error("retried dial to dead address succeeded")
+	}
+}
+
 func TestClientPrintCommand(t *testing.T) {
 	addr := startNodeWithSpooler(t)
 	if err := run([]string{"-addr", addr, "print", "doc.ps", "2"}); err != nil {

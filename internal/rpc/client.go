@@ -2,71 +2,262 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
+
+// errRemoteClosed fails calls on a Remote the user has Closed. It is
+// deliberately not ErrLinkClosed so the retry loop never resurrects a
+// closed client.
+var errRemoteClosed = errors.New("rpc: remote is closed")
 
 // Remote is a client connection to a node. It can call remote objects,
 // list them, and publish channels for executing remote procedures to send
-// messages back on.
+// messages back on. With a Redial function configured it survives link
+// failures: calls are retried with exponential backoff over fresh
+// connections, and the node's dedup cache guarantees each logical call
+// executes at most once (docs/FAULTS.md).
 type Remote struct {
-	link *link
+	opts DialOptions
+	seq  atomic.Uint64
+
+	mu     sync.Mutex
+	link   *link
+	pubs   map[string]*channel.Chan // published channels, re-announced on reconnect
+	closed bool
+
+	rngMu   sync.Mutex
+	rng     *workload.RNG
+	nextRef atomic.Uint64
 }
 
-// Dial connects to a node at addr.
+// Dial connects to a node at addr with default options.
 func Dial(addr string) (*Remote, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to a node at addr. When opts.Redial is nil it is
+// filled with a TCP redial of addr, so the Remote reconnects through
+// link failures.
+func DialWith(addr string, opts DialOptions) (*Remote, error) {
+	opts = opts.withDefaults()
+	if opts.Redial == nil {
+		timeout := opts.Timeout
+		opts.Redial = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := opts.Redial()
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return DialConn(conn), nil
+	return newRemote(conn, opts), nil
 }
 
 // DialConn wraps an established connection as a client — the injection
 // point for alternative transports such as the simulated transputer
 // network (internal/simnet).
 func DialConn(conn net.Conn) *Remote {
-	return &Remote{link: newLink(conn, nil)}
+	return DialConnWith(conn, DialOptions{})
 }
 
+// DialConnWith is DialConn with options; supply opts.Redial to enable
+// reconnection over the alternative transport.
+func DialConnWith(conn net.Conn, opts DialOptions) *Remote {
+	return newRemote(conn, opts.withDefaults())
+}
+
+func newRemote(conn net.Conn, opts DialOptions) *Remote {
+	r := &Remote{opts: opts, rng: workload.NewRNG(seedFrom(opts.ClientID))}
+	r.link = newLink(conn, nil, linkHooks{metrics: opts.Metrics, rec: opts.Trace})
+	return r
+}
+
+// ClientID reports the identity used for at-most-once dedup.
+func (r *Remote) ClientID() string { return r.opts.ClientID }
+
 // Call invokes an entry procedure of a remote object ("X.P(...)") and
-// blocks until it terminates.
+// blocks until it terminates, applying the Remote's default retry policy.
 func (r *Remote) Call(object, entry string, params ...any) ([]any, error) {
-	return r.CallCtx(context.Background(), object, entry, params...)
+	return r.CallWith(context.Background(), CallOptions{}, object, entry, params...)
 }
 
 // CallCtx is Call with a context for cancellation. Cancellation abandons
 // the wait; the remote call itself may still complete on the node.
 func (r *Remote) CallCtx(ctx context.Context, object, entry string, params ...any) ([]any, error) {
-	return r.link.call(ctx, object, entry, params)
+	return r.CallWith(ctx, CallOptions{}, object, entry, params...)
 }
 
-// List reports the object names hosted by the node.
+// CallWith is CallCtx with per-call options. Transport failures are
+// retried per the policy; a retry of a call the node already executed
+// replays the original result instead of re-running the entry body.
+func (r *Remote) CallWith(ctx context.Context, opts CallOptions, object, entry string, params ...any) ([]any, error) {
+	pol := r.opts.Retry
+	if opts.Retry != nil {
+		pol = *opts.Retry
+	}
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
+	seq := r.seq.Add(1)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if m := r.opts.Metrics; m != nil {
+				m.Retries.Inc()
+			}
+			r.opts.Trace.Record(object, entry, -1, seq, trace.Retried)
+			if err := r.sleep(ctx, pol.delay(attempt, r.jitter)); err != nil {
+				return nil, lastErr
+			}
+		}
+		l, err := r.healthyLink()
+		if err == nil {
+			actx, acancel := ctx, context.CancelFunc(func() {})
+			if pol.AttemptTimeout > 0 {
+				actx, acancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+			}
+			var res []any
+			res, err = l.call(actx, object, entry, params, r.opts.ClientID, seq)
+			acancel()
+			if err == nil {
+				return res, nil
+			}
+		}
+		lastErr = err
+		if attempt >= pol.Max || !retryableErr(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+}
+
+// retryableErr reports whether err is a transport failure worth retrying.
+// Errors returned by the remote object itself are final; per-attempt
+// deadline expiry is retryable (the caller checks the overall context).
+func retryableErr(err error) bool {
+	return errors.Is(err, ErrLinkClosed) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// healthyLink returns the live link, redialling if the current one died.
+// Concurrent callers serialize on the reconnect, so one redial serves all.
+func (r *Remote) healthyLink() (*link, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errRemoteClosed
+	}
+	if r.link != nil && !r.link.isClosed() {
+		return r.link, nil
+	}
+	if r.opts.Redial == nil {
+		return nil, fmt.Errorf("rpc: no redial configured: %w", r.link.closeReason())
+	}
+	conn, err := r.opts.Redial()
+	if err != nil {
+		return nil, fmt.Errorf("rpc: redial: %v: %w", err, ErrLinkClosed)
+	}
+	old := r.link
+	r.link = newLink(conn, nil, linkHooks{metrics: r.opts.Metrics, rec: r.opts.Trace})
+	for name, ch := range r.pubs {
+		_ = r.link.publishChan(name, ch)
+	}
+	if old != nil {
+		go old.close()
+	}
+	if m := r.opts.Metrics; m != nil {
+		m.Reconnects.Inc()
+	}
+	return r.link, nil
+}
+
+// jitter draws from the Remote's deterministic backoff stream.
+func (r *Remote) jitter(n int) int {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return r.rng.Intn(n)
+}
+
+// sleep waits for d or the context, whichever first.
+func (r *Remote) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// List reports the object names hosted by the node, bounded by the
+// configured ListTimeout.
 func (r *Remote) List() ([]string, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.ListTimeout)
 	defer cancel()
-	return r.link.list(ctx)
+	return r.ListCtx(ctx)
+}
+
+// ListCtx is List with a caller-supplied context.
+func (r *Remote) ListCtx(ctx context.Context) ([]string, error) {
+	l, err := r.healthyLink()
+	if err != nil {
+		return nil, err
+	}
+	return l.list(ctx)
 }
 
 // PublishChan registers a local channel and returns the ChanRef to pass as
 // a call parameter: the executing remote procedure receives a live channel
 // whose sends are delivered into ch (message passing to an executing
-// remote procedure, paper §1).
+// remote procedure, paper §1). Publications survive reconnects: each new
+// link re-announces them under the same name.
 func (r *Remote) PublishChan(name string, ch *channel.Chan) ChanRef {
+	if name == "" {
+		name = fmt.Sprintf("chan-%d", r.nextRef.Add(1))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pubs == nil {
+		r.pubs = make(map[string]*channel.Chan)
+	}
+	r.pubs[name] = ch
 	return r.link.publishChan(name, ch)
+}
+
+// Close tears the connection down; in-flight calls fail with ErrLinkClosed
+// and no further reconnects are attempted.
+func (r *Remote) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	l := r.link
+	r.mu.Unlock()
+	if l != nil {
+		l.close()
+	}
 }
 
 // Object returns a handle binding the object name, for call-site brevity.
 func (r *Remote) Object(name string) *RemoteObject {
 	return &RemoteObject{remote: r, name: name}
-}
-
-// Close tears the connection down; in-flight calls fail with ErrLinkClosed.
-func (r *Remote) Close() {
-	r.link.close()
 }
 
 // RemoteObject is a bound handle on one remote object.
@@ -86,4 +277,9 @@ func (ro *RemoteObject) Call(entry string, params ...any) ([]any, error) {
 // CallCtx is Call with a context.
 func (ro *RemoteObject) CallCtx(ctx context.Context, entry string, params ...any) ([]any, error) {
 	return ro.remote.CallCtx(ctx, ro.name, entry, params...)
+}
+
+// CallWith is Call with a context and per-call options.
+func (ro *RemoteObject) CallWith(ctx context.Context, opts CallOptions, entry string, params ...any) ([]any, error) {
+	return ro.remote.CallWith(ctx, opts, ro.name, entry, params...)
 }

@@ -1,0 +1,74 @@
+package rpc
+
+import "sync"
+
+// dedupKey identifies a logical call across retries and reconnects.
+type dedupKey struct {
+	client string
+	seq    uint64
+}
+
+// dedupEntry tracks one logical call: in flight until done is closed,
+// then holding the response for replay to duplicate requests.
+type dedupEntry struct {
+	done    chan struct{}
+	results []any
+	errMsg  string
+	errKind errKind
+}
+
+// dedupCache is a node's bounded at-most-once table. The first request
+// for a (client, seq) pair executes; duplicates — retries whose original
+// lost its response frame, or whose response is still being computed —
+// wait for the entry and replay its result instead of re-running the
+// entry body. Completed entries are evicted FIFO once the cache exceeds
+// its capacity; in-flight entries are never evicted.
+type dedupCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[dedupKey]*dedupEntry
+	order   []dedupKey // completion order, for FIFO eviction
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &dedupCache{cap: capacity, entries: make(map[dedupKey]*dedupEntry)}
+}
+
+// begin returns the entry for key and whether the caller is the primary
+// executor (first arrival) rather than a duplicate.
+func (d *dedupCache) begin(key dedupKey) (*dedupEntry, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[key]; ok {
+		return e, false
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	d.entries[key] = e
+	return e, true
+}
+
+// complete records the response, releases waiting duplicates, and evicts
+// the oldest completed entries beyond capacity.
+func (d *dedupCache) complete(key dedupKey, e *dedupEntry, results []any, errMsg string, kind errKind) {
+	e.results = results
+	e.errMsg = errMsg
+	e.errKind = kind
+	close(e.done)
+	d.mu.Lock()
+	d.order = append(d.order, key)
+	for len(d.order) > d.cap {
+		delete(d.entries, d.order[0])
+		d.order = d.order[1:]
+	}
+	d.mu.Unlock()
+}
+
+// len reports how many entries (in-flight + completed) are tracked.
+func (d *dedupCache) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}

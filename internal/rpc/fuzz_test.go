@@ -1,0 +1,54 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// FuzzFrameDecode feeds arbitrary byte streams to the frame decoder
+// (mirroring internal/channel/fuzz_test.go for the wire layer): readLoop
+// treats any decode failure as link death, so a truncated or corrupted
+// gob stream must produce an error — never a panic or a hang — and
+// whatever does decode must round-trip the error codec safely.
+func FuzzFrameDecode(f *testing.F) {
+	registerDefaults()
+	seedFrames := []frame{
+		{Kind: frameRequest, ID: 1, Object: "X", Entry: "P", Params: []any{1, "s"}, Client: "c", Seq: 7},
+		{Kind: frameResponse, ID: 2, Results: []any{42}, Err: "boom", ErrKind: errClosed},
+		{Kind: frameChanSend, Chan: "chan-1", Params: []any{[]byte{1, 2, 3}}},
+		{Kind: frameList, ID: 3},
+		{Kind: frameListResp, ID: 3, Names: []string{"A", "B"}},
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for i := range seedFrames {
+		if err := enc.Encode(&seedFrames[i]); err != nil {
+			f.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	for _, cut := range []int{1, len(full) / 3, len(full) / 2, len(full) - 1} {
+		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	corrupted := append([]byte(nil), full...)
+	for i := 7; i < len(corrupted); i += 13 {
+		corrupted[i] ^= 0xff
+	}
+	f.Add(corrupted)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			var fr frame
+			if err := dec.Decode(&fr); err != nil {
+				return // corrupt/truncated input must fail cleanly
+			}
+			if err := decodeErr(fr.Err, fr.ErrKind); (err == nil) != (fr.ErrKind == errNone) {
+				t.Fatalf("decodeErr(%q, %d) nil-ness inconsistent", fr.Err, fr.ErrKind)
+			}
+		}
+	})
+}

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // objectResolver resolves object names to callable objects (the node's
@@ -24,11 +26,25 @@ type callable interface {
 	CallCtx(ctx context.Context, entry string, params ...any) ([]any, error)
 }
 
+// linkHooks are the owner-supplied callbacks of a link: a node wires in
+// its dedup cache, drain gate and node-lifetime execution context; a
+// client wires in its metrics and trace sinks. The zero value is valid
+// (no dedup, no drain gate, no observation).
+type linkHooks struct {
+	dedup    *dedupCache     // at-most-once table (nodes only)
+	serveCtx context.Context // execution ctx for dedup-tracked calls (node lifetime)
+	begin    func() bool     // drain gate; false rejects the request
+	end      func()          // paired with a successful begin
+	metrics  *Metrics        // nil-safe counters
+	rec      *trace.Recorder // nil-safe event sink
+}
+
 // link is one end of a connection: it can issue requests, serve requests
 // (when it has a resolver), and route channel messages both ways.
 type link struct {
-	conn net.Conn
-	res  objectResolver
+	conn  net.Conn
+	res   objectResolver
+	hooks linkHooks
 
 	encMu sync.Mutex
 	enc   *gob.Encoder
@@ -51,12 +67,13 @@ type link struct {
 	cancel context.CancelFunc
 }
 
-func newLink(conn net.Conn, res objectResolver) *link {
+func newLink(conn net.Conn, res objectResolver, hooks linkHooks) *link {
 	registerDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	l := &link{
 		conn:    conn,
 		res:     res,
+		hooks:   hooks,
 		enc:     gob.NewEncoder(conn),
 		pending: make(map[uint64]chan frame),
 		chans:   make(map[string]*channel.Chan),
@@ -65,6 +82,7 @@ func newLink(conn net.Conn, res objectResolver) *link {
 		ctx:     ctx,
 		cancel:  cancel,
 	}
+	hooks.rec.Record("", conn.RemoteAddr().String(), -1, 0, trace.LinkUp)
 	l.wg.Add(1)
 	go l.readLoop()
 	return l
@@ -72,21 +90,35 @@ func newLink(conn net.Conn, res objectResolver) *link {
 
 func (l *link) send(f *frame) error {
 	l.encMu.Lock()
-	defer l.encMu.Unlock()
-	if err := l.enc.Encode(f); err != nil {
-		return fmt.Errorf("rpc: encode: %w", err)
+	err := l.enc.Encode(f)
+	l.encMu.Unlock()
+	if err != nil {
+		// A failed encode may have left a partial frame on the wire; the
+		// gob stream cannot resynchronize, so the whole link is dead.
+		err = fmt.Errorf("rpc: encode: %v: %w", err, ErrLinkClosed)
+		l.shutdown(err)
+		return err
 	}
 	return nil
 }
 
-// call issues a request and waits for its response.
-func (l *link) call(ctx context.Context, object, entry string, params []any) ([]any, error) {
+// isClosed reports whether the link has shut down.
+func (l *link) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// call issues a request and waits for its response. client and seq carry
+// the logical call identity for the node's at-most-once dedup; they stay
+// stable across retries while the link-level frame ID does not.
+func (l *link) call(ctx context.Context, object, entry string, params []any, client string, seq uint64) ([]any, error) {
 	id := l.nextID.Add(1)
 	respCh := make(chan frame, 1)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return nil, l.closeReason()
+		return nil, fmt.Errorf("rpc: call %s.%s: %w", object, entry, l.closeReason())
 	}
 	l.pending[id] = respCh
 	l.mu.Unlock()
@@ -96,8 +128,8 @@ func (l *link) call(ctx context.Context, object, entry string, params []any) ([]
 		l.mu.Unlock()
 	}()
 
-	if err := l.send(&frame{Kind: frameRequest, ID: id, Object: object, Entry: entry, Params: params}); err != nil {
-		return nil, err
+	if err := l.send(&frame{Kind: frameRequest, ID: id, Object: object, Entry: entry, Params: params, Client: client, Seq: seq}); err != nil {
+		return nil, fmt.Errorf("rpc: call %s.%s: %w", object, entry, err)
 	}
 	select {
 	case resp := <-respCh:
@@ -108,7 +140,9 @@ func (l *link) call(ctx context.Context, object, entry string, params []any) ([]
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-l.done:
-		return nil, l.closeReason()
+		// The send succeeded but the connection died before the response:
+		// fail fast and name the call, so the failure is attributable.
+		return nil, fmt.Errorf("rpc: call %s.%s interrupted: %w", object, entry, l.closeReason())
 	}
 }
 
@@ -237,6 +271,19 @@ func (l *link) readLoop() {
 
 func (l *link) serveRequest(f frame) {
 	resp := frame{Kind: frameResponse, ID: f.ID}
+	if l.hooks.begin != nil && !l.hooks.begin() {
+		// The node is draining: refuse new work so Close can finish.
+		if m := l.hooks.metrics; m != nil {
+			m.DrainDrops.Inc()
+		}
+		resp.Err, resp.ErrKind = encodeErr(fmt.Errorf("node draining: %w", core.ErrClosed))
+		_ = l.send(&resp)
+		return
+	}
+	if l.hooks.end != nil {
+		defer l.hooks.end()
+	}
+
 	var obj callable
 	ok := false
 	if l.res != nil {
@@ -247,27 +294,57 @@ func (l *link) serveRequest(f frame) {
 		_ = l.send(&resp)
 		return
 	}
-	params := l.resolveParams(f.Params)
-	type callResult struct {
-		results []any
-		err     error
+
+	// At-most-once: the first arrival of a (client, seq) executes; a
+	// retry waits for that execution and replays its response.
+	var entry *dedupEntry
+	if f.Client != "" && l.hooks.dedup != nil {
+		var primary bool
+		entry, primary = l.hooks.dedup.begin(dedupKey{f.Client, f.Seq})
+		if !primary {
+			if m := l.hooks.metrics; m != nil {
+				m.DedupHits.Inc()
+			}
+			l.hooks.rec.Record(f.Object, f.Entry, -1, f.Seq, trace.Replayed)
+			select {
+			case <-entry.done:
+				resp.Results, resp.Err, resp.ErrKind = entry.results, entry.errMsg, entry.errKind
+				_ = l.send(&resp)
+			case <-l.done:
+			}
+			return
+		}
 	}
-	resCh := make(chan callResult, 1)
+
+	params := l.resolveParams(f.Params)
+	ctx := l.ctx
+	if entry != nil && l.hooks.serveCtx != nil {
+		// Dedup-tracked executions outlive their arrival link: at-most-once
+		// means a retry must observe this execution's result, so the body
+		// is tied to the node's lifetime, not the connection's.
+		ctx = l.hooks.serveCtx
+	}
+	resCh := make(chan frame, 1)
 	// The call runs on its own goroutine so a link teardown abandons the
 	// wait instead of blocking shutdown behind a long-running body; the
 	// object's own Close remains responsible for the body itself.
 	go func() {
-		results, err := obj.CallCtx(l.ctx, f.Entry, params...)
-		resCh <- callResult{results, err}
+		results, err := obj.CallCtx(ctx, f.Entry, params...)
+		r := frame{Kind: frameResponse, ID: f.ID, Results: results}
+		if err != nil {
+			r.Results = nil
+			r.Err, r.ErrKind = encodeErr(err)
+		}
+		if entry != nil {
+			// Record the outcome even if the arrival link is already dead:
+			// the retry that replaces it replays from here.
+			l.hooks.dedup.complete(dedupKey{f.Client, f.Seq}, entry, r.Results, r.Err, r.ErrKind)
+		}
+		resCh <- r
 	}()
 	select {
-	case res := <-resCh:
-		if res.err != nil {
-			resp.Err, resp.ErrKind = encodeErr(res.err)
-		} else {
-			resp.Results = res.results
-		}
-		_ = l.send(&resp)
+	case r := <-resCh:
+		_ = l.send(&r)
 	case <-l.done:
 	}
 }
@@ -302,6 +379,7 @@ func (l *link) shutdown(reason error) {
 	for _, p := range proxies {
 		p.Close()
 	}
+	l.hooks.rec.Record("", l.conn.RemoteAddr().String(), -1, 0, trace.LinkDown)
 }
 
 // close shuts the link down and waits for its goroutines.

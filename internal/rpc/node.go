@@ -1,19 +1,33 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
 
 // Node hosts ALPS objects behind a listener, making their entry procedures
-// callable as remote procedure calls.
+// callable as remote procedure calls. It keeps a bounded at-most-once
+// cache so retried client calls replay results instead of re-executing
+// entry bodies, and Close can drain in-flight invocations gracefully
+// (see NodeOptions and docs/FAULTS.md).
 type Node struct {
-	name string
+	name  string
+	opts  NodeOptions
+	dedup *dedupCache
+
+	// ctx outlives individual links: dedup-tracked executions run under it
+	// so a retry after a connection failure can replay their results. It
+	// is cancelled at Close, after the drain grace.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu      sync.Mutex
 	objects map[string]callable
@@ -21,14 +35,27 @@ type Node struct {
 	lis     net.Listener
 	closed  bool
 
+	draining atomic.Bool
+	inflight atomic.Int64
+
 	wg sync.WaitGroup
 }
 
-// NewNode creates a node.
+// NewNode creates a node with default options.
 func NewNode(name string) *Node {
+	return NewNodeWith(name, NodeOptions{})
+}
+
+// NewNodeWith creates a node with explicit resilience options.
+func NewNodeWith(name string, opts NodeOptions) *Node {
 	registerDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Node{
 		name:    name,
+		opts:    opts,
+		dedup:   newDedupCache(opts.DedupCap),
+		ctx:     ctx,
+		cancel:  cancel,
 		objects: make(map[string]callable),
 		links:   make(map[*link]struct{}),
 	}
@@ -66,6 +93,29 @@ func (n *Node) Objects() []string {
 	return n.names()
 }
 
+// hooks builds the link callbacks wiring this node's dedup cache, drain
+// gate and observation sinks into each accepted connection.
+func (n *Node) hooks() linkHooks {
+	return linkHooks{
+		dedup:    n.dedup,
+		serveCtx: n.ctx,
+		begin:    n.beginServe,
+		end:      n.endServe,
+		metrics:  n.opts.Metrics,
+		rec:      n.opts.Trace,
+	}
+}
+
+func (n *Node) beginServe() bool {
+	if n.draining.Load() {
+		return false
+	}
+	n.inflight.Add(1)
+	return true
+}
+
+func (n *Node) endServe() { n.inflight.Add(-1) }
+
 // Serve accepts connections on lis until the node closes. It returns the
 // accept error (net.ErrClosed after Close). Call it on its own goroutine.
 func (n *Node) Serve(lis net.Listener) error {
@@ -86,7 +136,7 @@ func (n *Node) Serve(lis net.Listener) error {
 			}
 			return fmt.Errorf("node %s: accept: %w", n.name, err)
 		}
-		l := newLink(conn, n)
+		l := newLink(conn, n, n.hooks())
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
@@ -119,8 +169,9 @@ func (n *Node) ListenAndServe(addr string) (string, error) {
 	return lis.Addr().String(), nil
 }
 
-// Close stops accepting connections, closes existing links, and waits for
-// outstanding request handlers.
+// Close stops accepting connections and new requests, lets in-flight
+// invocations finish within the configured drain grace, then cancels the
+// stragglers, closes the links and waits for outstanding handlers.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -129,6 +180,7 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
+	n.draining.Store(true)
 	lis := n.lis
 	links := make([]*link, 0, len(n.links))
 	for l := range n.links {
@@ -139,11 +191,21 @@ func (n *Node) Close() {
 	if lis != nil {
 		_ = lis.Close()
 	}
+	if grace := n.opts.DrainGrace; grace > 0 {
+		deadline := time.Now().Add(grace)
+		for n.inflight.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	n.cancel()
 	for _, l := range links {
 		l.close()
 	}
 	n.wg.Wait()
 }
+
+// Inflight reports how many invocations are currently being served.
+func (n *Node) Inflight() int64 { return n.inflight.Load() }
 
 // lookup implements objectResolver.
 func (n *Node) lookup(name string) (callable, bool) {

@@ -1,0 +1,146 @@
+package rpc
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// RetryPolicy governs how a Remote re-issues failed calls. Retries are
+// only attempted for transport-level failures (link death, redial
+// failure, per-attempt timeout), never for errors the object itself
+// returned; combined with the node's at-most-once cache, a retried call
+// observes the original execution's result rather than running twice.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt (0 = no retry).
+	Max int
+	// Backoff is the delay before the first retry (default 5ms). Each
+	// subsequent retry doubles it, with ±50% deterministic jitter.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 500ms).
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt (0 = unbounded). An
+	// attempt that times out while the overall context is still live is
+	// retried — the dedup cache makes that safe.
+	AttemptTimeout time.Duration
+}
+
+// delay computes the backoff before the attempt-th retry (attempt >= 1):
+// exponential with a cap, jittered to [d/2, d] via the caller's generator.
+func (p RetryPolicy) delay(attempt int, intn func(int) int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	ceil := p.MaxBackoff
+	if ceil <= 0 {
+		ceil = 500 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(intn(int(half)+1))
+}
+
+// DialOptions configures a Remote. The zero value reproduces the classic
+// behaviour: 10s dial and list timeouts, no retries, a random client
+// identity, reconnect-on-demand for address-based dials.
+type DialOptions struct {
+	// Timeout bounds the TCP connect in Dial/DialWith (default 10s).
+	Timeout time.Duration
+	// ListTimeout bounds List (default 10s).
+	ListTimeout time.Duration
+	// Redial re-establishes the transport after a link failure. DialWith
+	// fills it with a TCP redial of the original address when nil;
+	// DialConnWith leaves it nil, which disables reconnection.
+	Redial func() (net.Conn, error)
+	// Retry is the default policy applied by Call/CallCtx; CallWith can
+	// override it per call.
+	Retry RetryPolicy
+	// ClientID is the stable identity used for at-most-once dedup on the
+	// node. Defaults to a random ID; set it explicitly for deterministic
+	// tests or for clients that survive process restarts.
+	ClientID string
+	// Metrics, when non-nil, accumulates resilience counters.
+	Metrics *Metrics
+	// Trace, when non-nil, records link and retry events.
+	Trace *trace.Recorder
+}
+
+// withDefaults fills the zero fields.
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.ListTimeout <= 0 {
+		o.ListTimeout = 10 * time.Second
+	}
+	if o.ClientID == "" {
+		o.ClientID = randomClientID()
+	}
+	return o
+}
+
+// CallOptions tunes one call.
+type CallOptions struct {
+	// Deadline bounds the whole call including retries (0 = none).
+	Deadline time.Duration
+	// Retry overrides the Remote's default policy when non-nil.
+	Retry *RetryPolicy
+}
+
+// Metrics aggregates the resilience counters of clients (retries,
+// reconnects) and nodes (dedup hits, drain rejections). Share one
+// instance across Remotes/Nodes to aggregate, or use one each.
+type Metrics struct {
+	Retries    metrics.Counter // call attempts beyond the first
+	Reconnects metrics.Counter // successful redials
+	DedupHits  metrics.Counter // retried requests answered from the cache
+	DrainDrops metrics.Counter // requests rejected while draining
+}
+
+// NodeOptions configures a Node. The zero value reproduces the classic
+// behaviour: immediate teardown on Close and a 1024-entry dedup cache.
+type NodeOptions struct {
+	// DedupCap bounds the at-most-once cache (completed calls retained
+	// for replay); default 1024. Retries arriving after eviction
+	// re-execute, so size it above clients × in-flight window.
+	DedupCap int
+	// DrainGrace is how long Close waits for in-flight invocations to
+	// finish before cancelling them (default 0: cancel immediately).
+	DrainGrace time.Duration
+	// Metrics, when non-nil, accumulates dedup/drain counters.
+	Metrics *Metrics
+	// Trace, when non-nil, records link lifecycle and replay events.
+	Trace *trace.Recorder
+}
+
+func randomClientID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("client-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// seedFrom hashes a client ID into a jitter seed, so backoff sequences
+// are deterministic per identity.
+func seedFrom(id string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return h.Sum64()
+}

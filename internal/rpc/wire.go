@@ -54,6 +54,14 @@ type frame struct {
 	ErrKind errKind
 	Chan    string
 	Names   []string
+
+	// Client and Seq identify a logical call across retries and
+	// reconnects: Client is the caller's stable identity, Seq its
+	// per-client call sequence number. Nodes dedup on the pair so retried
+	// requests execute at most once (docs/FAULTS.md); a zero Client means
+	// the caller wants no dedup.
+	Client string
+	Seq    uint64
 }
 
 // ChanRef names a channel published on the sending side of a call. When a

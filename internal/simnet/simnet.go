@@ -6,6 +6,13 @@
 // latency (optionally jittered) and bandwidth, while preserving reliable,
 // ordered byte-stream semantics.
 //
+// For chaos experiments the network also injects faults (see Config and
+// docs/FAULTS.md): per-write connection-kill probability, byte corruption,
+// and one-way partitions between named endpoints that can be set and
+// healed at runtime. Fault decisions are drawn from one seeded stream, so
+// a single-connection run reproduces exactly and concurrent runs
+// reproduce statistically.
+//
 //	net := simnet.New(simnet.Config{Latency: 500 * time.Microsecond})
 //	lis, _ := net.Listen("nodeA")
 //	go node.Serve(lis)
@@ -22,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -30,25 +38,91 @@ type Config struct {
 	Latency   time.Duration // one-way delay added to every write
 	Jitter    time.Duration // uniform extra delay in [0, Jitter)
 	Bandwidth int           // bytes per second; 0 = infinite
-	Seed      uint64        // jitter randomness seed
+	Seed      uint64        // seed for jitter and fault randomness
+
+	// KillProb is the per-write probability that the whole connection is
+	// severed (both directions, in-flight data lost) — a connection reset.
+	KillProb float64
+	// CorruptProb is the per-write probability that one byte of the
+	// written segment is flipped before delivery.
+	CorruptProb float64
 }
 
 // Network is a set of named listeners connected by simulated links.
 type Network struct {
 	cfg Config
 
-	mu        sync.Mutex
-	listeners map[string]*listener
-	rng       *workload.RNG
+	mu         sync.Mutex
+	listeners  map[string]*listener
+	partitions map[[2]string]bool
+	rng        *workload.RNG
+
+	kills       metrics.Counter
+	corruptions metrics.Counter
+	partDrops   metrics.Counter
 }
 
 // New creates a network.
 func New(cfg Config) *Network {
 	return &Network{
-		cfg:       cfg,
-		listeners: make(map[string]*listener),
-		rng:       workload.NewRNG(cfg.Seed),
+		cfg:        cfg,
+		listeners:  make(map[string]*listener),
+		partitions: make(map[[2]string]bool),
+		rng:        workload.NewRNG(cfg.Seed),
 	}
+}
+
+// Partition installs a one-way partition: traffic and new dials from
+// endpoint a to endpoint b fail until Heal. Existing connections crossing
+// the partition are severed lazily, at their next a→b write (a byte
+// stream with a hole cannot resynchronize, so the loss is fatal).
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.partitions[[2]string{a, b}] = true
+	n.mu.Unlock()
+}
+
+// Heal removes the one-way partition from a to b. Connections severed
+// while it was up stay dead; redialling establishes fresh ones.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.partitions, [2]string{a, b})
+	n.mu.Unlock()
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	n.partitions = make(map[[2]string]bool)
+	n.mu.Unlock()
+}
+
+func (n *Network) partitioned(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitions[[2]string{from, to}]
+}
+
+// Stats reports fault-injection totals: connections killed, segments
+// corrupted, and writes severed by partitions.
+func (n *Network) Stats() (kills, corruptions, partitionDrops uint64) {
+	return n.kills.Value(), n.corruptions.Value(), n.partDrops.Value()
+}
+
+// faults draws this write's fault decisions from the seeded stream.
+func (n *Network) faults(size int) (kill, corrupt bool, flip int) {
+	if n.cfg.KillProb <= 0 && n.cfg.CorruptProb <= 0 {
+		return false, false, 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cfg.KillProb > 0 && n.rng.Bool(n.cfg.KillProb) {
+		return true, false, 0
+	}
+	if n.cfg.CorruptProb > 0 && size > 0 && n.rng.Bool(n.cfg.CorruptProb) {
+		return false, true, n.rng.Intn(size)
+	}
+	return false, false, 0
 }
 
 // Listen registers a named endpoint. Names play the role of addresses.
@@ -69,20 +143,30 @@ func (n *Network) Listen(name string) (net.Listener, error) {
 }
 
 // Dial connects to a named endpoint, returning the client side of a new
-// simulated connection.
+// simulated connection. The caller endpoint is named "client"; use
+// DialFrom to dial from a named endpoint that partitions can target.
 func (n *Network) Dial(name string) (net.Conn, error) {
+	return n.DialFrom("client", name)
+}
+
+// DialFrom connects from endpoint from to endpoint to. A partition in
+// either direction fails the dial (a handshake needs both ways).
+func (n *Network) DialFrom(from, to string) (net.Conn, error) {
+	if n.partitioned(from, to) || n.partitioned(to, from) {
+		return nil, fmt.Errorf("simnet: dial %s->%s: partitioned: %w", from, to, net.ErrClosed)
+	}
 	n.mu.Lock()
-	l, ok := n.listeners[name]
+	l, ok := n.listeners[to]
 	n.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("simnet: dial %q: no such endpoint", name)
+		return nil, fmt.Errorf("simnet: dial %q: no such endpoint", to)
 	}
-	client, server := n.newPair(name)
+	client, server := n.newPair(from, to)
 	select {
 	case l.backlog <- server:
 		return client, nil
 	case <-l.done:
-		return nil, fmt.Errorf("simnet: dial %q: %w", name, net.ErrClosed)
+		return nil, fmt.Errorf("simnet: dial %q: %w", to, net.ErrClosed)
 	}
 }
 
@@ -101,11 +185,12 @@ func (n *Network) jitterDelay(size int) time.Duration {
 }
 
 // newPair builds the two half-duplex pipes of one connection.
-func (n *Network) newPair(name string) (client, server net.Conn) {
-	c2s := newHalf(n)
-	s2c := newHalf(n)
-	client = &conn{net: n, read: s2c, write: c2s, local: "client", remote: name}
-	server = &conn{net: n, read: c2s, write: s2c, local: name, remote: "client"}
+func (n *Network) newPair(from, to string) (client, server net.Conn) {
+	c2s := newHalf(n, from, to)
+	s2c := newHalf(n, to, from)
+	c2s.twin, s2c.twin = s2c, c2s
+	client = &conn{net: n, read: s2c, write: c2s, local: from, remote: to}
+	server = &conn{net: n, read: c2s, write: s2c, local: to, remote: from}
 	return client, server
 }
 
@@ -152,10 +237,14 @@ type chunk struct {
 	at   time.Time // earliest delivery time
 }
 
-// half is one direction of a connection: a latency-delayed, ordered,
-// reliable byte stream.
+// half is one direction of a connection: a latency-delayed, ordered byte
+// stream from endpoint from to endpoint to, reliable unless faults are
+// injected.
 type half struct {
-	net *Network
+	net  *Network
+	from string
+	to   string
+	twin *half // opposite direction of the same connection
 
 	mu      sync.Mutex
 	chunks  []chunk
@@ -165,9 +254,34 @@ type half struct {
 	waiters []chan struct{}
 }
 
-func newHalf(n *Network) *half { return &half{net: n} }
+func newHalf(n *Network, from, to string) *half {
+	return &half{net: n, from: from, to: to}
+}
 
 func (h *half) write(p []byte) (int, error) {
+	h.mu.Lock()
+	dead := h.closed || h.broken
+	h.mu.Unlock()
+	if dead {
+		// Already severed or closed: no further fault decisions are drawn,
+		// so counters tally one fault per connection event.
+		return 0, fmt.Errorf("simnet: %w", net.ErrClosed)
+	}
+	n := h.net
+	if n.partitioned(h.from, h.to) {
+		// The segment is lost inside the partition; a byte stream with a
+		// hole can never resynchronize, so the direction is severed.
+		n.partDrops.Inc()
+		h.breakLink()
+		return 0, fmt.Errorf("simnet: %s->%s partitioned: %w", h.from, h.to, net.ErrClosed)
+	}
+	kill, corrupt, flip := n.faults(len(p))
+	if kill {
+		n.kills.Inc()
+		h.breakLink()
+		h.twin.breakLink()
+		return 0, fmt.Errorf("simnet: connection %s<->%s killed: %w", h.from, h.to, net.ErrClosed)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed || h.broken {
@@ -180,6 +294,10 @@ func (h *half) write(p []byte) (int, error) {
 	h.lastAt = at
 	data := make([]byte, len(p))
 	copy(data, p)
+	if corrupt {
+		n.corruptions.Inc()
+		data[flip] ^= 0xff
+	}
 	h.chunks = append(h.chunks, chunk{data: data, at: at})
 	h.wakeLocked()
 	return len(p), nil

@@ -35,6 +35,14 @@ const (
 	Combined
 	// Failed: the call ended with an error (panic, cancellation, close).
 	Failed
+	// LinkUp: an rpc connection was established (or re-established).
+	LinkUp
+	// LinkDown: an rpc connection failed or was torn down.
+	LinkDown
+	// Retried: a client re-issued a call after a link failure or timeout.
+	Retried
+	// Replayed: a node answered a retried call from its at-most-once cache.
+	Replayed
 )
 
 var kindNames = map[Kind]string{
@@ -47,6 +55,10 @@ var kindNames = map[Kind]string{
 	Finished: "finished",
 	Combined: "combined",
 	Failed:   "failed",
+	LinkUp:   "link-up",
+	LinkDown: "link-down",
+	Retried:  "retried",
+	Replayed: "replayed",
 }
 
 // String implements fmt.Stringer.
