@@ -30,6 +30,7 @@ import (
 // BenchmarkE1BoundedBuffer measures one deposit+remove pair per iteration.
 func BenchmarkE1BoundedBuffer(b *testing.B) {
 	b.Run("alps-manager", func(b *testing.B) {
+		b.ReportAllocs()
 		buf, err := buffer.New(8)
 		if err != nil {
 			b.Fatal(err)
@@ -46,6 +47,7 @@ func BenchmarkE1BoundedBuffer(b *testing.B) {
 		}
 	})
 	b.Run("monitor", func(b *testing.B) {
+		b.ReportAllocs()
 		buf := baseline.NewMonitorBuffer(8)
 		defer buf.Close()
 		b.ResetTimer()
@@ -59,6 +61,7 @@ func BenchmarkE1BoundedBuffer(b *testing.B) {
 		}
 	})
 	b.Run("semaphore", func(b *testing.B) {
+		b.ReportAllocs()
 		buf := baseline.NewSemaphoreBuffer(8)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -71,6 +74,7 @@ func BenchmarkE1BoundedBuffer(b *testing.B) {
 // BenchmarkE2ReadersWriters measures a 90/10 read/write mix per iteration.
 func BenchmarkE2ReadersWriters(b *testing.B) {
 	b.Run("alps-rwdb", func(b *testing.B) {
+		b.ReportAllocs()
 		db, err := rwdb.New(rwdb.Config{ReadMax: 4})
 		if err != nil {
 			b.Fatal(err)
@@ -93,6 +97,7 @@ func BenchmarkE2ReadersWriters(b *testing.B) {
 		}
 	})
 	b.Run("rwmutex", func(b *testing.B) {
+		b.ReportAllocs()
 		db := baseline.NewBoundedRWDB(4)
 		mix, err := workload.NewOpMix(1, 32, 0.1)
 		if err != nil {
@@ -115,6 +120,7 @@ func BenchmarkE2ReadersWriters(b *testing.B) {
 func BenchmarkE3Combining(b *testing.B) {
 	for _, combine := range []bool{true, false} {
 		b.Run(fmt.Sprintf("combine=%v", combine), func(b *testing.B) {
+			b.ReportAllocs()
 			d, err := dict.New(dict.Options{
 				SearchMax: 16,
 				MaxActive: 2,
@@ -152,6 +158,7 @@ func BenchmarkE3Combining(b *testing.B) {
 
 // BenchmarkE4Spooler measures one print job per iteration (zero page cost).
 func BenchmarkE4Spooler(b *testing.B) {
+	b.ReportAllocs()
 	s, err := spooler.New(spooler.Config{Printers: 4, PrintMax: 8})
 	if err != nil {
 		b.Fatal(err)
@@ -194,6 +201,7 @@ func BenchmarkE5ParallelBuffer(b *testing.B) {
 		wg.Wait()
 	}
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		buf, err := parbuffer.New(parbuffer.Config{Slots: 16, ProducerMax: 4, ConsumerMax: 4})
 		if err != nil {
 			b.Fatal(err)
@@ -202,6 +210,7 @@ func BenchmarkE5ParallelBuffer(b *testing.B) {
 		run(b, buf.Deposit, buf.Remove)
 	})
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		buf, err := buffer.New(16)
 		if err != nil {
 			b.Fatal(err)
@@ -213,6 +222,7 @@ func BenchmarkE5ParallelBuffer(b *testing.B) {
 
 // BenchmarkE6NestedCalls measures the full X.P -> Y.Q -> X.R chain.
 func BenchmarkE6NestedCalls(b *testing.B) {
+	b.ReportAllocs()
 	pair, err := crossobj.New()
 	if err != nil {
 		b.Fatal(err)
@@ -240,6 +250,7 @@ func BenchmarkE7PoolModes(b *testing.B) {
 	}
 	for _, cfg := range configs {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			obj, err := alps.New("Service",
 				alps.WithEntry(alps.EntrySpec{Name: "P", Array: 16,
 					Body: func(inv *alps.Invocation) error { return nil }}),
@@ -264,6 +275,7 @@ func BenchmarkE7PoolModes(b *testing.B) {
 func BenchmarkE8PriorityGate(b *testing.B) {
 	for _, gate := range []bool{true, false} {
 		b.Run(fmt.Sprintf("gate=%v", gate), func(b *testing.B) {
+			b.ReportAllocs()
 			buf, err := buffer.New(8, alps.WithPriorityGate(gate))
 			if err != nil {
 				b.Fatal(err)
@@ -285,6 +297,7 @@ func BenchmarkE8PriorityGate(b *testing.B) {
 // BenchmarkE9PriorityGuards measures one seek through the pri-guard
 // scheduler (no head-travel cost).
 func BenchmarkE9PriorityGuards(b *testing.B) {
+	b.ReportAllocs()
 	s, err := diskhead.New(diskhead.Config{QueueMax: 16})
 	if err != nil {
 		b.Fatal(err)
@@ -315,6 +328,7 @@ func BenchmarkE10RemoteCall(b *testing.B) {
 		)
 	}
 	b.Run("local", func(b *testing.B) {
+		b.ReportAllocs()
 		obj, err := newEcho()
 		if err != nil {
 			b.Fatal(err)
@@ -328,6 +342,7 @@ func BenchmarkE10RemoteCall(b *testing.B) {
 		}
 	})
 	b.Run("remote-tcp", func(b *testing.B) {
+		b.ReportAllocs()
 		obj, err := newEcho()
 		if err != nil {
 			b.Fatal(err)
@@ -365,6 +380,7 @@ func BenchmarkManagerPrimitives(b *testing.B) {
 		return nil
 	}
 	b.Run("unmanaged-call", func(b *testing.B) {
+		b.ReportAllocs()
 		obj, err := alps.New("X",
 			alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Body: body}))
 		if err != nil {
@@ -379,6 +395,7 @@ func BenchmarkManagerPrimitives(b *testing.B) {
 		}
 	})
 	b.Run("managed-execute", func(b *testing.B) {
+		b.ReportAllocs()
 		obj, err := alps.New("X",
 			alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Body: body}),
 			alps.WithManager(func(m *alps.Mgr) {
@@ -405,6 +422,7 @@ func BenchmarkManagerPrimitives(b *testing.B) {
 		}
 	})
 	b.Run("managed-combining", func(b *testing.B) {
+		b.ReportAllocs()
 		obj, err := alps.New("X",
 			alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Body: body}),
 			alps.WithManager(func(m *alps.Mgr) {
@@ -435,6 +453,7 @@ func BenchmarkManagerPrimitives(b *testing.B) {
 // BenchmarkChannel measures the asynchronous channel primitives.
 func BenchmarkChannel(b *testing.B) {
 	b.Run("send-recv", func(b *testing.B) {
+		b.ReportAllocs()
 		c := alps.NewChan("bench")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -447,6 +466,7 @@ func BenchmarkChannel(b *testing.B) {
 		}
 	})
 	b.Run("go-chan-reference", func(b *testing.B) {
+		b.ReportAllocs()
 		c := make(chan int, 1)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -463,6 +483,7 @@ func BenchmarkChannel(b *testing.B) {
 func BenchmarkGuardScanWidth(b *testing.B) {
 	for _, n := range []int{1, 64, 4096} {
 		b.Run(fmt.Sprintf("array-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			obj, err := alps.New("Wide",
 				alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: n,
 					Body: func(inv *alps.Invocation) error {
@@ -509,6 +530,7 @@ func BenchmarkPolicies(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			mgr, icpts := tc.mk()
 			obj, err := alps.New("X",
 				alps.WithEntry(alps.EntrySpec{Name: "P", Array: 8, Body: body}),
@@ -531,6 +553,7 @@ func BenchmarkPolicies(b *testing.B) {
 // BenchmarkPathExpr measures a call through a compiled path-expression
 // manager (strict alternation of two entries).
 func BenchmarkPathExpr(b *testing.B) {
+	b.ReportAllocs()
 	p, err := pathexpr.Compile("1:(a; b)")
 	if err != nil {
 		b.Fatal(err)
@@ -560,6 +583,7 @@ func BenchmarkPathExpr(b *testing.B) {
 // BenchmarkSimnetLink measures the simulated network's per-message
 // overhead with zero configured latency.
 func BenchmarkSimnetLink(b *testing.B) {
+	b.ReportAllocs()
 	network := simnet.New(simnet.Config{})
 	lis, err := network.Listen("bench")
 	if err != nil {

@@ -1,0 +1,537 @@
+// Micro benchmarks for the JSON baseline: each mirrors one benchmark from
+// bench_test.go and is driven through testing.Benchmark so alpsbench can
+// emit machine-readable ns/op, allocs/op and B/op without `go test`. The
+// BENCH_*.json files checked into the repo root are produced from these
+// (see docs/PERFORMANCE.md for how to regenerate them).
+package main
+
+import (
+	"sync"
+	"testing"
+
+	alps "repro"
+	"repro/internal/baseline"
+	"repro/internal/objects/buffer"
+	"repro/internal/objects/crossobj"
+	"repro/internal/objects/dict"
+	"repro/internal/objects/diskhead"
+	"repro/internal/objects/parbuffer"
+	"repro/internal/objects/rwdb"
+	"repro/internal/objects/spooler"
+	"repro/internal/rpc"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// microResult is one micro benchmark's measurement in the JSON output.
+type microResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+type microBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// runMicro executes every micro benchmark and collects its results.
+func runMicro(progress func(name string)) []microResult {
+	out := make([]microResult, 0, 24)
+	for _, mb := range microBenches() {
+		if progress != nil {
+			progress(mb.name)
+		}
+		r := testing.Benchmark(mb.fn)
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		ops := 0.0
+		if nsOp > 0 {
+			ops = 1e9 / nsOp
+		}
+		out = append(out, microResult{
+			Name:        mb.name,
+			Iterations:  r.N,
+			NsPerOp:     nsOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			OpsPerSec:   ops,
+		})
+	}
+	return out
+}
+
+func microBenches() []microBench {
+	return []microBench{
+		{"E1BoundedBuffer/alps-manager", microE1Manager},
+		{"E1BoundedBuffer/monitor", microE1Monitor},
+		{"E1BoundedBuffer/semaphore", microE1Semaphore},
+		{"E2ReadersWriters/alps-rwdb", microE2RWDB},
+		{"E3Combining/combine=true", microE3Combining},
+		{"E4Spooler", microE4Spooler},
+		{"E5ParallelBuffer/parallel", microE5Parallel},
+		{"E5ParallelBuffer/serial", microE5Serial},
+		{"E6NestedCalls", microE6Nested},
+		{"E7PoolModes/spawn", microE7Spawn},
+		{"E7PoolModes/pooled-8", microE7Pooled},
+		{"E8PriorityGate/gate=true", microE8Gate},
+		{"E9PriorityGuards", microE9Guards},
+		{"E10RemoteCall/local", microE10Local},
+		{"E10RemoteCall/remote-tcp", microE10Remote},
+		{"ManagerPrimitives/unmanaged-call", microUnmanaged},
+		{"ManagerPrimitives/managed-execute", microManagedExecute},
+		{"ManagerPrimitives/managed-combining", microManagedCombining},
+		{"Channel/send-recv", microChannel},
+		{"GuardScanWidth/array-4096", microGuardWidth},
+		{"SimnetLink", microSimnetLink},
+	}
+}
+
+func microE1Manager(b *testing.B) {
+	b.ReportAllocs()
+	buf, err := buffer.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer buf.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Deposit(i); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.Remove(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE1Monitor(b *testing.B) {
+	b.ReportAllocs()
+	buf := baseline.NewMonitorBuffer(8)
+	defer buf.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Deposit(i); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.Remove(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE1Semaphore(b *testing.B) {
+	b.ReportAllocs()
+	buf := baseline.NewSemaphoreBuffer(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Deposit(i)
+		buf.Remove()
+	}
+}
+
+func microE2RWDB(b *testing.B) {
+	b.ReportAllocs()
+	db, err := rwdb.New(rwdb.Config{ReadMax: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	mix, err := workload.NewOpMix(1, 32, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := mix.Next()
+		if op.Write {
+			if err := db.Write(op.Key, op.Value); err != nil {
+				b.Fatal(err)
+			}
+		} else if _, _, err := db.Read(op.Key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE3Combining(b *testing.B) {
+	b.ReportAllocs()
+	d, err := dict.New(dict.Options{SearchMax: 16, MaxActive: 2, Combine: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	const clients = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ws, err := workload.NewWordStream(uint64(c), 8, 1.1)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				if _, err := d.Search(ws.Next()); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func microE4Spooler(b *testing.B) {
+	b.ReportAllocs()
+	s, err := spooler.New(spooler.Config{Printers: 4, PrintMax: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Print("bench", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE5Run(b *testing.B, deposit func(any) error, remove func() (any, error)) {
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			if err := deposit(i); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			if _, err := remove(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func microE5Parallel(b *testing.B) {
+	b.ReportAllocs()
+	buf, err := parbuffer.New(parbuffer.Config{Slots: 16, ProducerMax: 4, ConsumerMax: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer buf.Close()
+	microE5Run(b, buf.Deposit, buf.Remove)
+}
+
+func microE5Serial(b *testing.B) {
+	b.ReportAllocs()
+	buf, err := buffer.New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer buf.Close()
+	microE5Run(b, buf.Deposit, buf.Remove)
+}
+
+func microE6Nested(b *testing.B) {
+	b.ReportAllocs()
+	pair, err := crossobj.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pair.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pair.CallP(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE7(b *testing.B, mode sched.Mode, workers int) {
+	b.ReportAllocs()
+	obj, err := alps.New("Service",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Array: 16,
+			Body: func(inv *alps.Invocation) error { return nil }}),
+		alps.WithPool(mode, workers),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Call("P"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE7Spawn(b *testing.B)  { microE7(b, sched.ModeSpawn, 0) }
+func microE7Pooled(b *testing.B) { microE7(b, sched.ModePooled, 8) }
+
+func microE8Gate(b *testing.B) {
+	b.ReportAllocs()
+	buf, err := buffer.New(8, alps.WithPriorityGate(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer buf.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Deposit(i); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := buf.Remove(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE9Guards(b *testing.B) {
+	b.ReportAllocs()
+	s, err := diskhead.New(diskhead.Config{QueueMax: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	tracks, err := workload.NewTracks(1, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Seek(tracks.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microEcho() (*alps.Object, error) {
+	return alps.New("Echo",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 8,
+			Body: func(inv *alps.Invocation) error {
+				inv.Return(inv.Param(0))
+				return nil
+			}}),
+	)
+}
+
+func microE10Local(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := microEcho()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Call("P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microE10Remote(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := microEcho()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	node := rpc.NewNode("bench")
+	if err := node.Publish(obj); err != nil {
+		b.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rem.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rem.Call("Echo", "P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microEchoBody(inv *alps.Invocation) error {
+	inv.Return(inv.Param(0))
+	return nil
+}
+
+func microUnmanaged(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := alps.New("X",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Body: microEchoBody}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Call("P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microManagedExecute(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := alps.New("X",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Body: microEchoBody}),
+		alps.WithManager(func(m *alps.Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, alps.Intercept("P")),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Call("P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microManagedCombining(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := alps.New("X",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Body: microEchoBody}),
+		alps.WithManager(func(m *alps.Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.FinishAccepted(a, a.Params[0]); err != nil {
+					return
+				}
+			}
+		}, alps.InterceptPR("P", 1, 1)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Call("P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microChannel(b *testing.B) {
+	b.ReportAllocs()
+	c := alps.NewChan("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(i); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := c.TryRecv(); !ok {
+			b.Fatal("lost message")
+		}
+	}
+}
+
+func microGuardWidth(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := alps.New("Wide",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 4096,
+			Body: microEchoBody}),
+		alps.WithManager(func(m *alps.Mgr) {
+			_ = m.Loop(
+				alps.OnAccept("P", func(a *alps.Accepted) {
+					if _, err := m.Execute(a); err != nil {
+						return
+					}
+				}),
+			)
+		}, alps.Intercept("P")),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := obj.Call("P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func microSimnetLink(b *testing.B) {
+	b.ReportAllocs()
+	network := simnet.New(simnet.Config{})
+	lis, err := network.Listen("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := network.Dial("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("ping")
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+//go:build !race
+
+package core
+
+import "testing"
+
+// Allocation regression tests for the pooled call pipeline (PR 2). Limits
+// are set with modest headroom over the measured steady state so genuine
+// regressions fail while scheduler noise does not. Race builds are excluded:
+// the race runtime allocates on its own account.
+
+func newEchoManaged(t *testing.T) *Object {
+	t.Helper()
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1,
+			Body: func(inv *Invocation) error { inv.Return(inv.Param(0)); return nil }}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestAllocsManagedExecute(t *testing.T) {
+	o := newEchoManaged(t)
+	defer mustClose(t, o)
+	for i := 0; i < 64; i++ { // warm the record pool
+		if _, err := o.Call("P", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := o.Call("P", 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state measures ~6 allocs/op (was ~26 before the pooled
+	// pipeline; see BENCH_baseline.json vs BENCH_PR2.json).
+	const limit = 11.0
+	if avg > limit {
+		t.Errorf("managed execute: %.1f allocs/op, want <= %.0f", avg, limit)
+	}
+}
+
+func TestAllocsUnmanagedCall(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1,
+			Body: func(inv *Invocation) error { inv.Return(inv.Param(0)); return nil }}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	for i := 0; i < 64; i++ {
+		if _, err := o.Call("P", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := o.Call("P", 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state measures ~4 allocs/op (was ~9).
+	const limit = 7.0
+	if avg > limit {
+		t.Errorf("unmanaged call: %.1f allocs/op, want <= %.0f", avg, limit)
+	}
+}
+
+func TestAllocsGuardLoopCombining(t *testing.T) {
+	// E1's manager shape: a bounded buffer driven by When guards with
+	// request combining, exercising the lazy guard scan.
+	const n = 4
+	var buf []Value
+	nop := func(inv *Invocation) error { return nil }
+	o, err := New("B",
+		WithEntry(EntrySpec{Name: "Deposit", Params: 1, Body: nop}),
+		WithEntry(EntrySpec{Name: "Remove", Results: 1, Body: nop}),
+		WithManager(func(m *Mgr) {
+			dep := OnAccept("Deposit", func(a *Accepted) {
+				buf = append(buf, a.Params[0])
+				_ = m.FinishAccepted(a)
+			}).When(func(*Accepted) bool { return len(buf) < n })
+			rem := OnAccept("Remove", func(a *Accepted) {
+				v := buf[0]
+				buf = buf[1:]
+				_ = m.FinishAccepted(a, v)
+			}).When(func(*Accepted) bool { return len(buf) > 0 })
+			_ = m.Loop(dep, rem)
+		}, InterceptPR("Deposit", 1, 0), InterceptPR("Remove", 0, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	for i := 0; i < 64; i++ {
+		if _, err := o.Call("Deposit", i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Call("Remove"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := o.Call("Deposit", 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o.Call("Remove"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One deposit+remove pair measures ~10 allocs (was ~42 with eager
+	// candidate materialization).
+	const limit = 16.0
+	if avg > limit {
+		t.Errorf("guard-loop pair: %.1f allocs/op, want <= %.0f", avg, limit)
+	}
+}

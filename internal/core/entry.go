@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Value is one ALPS parameter, result, or message value.
 type Value = any
@@ -124,6 +127,11 @@ type entry struct {
 	ipParams    int
 	ipResults   int
 
+	// watchSelf is the singleton watch set {this entry}, pre-built so the
+	// manager's single-entry fast paths (Accept, Await, AwaitCall) can
+	// publish their interest without allocating.
+	watchSelf *watchSet
+
 	slots     []*slot
 	attached  []*slot       // slots in state slotAttached (accept candidates)
 	ready     []*slot       // slots in state slotReady (await candidates)
@@ -172,6 +180,7 @@ func newEntry(spec EntrySpec) *entry {
 	}
 	spec.Array = n
 	e := &entry{spec: spec, slots: make([]*slot, n)}
+	e.watchSelf = &watchSet{entries: []*entry{e}}
 	for i := range e.slots {
 		e.slots[i] = &slot{index: i, state: slotFree, listPos: -1}
 	}
@@ -190,10 +199,28 @@ type callResult struct {
 }
 
 // callRecord tracks one invocation through its lifecycle.
+//
+// Records are recycled through the object's crPool. The protocol (see
+// docs/PERFORMANCE.md):
+//
+//   - refs starts at 2: one reference for the caller blocked on resultCh,
+//     one for the runtime (held until the record leaves waitq/slots for
+//     good). The side that drops refs to 0 returns the record to the pool.
+//   - Every field except refs is written only while the object lock is
+//     held, and only by the record's current owner lifecycle; acquire
+//     resets all of them under the lock. A stale handle from a previous
+//     lifecycle therefore reads consistent (if outdated) values and is
+//     detected by comparing its captured id against cr.id (ids are unique,
+//     so an ABA match is impossible).
+//   - resultCh is reused across lifecycles. It is provably empty at
+//     recycle time: deliverLocked sends at most once per lifecycle
+//     (delivered flag, under the lock), the caller always performs the
+//     matching receive before releasing its reference, and a successful
+//     withdraw marks delivered before any send can happen.
 type callRecord struct {
 	id        uint64
 	entry     *entry
-	params    []Value // full caller-supplied regular parameters
+	params    []Value // caller-supplied regular parameters (ownership transferred)
 	resultCh  chan callResult
 	delivered bool
 	slot      *slot // nil until attached
@@ -203,6 +230,10 @@ type callRecord struct {
 	bodyResults   []Value // regular results produced by the body
 	hiddenResults []Value // hidden results produced by the body
 	bodyErr       error
+
+	refs  atomic.Int32
+	inv   Invocation // body-side view, embedded to avoid a per-start allocation
+	runFn func()     // pre-bound o.runBody(cr) thunk, created once per record
 }
 
 func (cr *callRecord) slotIndex() int {

@@ -12,6 +12,9 @@ import (
 // with When (acceptance conditions, evaluated against the values that would
 // be received) and Pri (run-time priorities; among eligible alternatives the
 // smallest value is selected).
+//
+// Guards must not be mutated between Select calls that reuse the same slice
+// (as Loop does): Select caches validation and entry resolution per slice.
 type Guard struct {
 	kind guardKind
 
@@ -35,6 +38,12 @@ type Guard struct {
 	actAwait  func(*Awaited)
 	actMsg    func(channel.Message)
 	actCond   func()
+
+	// Filled in by Mgr.prepare (manager goroutine only): the resolved
+	// entry for accept/await guards and the preparation stamp that lets
+	// repeated Selects over the same slice skip validation entirely.
+	res  *entry
+	prep uint64
 }
 
 type guardKind int
@@ -75,13 +84,16 @@ func (g Guard) Slot(i int) Guard {
 }
 
 // When attaches an acceptance condition to an accept guard; the predicate
-// sees the intercepted parameters the manager would receive (§2.4).
+// sees the intercepted parameters the manager would receive (§2.4). The
+// handle passed to the predicate is a scratch value valid only for the
+// duration of the call: predicates must not retain it or mutate its Params.
 func (g Guard) When(pred func(*Accepted) bool) Guard {
 	g.whenAccept = pred
 	return g
 }
 
-// WhenAwait attaches an acceptance condition to an await guard.
+// WhenAwait attaches an acceptance condition to an await guard. The handle
+// is scratch, as with When.
 func (g Guard) WhenAwait(pred func(*Awaited) bool) Guard {
 	g.whenAwait = pred
 	return g
@@ -104,14 +116,16 @@ func (g Guard) Pri(p int) Guard {
 }
 
 // PriAccept computes the priority from the accepted call's intercepted
-// parameters (run-time evaluable priorities, §2.4).
+// parameters (run-time evaluable priorities, §2.4). The handle is scratch,
+// as with When.
 func (g Guard) PriAccept(f func(*Accepted) int) Guard {
 	g.priAccept = f
 	g.hasPri = true
 	return g
 }
 
-// PriAwait computes the priority from the awaited call's results.
+// PriAwait computes the priority from the awaited call's results. The
+// handle is scratch, as with When.
 func (g Guard) PriAwait(f func(*Awaited) int) Guard {
 	g.priAwait = f
 	g.hasPri = true
@@ -125,12 +139,15 @@ func (g Guard) PriMsg(f func(channel.Message) int) Guard {
 	return g
 }
 
-// candidate is one eligible (guard, datum) pair found during a scan.
+// candidate is one eligible (guard, datum) pair found during a scan. It is
+// a plain value — no handles, no closures — so scanning allocates nothing;
+// the winning candidate is materialized at commit time.
 type candidate struct {
 	guardIdx int
 	pri      int
-	commit   func() bool // performs the state change; false if stolen
-	run      func()      // guard action, executed outside the object lock
+	kind     guardKind
+	e        *entry
+	s        *slot
 }
 
 // Select evaluates the guards and executes exactly one eligible
@@ -145,112 +162,172 @@ func (m *Mgr) Select(guards ...Guard) (int, error) {
 	if len(guards) == 0 {
 		return -1, fmt.Errorf("select with no guards: %w", ErrBadState)
 	}
-	o := m.obj
-	for i, g := range guards {
-		if err := m.checkGuard(g); err != nil {
-			return -1, fmt.Errorf("select guard %d: %w", i, err)
-		}
-		if g.kind == guardReceive {
-			m.subscribe(g.ch)
-		}
+	if err := m.prepare(guards); err != nil {
+		return -1, err
 	}
+	o := m.obj
 	for {
+		m.dirty.Store(0)
 		o.mu.Lock()
 		if o.closed {
 			o.mu.Unlock()
 			return -1, ErrClosed
 		}
 		m.inScan = true
-		cands := m.scanLocked(guards)
+		m.scanLocked(guards)
 		m.inScan = false
-		if len(cands) == 0 {
-			o.mu.Unlock()
-			select {
-			case <-m.pokeCh:
-				continue
-			case <-o.closeCh:
-				return -1, ErrClosed
+		if len(m.cands) == 0 {
+			if err := m.blockLocked(); err != nil {
+				return -1, err
 			}
-		}
-		best := pickCandidate(cands, m.rot)
-		m.rot++
-		if !best.commit() {
-			// A receive guard's message was consumed between peek and take;
-			// rescan.
-			o.mu.Unlock()
 			continue
 		}
-		o.mu.Unlock()
-		best.run()
-		return best.guardIdx, nil
+		c := pickCandidate(m.cands, m.rot)
+		m.rot++
+		g := &guards[c.guardIdx]
+		switch c.kind {
+		case guardAccept:
+			a := m.commitAcceptLocked(c.e, c.s)
+			o.mu.Unlock()
+			g.actAccept(a)
+			return c.guardIdx, nil
+		case guardAwait:
+			aw := m.commitAwaitLocked(c.e, c.s)
+			o.mu.Unlock()
+			g.actAwait(aw)
+			return c.guardIdx, nil
+		case guardReceive:
+			// The message was only peeked during the scan; in the rare case
+			// another receiver consumed it in between, TakeWhere selects the
+			// next message satisfying the same condition, or we rescan.
+			msg, ok := g.ch.TakeWhere(g.whenMsg)
+			o.mu.Unlock()
+			if !ok {
+				continue
+			}
+			g.actMsg(msg)
+			return c.guardIdx, nil
+		default: // guardCond
+			o.mu.Unlock()
+			g.actCond()
+			return c.guardIdx, nil
+		}
 	}
 }
 
-func (m *Mgr) checkGuard(g Guard) error {
-	switch g.kind {
-	case guardAccept, guardAwait:
-		e, ok := m.obj.entries[g.entry]
-		if !ok {
-			return fmt.Errorf("entry %q: %w", g.entry, ErrUnknownEntry)
+// prepare validates the guard set, resolves entries, (re)subscribes receive
+// channels, and publishes the watch set wakers consult for poke elision.
+// Loop passes the identical slice on every iteration, so the fully prepared
+// case is recognized by (first, len, stamp) and skipped.
+func (m *Mgr) prepare(guards []Guard) error {
+	if m.lastFirst == &guards[0] && m.lastLen == len(guards) {
+		hit := true
+		for i := range guards {
+			if guards[i].prep != m.lastPrep {
+				hit = false
+				break
+			}
 		}
-		if !e.intercepted {
-			return fmt.Errorf("entry %q: %w", g.entry, ErrNotIntercepted)
+		if hit {
+			// A fast-path primitive (Accept/Await/AwaitCall) may have
+			// narrowed the published watch set since the last Select over
+			// this slice; restore it.
+			if ws := m.lastWatch; ws != nil && m.watch.Load() != ws {
+				m.watch.Store(ws)
+			}
+			return nil
 		}
-		if g.slotIdx >= e.spec.Array {
-			return fmt.Errorf("entry %q has array size %d, guard names element %d: %w",
-				g.entry, e.spec.Array, g.slotIdx, ErrBadArity)
-		}
-	case guardReceive:
-		if g.ch == nil {
-			return fmt.Errorf("receive guard with nil channel: %w", ErrBadState)
-		}
-	case guardCond:
-		if g.cond == nil {
-			return fmt.Errorf("when guard with nil condition: %w", ErrBadState)
-		}
-	default:
-		return fmt.Errorf("malformed guard: %w", ErrBadState)
 	}
+	m.prepSeq++
+	m.subGen++
+	watchAll := false
+	m.watchScratch = m.watchScratch[:0]
+	for i := range guards {
+		g := &guards[i]
+		switch g.kind {
+		case guardAccept, guardAwait:
+			e, err := m.resolveIntercepted(g.entry, g.slotIdx)
+			if err != nil {
+				return fmt.Errorf("select guard %d: %w", i, err)
+			}
+			g.res = e
+			if !entryIn(m.watchScratch, e) {
+				m.watchScratch = append(m.watchScratch, e)
+			}
+		case guardReceive:
+			if g.ch == nil {
+				return fmt.Errorf("select guard %d: receive guard with nil channel: %w", i, ErrBadState)
+			}
+			m.subscribe(g.ch)
+		case guardCond:
+			if g.cond == nil {
+				return fmt.Errorf("select guard %d: when guard with nil condition: %w", i, ErrBadState)
+			}
+			watchAll = true
+		default:
+			return fmt.Errorf("select guard %d: malformed guard: %w", i, ErrBadState)
+		}
+		g.prep = m.prepSeq
+	}
+	m.sweepSubs()
+	ws := watchAllSet
+	if !watchAll {
+		ws = &watchSet{entries: append([]*entry(nil), m.watchScratch...)}
+	}
+	m.watch.Store(ws)
+	m.lastWatch = ws
+	m.lastFirst, m.lastLen, m.lastPrep = &guards[0], len(guards), m.prepSeq
 	return nil
 }
 
-// scanLocked collects every eligible alternative. Called with o.mu held.
-func (m *Mgr) scanLocked(guards []Guard) []candidate {
-	o := m.obj
-	var cands []candidate
+func entryIn(list []*entry, e *entry) bool {
+	for _, x := range list {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// scanLocked refills m.cands with every eligible alternative. Called with
+// o.mu held. Acceptance conditions and run-time priorities are evaluated
+// against the manager's scratch handles; nothing is heap-allocated for a
+// candidate that does not win.
+func (m *Mgr) scanLocked(guards []Guard) {
+	m.cands = m.cands[:0]
 	for gi := range guards {
-		g := guards[gi]
+		g := &guards[gi]
 		switch g.kind {
 		case guardAccept:
 			// Iterate only attached slots (§3: polling all N elements of a
 			// hidden array would be wasteful).
-			e := o.entries[g.entry]
+			e := g.res
 			if g.slotIdx >= 0 {
 				if s := e.slots[g.slotIdx]; s.state == slotAttached {
-					if c, ok := m.acceptCandidate(gi, g, e, s); ok {
-						cands = append(cands, c)
+					if pri, ok := m.acceptEligible(g, e, s); ok {
+						m.cands = append(m.cands, candidate{guardIdx: gi, pri: pri, kind: guardAccept, e: e, s: s})
 					}
 				}
 				continue
 			}
 			for _, s := range e.attached {
-				if c, ok := m.acceptCandidate(gi, g, e, s); ok {
-					cands = append(cands, c)
+				if pri, ok := m.acceptEligible(g, e, s); ok {
+					m.cands = append(m.cands, candidate{guardIdx: gi, pri: pri, kind: guardAccept, e: e, s: s})
 				}
 			}
 		case guardAwait:
-			e := o.entries[g.entry]
+			e := g.res
 			if g.slotIdx >= 0 {
 				if s := e.slots[g.slotIdx]; s.state == slotReady {
-					if c, ok := m.awaitCandidate(gi, g, e, s); ok {
-						cands = append(cands, c)
+					if pri, ok := m.awaitEligible(g, e, s); ok {
+						m.cands = append(m.cands, candidate{guardIdx: gi, pri: pri, kind: guardAwait, e: e, s: s})
 					}
 				}
 				continue
 			}
 			for _, s := range e.ready {
-				if c, ok := m.awaitCandidate(gi, g, e, s); ok {
-					cands = append(cands, c)
+				if pri, ok := m.awaitEligible(g, e, s); ok {
+					m.cands = append(m.cands, candidate{guardIdx: gi, pri: pri, kind: guardAwait, e: e, s: s})
 				}
 			}
 		case guardReceive:
@@ -258,110 +335,126 @@ func (m *Mgr) scanLocked(guards []Guard) []candidate {
 			if !ok {
 				continue
 			}
-			// Priority is computed from the peeked message; in the rare case
-			// another receiver consumes it before commit, the take below
-			// selects the next message satisfying the same condition.
+			// Priority is computed from the peeked message (§2.4: one
+			// candidate per channel — the frontmost eligible message).
 			pri := g.priConst
 			if g.priMsg != nil {
 				pri = g.priMsg(msg)
 			}
-			gc := g
-			var taken channel.Message
-			cands = append(cands, candidate{
-				guardIdx: gi,
-				pri:      pri,
-				commit: func() bool {
-					got, ok := gc.ch.TakeWhere(gc.whenMsg)
-					if ok {
-						taken = got
-					}
-					return ok
-				},
-				run: func() { gc.actMsg(taken) },
-			})
+			m.cands = append(m.cands, candidate{guardIdx: gi, pri: pri, kind: guardReceive})
 		case guardCond:
 			if !g.cond() {
 				continue
 			}
-			gc := g
-			cands = append(cands, candidate{
-				guardIdx: gi,
-				pri:      g.priConst,
-				commit:   func() bool { return true },
-				run:      func() { gc.actCond() },
-			})
+			m.cands = append(m.cands, candidate{guardIdx: gi, pri: g.priConst, kind: guardCond})
 		}
 	}
-	return cands
 }
 
-func (m *Mgr) acceptCandidate(gi int, g Guard, e *entry, s *slot) (candidate, bool) {
-	o := m.obj
-	cr := s.call
-	a := &Accepted{
-		m:      m,
-		call:   cr,
-		Entry:  e.spec.Name,
-		Slot:   s.index,
-		Params: append([]Value(nil), cr.params[:e.ipParams]...),
+// acceptEligible evaluates an accept guard's acceptance condition and
+// priority against an attached slot using the scratch handle. The handle's
+// Params alias the call's parameters (capped, so appends cannot clobber the
+// suffix); predicates must treat it as read-only and not retain it.
+func (m *Mgr) acceptEligible(g *Guard, e *entry, s *slot) (int, bool) {
+	if g.whenAccept == nil && g.priAccept == nil {
+		return g.priConst, true
 	}
+	cr := s.call
+	a := &m.scratchA
+	a.m = m
+	a.call = cr
+	a.id = cr.id
+	a.Entry = e.spec.Name
+	a.Slot = s.index
+	a.Params = cr.params[:e.ipParams:e.ipParams]
 	if g.whenAccept != nil && !g.whenAccept(a) {
-		return candidate{}, false
+		return 0, false
 	}
 	pri := g.priConst
 	if g.priAccept != nil {
 		pri = g.priAccept(a)
 	}
-	gc := g
-	return candidate{
-		guardIdx: gi,
-		pri:      pri,
-		commit: func() bool {
-			e.attached = delist(e.attached, s)
-			s.state = slotAccepted
-			cr.mgrParams = a.Params
-			o.rec.Record(o.name, e.spec.Name, s.index, cr.id, trace.Accepted)
-			return true
-		},
-		run: func() { gc.actAccept(a) },
-	}, true
+	return pri, true
 }
 
-func (m *Mgr) awaitCandidate(gi int, g Guard, e *entry, s *slot) (candidate, bool) {
-	o := m.obj
-	cr := s.call
-	aw := &Awaited{
-		m:      m,
-		call:   cr,
-		Entry:  e.spec.Name,
-		Slot:   s.index,
-		Hidden: append([]Value(nil), cr.hiddenResults...),
-		Err:    cr.bodyErr,
+// awaitEligible is acceptEligible's counterpart for ready slots.
+func (m *Mgr) awaitEligible(g *Guard, e *entry, s *slot) (int, bool) {
+	if g.whenAwait == nil && g.priAwait == nil {
+		return g.priConst, true
 	}
+	cr := s.call
+	aw := &m.scratchAw
+	aw.m = m
+	aw.call = cr
+	aw.id = cr.id
+	aw.Entry = e.spec.Name
+	aw.Slot = s.index
+	aw.Hidden = cr.hiddenResults
+	aw.Err = cr.bodyErr
 	if cr.bodyErr == nil {
-		aw.Results = append([]Value(nil), cr.bodyResults[:e.ipResults]...)
-	} else {
+		aw.Results = cr.bodyResults[:e.ipResults:e.ipResults]
+	} else if e.ipResults > 0 {
 		aw.Results = make([]Value, e.ipResults)
+	} else {
+		aw.Results = nil
 	}
 	if g.whenAwait != nil && !g.whenAwait(aw) {
-		return candidate{}, false
+		return 0, false
 	}
 	pri := g.priConst
 	if g.priAwait != nil {
 		pri = g.priAwait(aw)
 	}
-	gc := g
-	return candidate{
-		guardIdx: gi,
-		pri:      pri,
-		commit: func() bool {
-			e.ready = delist(e.ready, s)
-			s.state = slotAwaited
-			o.rec.Record(o.name, e.spec.Name, s.index, cr.id, trace.Awaited)
-			return true
-		},
-		run: func() { gc.actAwait(aw) },
-	}, true
+	return pri, true
+}
+
+// commitAcceptLocked performs the accept state change for the selected slot
+// and materializes the manager's handle. The intercepted parameter prefix
+// is copied: the manager may replace values through the handle, and the
+// caller's slice must stay untouched.
+func (m *Mgr) commitAcceptLocked(e *entry, s *slot) *Accepted {
+	o := m.obj
+	cr := s.call
+	e.attached = delist(e.attached, s)
+	s.state = slotAccepted
+	a := &Accepted{
+		m:      m,
+		call:   cr,
+		id:     cr.id,
+		Entry:  e.spec.Name,
+		Slot:   s.index,
+		Params: append([]Value(nil), cr.params[:e.ipParams]...),
+	}
+	cr.mgrParams = a.Params
+	o.record(e.spec.Name, s.index, cr.id, trace.Accepted)
+	return a
+}
+
+// commitAwaitLocked performs the await state change for the selected slot
+// and materializes the manager's handle. Results and Hidden alias the
+// body's returned slices (body ownership ended at return; the manager is
+// their only consumer).
+func (m *Mgr) commitAwaitLocked(e *entry, s *slot) *Awaited {
+	o := m.obj
+	cr := s.call
+	e.ready = delist(e.ready, s)
+	s.state = slotAwaited
+	aw := &Awaited{
+		m:      m,
+		call:   cr,
+		id:     cr.id,
+		Entry:  e.spec.Name,
+		Slot:   s.index,
+		Hidden: cr.hiddenResults,
+		Err:    cr.bodyErr,
+	}
+	if cr.bodyErr == nil {
+		aw.Results = cr.bodyResults[:e.ipResults:e.ipResults]
+	} else if e.ipResults > 0 {
+		aw.Results = make([]Value, e.ipResults)
+	}
+	o.record(e.spec.Name, s.index, cr.id, trace.Awaited)
+	return aw
 }
 
 // pickCandidate selects the minimum-pri candidate. The scan starts at a

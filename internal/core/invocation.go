@@ -47,18 +47,24 @@ func (inv *Invocation) HiddenParams() []Value { return inv.hidden }
 // Return records the procedure's regular results. It must be called exactly
 // once (unless the entry declares zero results), with exactly the declared
 // number of values; violations fail the call.
+//
+// Ownership of the results slice transfers to the runtime: a body that
+// spreads a retained slice (inv.Return(vals...)) must not mutate it
+// afterwards. The usual literal-argument form allocates a fresh slice at the
+// call site, so no defensive copy is made here.
 func (inv *Invocation) Return(results ...Value) {
 	if inv.returned {
 		panic(fmt.Sprintf("alps: body %s.%s called Return twice", inv.obj.name, inv.Entry()))
 	}
 	inv.returned = true
-	inv.results = append([]Value(nil), results...)
+	inv.results = results
 }
 
 // ReturnHidden records hidden results delivered to the manager's await, not
-// to the caller (§2.8).
+// to the caller (§2.8). Ownership of the slice transfers to the runtime, as
+// with Return.
 func (inv *Invocation) ReturnHidden(hidden ...Value) {
-	inv.hiddenRes = append([]Value(nil), hidden...)
+	inv.hiddenRes = hidden
 }
 
 // Done is closed when the object is closing; long-running bodies should
@@ -80,14 +86,5 @@ func (inv *Invocation) CallLocalCtx(ctx context.Context, name string, params ...
 	if err != nil {
 		return nil, err
 	}
-	select {
-	case res := <-cr.resultCh:
-		return res.results, res.err
-	case <-ctx.Done():
-	}
-	if inv.obj.withdraw(cr) {
-		return nil, ctx.Err()
-	}
-	res := <-cr.resultCh
-	return res.results, res.err
+	return inv.obj.awaitResult(ctx, cr)
 }

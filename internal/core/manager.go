@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/channel"
 	"repro/internal/trace"
@@ -17,20 +18,69 @@ type Mgr struct {
 	obj    *Object
 	pokeCh chan struct{}
 	rot    int // rotation counter for fair tie-breaking among equal-pri guards
-	subs   map[*channel.Chan]func()
+
+	subs   map[*channel.Chan]*subRec
+	subGen uint64 // bumped per prepared guard set; stale subs are swept
 
 	// inScan is true while Select holds the object lock to evaluate guards.
 	// Guard predicates run in that window on the manager's own process, so
 	// Pending/Active must read state directly instead of re-locking. Only
 	// the manager goroutine reads or writes this field.
 	inScan bool
+
+	// Guard-set cache (manager goroutine only): Loop passes the same guards
+	// slice to Select on every iteration, so validation, entry resolution
+	// and the watch set are computed once and stamped into the guards
+	// (Guard.prep); a matching (first, len, stamp) triple skips prepare.
+	lastFirst *Guard
+	lastLen   int
+	lastPrep  uint64
+	prepSeq   uint64
+	lastWatch *watchSet
+
+	// watch publishes the set of entries the manager's current (or most
+	// recent) blocking construct can react to; wakers consult it to elide
+	// pokes for entries no guard watches. Immutable once stored.
+	watch atomic.Pointer[watchSet]
+
+	// dirty/idle implement the wakeup handshake (a Dekker-style flag pair,
+	// both seq-cst): the manager clears dirty, scans, publishes idle, then
+	// re-checks dirty before blocking; a waker sets dirty and pokes only if
+	// idle is set. Either the waker sees idle and pokes, or the manager
+	// sees dirty and rescans — a wakeup can never be lost.
+	dirty atomic.Int32
+	idle  atomic.Int32
+
+	// Reused scan state (manager goroutine only): candidate slice, watch
+	// scratch, and the scratch handles guard predicates and priorities are
+	// evaluated against (nothing is materialized for losing candidates).
+	cands        []candidate
+	watchScratch []*entry
+	scratchA     Accepted
+	scratchAw    Awaited
+}
+
+// watchSet is an immutable set of entries a blocked manager can react to.
+// all is set when a cond guard is present: arbitrary object state may flip
+// it, so every change must wake the manager.
+type watchSet struct {
+	all     bool
+	entries []*entry
+}
+
+// watchAllSet is the shared "wake me for everything" set.
+var watchAllSet = &watchSet{all: true}
+
+type subRec struct {
+	unsub func()
+	gen   uint64
 }
 
 func newMgr(o *Object) *Mgr {
 	return &Mgr{
 		obj:    o,
 		pokeCh: make(chan struct{}, 1),
-		subs:   make(map[*channel.Chan]func()),
+		subs:   make(map[*channel.Chan]*subRec),
 	}
 }
 
@@ -44,23 +94,89 @@ func (m *Mgr) poke() {
 	}
 }
 
+// interested reports whether the manager's published watch set covers e.
+// A nil set (manager not yet blocked on anything) conservatively matches.
+func (m *Mgr) interested(e *entry) bool {
+	ws := m.watch.Load()
+	if ws == nil || ws.all {
+		return true
+	}
+	for _, we := range ws.entries {
+		if we == e {
+			return true
+		}
+	}
+	return false
+}
+
+// wake is the waker half of the poke-elision handshake: publish the change,
+// then poke only if the manager is (or is about to be) blocked.
+func (m *Mgr) wake() {
+	m.dirty.Store(1)
+	if m.idle.Load() != 0 {
+		m.poke()
+	}
+}
+
+// blockLocked is called with o.mu held after a scan found nothing eligible.
+// It publishes idle, releases the lock, re-checks dirty (closing the race
+// with wakers that missed the idle flag) and blocks until a poke or close.
+func (m *Mgr) blockLocked() error {
+	o := m.obj
+	m.idle.Store(1)
+	o.mu.Unlock()
+	if m.dirty.Load() != 0 {
+		m.idle.Store(0)
+		return nil
+	}
+	select {
+	case <-m.pokeCh:
+		m.idle.Store(0)
+		return nil
+	case <-o.closeCh:
+		m.idle.Store(0)
+		return ErrClosed
+	}
+}
+
+// watchEntry publishes the single-entry watch set for the fast-path
+// primitives, using the entry's pre-built singleton to avoid allocating.
+func (m *Mgr) watchEntry(e *entry) {
+	if m.watch.Load() != e.watchSelf {
+		m.watch.Store(e.watchSelf)
+	}
+}
+
 func (m *Mgr) unsubscribeAll() {
-	for _, unsub := range m.subs {
-		unsub()
+	for _, s := range m.subs {
+		s.unsub()
 	}
 	m.subs = nil
 }
 
-// subscribe lazily registers the manager's poke channel with a channel used
-// in a receive guard, for the lifetime of the manager.
+// subscribe registers the manager's poke channel with a channel used in a
+// receive guard, exactly once per channel, and stamps the subscription with
+// the current guard-set generation.
 func (m *Mgr) subscribe(ch *channel.Chan) {
 	if m.subs == nil {
 		return // manager exiting
 	}
-	if _, ok := m.subs[ch]; ok {
+	if s, ok := m.subs[ch]; ok {
+		s.gen = m.subGen
 		return
 	}
-	m.subs[ch] = ch.Subscribe(m.pokeCh)
+	m.subs[ch] = &subRec{unsub: ch.Subscribe(m.pokeCh), gen: m.subGen}
+}
+
+// sweepSubs unsubscribes channels the newly prepared guard set no longer
+// uses, so long-lived managers do not accumulate stale poke sources.
+func (m *Mgr) sweepSubs() {
+	for ch, s := range m.subs {
+		if s.gen != m.subGen {
+			s.unsub()
+			delete(m.subs, ch)
+		}
+	}
 }
 
 // Accepted is the manager's handle on a call it has accepted. Params holds
@@ -69,6 +185,7 @@ func (m *Mgr) subscribe(ch *channel.Chan) {
 type Accepted struct {
 	m      *Mgr
 	call   *callRecord
+	id     uint64 // captured call id; guards against recycled records (ABA)
 	Entry  string
 	Slot   int
 	Params []Value
@@ -77,7 +194,7 @@ type Accepted struct {
 // CallID reports the accepted call's unique id. Ids are assigned in
 // arrival order at the object, so they double as arrival sequence numbers
 // (useful for FIFO scheduling policies via run-time priorities).
-func (a *Accepted) CallID() uint64 { return a.call.id }
+func (a *Accepted) CallID() uint64 { return a.id }
 
 // Awaited is the manager's handle on a call whose body has terminated and
 // been awaited. Results holds the intercepted result prefix; Hidden holds
@@ -85,6 +202,7 @@ func (a *Accepted) CallID() uint64 { return a.call.id }
 type Awaited struct {
 	m       *Mgr
 	call    *callRecord
+	id      uint64 // captured call id; guards against recycled records (ABA)
 	Entry   string
 	Slot    int
 	Results []Value
@@ -93,7 +211,7 @@ type Awaited struct {
 }
 
 // CallID reports the awaited call's unique id.
-func (aw *Awaited) CallID() uint64 { return aw.call.id }
+func (aw *Awaited) CallID() uint64 { return aw.id }
 
 // Pending implements the #P notation: calls attached but not yet accepted
 // plus calls waiting to be attached (§2.5.1).
@@ -136,41 +254,96 @@ func (m *Mgr) ArrayLen(entryName string) int {
 // Closed returns a channel closed when the object closes.
 func (m *Mgr) Closed() <-chan struct{} { return m.obj.closeCh }
 
+// resolveIntercepted maps an entry name to its runtime entry, validating
+// that the manager may accept/await it and that slotIdx (or -1 for any) is
+// within the hidden array.
+func (m *Mgr) resolveIntercepted(entryName string, slotIdx int) (*entry, error) {
+	e, ok := m.obj.entries[entryName]
+	if !ok {
+		return nil, fmt.Errorf("entry %q: %w", entryName, ErrUnknownEntry)
+	}
+	if !e.intercepted {
+		return nil, fmt.Errorf("entry %q: %w", entryName, ErrNotIntercepted)
+	}
+	if slotIdx >= e.spec.Array {
+		return nil, fmt.Errorf("entry %q has array size %d, guard names element %d: %w",
+			entryName, e.spec.Array, slotIdx, ErrBadArity)
+	}
+	return e, nil
+}
+
 // Accept blocks until a call to the named entry is attached to some array
 // element and accepts it ("accept P[i](...)"), returning the intercepted
-// parameter prefix in the handle.
+// parameter prefix in the handle. This is the single-guard fast path of
+// Select(OnAccept(entryName, ...)): no guard machinery, no scan.
 func (m *Mgr) Accept(entryName string) (*Accepted, error) {
-	var out *Accepted
-	g := OnAccept(entryName, func(a *Accepted) { out = a })
-	if _, err := m.Select(g); err != nil {
+	e, err := m.resolveIntercepted(entryName, -1)
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	o := m.obj
+	m.watchEntry(e)
+	for {
+		m.dirty.Store(0)
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if len(e.attached) > 0 {
+			a := m.commitAcceptLocked(e, e.attached[0])
+			o.mu.Unlock()
+			return a, nil
+		}
+		if err := m.blockLocked(); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // AcceptSlot blocks until a call is attached to the specific element i and
 // accepts it. Per §2.5, "if P[i] does not have a request attached and an
 // accept P[i] is executed, it is delayed until a request is attached".
 func (m *Mgr) AcceptSlot(entryName string, i int) (*Accepted, error) {
-	var out *Accepted
-	g := OnAccept(entryName, func(a *Accepted) { out = a }).Slot(i)
-	if _, err := m.Select(g); err != nil {
+	e, err := m.resolveIntercepted(entryName, i)
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	if i < 0 {
+		return nil, fmt.Errorf("entry %q: negative element %d: %w", entryName, i, ErrBadArity)
+	}
+	o := m.obj
+	m.watchEntry(e)
+	for {
+		m.dirty.Store(0)
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if s := e.slots[i]; s.state == slotAttached {
+			a := m.commitAcceptLocked(e, s)
+			o.mu.Unlock()
+			return a, nil
+		}
+		if err := m.blockLocked(); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // Start begins executing an accepted call asynchronously with respect to
 // the manager ("start P[i](...)"), supplying the (possibly modified)
 // intercepted parameters and the hidden parameters (§2.8). The caller's
-// remaining parameters are passed directly to the procedure.
+// remaining parameters are passed directly to the procedure. Ownership of
+// the hidden values transfers to the runtime.
 func (m *Mgr) Start(a *Accepted, hidden ...Value) error {
 	o := m.obj
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	cr := a.call
 	e := cr.entry
-	if cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAccepted {
+	if cr.id != a.id || cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAccepted {
 		return fmt.Errorf("start %s.%s: call not in accepted state: %w", o.name, a.Entry, ErrBadState)
 	}
 	if len(a.Params) != e.ipParams {
@@ -181,49 +354,88 @@ func (m *Mgr) Start(a *Accepted, hidden ...Value) error {
 		return fmt.Errorf("start %s.%s: %d hidden params, declared %d: %w",
 			o.name, a.Entry, len(hidden), e.spec.HiddenParams, ErrBadArity)
 	}
-	regular := make([]Value, 0, e.spec.Params)
-	regular = append(regular, a.Params...)
-	regular = append(regular, cr.params[e.ipParams:]...)
-	o.startBodyLocked(cr, regular, append([]Value(nil), hidden...))
+	regular := cr.params
+	if e.ipParams > 0 {
+		// Re-merge the (possibly replaced) intercepted prefix with the
+		// caller's remaining parameters.
+		regular = make([]Value, 0, e.spec.Params)
+		regular = append(regular, a.Params...)
+		regular = append(regular, cr.params[e.ipParams:]...)
+	}
+	o.startBodyLocked(cr, regular, hidden)
 	return nil
 }
 
 // Await blocks until some started execution of the named entry is ready to
-// terminate and awaits it ("await P[i](...)").
+// terminate and awaits it ("await P[i](...)"). Fast path of
+// Select(OnAwait(entryName, ...)).
 func (m *Mgr) Await(entryName string) (*Awaited, error) {
-	var out *Awaited
-	g := OnAwait(entryName, func(aw *Awaited) { out = aw })
-	if _, err := m.Select(g); err != nil {
+	e, err := m.resolveIntercepted(entryName, -1)
+	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	o := m.obj
+	m.watchEntry(e)
+	for {
+		m.dirty.Store(0)
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if len(e.ready) > 0 {
+			aw := m.commitAwaitLocked(e, e.ready[0])
+			o.mu.Unlock()
+			return aw, nil
+		}
+		if err := m.blockLocked(); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // AwaitCall blocks until the specific accepted-and-started call is ready to
 // terminate and awaits it.
 func (m *Mgr) AwaitCall(a *Accepted) (*Awaited, error) {
-	var out *Awaited
-	g := OnAwait(a.Entry, func(aw *Awaited) { out = aw }).Slot(a.Slot)
-	if _, err := m.Select(g); err != nil {
+	e, err := m.resolveIntercepted(a.Entry, a.Slot)
+	if err != nil {
 		return nil, err
 	}
-	if out.call != a.call {
-		return nil, fmt.Errorf("await %s.%s[%d]: slot reused by another call: %w",
-			m.obj.name, a.Entry, a.Slot, ErrBadState)
+	o := m.obj
+	m.watchEntry(e)
+	for {
+		m.dirty.Store(0)
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if s := e.slots[a.Slot]; s.state == slotReady {
+			aw := m.commitAwaitLocked(e, s)
+			o.mu.Unlock()
+			if aw.id != a.id {
+				return nil, fmt.Errorf("await %s.%s[%d]: slot reused by another call: %w",
+					o.name, a.Entry, a.Slot, ErrBadState)
+			}
+			return aw, nil
+		}
+		if err := m.blockLocked(); err != nil {
+			return nil, err
+		}
 	}
-	return out, nil
 }
 
 // Finish endorses an awaited call's termination ("finish P[i](...)"): the
 // supplied values replace the intercepted result prefix, the caller receives
 // them together with the body's remaining results, and the array element is
-// freed for the next waiting call. Finish never blocks (§2.3).
+// freed for the next waiting call. Finish never blocks (§2.3). Ownership of
+// the result values transfers to the caller.
 func (m *Mgr) Finish(aw *Awaited, results ...Value) error {
 	o := m.obj
 	o.mu.Lock()
 	cr := aw.call
 	e := cr.entry
-	if cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAwaited {
+	if cr.id != aw.id || cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAwaited {
 		o.mu.Unlock()
 		return fmt.Errorf("finish %s.%s: call not in awaited state: %w", o.name, aw.Entry, ErrBadState)
 	}
@@ -235,13 +447,16 @@ func (m *Mgr) Finish(aw *Awaited, results ...Value) error {
 	if cr.bodyErr != nil {
 		o.deliverLocked(cr, nil, cr.bodyErr)
 	} else {
-		final := make([]Value, 0, e.spec.Results)
-		final = append(final, results...)
-		final = append(final, cr.bodyResults[e.ipResults:]...)
+		final := cr.bodyResults
+		if e.ipResults > 0 {
+			final = make([]Value, 0, e.spec.Results)
+			final = append(final, results...)
+			final = append(final, cr.bodyResults[e.ipResults:]...)
+		}
 		o.deliverLocked(cr, final, nil)
 	}
 	e.active--
-	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Finished)
+	o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Finished)
 	o.freeSlotLocked(cr.slot)
 	o.attachWaitingLocked(e)
 	o.mu.Unlock()
@@ -250,13 +465,14 @@ func (m *Mgr) Finish(aw *Awaited, results ...Value) error {
 
 // FinishAccepted finishes an accepted call without starting it — request
 // combining (§2.7). The manager must have intercepted all invocation
-// parameters and must supply all results the caller expects.
+// parameters and must supply all results the caller expects. Ownership of
+// the result values transfers to the caller.
 func (m *Mgr) FinishAccepted(a *Accepted, results ...Value) error {
 	o := m.obj
 	o.mu.Lock()
 	cr := a.call
 	e := cr.entry
-	if cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAccepted {
+	if cr.id != a.id || cr.slot == nil || cr.slot.call != cr || cr.slot.state != slotAccepted {
 		o.mu.Unlock()
 		return fmt.Errorf("finish %s.%s: call not in accepted state: %w", o.name, a.Entry, ErrBadState)
 	}
@@ -270,9 +486,9 @@ func (m *Mgr) FinishAccepted(a *Accepted, results ...Value) error {
 		return fmt.Errorf("combining %s.%s: manager supplies %d results, entry declares %d: %w",
 			o.name, a.Entry, len(results), e.spec.Results, ErrBadArity)
 	}
-	o.deliverLocked(cr, append([]Value(nil), results...), nil)
+	o.deliverLocked(cr, results, nil)
 	e.combined++
-	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Combined)
+	o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Combined)
 	o.freeSlotLocked(cr.slot)
 	o.attachWaitingLocked(e)
 	o.mu.Unlock()

@@ -47,6 +47,10 @@ type Object struct {
 	nextCallID atomic.Uint64
 	bodyWG     sync.WaitGroup
 
+	// crPool recycles callRecords (and their buffered result channels)
+	// across invocations; see the lifecycle notes on callRecord.
+	crPool sync.Pool
+
 	poolMode    sched.Mode
 	poolWorkers int
 }
@@ -236,6 +240,11 @@ func (o *Object) EntryStats(name string) (EntryStats, bool) {
 
 // Call invokes an entry procedure and blocks until it terminates, returning
 // its regular results ("X.P(...)", paper §2.2).
+//
+// Ownership of the params slice transfers to the runtime for the duration
+// of the call: callers that spread a retained slice (o.Call(name, vals...))
+// must not mutate it until Call returns. The usual literal-argument form
+// allocates a fresh slice at the call site, so no defensive copy is made.
 func (o *Object) Call(name string, params ...Value) ([]Value, error) {
 	return o.CallCtx(context.Background(), name, params...)
 }
@@ -248,16 +257,31 @@ func (o *Object) CallCtx(ctx context.Context, name string, params ...Value) ([]V
 	if err != nil {
 		return nil, err
 	}
+	return o.awaitResult(ctx, cr)
+}
+
+// awaitResult blocks for the call's outcome, honouring cancellation, and
+// drops the caller's reference on the record when done. The uncancellable
+// case (context.Background and friends) skips the two-way select.
+func (o *Object) awaitResult(ctx context.Context, cr *callRecord) ([]Value, error) {
+	if ctx.Done() == nil {
+		res := <-cr.resultCh
+		cr.release(o)
+		return res.results, res.err
+	}
 	select {
 	case res := <-cr.resultCh:
+		cr.release(o)
 		return res.results, res.err
 	case <-ctx.Done():
 	}
 	// Try to withdraw the call; if it is already accepted we must wait.
 	if o.withdraw(cr) {
+		cr.release(o)
 		return nil, ctx.Err()
 	}
 	res := <-cr.resultCh
+	cr.release(o)
 	return res.results, res.err
 }
 
@@ -283,19 +307,58 @@ func (o *Object) submit(name string, params []Value, internal bool) (*callRecord
 		o.mu.Unlock()
 		return nil, fmt.Errorf("object %s: %w", o.name, ErrClosed)
 	}
-	cr := &callRecord{
-		id:       o.nextCallID.Add(1),
-		entry:    e,
-		params:   append([]Value(nil), params...),
-		resultCh: make(chan callResult, 1),
-	}
+	cr := o.acquireCallLocked(e, params)
 	e.calls++
-	o.rec.Record(o.name, name, -1, cr.id, trace.Arrived)
+	o.record(name, -1, cr.id, trace.Arrived)
 	e.waitq = append(e.waitq, cr)
 	o.attachWaitingLocked(e)
 	o.mu.Unlock()
-	o.wakeManager()
+	o.wakeManager(e)
 	return cr, nil
+}
+
+// acquireCallLocked returns a recycled (or new) call record, fully
+// reinitialized for a call to e with the given params (ownership of the
+// slice transfers to the runtime). All field resets happen here, under o.mu:
+// a record's fields are only ever written with the object lock held, so a
+// stale handle from a previous lifecycle reads consistent values and is
+// caught by its id (see callRecord).
+func (o *Object) acquireCallLocked(e *entry, params []Value) *callRecord {
+	cr, _ := o.crPool.Get().(*callRecord)
+	if cr == nil {
+		cr = &callRecord{resultCh: make(chan callResult, 1)}
+		cr.runFn = func() { o.runBody(cr) }
+	}
+	cr.id = o.nextCallID.Add(1)
+	cr.entry = e
+	cr.params = params
+	cr.delivered = false
+	cr.slot = nil
+	cr.mgrParams = nil
+	cr.hiddenParams = nil
+	cr.bodyResults = nil
+	cr.hiddenResults = nil
+	cr.bodyErr = nil
+	cr.inv = Invocation{}
+	cr.refs.Store(2) // one ref for the caller, one for the runtime
+	return cr
+}
+
+// release drops one of the record's two references. The last release
+// recycles the record; by then resultCh is guaranteed empty and no live
+// handle refers to this lifecycle (stale ones are id-checked).
+func (cr *callRecord) release(o *Object) {
+	if cr.refs.Add(-1) == 0 {
+		o.crPool.Put(cr)
+	}
+}
+
+// record is the trace fast path: the common untraced case costs one branch
+// instead of a five-argument call into the recorder.
+func (o *Object) record(entry string, slot int, id uint64, kind trace.Kind) {
+	if o.rec != nil {
+		o.rec.Record(o.name, entry, slot, id, kind)
+	}
 }
 
 // withdraw removes a cancelled call if it has not been accepted yet.
@@ -312,15 +375,16 @@ func (o *Object) withdraw(cr *callRecord) bool {
 			e.waitq = append(e.waitq[:i], e.waitq[i+1:]...)
 			cr.delivered = true
 			e.failed++
-			o.rec.Record(o.name, e.spec.Name, -1, cr.id, trace.Failed)
+			o.record(e.spec.Name, -1, cr.id, trace.Failed)
+			cr.release(o) // runtime reference: the call never attached
 			return true
 		}
 	}
 	if cr.slot != nil && cr.slot.state == slotAttached {
-		o.freeSlotLocked(cr.slot)
 		cr.delivered = true
 		e.failed++
-		o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Failed)
+		o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Failed)
+		o.freeSlotLocked(cr.slot) // drops the runtime reference
 		o.attachWaitingLocked(e)
 		return true
 	}
@@ -341,7 +405,7 @@ func (o *Object) attachWaitingLocked(e *entry) {
 		s.state = slotAttached
 		s.call = cr
 		cr.slot = s
-		o.rec.Record(o.name, e.spec.Name, s.index, cr.id, trace.Attached)
+		o.record(e.spec.Name, s.index, cr.id, trace.Attached)
 		if e.intercepted {
 			e.attached = enlist(e.attached, s)
 		} else {
@@ -364,15 +428,17 @@ func (o *Object) findFreeSlotLocked(e *entry) *slot {
 
 // startBodyLocked transitions a call to started and submits its body to the
 // process pool. regular and hidden are the parameter vectors the body sees.
+// The record's embedded Invocation and pre-bound run thunk keep this
+// allocation-free.
 func (o *Object) startBodyLocked(cr *callRecord, regular, hidden []Value) {
 	e := cr.entry
 	cr.slot.state = slotStarted
 	cr.hiddenParams = hidden
 	e.active++
-	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Started)
+	o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Started)
 	o.bodyWG.Add(1)
-	inv := &Invocation{obj: o, call: cr, params: regular, hidden: hidden}
-	if err := o.pool.Go(func() { o.runBody(inv) }); err != nil {
+	cr.inv = Invocation{obj: o, call: cr, params: regular, hidden: hidden}
+	if err := o.pool.Go(cr.runFn); err != nil {
 		// Pool closed: the object is shutting down; fail the call.
 		o.bodyWG.Done()
 		e.active--
@@ -382,9 +448,9 @@ func (o *Object) startBodyLocked(cr *callRecord, regular, hidden []Value) {
 }
 
 // runBody executes a body on a pool process and routes its termination.
-func (o *Object) runBody(inv *Invocation) {
+func (o *Object) runBody(cr *callRecord) {
 	defer o.bodyWG.Done()
-	cr := inv.call
+	inv := &cr.inv
 	e := cr.entry
 	err := runSafely(o, cr, e.spec.Body, inv)
 	if err == nil {
@@ -410,9 +476,9 @@ func (o *Object) runBody(inv *Invocation) {
 		// Wait for the manager's endorsement of termination (§2.3).
 		cr.slot.state = slotReady
 		e.ready = enlist(e.ready, cr.slot)
-		o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Ready)
+		o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Ready)
 		o.mu.Unlock()
-		o.wakeManager()
+		o.wakeManager(e)
 		return
 	}
 	// Non-intercepted entry (or closing object): terminate directly.
@@ -424,11 +490,11 @@ func (o *Object) runBody(inv *Invocation) {
 	} else {
 		o.deliverLocked(cr, cr.bodyResults, nil)
 	}
-	o.rec.Record(o.name, e.spec.Name, cr.slotIndex(), cr.id, trace.Finished)
+	o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Finished)
 	o.freeSlotLocked(cr.slot)
 	o.attachWaitingLocked(e)
 	o.mu.Unlock()
-	o.wakeManager()
+	o.wakeManager(e)
 }
 
 func runSafely(o *Object, cr *callRecord, body Body, inv *Invocation) (err error) {
@@ -453,9 +519,12 @@ func (o *Object) deliverLocked(cr *callRecord, results []Value, err error) {
 	cr.resultCh <- callResult{results: results, err: err}
 }
 
+// freeSlotLocked detaches the slot's call for good: every caller is
+// finishing (or failing) the call, so the runtime reference is dropped here.
 func (o *Object) freeSlotLocked(s *slot) {
+	cr := s.call
 	if s.listPos >= 0 {
-		e := s.call.entry
+		e := cr.entry
 		switch s.state {
 		case slotAttached:
 			e.attached = delist(e.attached, s)
@@ -465,15 +534,20 @@ func (o *Object) freeSlotLocked(s *slot) {
 	}
 	s.state = slotFree
 	s.call = nil
+	cr.release(o)
 }
 
-// wakeManager pokes the manager's selector and, when the priority gate is
-// on, yields the processor so the high-priority manager runs first (§3).
-func (o *Object) wakeManager() {
-	if o.mgr == nil {
+// wakeManager pokes the manager's selector — but only when the manager's
+// published watch set says it could react to a change on e (poke elision,
+// §3: the manager need not be disturbed for entries no guard watches) — and,
+// when the priority gate is on, yields the processor so the high-priority
+// manager runs first.
+func (o *Object) wakeManager(e *entry) {
+	m := o.mgr
+	if m == nil || !m.interested(e) {
 		return
 	}
-	o.mgr.poke()
+	m.wake()
 	if o.gate {
 		runtime.Gosched()
 	}
@@ -523,13 +597,14 @@ func (o *Object) Close() error {
 		e := o.entries[name]
 		for _, cr := range e.waitq {
 			o.deliverLocked(cr, nil, ErrClosed)
-			o.rec.Record(o.name, name, -1, cr.id, trace.Failed)
+			o.record(name, -1, cr.id, trace.Failed)
+			cr.release(o) // runtime reference: the call never attached
 		}
 		e.waitq = nil
 		for _, s := range e.slots {
 			if s.state == slotAttached || s.state == slotAccepted {
 				o.deliverLocked(s.call, nil, ErrClosed)
-				o.rec.Record(o.name, name, s.index, s.call.id, trace.Failed)
+				o.record(name, s.index, s.call.id, trace.Failed)
 				o.freeSlotLocked(s)
 			}
 		}
@@ -550,7 +625,7 @@ func (o *Object) Close() error {
 		for _, s := range e.slots {
 			if s.state != slotFree && s.call != nil {
 				o.deliverLocked(s.call, nil, ErrClosed)
-				o.rec.Record(o.name, name, s.index, s.call.id, trace.Failed)
+				o.record(name, s.index, s.call.id, trace.Failed)
 				o.freeSlotLocked(s)
 			}
 		}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStaleHandleRejectedAfterRecycle locks in the ABA guard on manager
+// handles: once a call is finished its record may be recycled for a later
+// call, so a retained Accepted handle must be rejected by the id check —
+// never silently operate on the new call occupying the record.
+func TestStaleHandleRejectedAfterRecycle(t *testing.T) {
+	errCh := make(chan error, 64)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1,
+			Body: func(inv *Invocation) error { inv.Return(inv.Param(0)); return nil }}),
+		WithManager(func(m *Mgr) {
+			var prev *Accepted
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if prev != nil {
+					// prev was combined away on the previous iteration; its
+					// record may by now be the record of call a.
+					if err := m.Start(prev); !errors.Is(err, ErrBadState) {
+						errCh <- fmt.Errorf("stale Start: err=%v, want ErrBadState", err)
+					}
+					if err := m.FinishAccepted(prev, 0); !errors.Is(err, ErrBadState) {
+						errCh <- fmt.Errorf("stale FinishAccepted: err=%v, want ErrBadState", err)
+					}
+				}
+				if err := m.FinishAccepted(a, a.Params[0]); err != nil {
+					errCh <- fmt.Errorf("FinishAccepted: %v", err)
+				}
+				prev = a
+			}
+		}, InterceptPR("P", 1, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	for i := 0; i < 500; i++ {
+		res, err := o.Call("P", i)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if res[0].(int) != i {
+			t.Fatalf("call %d: got %v, want %d (cross-talk through recycled record?)", i, res[0], i)
+		}
+	}
+	close(errCh)
+	for e := range errCh {
+		t.Error(e)
+	}
+}
+
+// TestRecycleUnderCancellation hammers the pooled call pipeline with calls
+// withdrawn mid-queue: a cancelled record (and its result channel) must
+// never be observed by a later call that recycles it. Result integrity is
+// the detector — every successful echo must return its own argument.
+// Meant to run under -race as well.
+func TestRecycleUnderCancellation(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1,
+			Body: func(inv *Invocation) error {
+				time.Sleep(20 * time.Microsecond) // keep a queue forming
+				inv.Return(inv.Param(0))
+				return nil
+			}}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+
+	const workers = 8
+	const perWorker = 250
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := g*1_000_000 + i
+				if i%3 == 1 {
+					// Cancel while the call is (likely) still queued, so the
+					// record is withdrawn and recycled.
+					ctx, cancel := context.WithTimeout(context.Background(),
+						time.Duration(1+i%7)*10*time.Microsecond)
+					res, err := o.CallCtx(ctx, "P", v)
+					cancel()
+					switch {
+					case err == nil:
+						if res[0].(int) != v {
+							t.Errorf("worker %d: cancelled-race call got %v, want %d", g, res[0], v)
+						}
+					case errors.Is(err, context.DeadlineExceeded):
+					default:
+						t.Errorf("worker %d: unexpected error %v", g, err)
+					}
+					continue
+				}
+				res, err := o.Call("P", v)
+				if err != nil {
+					t.Errorf("worker %d: call: %v", g, err)
+					return
+				}
+				if res[0].(int) != v {
+					t.Errorf("worker %d: got %v, want %d (result stolen by recycled channel?)", g, res[0], v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCancellationDuringCloseRecycle interleaves withdrawals with Close to
+// cover the shutdown sweeps' reference handling.
+func TestCancellationDuringCloseRecycle(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1,
+			Body: func(inv *Invocation) error {
+				time.Sleep(50 * time.Microsecond)
+				inv.Return(inv.Param(0))
+				return nil
+			}}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := g*1000 + i
+				ctx, cancel := context.WithTimeout(context.Background(),
+					time.Duration(1+i%5)*20*time.Microsecond)
+				res, err := o.CallCtx(ctx, "P", v)
+				cancel()
+				if err == nil && res[0].(int) != v {
+					t.Errorf("worker %d: got %v, want %d", g, res[0], v)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := o.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"fmt"
@@ -12,6 +13,25 @@ import (
 	"repro/internal/core"
 	"repro/internal/trace"
 )
+
+// framePool recycles frame structs on both the encode and decode paths.
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// getFrame returns a zeroed frame. Zeroing before gob.Decode is mandatory:
+// gob leaves fields absent from the wire untouched, so a recycled frame
+// would otherwise leak values from its previous use into the next message.
+func getFrame() *frame {
+	f := framePool.Get().(*frame)
+	*f = frame{}
+	return f
+}
+
+func putFrame(f *frame) { framePool.Put(f) }
+
+// respChPool recycles the per-call response channels. A channel is returned
+// only after its pending-table entry is deleted and the buffer drained, so a
+// recycled channel can never deliver a stale response to a later call.
+var respChPool = sync.Pool{New: func() any { return make(chan frame, 1) }}
 
 // objectResolver resolves object names to callable objects (the node's
 // registry on the serving side; empty on pure clients).
@@ -47,7 +67,13 @@ type link struct {
 	hooks linkHooks
 
 	encMu sync.Mutex
+	bw    *bufio.Writer
 	enc   *gob.Encoder
+
+	// wpend counts writers that have entered send but not yet finished
+	// encoding; the writer that decrements it to zero flushes the buffered
+	// writer, so a burst of frames queued under load leaves in one syscall.
+	wpend atomic.Int32
 
 	mu       sync.Mutex
 	pending  map[uint64]chan frame
@@ -70,11 +96,13 @@ type link struct {
 func newLink(conn net.Conn, res objectResolver, hooks linkHooks) *link {
 	registerDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	bw := bufio.NewWriterSize(conn, 8<<10)
 	l := &link{
 		conn:    conn,
 		res:     res,
 		hooks:   hooks,
-		enc:     gob.NewEncoder(conn),
+		bw:      bw,
+		enc:     gob.NewEncoder(bw),
 		pending: make(map[uint64]chan frame),
 		chans:   make(map[string]*channel.Chan),
 		proxies: make(map[string]*channel.Chan),
@@ -88,13 +116,22 @@ func newLink(conn net.Conn, res objectResolver, hooks linkHooks) *link {
 	return l
 }
 
+// send encodes one frame into the link's buffered writer. Flushes coalesce:
+// every writer announces itself in wpend before taking the encode lock, and
+// only the writer that finds no successor waiting pays for the flush — a
+// burst of concurrent sends becomes a single syscall.
 func (l *link) send(f *frame) error {
+	l.wpend.Add(1)
 	l.encMu.Lock()
 	err := l.enc.Encode(f)
+	if l.wpend.Add(-1) == 0 && err == nil {
+		err = l.bw.Flush()
+	}
 	l.encMu.Unlock()
 	if err != nil {
-		// A failed encode may have left a partial frame on the wire; the
-		// gob stream cannot resynchronize, so the whole link is dead.
+		// A failed encode or flush may have left a partial frame on the
+		// wire; the gob stream cannot resynchronize, so the whole link is
+		// dead.
 		err = fmt.Errorf("rpc: encode: %v: %w", err, ErrLinkClosed)
 		l.shutdown(err)
 		return err
@@ -114,10 +151,11 @@ func (l *link) isClosed() bool {
 // stable across retries while the link-level frame ID does not.
 func (l *link) call(ctx context.Context, object, entry string, params []any, client string, seq uint64) ([]any, error) {
 	id := l.nextID.Add(1)
-	respCh := make(chan frame, 1)
+	respCh := respChPool.Get().(chan frame)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		respChPool.Put(respCh)
 		return nil, fmt.Errorf("rpc: call %s.%s: %w", object, entry, l.closeReason())
 	}
 	l.pending[id] = respCh
@@ -126,9 +164,23 @@ func (l *link) call(ctx context.Context, object, entry string, params []any, cli
 		l.mu.Lock()
 		delete(l.pending, id)
 		l.mu.Unlock()
+		// The read loop only sends while holding l.mu with the entry still
+		// present, so after the delete above no further send can land; one
+		// drain leaves the channel provably empty for its next user.
+		select {
+		case <-respCh:
+		default:
+		}
+		respChPool.Put(respCh)
 	}()
 
-	if err := l.send(&frame{Kind: frameRequest, ID: id, Object: object, Entry: entry, Params: params, Client: client, Seq: seq}); err != nil {
+	req := getFrame()
+	req.Kind, req.ID = frameRequest, id
+	req.Object, req.Entry, req.Params = object, entry, params
+	req.Client, req.Seq = client, seq
+	err := l.send(req)
+	putFrame(req)
+	if err != nil {
 		return nil, fmt.Errorf("rpc: call %s.%s: %w", object, entry, err)
 	}
 	select {
@@ -149,10 +201,11 @@ func (l *link) call(ctx context.Context, object, entry string, params []any, cli
 // list asks the peer for its hosted object names.
 func (l *link) list(ctx context.Context) ([]string, error) {
 	id := l.nextID.Add(1)
-	respCh := make(chan frame, 1)
+	respCh := respChPool.Get().(chan frame)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		respChPool.Put(respCh)
 		return nil, l.closeReason()
 	}
 	l.pending[id] = respCh
@@ -161,9 +214,18 @@ func (l *link) list(ctx context.Context) ([]string, error) {
 		l.mu.Lock()
 		delete(l.pending, id)
 		l.mu.Unlock()
+		select {
+		case <-respCh:
+		default:
+		}
+		respChPool.Put(respCh)
 	}()
 
-	if err := l.send(&frame{Kind: frameList, ID: id}); err != nil {
+	req := getFrame()
+	req.Kind, req.ID = frameList, id
+	err := l.send(req)
+	putFrame(req)
+	if err != nil {
 		return nil, err
 	}
 	select {
@@ -221,7 +283,11 @@ func (l *link) proxyFor(ref ChanRef) *channel.Chan {
 			if !ok {
 				return
 			}
-			if err := l.send(&frame{Kind: frameChanSend, Chan: ref.Name, Params: msg}); err != nil {
+			fr := getFrame()
+			fr.Kind, fr.Chan, fr.Params = frameChanSend, ref.Name, msg
+			err := l.send(fr)
+			putFrame(fr)
+			if err != nil {
 				return
 			}
 		}
@@ -231,32 +297,44 @@ func (l *link) proxyFor(ref ChanRef) *channel.Chan {
 
 func (l *link) readLoop() {
 	defer l.wg.Done()
-	dec := gob.NewDecoder(l.conn)
+	dec := gob.NewDecoder(bufio.NewReaderSize(l.conn, 8<<10))
 	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
+		f := getFrame()
+		if err := dec.Decode(f); err != nil {
+			putFrame(f)
 			l.shutdown(fmt.Errorf("%w: %v", ErrLinkClosed, err))
 			return
 		}
 		switch f.Kind {
 		case frameRequest:
 			l.wg.Add(1)
-			go func(f frame) {
+			go func(f *frame) {
 				defer l.wg.Done()
 				l.serveRequest(f)
+				putFrame(f)
 			}(f)
+			continue // ownership passed to the serving goroutine
 		case frameResponse, frameListResp:
+			// Deliver while holding l.mu: call/list delete their pending
+			// entry under the same lock before recycling the channel, so a
+			// send can never land on a channel a later call owns. The
+			// buffered send cannot block — a duplicate response (one send
+			// already buffered) is dropped by the default arm.
 			l.mu.Lock()
-			respCh, ok := l.pending[f.ID]
-			l.mu.Unlock()
-			if ok {
-				respCh <- f
+			if respCh, ok := l.pending[f.ID]; ok {
+				select {
+				case respCh <- *f:
+				default:
+				}
 			}
+			l.mu.Unlock()
 		case frameChanSend:
 			l.mu.Lock()
 			ch, ok := l.chans[f.Chan]
 			l.mu.Unlock()
 			if ok {
+				// The message slice is handed off; the recycled frame drops
+				// its reference at the next getFrame reset.
 				_ = ch.Send(f.Params...)
 			}
 		case frameList:
@@ -264,12 +342,19 @@ func (l *link) readLoop() {
 			if l.res != nil {
 				names = l.res.names()
 			}
-			_ = l.send(&frame{Kind: frameListResp, ID: f.ID, Names: names})
+			resp := getFrame()
+			resp.Kind, resp.ID, resp.Names = frameListResp, f.ID, names
+			_ = l.send(resp)
+			putFrame(resp)
 		}
+		putFrame(f)
 	}
 }
 
-func (l *link) serveRequest(f frame) {
+// serveRequest executes one incoming request. The frame is only borrowed:
+// everything the detached body goroutine needs is copied into locals, since
+// the caller recycles f as soon as serveRequest returns.
+func (l *link) serveRequest(f *frame) {
 	resp := frame{Kind: frameResponse, ID: f.ID}
 	if l.hooks.begin != nil && !l.hooks.begin() {
 		// The node is draining: refuse new work so Close can finish.
@@ -316,6 +401,8 @@ func (l *link) serveRequest(f frame) {
 		}
 	}
 
+	id, entryName := f.ID, f.Entry
+	client, seq := f.Client, f.Seq
 	params := l.resolveParams(f.Params)
 	ctx := l.ctx
 	if entry != nil && l.hooks.serveCtx != nil {
@@ -329,8 +416,8 @@ func (l *link) serveRequest(f frame) {
 	// wait instead of blocking shutdown behind a long-running body; the
 	// object's own Close remains responsible for the body itself.
 	go func() {
-		results, err := obj.CallCtx(ctx, f.Entry, params...)
-		r := frame{Kind: frameResponse, ID: f.ID, Results: results}
+		results, err := obj.CallCtx(ctx, entryName, params...)
+		r := frame{Kind: frameResponse, ID: id, Results: results}
 		if err != nil {
 			r.Results = nil
 			r.Err, r.ErrKind = encodeErr(err)
@@ -338,7 +425,7 @@ func (l *link) serveRequest(f frame) {
 		if entry != nil {
 			// Record the outcome even if the arrival link is already dead:
 			// the retry that replaces it replays from here.
-			l.hooks.dedup.complete(dedupKey{f.Client, f.Seq}, entry, r.Results, r.Err, r.ErrKind)
+			l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
 		}
 		resCh <- r
 	}()
