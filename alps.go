@@ -43,6 +43,7 @@ package alps
 import (
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -77,6 +78,42 @@ type (
 	EntryStats = core.EntryStats
 )
 
+// Supervision and admission-control types (docs/SUPERVISION.md), re-exported.
+type (
+	// ObjectOptions bundles manager supervision, admission control, default
+	// call deadlines and the stall watchdog.
+	ObjectOptions = core.ObjectOptions
+	// ManagerPolicy selects the reaction to a manager panic.
+	ManagerPolicy = core.ManagerPolicy
+	// RestartPolicy tunes the Restart manager policy.
+	RestartPolicy = core.RestartPolicy
+	// ShedPolicy selects what happens when an entry's MaxPending is full.
+	ShedPolicy = core.ShedPolicy
+	// WatchdogConfig configures the per-object stall watchdog.
+	WatchdogConfig = core.WatchdogConfig
+	// StallInfo describes one stall-watchdog detection.
+	StallInfo = core.StallInfo
+	// SupervisionStats is a snapshot of an object's supervision state.
+	SupervisionStats = core.SupervisionStats
+	// SupervisionMetrics aggregates shed/restart/poison/stall counters
+	// across objects.
+	SupervisionMetrics = metrics.Supervision
+)
+
+// Supervision policy values, re-exported.
+const (
+	// FailFast poisons the object on the first manager panic (default).
+	FailFast = core.FailFast
+	// Restart re-runs the manager after a panic, within a restart budget.
+	Restart = core.Restart
+	// ShedBlock makes callers wait for pending capacity (default).
+	ShedBlock = core.ShedBlock
+	// ShedRejectNewest fails the arriving call with ErrOverload.
+	ShedRejectNewest = core.ShedRejectNewest
+	// ShedRejectOldest fails the oldest pending call and admits the new one.
+	ShedRejectOldest = core.ShedRejectOldest
+)
+
 // Channel types, re-exported.
 type (
 	// Chan is an asynchronous point-to-point channel.
@@ -108,6 +145,12 @@ var (
 	// ErrNotIntercepted reports a manager primitive on an entry missing
 	// from the intercepts clause.
 	ErrNotIntercepted = core.ErrNotIntercepted
+	// ErrObjectPoisoned reports a call on an object whose manager died
+	// without recovering. Terminal: do not retry.
+	ErrObjectPoisoned = core.ErrObjectPoisoned
+	// ErrOverload reports a call shed by admission control. The call did
+	// not execute; retrying with backoff is safe.
+	ErrOverload = core.ErrOverload
 )
 
 // New creates, initializes and starts an object.
@@ -133,6 +176,10 @@ func WithPriorityGate(on bool) Option { return core.WithPriorityGate(on) }
 
 // WithPool selects the lightweight-process provisioning mode.
 func WithPool(mode sched.Mode, workers int) Option { return core.WithPool(mode, workers) }
+
+// WithObjectOptions attaches supervision and admission-control
+// configuration to an object (docs/SUPERVISION.md).
+func WithObjectOptions(opts ObjectOptions) Option { return core.WithObjectOptions(opts) }
 
 // Intercept lists an entry in the intercepts clause without parameter or
 // result interception ("intercepts P").

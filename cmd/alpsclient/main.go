@@ -13,19 +13,44 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/rpc"
+)
+
+// Exit codes for scriptable error handling: overload is retryable, poison
+// is terminal (docs/SUPERVISION.md).
+const (
+	exitErr      = 1 // generic failure
+	exitOverload = 3 // server shed the call (core.ErrOverload); safe to retry
+	exitPoisoned = 4 // object poisoned (core.ErrObjectPoisoned); do not retry
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "alpsclient:", err)
-		os.Exit(1)
+		switch {
+		case errors.Is(err, core.ErrOverload):
+			fmt.Fprintf(os.Stderr, "alpsclient: %v\n", err)
+			fmt.Fprintln(os.Stderr, "alpsclient: the node shed the call because the entry's pending bound"+
+				" (alpsd -max-pending) is full; the call did not execute. Retry with backoff"+
+				" (-retries N) or raise the server's -max-pending.")
+			os.Exit(exitOverload)
+		case errors.Is(err, core.ErrObjectPoisoned):
+			fmt.Fprintf(os.Stderr, "alpsclient: %v\n", err)
+			fmt.Fprintln(os.Stderr, "alpsclient: the object's manager died and the object is poisoned;"+
+				" retrying cannot help. Restart alpsd, or run it with -manager-policy restart"+
+				" so crashed managers recover in place.")
+			os.Exit(exitPoisoned)
+		default:
+			fmt.Fprintln(os.Stderr, "alpsclient:", err)
+			os.Exit(exitErr)
+		}
 	}
 }
 

@@ -76,10 +76,48 @@ func newServer(args []string) (*server, string, error) {
 		printers   = fs.Int("printers", 2, "spooler printer pool size")
 		pageCost   = fs.Duration("page-cost", time.Millisecond, "simulated print time per page")
 		defsPath   = fs.String("defs", "", "definition file of additional coordination objects")
+
+		// Supervision & admission control (docs/SUPERVISION.md).
+		mgrPolicy   = fs.String("manager-policy", "failfast", "manager panic policy: failfast (poison) or restart")
+		maxRestarts = fs.Int("max-restarts", 5, "restart budget before the object is poisoned (restart policy)")
+		maxPending  = fs.Int("max-pending", 0, "per-entry pending-call bound, 0 = unbounded")
+		shed        = fs.String("shed", "block", "policy when -max-pending is full: block, reject-newest, reject-oldest")
+		callTimeout = fs.Duration("call-timeout", 0, "default deadline for calls arriving without one, 0 = none")
+		stallAfter  = fs.Duration("stall-threshold", 0, "stall-watchdog threshold on oldest pending call age, 0 = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
+
+	oo := alps.ObjectOptions{
+		Restart:            alps.RestartPolicy{Max: *maxRestarts},
+		MaxPending:         *maxPending,
+		DefaultCallTimeout: *callTimeout,
+		Watchdog:           alps.WatchdogConfig{Threshold: *stallAfter},
+	}
+	switch *mgrPolicy {
+	case "failfast":
+		oo.ManagerPolicy = alps.FailFast
+	case "restart":
+		oo.ManagerPolicy = alps.Restart
+	default:
+		return nil, "", fmt.Errorf("unknown -manager-policy %q (failfast, restart)", *mgrPolicy)
+	}
+	switch *shed {
+	case "block":
+		oo.Shed = alps.ShedBlock
+	case "reject-newest":
+		oo.Shed = alps.ShedRejectNewest
+	case "reject-oldest":
+		oo.Shed = alps.ShedRejectOldest
+	default:
+		return nil, "", fmt.Errorf("unknown -shed %q (block, reject-newest, reject-oldest)", *shed)
+	}
+	// One supervision counter set shared by every hosted object and exposed
+	// through the node's rpc metrics.
+	sup := &alps.SupervisionMetrics{}
+	oo.Metrics = sup
+	supOpt := alps.WithObjectOptions(oo)
 
 	srv := &server{}
 	ok := false
@@ -94,24 +132,27 @@ func newServer(args []string) (*server, string, error) {
 		SearchMax:  32,
 		SearchCost: *searchCost,
 		Combine:    true,
+		ObjOpts:    []alps.Option{supOpt},
 	})
 	if err != nil {
 		return nil, "", err
 	}
-	srv.b, err = buffer.New(*bufSlots)
+	srv.b, err = buffer.New(*bufSlots, supOpt)
 	if err != nil {
 		return nil, "", err
 	}
-	srv.db, err = rwdb.New(rwdb.Config{ReadMax: *readMax})
+	srv.db, err = rwdb.New(rwdb.Config{ReadMax: *readMax, ObjOpts: []alps.Option{supOpt}})
 	if err != nil {
 		return nil, "", err
 	}
-	srv.sp, err = spooler.New(spooler.Config{Printers: *printers, PageCost: *pageCost})
+	srv.sp, err = spooler.New(spooler.Config{Printers: *printers, PageCost: *pageCost, ObjOpts: []alps.Option{supOpt}})
 	if err != nil {
 		return nil, "", err
 	}
 
-	srv.node = rpc.NewNode(*name)
+	srv.node = rpc.NewNodeWith(*name, rpc.NodeOptions{
+		Metrics: &rpc.Metrics{Supervision: sup},
+	})
 	if err := srv.node.Publish(srv.d.Object()); err != nil {
 		return nil, "", err
 	}

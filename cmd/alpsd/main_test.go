@@ -124,3 +124,35 @@ func TestServerBadDefsFile(t *testing.T) {
 		t.Fatal("missing defs file accepted")
 	}
 }
+
+func TestServerSupervisionFlags(t *testing.T) {
+	// Bad values are rejected at startup.
+	if _, _, err := newServer([]string{"-addr", "127.0.0.1:0", "-manager-policy", "reboot"}); err == nil {
+		t.Fatal("unknown -manager-policy accepted")
+	}
+	if _, _, err := newServer([]string{"-addr", "127.0.0.1:0", "-shed", "drop-everything"}); err == nil {
+		t.Fatal("unknown -shed accepted")
+	}
+
+	// Good values apply to every hosted object and the node still serves.
+	_, addr := startTestServer(t,
+		"-search-cost", "0s",
+		"-manager-policy", "restart",
+		"-max-restarts", "3",
+		"-max-pending", "64",
+		"-shed", "reject-newest",
+		"-call-timeout", "5s",
+		"-stall-threshold", "10s",
+	)
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	if res, err := rem.Call("Dictionary", "Search", "hello"); err != nil || res[0] != "meaning of hello" {
+		t.Fatalf("Search = %v, %v", res, err)
+	}
+	if _, err := rem.Call("Database", "Write", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+}

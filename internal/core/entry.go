@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Value is one ALPS parameter, result, or message value.
@@ -31,6 +32,14 @@ type EntrySpec struct {
 	HiddenResults int
 	Local         bool // local procedure: callable only from inside the object
 	Body          Body
+
+	// MaxPending bounds this entry's pending calls (#P: waiting plus
+	// attached-but-unaccepted). 0 inherits ObjectOptions.MaxPending; either
+	// way 0 means unbounded. Shed selects the policy applied when the bound
+	// is full (only meaningful with a non-zero MaxPending here; an inherited
+	// object-level bound uses ObjectOptions.Shed).
+	MaxPending int
+	Shed       ShedPolicy
 }
 
 func (s EntrySpec) validate() error {
@@ -45,6 +54,9 @@ func (s EntrySpec) validate() error {
 	}
 	if s.Array < 0 {
 		return fmt.Errorf("%w: entry %q has negative array size", ErrBadArity, s.Name)
+	}
+	if s.MaxPending < 0 {
+		return fmt.Errorf("%w: entry %q has negative MaxPending", ErrBadState, s.Name)
 	}
 	return nil
 }
@@ -139,11 +151,17 @@ type entry struct {
 	attachRot int           // rotating scan offset for arbitrary slot choice
 	active    int           // bodies started and not yet finished
 
+	// Admission control (resolved at New from EntrySpec/ObjectOptions).
+	maxPending int             // bound on pending(); 0 = unbounded
+	shedPolicy ShedPolicy      // policy when maxPending is full
+	spaceq     []chan struct{} // callers blocked by ShedBlock, FIFO
+
 	// Lifetime counters (under the object lock).
 	calls     uint64 // invocations that passed validation
 	completed uint64 // calls that returned results to their caller
 	combined  uint64 // calls answered without a body execution (§2.7)
 	failed    uint64 // calls that returned an error
+	shed      uint64 // calls rejected by admission control (ErrOverload)
 }
 
 // EntryStats is a snapshot of one entry's lifetime counters.
@@ -152,6 +170,7 @@ type EntryStats struct {
 	Completed uint64 // calls that returned results
 	Combined  uint64 // calls answered by combining (no body execution)
 	Failed    uint64 // calls that returned an error (body error, close, cancel)
+	Shed      uint64 // calls rejected by admission control (ErrOverload)
 	Pending   int    // current #P (attached + waiting)
 	Active    int    // bodies started and not finished
 }
@@ -234,6 +253,11 @@ type callRecord struct {
 	refs  atomic.Int32
 	inv   Invocation // body-side view, embedded to avoid a per-start allocation
 	runFn func()     // pre-bound o.runBody(cr) thunk, created once per record
+
+	// arrived is the submission timestamp, stamped only when the stall
+	// watchdog is enabled (a time.Now() per call is measurable on the hot
+	// path and useless otherwise).
+	arrived time.Time
 }
 
 func (cr *callRecord) slotIndex() int {

@@ -29,6 +29,18 @@ var (
 	// ErrNoManager is returned when manager-only configuration is used on an
 	// object without a manager.
 	ErrNoManager = errors.New("alps: object has no manager")
+
+	// ErrObjectPoisoned is returned for every pending, accepted and future
+	// call on an object whose manager died without recovering: a FailFast
+	// manager panic, or a Restart budget exhausted. The wrapping error text
+	// carries the original panic. Poisoning is terminal — callers must not
+	// retry (contrast ErrOverload).
+	ErrObjectPoisoned = errors.New("alps: object poisoned")
+
+	// ErrOverload is returned when admission control sheds a call because an
+	// entry's MaxPending bound is full. The call definitively did not
+	// execute, so retrying (with backoff) is always safe.
+	ErrOverload = errors.New("alps: entry overloaded")
 )
 
 // BodyError wraps a panic raised by an entry procedure body. The call that

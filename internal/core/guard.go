@@ -427,6 +427,7 @@ func (m *Mgr) commitAcceptLocked(e *entry, s *slot) *Accepted {
 	}
 	cr.mgrParams = a.Params
 	o.record(e.spec.Name, s.index, cr.id, trace.Accepted)
+	o.notifySpaceLocked(e) // acceptance shrinks the pending set (#P)
 	return a
 }
 

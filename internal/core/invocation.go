@@ -71,6 +71,12 @@ func (inv *Invocation) ReturnHidden(hidden ...Value) {
 // monitor it and terminate promptly.
 func (inv *Invocation) Done() <-chan struct{} { return inv.obj.closeCh }
 
+// Ctx returns a context cancelled when the object closes or is poisoned
+// (its manager died without recovering). Long-running bodies should pass it
+// to blocking operations so they stop promptly in either case; a plain
+// Done() channel only observes close.
+func (inv *Invocation) Ctx() context.Context { return inv.obj.lifeCtx }
+
 // CallLocal invokes another procedure of the same object from inside a
 // body. If the target is listed in the manager's intercepts clause the call
 // is directed to the manager like any entry call — this is how two entries
@@ -82,7 +88,7 @@ func (inv *Invocation) CallLocal(name string, params ...Value) ([]Value, error) 
 
 // CallLocalCtx is CallLocal with a context.
 func (inv *Invocation) CallLocalCtx(ctx context.Context, name string, params ...Value) ([]Value, error) {
-	cr, err := inv.obj.submit(name, params, true)
+	cr, err := inv.obj.submit(ctx, name, params, true)
 	if err != nil {
 		return nil, err
 	}

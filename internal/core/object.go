@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -40,12 +41,27 @@ type Object struct {
 	gate    bool // priority gate: yield to the manager after state changes
 
 	mgrFn      func(*Mgr)
-	mgr        *Mgr
+	mgr        atomic.Pointer[Mgr] // current incarnation; swapped on restart
 	mgrDone    chan struct{}
 	mgrErr     error
 	initFn     func()
 	nextCallID atomic.Uint64
 	bodyWG     sync.WaitGroup
+
+	// Supervision state (docs/SUPERVISION.md). lifeCtx is cancelled on close
+	// or poison, so bodies (Invocation.Ctx) and blocked admission waiters
+	// observe either promptly.
+	sup        ObjectOptions
+	poisoned   bool
+	poisonErr  error
+	mgrGone    bool // manager returned normally while the object was open
+	restarts   int
+	sheds      uint64
+	stalls     uint64
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	wdDone     chan struct{} // nil unless the stall watchdog is running
+	wdEnabled  bool
 
 	// crPool recycles callRecords (and their buffered result channels)
 	// across invocations; see the lifecycle notes on callRecord.
@@ -68,6 +84,8 @@ type config struct {
 	gateSet     bool
 	poolMode    sched.Mode
 	poolWorkers int
+	sup         ObjectOptions
+	supSet      bool
 }
 
 // WithEntry declares one procedure of the object's implementation part.
@@ -125,6 +143,11 @@ func New(name string, opts ...Option) (*Object, error) {
 	if len(cfg.intercepts) > 0 && cfg.mgrFn == nil {
 		return nil, fmt.Errorf("object %s: intercepts clause without manager: %w", name, ErrNoManager)
 	}
+	if cfg.supSet {
+		if err := cfg.sup.validate(name, cfg.mgrFn != nil); err != nil {
+			return nil, err
+		}
+	}
 
 	o := &Object{
 		name:     name,
@@ -135,7 +158,10 @@ func New(name string, opts ...Option) (*Object, error) {
 		mgrFn:    cfg.mgrFn,
 		initFn:   cfg.initFn,
 		poolMode: cfg.poolMode,
+		sup:      cfg.sup,
 	}
+	o.wdEnabled = cfg.sup.Watchdog.Threshold > 0
+	o.lifeCtx, o.lifeCancel = context.WithCancel(context.Background())
 	if len(cfg.entries) == 0 {
 		return nil, fmt.Errorf("object %s: no entry procedures: %w", name, ErrBadState)
 	}
@@ -148,6 +174,11 @@ func New(name string, opts ...Option) (*Object, error) {
 			return nil, fmt.Errorf("object %s: duplicate entry %q: %w", name, spec.Name, ErrBadState)
 		}
 		e := newEntry(spec)
+		if spec.MaxPending > 0 {
+			e.maxPending, e.shedPolicy = spec.MaxPending, spec.Shed
+		} else {
+			e.maxPending, e.shedPolicy = cfg.sup.MaxPending, cfg.sup.Shed
+		}
 		o.entries[spec.Name] = e
 		o.order = append(o.order, spec.Name)
 		totalSlots += e.spec.Array
@@ -187,10 +218,13 @@ func New(name string, opts ...Option) (*Object, error) {
 	if o.initFn != nil {
 		o.initFn()
 	}
+	if o.wdEnabled {
+		o.wdDone = make(chan struct{})
+		go o.runWatchdog(o.sup.Watchdog)
+	}
 	if o.mgrFn != nil {
-		o.mgr = newMgr(o)
 		o.mgrDone = make(chan struct{})
-		go o.runManager()
+		go o.superviseManager()
 	}
 	return o, nil
 }
@@ -233,6 +267,7 @@ func (o *Object) EntryStats(name string) (EntryStats, bool) {
 		Completed: e.completed,
 		Combined:  e.combined,
 		Failed:    e.failed,
+		Shed:      e.shed,
 		Pending:   e.pending(),
 		Active:    e.active,
 	}, true
@@ -253,7 +288,14 @@ func (o *Object) Call(name string, params ...Value) ([]Value, error) {
 // waiting to be attached or accepted; once the manager has accepted the
 // call, it runs to completion and the results are discarded.
 func (o *Object) CallCtx(ctx context.Context, name string, params ...Value) ([]Value, error) {
-	cr, err := o.submit(name, params, false)
+	if t := o.sup.DefaultCallTimeout; t > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
+	}
+	cr, err := o.submit(ctx, name, params, false)
 	if err != nil {
 		return nil, err
 	}
@@ -285,9 +327,10 @@ func (o *Object) awaitResult(ctx context.Context, cr *callRecord) ([]Value, erro
 	return res.results, res.err
 }
 
-// submit validates and enqueues a call. internal marks calls originating
-// from inside the object (local procedure interception, paper §2.3).
-func (o *Object) submit(name string, params []Value, internal bool) (*callRecord, error) {
+// submit validates, admits and enqueues a call. internal marks calls
+// originating from inside the object (local procedure interception, §2.3).
+// ctx is consulted only when admission control blocks the caller.
+func (o *Object) submit(ctx context.Context, name string, params []Value, internal bool) (*callRecord, error) {
 	o.mu.Lock()
 	e, ok := o.entries[name]
 	if !ok {
@@ -306,6 +349,11 @@ func (o *Object) submit(name string, params []Value, internal bool) (*callRecord
 	if o.closed {
 		o.mu.Unlock()
 		return nil, fmt.Errorf("object %s: %w", o.name, ErrClosed)
+	}
+	if o.poisoned || e.maxPending > 0 {
+		if err := o.admitLocked(ctx, e); err != nil {
+			return nil, err // admitLocked released the lock
+		}
 	}
 	cr := o.acquireCallLocked(e, params)
 	e.calls++
@@ -340,6 +388,9 @@ func (o *Object) acquireCallLocked(e *entry, params []Value) *callRecord {
 	cr.hiddenResults = nil
 	cr.bodyErr = nil
 	cr.inv = Invocation{}
+	if o.wdEnabled {
+		cr.arrived = time.Now()
+	}
 	cr.refs.Store(2) // one ref for the caller, one for the runtime
 	return cr
 }
@@ -361,8 +412,11 @@ func (o *Object) record(entry string, slot int, id uint64, kind trace.Kind) {
 	}
 }
 
-// withdraw removes a cancelled call if it has not been accepted yet.
-// It reports whether the call was withdrawn.
+// withdraw removes a cancelled call if it has not been accepted yet — or,
+// when the manager is dead (object poisoned or manager returned while the
+// object was open), even an accepted-but-unstarted call: no manager will
+// ever start it, so holding the caller past its cancellation would be a
+// hang. It reports whether the call was withdrawn.
 func (o *Object) withdraw(cr *callRecord) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -377,15 +431,18 @@ func (o *Object) withdraw(cr *callRecord) bool {
 			e.failed++
 			o.record(e.spec.Name, -1, cr.id, trace.Failed)
 			cr.release(o) // runtime reference: the call never attached
+			o.notifySpaceLocked(e)
 			return true
 		}
 	}
-	if cr.slot != nil && cr.slot.state == slotAttached {
+	if cr.slot != nil && (cr.slot.state == slotAttached ||
+		(cr.slot.state == slotAccepted && (o.mgrGone || o.poisoned))) {
 		cr.delivered = true
 		e.failed++
 		o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Failed)
 		o.freeSlotLocked(cr.slot) // drops the runtime reference
 		o.attachWaitingLocked(e)
+		o.notifySpaceLocked(e)
 		return true
 	}
 	return false // accepted or beyond: must run to completion
@@ -409,7 +466,10 @@ func (o *Object) attachWaitingLocked(e *entry) {
 		if e.intercepted {
 			e.attached = enlist(e.attached, s)
 		} else {
+			// Non-intercepted: the call leaves the pending set (#P) the
+			// moment it starts, freeing admission capacity.
 			o.startBodyLocked(cr, cr.params, nil)
+			o.notifySpaceLocked(e)
 		}
 	}
 }
@@ -472,7 +532,7 @@ func (o *Object) runBody(cr *callRecord) {
 	cr.bodyResults = inv.results
 	cr.hiddenResults = inv.hiddenRes
 	cr.bodyErr = err
-	if e.intercepted && !o.closed {
+	if e.intercepted && !o.closed && !o.poisoned {
 		// Wait for the manager's endorsement of termination (§2.3).
 		cr.slot.state = slotReady
 		e.ready = enlist(e.ready, cr.slot)
@@ -481,10 +541,14 @@ func (o *Object) runBody(cr *callRecord) {
 		o.wakeManager(e)
 		return
 	}
-	// Non-intercepted entry (or closing object): terminate directly.
+	// Non-intercepted entry (or closing/poisoned object): terminate directly.
 	e.active--
 	if err != nil {
 		o.deliverLocked(cr, nil, err)
+	} else if o.poisoned && e.intercepted {
+		// The dead manager cannot endorse the result (§2.3's await/finish
+		// will never run), so the caller gets the poison error.
+		o.deliverLocked(cr, nil, o.poisonErr)
 	} else if o.closed && e.intercepted {
 		o.deliverLocked(cr, nil, ErrClosed)
 	} else {
@@ -543,7 +607,7 @@ func (o *Object) freeSlotLocked(s *slot) {
 // when the priority gate is on, yields the processor so the high-priority
 // manager runs first.
 func (o *Object) wakeManager(e *entry) {
-	m := o.mgr
+	m := o.mgr.Load()
 	if m == nil || !m.interested(e) {
 		return
 	}
@@ -551,19 +615,6 @@ func (o *Object) wakeManager(e *entry) {
 	if o.gate {
 		runtime.Gosched()
 	}
-}
-
-func (o *Object) runManager() {
-	defer close(o.mgrDone)
-	defer func() {
-		if r := recover(); r != nil {
-			o.mu.Lock()
-			o.mgrErr = fmt.Errorf("alps: manager of %s panicked: %v", o.name, r)
-			o.mu.Unlock()
-		}
-		o.mgr.unsubscribeAll()
-	}()
-	o.mgrFn(o.mgr)
 }
 
 // ManagerErr reports a manager panic, if any.
@@ -608,12 +659,19 @@ func (o *Object) Close() error {
 				o.freeSlotLocked(s)
 			}
 		}
+		o.releaseAdmissionWaitersLocked(e)
 	}
 	o.mu.Unlock()
+	o.lifeCancel()
 
-	if o.mgr != nil {
-		o.mgr.poke()
+	if m := o.mgr.Load(); m != nil {
+		m.poke()
+	}
+	if o.mgrDone != nil {
 		<-o.mgrDone
+	}
+	if o.wdDone != nil {
+		<-o.wdDone
 	}
 	o.bodyWG.Wait()
 	o.pool.Close()

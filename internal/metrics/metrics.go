@@ -35,6 +35,17 @@ func (c *Counter) Value() uint64 {
 	return c.v
 }
 
+// Supervision aggregates the object-layer supervision counters: admission
+// sheds, manager restarts, object poisonings and watchdog stall detections.
+// Share one instance across objects (e.g. all objects hosted by a node) to
+// aggregate, or use one each. The zero value is ready to use.
+type Supervision struct {
+	Sheds    Counter // calls rejected by admission control (ErrOverload)
+	Restarts Counter // manager processes restarted by the supervisor
+	Poisons  Counter // objects poisoned (manager dead, no recovery)
+	Stalls   Counter // stall-watchdog detections (old pending call, live manager)
+}
+
 // Histogram accumulates duration samples and reports percentiles. To bound
 // memory it keeps a uniform reservoir of at most maxSamples samples plus
 // exact count/sum/min/max.

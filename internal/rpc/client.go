@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -138,16 +139,31 @@ func (r *Remote) CallWith(ctx context.Context, opts CallOptions, object, entry s
 		if attempt >= pol.Max || !retryableErr(err) || ctx.Err() != nil {
 			return nil, err
 		}
+		if errors.Is(err, core.ErrOverload) {
+			// The node shed the call: it definitively did not execute, so
+			// the retry is a fresh logical call and must carry a fresh
+			// sequence number — reusing seq would make the node's
+			// at-most-once cache replay the cached rejection forever.
+			seq = r.seq.Add(1)
+			if m := r.opts.Metrics; m != nil {
+				m.Overloads.Inc()
+			}
+		}
 	}
 }
 
-// retryableErr reports whether err is a transport failure worth retrying.
-// Errors returned by the remote object itself are final; per-attempt
-// deadline expiry is retryable (the caller checks the overall context).
+// retryableErr reports whether err is worth retrying: a transport failure,
+// or an admission-control rejection (core.ErrOverload — the call was shed
+// before executing, so a backed-off retry is always safe). Other errors
+// returned by the remote object itself are final; in particular
+// core.ErrObjectPoisoned is terminal — the object's manager is dead and no
+// amount of retrying will revive it. Per-attempt deadline expiry is
+// retryable (the caller checks the overall context).
 func retryableErr(err error) bool {
 	return errors.Is(err, ErrLinkClosed) ||
 		errors.Is(err, net.ErrClosed) ||
-		errors.Is(err, context.DeadlineExceeded)
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, core.ErrOverload)
 }
 
 // healthyLink returns the live link, redialling if the current one died.

@@ -421,6 +421,14 @@ func (l *link) serveRequest(f *frame) {
 		if err != nil {
 			r.Results = nil
 			r.Err, r.ErrKind = encodeErr(err)
+			if m := l.hooks.metrics; m != nil {
+				switch r.ErrKind {
+				case errOverload:
+					m.Overloads.Inc()
+				case errPoisoned:
+					m.Poisons.Inc()
+				}
+			}
 		}
 		if entry != nil {
 			// Record the outcome even if the arrival link is already dead:

@@ -111,6 +111,20 @@ type Metrics struct {
 	Reconnects metrics.Counter // successful redials
 	DedupHits  metrics.Counter // retried requests answered from the cache
 	DrainDrops metrics.Counter // requests rejected while draining
+
+	// Overloads counts calls that failed with core.ErrOverload: on a node,
+	// requests its hosted objects shed; on a client, shed responses that
+	// triggered a fresh-sequence retry.
+	Overloads metrics.Counter
+	// Poisons counts responses that failed with core.ErrObjectPoisoned
+	// (terminal; never retried).
+	Poisons metrics.Counter
+
+	// Supervision, when non-nil, is the object-layer supervision counter
+	// set shared with the hosted objects (via core.ObjectOptions.Metrics),
+	// so restart/shed/poison/stall counts surface alongside the wire
+	// counters. The rpc layer itself never writes to it.
+	Supervision *metrics.Supervision
 }
 
 // NodeOptions configures a Node. The zero value reproduces the classic

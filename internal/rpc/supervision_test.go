@@ -1,0 +1,242 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// boundedObj builds an object with a single bounded entry "P" whose manager
+// accepts nothing until gate is closed, then serves everything.
+func boundedObj(t *testing.T, gate chan struct{}) *core.Object {
+	t.Helper()
+	obj, err := core.New("Bounded",
+		core.WithEntry(core.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 4, MaxPending: 1,
+			Shed: core.ShedRejectNewest,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(inv.Param(0))
+				return nil
+			}}),
+		core.WithManager(func(m *core.Mgr) {
+			select {
+			case <-gate:
+			case <-m.Closed():
+				return
+			}
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, core.Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// TestOverloadCrossesWireTyped: a shed call comes back across the gob wire
+// still matching errors.Is(err, core.ErrOverload), and both ends count it.
+func TestOverloadCrossesWireTyped(t *testing.T) {
+	gate := make(chan struct{})
+	obj := boundedObj(t, gate)
+	defer obj.Close()
+	nodeM := &Metrics{}
+	network, _ := startSimNode(t, simnet.Config{}, obj, "Bounded", NodeOptions{Metrics: nodeM})
+
+	// Park one call to fill the MaxPending=1 bound.
+	parked, err := dialSim(t, network, "parker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parked.Close()
+	parkDone := make(chan error, 1)
+	go func() {
+		_, err := parked.Call("Bounded", "P", "held")
+		parkDone <- err
+	}()
+	waitUntil(t, func() bool {
+		st, _ := obj.EntryStats("P")
+		return st.Pending == 1
+	})
+
+	// Second client with no retries sees the typed overload error.
+	cliM := &Metrics{}
+	rem, err := dialSimWith(t, network, "c1", DialOptions{Metrics: cliM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	_, err = rem.Call("Bounded", "P", "shed-me")
+	if !errors.Is(err, core.ErrOverload) {
+		t.Fatalf("err = %v, want core.ErrOverload across the wire", err)
+	}
+	if errors.Is(err, core.ErrObjectPoisoned) {
+		t.Fatal("overload error must not also match ErrObjectPoisoned")
+	}
+	if nodeM.Overloads.Value() == 0 {
+		t.Error("node Overloads counter not incremented")
+	}
+
+	close(gate) // let the parked call finish
+	if err := <-parkDone; err != nil {
+		t.Fatalf("parked call: %v", err)
+	}
+}
+
+// TestOverloadRetriedWithFreshSeq: a client retrying an overloaded call
+// must not be fed the cached rejection by the at-most-once dedup layer —
+// the retry uses a fresh sequence number and succeeds once capacity frees.
+func TestOverloadRetriedWithFreshSeq(t *testing.T) {
+	gate := make(chan struct{})
+	obj := boundedObj(t, gate)
+	defer obj.Close()
+	nodeM := &Metrics{}
+	network, _ := startSimNode(t, simnet.Config{}, obj, "Bounded", NodeOptions{Metrics: nodeM})
+
+	parked, err := dialSim(t, network, "parker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parked.Close()
+	parkDone := make(chan error, 1)
+	go func() {
+		_, err := parked.Call("Bounded", "P", "held")
+		parkDone <- err
+	}()
+	waitUntil(t, func() bool {
+		st, _ := obj.EntryStats("P")
+		return st.Pending == 1
+	})
+
+	cliM := &Metrics{}
+	rem, err := dialSimWith(t, network, "c1", DialOptions{
+		Metrics: cliM,
+		Retry:   RetryPolicy{Max: 200, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	// Open the gate shortly after the first rejection so the retry loop
+	// has fresh capacity to land in. If the retry reused its seq, the
+	// dedup cache would replay the rejection forever and this would fail.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(gate)
+	}()
+	res, err := rem.Call("Bounded", "P", "eventually")
+	if err != nil {
+		t.Fatalf("retried call = %v, want success after capacity frees", err)
+	}
+	if res[0] != "eventually" {
+		t.Fatalf("res = %v", res)
+	}
+	if cliM.Overloads.Value() == 0 {
+		t.Error("client Overloads counter not incremented despite shed+retry")
+	}
+	if err := <-parkDone; err != nil {
+		t.Fatalf("parked call: %v", err)
+	}
+}
+
+// TestPoisonedCrossesWireAndIsNotRetried: a manager panic surfaces to the
+// remote caller as core.ErrObjectPoisoned and the client does not burn
+// retries on it — poison is terminal.
+func TestPoisonedCrossesWireAndIsNotRetried(t *testing.T) {
+	obj, err := core.New("Doomed",
+		core.WithEntry(core.EntrySpec{Name: "P", Results: 1, Array: 2,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(1)
+				return nil
+			}}),
+		core.WithManager(func(m *core.Mgr) {
+			if _, err := m.Accept("P"); err != nil {
+				return
+			}
+			panic("die")
+		}, core.Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	nodeM := &Metrics{}
+	network, _ := startSimNode(t, simnet.Config{}, obj, "Doomed", NodeOptions{Metrics: nodeM})
+
+	cliM := &Metrics{}
+	rem, err := dialSimWith(t, network, "c1", DialOptions{
+		Metrics: cliM,
+		Retry:   RetryPolicy{Max: 10, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	_, err = rem.Call("Doomed", "P")
+	if !errors.Is(err, core.ErrObjectPoisoned) {
+		t.Fatalf("err = %v, want core.ErrObjectPoisoned across the wire", err)
+	}
+	if errors.Is(err, core.ErrOverload) {
+		t.Fatal("poison error must not also match ErrOverload")
+	}
+	if n := cliM.Retries.Value(); n != 0 {
+		t.Errorf("client retried a poisoned call %d times; poison is terminal", n)
+	}
+	if n := cliM.Overloads.Value(); n != 0 {
+		t.Errorf("client counted %d overloads on a poison error", n)
+	}
+	if nodeM.Poisons.Value() == 0 {
+		t.Error("node Poisons counter not incremented")
+	}
+
+	// A second call fails the same way, straight from admission.
+	if _, err := rem.Call("Doomed", "P"); !errors.Is(err, core.ErrObjectPoisoned) {
+		t.Fatalf("second call err = %v", err)
+	}
+}
+
+// dialSim dials the "srv" node from a fresh simnet endpoint.
+func dialSim(t *testing.T, network *simnet.Network, name string) (*Remote, error) {
+	t.Helper()
+	return dialSimWith(t, network, name, DialOptions{})
+}
+
+func dialSimWith(t *testing.T, network *simnet.Network, name string, opts DialOptions) (*Remote, error) {
+	t.Helper()
+	conn, err := network.DialFrom(name, "srv")
+	if err != nil {
+		return nil, err
+	}
+	if opts.ClientID == "" {
+		opts.ClientID = name
+	}
+	if opts.Redial == nil {
+		opts.Redial = func() (net.Conn, error) { return network.DialFrom(name, "srv") }
+	}
+	return DialConnWith(conn, opts), nil
+}
+
+// waitUntil polls cond for up to five seconds.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -40,6 +41,8 @@ const (
 	errUnknownEntry
 	errUnknownObject
 	errBadArity
+	errOverload // core.ErrOverload: admission control shed the call; retryable
+	errPoisoned // core.ErrObjectPoisoned: object's manager died; terminal
 )
 
 // frame is the single wire message type.
@@ -107,6 +110,12 @@ func encodeErr(err error) (string, errKind) {
 	}
 	kind := errGeneric
 	switch {
+	// Poison wraps the manager's panic text, which could itself mention
+	// other sentinels; check it first so the terminal classification wins.
+	case errors.Is(err, core.ErrObjectPoisoned):
+		kind = errPoisoned
+	case errors.Is(err, core.ErrOverload):
+		kind = errOverload
 	case errors.Is(err, core.ErrClosed):
 		kind = errClosed
 	case errors.Is(err, core.ErrUnknownEntry):
@@ -127,14 +136,30 @@ func decodeErr(msg string, kind errKind) error {
 	}
 	switch kind {
 	case errClosed:
-		return fmt.Errorf("%s: %w", msg, core.ErrClosed)
+		return rewrap(msg, core.ErrClosed)
 	case errUnknownEntry:
-		return fmt.Errorf("%s: %w", msg, core.ErrUnknownEntry)
+		return rewrap(msg, core.ErrUnknownEntry)
 	case errUnknownObject:
-		return fmt.Errorf("%s: %w", msg, ErrUnknownObject)
+		return rewrap(msg, ErrUnknownObject)
 	case errBadArity:
-		return fmt.Errorf("%s: %w", msg, core.ErrBadArity)
+		return rewrap(msg, core.ErrBadArity)
+	case errOverload:
+		return rewrap(msg, core.ErrOverload)
+	case errPoisoned:
+		return rewrap(msg, core.ErrObjectPoisoned)
 	default:
 		return errors.New(msg)
 	}
+}
+
+// rewrap re-attaches a sentinel to a remote error message for errors.Is,
+// without repeating the sentinel's own text when the message (produced by
+// wrapping the same sentinel on the server) already ends with it.
+func rewrap(msg string, sentinel error) error {
+	s := sentinel.Error()
+	if msg == s {
+		return sentinel
+	}
+	msg = strings.TrimSuffix(msg, ": "+s)
+	return fmt.Errorf("%s: %w", msg, sentinel)
 }

@@ -43,22 +43,36 @@ const (
 	Retried
 	// Replayed: a node answered a retried call from its at-most-once cache.
 	Replayed
+	// Shed: admission control rejected a call (entry MaxPending bound full).
+	Shed
+	// Stalled: the stall watchdog found the oldest pending call older than
+	// its threshold while the manager was still live.
+	Stalled
+	// MgrRestart: the supervisor restarted a crashed manager process.
+	MgrRestart
+	// Poisoned: the object was poisoned — its manager died without recovery
+	// and every pending and future call fails with ErrObjectPoisoned.
+	Poisoned
 )
 
 var kindNames = map[Kind]string{
-	Arrived:  "arrived",
-	Attached: "attached",
-	Accepted: "accepted",
-	Started:  "started",
-	Ready:    "ready",
-	Awaited:  "awaited",
-	Finished: "finished",
-	Combined: "combined",
-	Failed:   "failed",
-	LinkUp:   "link-up",
-	LinkDown: "link-down",
-	Retried:  "retried",
-	Replayed: "replayed",
+	Arrived:    "arrived",
+	Attached:   "attached",
+	Accepted:   "accepted",
+	Started:    "started",
+	Ready:      "ready",
+	Awaited:    "awaited",
+	Finished:   "finished",
+	Combined:   "combined",
+	Failed:     "failed",
+	LinkUp:     "link-up",
+	LinkDown:   "link-down",
+	Retried:    "retried",
+	Replayed:   "replayed",
+	Shed:       "shed",
+	Stalled:    "stalled",
+	MgrRestart: "mgr-restart",
+	Poisoned:   "poisoned",
 }
 
 // String implements fmt.Stringer.
