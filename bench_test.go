@@ -46,6 +46,39 @@ func BenchmarkE1BoundedBuffer(b *testing.B) {
 			}
 		}
 	})
+	// Multi-client scaling: the same deposit+remove pair driven by N
+	// concurrent clients. ns/op is wall time over total ops, so a flat
+	// line across client counts means added concurrency buys nothing.
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("alps-manager/clients=%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
+			buf, err := buffer.New(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer buf.Close()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/clients + 1
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := buf.Deposit(i); err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := buf.Remove(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
 	b.Run("monitor", func(b *testing.B) {
 		b.ReportAllocs()
 		buf := baseline.NewMonitorBuffer(8)
@@ -421,6 +454,48 @@ func BenchmarkManagerPrimitives(b *testing.B) {
 			}
 		}
 	})
+	// Multi-client scaling for the full accept/execute protocol: with the
+	// batched intake mailbox the manager drains all concurrent arrivals in
+	// one wakeup, so per-op cost should fall as clients are added, not rise.
+	for _, clients := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("managed-execute/clients=%d", clients), func(b *testing.B) {
+			b.ReportAllocs()
+			obj, err := alps.New("X",
+				alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 64, Body: body}),
+				alps.WithManager(func(m *alps.Mgr) {
+					for {
+						a, err := m.Accept("P")
+						if err != nil {
+							return
+						}
+						if _, err := m.Execute(a); err != nil {
+							return
+						}
+					}
+				}, alps.Intercept("P")),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer obj.Close()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N/clients + 1
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := obj.Call("P", i); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
 	b.Run("managed-combining", func(b *testing.B) {
 		b.ReportAllocs()
 		obj, err := alps.New("X",

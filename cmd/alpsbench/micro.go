@@ -8,6 +8,7 @@ package main
 import (
 	"sync"
 	"testing"
+	"time"
 
 	alps "repro"
 	"repro/internal/baseline"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/objects/spooler"
 	"repro/internal/rpc"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/simnet"
 	"repro/internal/workload"
 )
@@ -83,7 +85,10 @@ func microBenches() []microBench {
 		{"E10RemoteCall/remote-tcp", microE10Remote},
 		{"ManagerPrimitives/unmanaged-call", microUnmanaged},
 		{"ManagerPrimitives/managed-execute", microManagedExecute},
+		{"ManagerPrimitives/managed-execute-8c", microManagedExecute8C},
 		{"ManagerPrimitives/managed-combining", microManagedCombining},
+		{"ShardGroup/shards=1-clients=64", microShardGroup1},
+		{"ShardGroup/shards=8-clients=64", microShardGroup8},
 		{"Channel/send-recv", microChannel},
 		{"GuardScanWidth/array-4096", microGuardWidth},
 		{"SimnetLink", microSimnetLink},
@@ -424,6 +429,96 @@ func microManagedExecute(b *testing.B) {
 		}
 	}
 }
+
+// microManagedExecute8C is managed-execute under 8 concurrent callers:
+// the batched-mailbox shape, where arrivals pile into the intake list and
+// the manager drains them in one wakeup.
+func microManagedExecute8C(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := alps.New("X",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 64, Body: microEchoBody}),
+		alps.WithManager(func(m *alps.Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, alps.Intercept("P")),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	const clients = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := obj.Call("P", i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// microShardGroup measures group throughput with Execute-serialized
+// 100µs bodies at 64 clients — the E14 shape as a JSON micro, so the
+// 1→8 shard scaling factor is recorded in the checked-in baselines.
+func microShardGroup(b *testing.B, shards int) {
+	b.ReportAllocs()
+	const bodyCost = 100 * time.Microsecond
+	g, err := shard.New("Service", shards,
+		func(i int, name string) (*alps.Object, error) {
+			return alps.New(name,
+				alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1,
+					Body: func(inv *alps.Invocation) error {
+						time.Sleep(bodyCost)
+						inv.Return(inv.Param(0))
+						return nil
+					}}),
+				alps.WithManager(func(m *alps.Mgr) {
+					_ = m.Loop(alps.OnAccept("P", func(a *alps.Accepted) {
+						_, _ = m.Execute(a)
+					}))
+				}, alps.Intercept("P")),
+			)
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	const clients = 64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := g.Call("P", i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func microShardGroup1(b *testing.B) { microShardGroup(b, 1) }
+func microShardGroup8(b *testing.B) { microShardGroup(b, 8) }
 
 func microManagedCombining(b *testing.B) {
 	b.ReportAllocs()

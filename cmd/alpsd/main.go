@@ -26,6 +26,7 @@ import (
 	"repro/internal/objects/rwdb"
 	"repro/internal/objects/spooler"
 	"repro/internal/rpc"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -55,7 +56,8 @@ func run(args []string) error {
 // stop a daemon in-process.
 type server struct {
 	node *rpc.Node
-	d    *dict.Dict
+	d    *dict.Dict   // single dictionary (-shards 1)
+	dg   *shard.Group // sharded dictionary (-shards > 1)
 	b    *buffer.Buffer
 	db   *rwdb.DB
 	sp   *spooler.Spooler
@@ -71,6 +73,7 @@ func newServer(args []string) (*server, string, error) {
 		addr       = fs.String("addr", "127.0.0.1:7100", "listen address")
 		name       = fs.String("name", "alpsd", "node name")
 		searchCost = fs.Duration("search-cost", 2*time.Millisecond, "simulated dictionary search time")
+		shards     = fs.Int("shards", 1, "dictionary shard count; >1 hosts a key-affine shard group under the same name")
 		bufSlots   = fs.Int("buffer-slots", 16, "bounded buffer capacity")
 		readMax    = fs.Int("read-max", 8, "database ReadMax")
 		printers   = fs.Int("printers", 2, "spooler printer pool size")
@@ -128,12 +131,34 @@ func newServer(args []string) (*server, string, error) {
 	}()
 
 	var err error
-	srv.d, err = dict.New(dict.Options{
-		SearchMax:  32,
-		SearchCost: *searchCost,
-		Combine:    true,
-		ObjOpts:    []alps.Option{supOpt},
-	})
+	if *shards > 1 {
+		// Shard the dictionary: one replica per shard, calls routed by the
+		// queried word so combining still sees every request for a word on
+		// the same replica, published under the usual single name.
+		srv.dg, err = shard.New("Dictionary", *shards,
+			func(i int, shardName string) (*alps.Object, error) {
+				d, err := dict.New(dict.Options{
+					Name:       shardName,
+					SearchMax:  32,
+					SearchCost: *searchCost,
+					Combine:    true,
+					ObjOpts:    []alps.Option{supOpt},
+				})
+				if err != nil {
+					return nil, err
+				}
+				return d.Object(), nil
+			},
+			shard.WithKey("Search", shard.StringKey(0)),
+		)
+	} else {
+		srv.d, err = dict.New(dict.Options{
+			SearchMax:  32,
+			SearchCost: *searchCost,
+			Combine:    true,
+			ObjOpts:    []alps.Option{supOpt},
+		})
+	}
 	if err != nil {
 		return nil, "", err
 	}
@@ -153,7 +178,11 @@ func newServer(args []string) (*server, string, error) {
 	srv.node = rpc.NewNodeWith(*name, rpc.NodeOptions{
 		Metrics: &rpc.Metrics{Supervision: sup},
 	})
-	if err := srv.node.Publish(srv.d.Object()); err != nil {
+	if srv.dg != nil {
+		if err := srv.node.PublishCallable(srv.dg.Name(), srv.dg); err != nil {
+			return nil, "", err
+		}
+	} else if err := srv.node.Publish(srv.d.Object()); err != nil {
 		return nil, "", err
 	}
 	if err := srv.node.Publish(srv.b.Object()); err != nil {
@@ -195,6 +224,9 @@ func (s *server) Close() {
 	}
 	if s.d != nil {
 		_ = s.d.Close()
+	}
+	if s.dg != nil {
+		_ = s.dg.Close()
 	}
 	if s.b != nil {
 		_ = s.b.Close()

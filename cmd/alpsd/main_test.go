@@ -156,3 +156,41 @@ func TestServerSupervisionFlags(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestServerShardedDictionary(t *testing.T) {
+	srv, addr := startTestServer(t, "-search-cost", "0s", "-shards", "4")
+	if srv.dg == nil || srv.dg.Len() != 4 {
+		t.Fatalf("expected a 4-shard dictionary group, got %+v", srv.dg)
+	}
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	// Same published name, same wire protocol; different words may land
+	// on different replicas but every answer must be correct.
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for _, w := range words {
+		res, err := rem.Call("Dictionary", "Search", w)
+		if err != nil {
+			t.Fatalf("Search %s: %v", w, err)
+		}
+		if res[0] != "meaning of "+w {
+			t.Fatalf("Search %s = %v", w, res)
+		}
+	}
+	if st, ok := srv.dg.EntryStats("Search"); !ok || st.Completed != uint64(len(words)) {
+		t.Fatalf("aggregate Search stats = %+v, want %d completed", st, len(words))
+	}
+	// Key affinity: repeating a word must hit the replica ShardFor names.
+	i := srv.dg.ShardFor("Search", "alpha")
+	before, _ := srv.dg.Shard(i).EntryStats("Search")
+	if _, err := rem.Call("Dictionary", "Search", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := srv.dg.Shard(i).EntryStats("Search")
+	if after.Calls != before.Calls+1 {
+		t.Fatalf("repeat Search(alpha) missed shard %d (calls %d -> %d)", i, before.Calls, after.Calls)
+	}
+}

@@ -1,0 +1,120 @@
+// Command benchcheck compares two alpsbench JSON snapshots and fails when
+// a watched micro benchmark regressed beyond a threshold. CI runs it with
+// the fresh bench-smoke snapshot against the checked-in baseline so a PR
+// that slows the hot paths fails visibly instead of silently ratcheting
+// the baseline:
+//
+//	benchcheck -baseline BENCH_PR4.json -current bench-ci.json
+//	benchcheck -baseline a.json -current b.json -threshold 0.10 \
+//	    -watch 'E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute'
+//
+// Exit status: 0 when every watched benchmark is present in both files and
+// within threshold, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// defaultWatch lists the micro benchmarks gated by default: the paper's
+// headline E1 hot path, the manager Execute pipeline, and the remote-call
+// path — the three the roadmap optimizes hardest.
+const defaultWatch = "E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute,E10RemoteCall/remote-tcp"
+
+// benchFile mirrors the subset of cmd/alpsbench's JSON schema we need.
+type benchFile struct {
+	Label string `json:"label"`
+	Micro []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"micro"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	var (
+		basePath  = fs.String("baseline", "", "baseline JSON (checked-in BENCH_*.json)")
+		curPath   = fs.String("current", "", "candidate JSON (fresh alpsbench snapshot)")
+		threshold = fs.Float64("threshold", 0.15, "maximum tolerated ns/op increase (0.15 = +15%)")
+		watch     = fs.String("watch", defaultWatch, "comma-separated micro benchmark names to gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *curPath == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	fmt.Fprintf(out, "benchcheck: %s (%s) vs %s (%s), threshold +%.0f%%\n",
+		*curPath, cur.Label, *basePath, base.Label, *threshold*100)
+	for _, name := range strings.Split(*watch, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, bok := lookup(base, name)
+		c, cok := lookup(cur, name)
+		switch {
+		case !bok:
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline", name))
+		case !cok:
+			failures = append(failures, fmt.Sprintf("%s: missing from current snapshot", name))
+		default:
+			delta := c/b - 1
+			status := "ok"
+			if delta > *threshold {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %.1f ns/op -> %.1f ns/op (%+.1f%%)",
+					name, b, c, delta*100))
+			}
+			fmt.Fprintf(out, "  %-45s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n",
+				name, b, c, delta*100, status)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d watched benchmark(s) failed:\n  %s",
+			len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func lookup(f *benchFile, name string) (float64, bool) {
+	for _, m := range f.Micro {
+		if m.Name == name {
+			return m.NsPerOp, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseJSON = `{"label":"base","micro":[
+	{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1000},
+	{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
+	{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000}]}`
+
+func check(t *testing.T, curJSON string, extra ...string) error {
+	t.Helper()
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", baseJSON)
+	cur := writeJSON(t, dir, "cur.json", curJSON)
+	args := append([]string{"-baseline", base, "-current", cur}, extra...)
+	return run(args, os.Stdout)
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	err := check(t, `{"label":"cur","micro":[
+		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1100},
+		{"name":"ManagerPrimitives/managed-execute","ns_per_op":1500},
+		{"name":"E10RemoteCall/remote-tcp","ns_per_op":51000}]}`)
+	if err != nil {
+		t.Fatalf("within-threshold run failed: %v", err)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	err := check(t, `{"label":"cur","micro":[
+		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1200},
+		{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
+		{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000}]}`)
+	if err == nil {
+		t.Fatal("20% regression passed")
+	}
+	if !strings.Contains(err.Error(), "E1BoundedBuffer/alps-manager") {
+		t.Fatalf("error does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	err := check(t, `{"label":"cur","micro":[
+		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1000}]}`)
+	if err == nil {
+		t.Fatal("missing watched benchmarks passed")
+	}
+}
+
+func TestCustomWatchAndThreshold(t *testing.T) {
+	// Only watch E1 with a loose threshold: the 10x managed-execute
+	// regression must be ignored, the 18% E1 one tolerated at 0.20.
+	err := check(t, `{"label":"cur","micro":[
+		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1180},
+		{"name":"ManagerPrimitives/managed-execute","ns_per_op":20000}]}`,
+		"-watch", "E1BoundedBuffer/alps-manager", "-threshold", "0.20")
+	if err != nil {
+		t.Fatalf("custom watch run failed: %v", err)
+	}
+}

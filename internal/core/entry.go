@@ -139,6 +139,10 @@ type entry struct {
 	ipParams    int
 	ipResults   int
 
+	// fastIntake marks entries whose submissions take the mailbox fast
+	// path (intercepted, no admission bound). Resolved at New, immutable.
+	fastIntake bool
+
 	// watchSelf is the singleton watch set {this entry}, pre-built so the
 	// manager's single-entry fast paths (Accept, Await, AwaitCall) can
 	// publish their interest without allocating.
@@ -225,12 +229,18 @@ type callResult struct {
 //   - refs starts at 2: one reference for the caller blocked on resultCh,
 //     one for the runtime (held until the record leaves waitq/slots for
 //     good). The side that drops refs to 0 returns the record to the pool.
-//   - Every field except refs is written only while the object lock is
-//     held, and only by the record's current owner lifecycle; acquire
-//     resets all of them under the lock. A stale handle from a previous
-//     lifecycle therefore reads consistent (if outdated) values and is
-//     detected by comparing its captured id against cr.id (ids are unique,
-//     so an ABA match is impossible).
+//   - acquireCall resets every field under either o.mu (slow path) or
+//     intakeMu (mailbox fast path); afterwards fields are written only
+//     under o.mu, by the record's current owner lifecycle. Fast-path
+//     writes are published to the manager by the intakeMu release/acquire
+//     pair around the drain, so every o.mu-side access is ordered after
+//     them. A stale manager handle from a previous lifecycle must not
+//     read the record directly (a fast-path acquire may be rewriting it):
+//     it validates through its captured slot first — slot fields are
+//     written only under o.mu — and only a slot still bound to the
+//     handle's record (which therefore cannot be mid-acquire) licenses
+//     the cr.id comparison that detects recycling (ids are unique, so an
+//     ABA match is impossible).
 //   - resultCh is reused across lifecycles. It is provably empty at
 //     recycle time: deliverLocked sends at most once per lifecycle
 //     (delivered flag, under the lock), the caller always performs the

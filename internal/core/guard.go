@@ -173,6 +173,7 @@ func (m *Mgr) Select(guards ...Guard) (int, error) {
 			o.mu.Unlock()
 			return -1, ErrClosed
 		}
+		o.drainIntakeLocked()
 		m.inScan = true
 		m.scanLocked(guards)
 		m.inScan = false
@@ -363,6 +364,7 @@ func (m *Mgr) acceptEligible(g *Guard, e *entry, s *slot) (int, bool) {
 	a := &m.scratchA
 	a.m = m
 	a.call = cr
+	a.s = s
 	a.id = cr.id
 	a.Entry = e.spec.Name
 	a.Slot = s.index
@@ -386,6 +388,7 @@ func (m *Mgr) awaitEligible(g *Guard, e *entry, s *slot) (int, bool) {
 	aw := &m.scratchAw
 	aw.m = m
 	aw.call = cr
+	aw.s = s
 	aw.id = cr.id
 	aw.Entry = e.spec.Name
 	aw.Slot = s.index
@@ -420,6 +423,7 @@ func (m *Mgr) commitAcceptLocked(e *entry, s *slot) *Accepted {
 	a := &Accepted{
 		m:      m,
 		call:   cr,
+		s:      s,
 		id:     cr.id,
 		Entry:  e.spec.Name,
 		Slot:   s.index,
@@ -443,6 +447,7 @@ func (m *Mgr) commitAwaitLocked(e *entry, s *slot) *Awaited {
 	aw := &Awaited{
 		m:      m,
 		call:   cr,
+		s:      s,
 		id:     cr.id,
 		Entry:  e.spec.Name,
 		Slot:   s.index,

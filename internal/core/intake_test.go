@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestIntakeFIFOAcrossBurst locks in the mailbox ordering guarantee: calls
+// drained from the intake list must be served in arrival (call-id) order,
+// exactly as if each had been appended to the wait queue directly.
+func TestIntakeFIFOAcrossBurst(t *testing.T) {
+	var mu sync.Mutex
+	var served []uint64
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1,
+			Body: func(inv *Invocation) error { inv.Return(inv.Param(0)); return nil }}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				served = append(served, a.CallID())
+				mu.Unlock()
+				if err := m.FinishAccepted(a, a.Params[0]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}, InterceptPR("P", 1, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				res, err := o.Call("P", w)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if res[0].(int) != w {
+					t.Errorf("worker %d: got %v (cross-talk)", w, res[0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	mustClose(t, o)
+	if len(served) != workers*perWorker {
+		t.Fatalf("served %d calls, want %d", len(served), workers*perWorker)
+	}
+	for i := 1; i < len(served); i++ {
+		if served[i] <= served[i-1] {
+			t.Fatalf("service order not arrival order: id %d after %d (index %d)",
+				served[i], served[i-1], i)
+		}
+	}
+}
+
+// TestIntakeCancellation verifies a caller can withdraw a cancelled call
+// that is still sitting in the mailbox (never drained by the manager).
+func TestIntakeCancellation(t *testing.T) {
+	block := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(*Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			<-block // never accepts until released
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := o.CallCtx(ctx, "P"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if st, _ := o.EntryStats("P"); st.Failed != 1 || st.Pending != 0 {
+		t.Fatalf("stats after withdraw: %+v", st)
+	}
+	close(block)
+	mustClose(t, o)
+}
+
+// TestIntakeCloseRace closes the object while submitters are hammering the
+// fast path; every call must return a result or ErrClosed — no hangs, no
+// lost calls.
+func TestIntakeCloseRace(t *testing.T) {
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Results: 1,
+			Body: func(inv *Invocation) error { inv.Return(1); return nil }}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if err := m.FinishAccepted(a, 1); err != nil {
+					return
+				}
+			}
+		}, InterceptPR("P", 0, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				_, err := o.Call("P")
+				if err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	mustClose(t, o)
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestIntakePoisonRace panics the manager under fast-path load; every
+// in-flight and subsequent call must fail with ErrObjectPoisoned (FailFast),
+// never hang in the mailbox.
+func TestIntakePoisonRace(t *testing.T) {
+	var accepted atomic.Int64
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Results: 1,
+			Body: func(inv *Invocation) error { inv.Return(1); return nil }}),
+		WithManager(func(m *Mgr) {
+			for {
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if accepted.Add(1) == 100 {
+					panic("boom")
+				}
+				if err := m.FinishAccepted(a, 1); err != nil {
+					return
+				}
+			}
+		}, InterceptPR("P", 0, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, err := o.Call("P")
+				if err != nil {
+					if !errors.Is(err, ErrObjectPoisoned) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !o.Poisoned() {
+		t.Fatal("object not poisoned")
+	}
+}
+
+// TestIntakeStatsVisibility checks EntryStats observes calls that are still
+// in the mailbox (the manager is blocked and never drains).
+func TestIntakeStatsVisibility(t *testing.T) {
+	block := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Body: func(*Invocation) error { return nil }}),
+		WithEntry(EntrySpec{Name: "Q", Body: func(*Invocation) error { return nil }}),
+		WithManager(func(m *Mgr) {
+			<-block
+			for {
+				// Serve P so close can complete cleanly.
+				a, err := m.Accept("P")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a); err != nil {
+					return
+				}
+			}
+		}, Intercept("P"), Intercept("Q")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = o.Call("P")
+	}()
+	// Wait until the call reaches the mailbox (or queue) and becomes
+	// visible to stats.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st, ok := o.EntryStats("P")
+		if !ok {
+			t.Fatal("entry missing")
+		}
+		if st.Calls == 1 {
+			if st.Pending != 1 {
+				t.Fatalf("pending = %d, want 1", st.Pending)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("call never became visible to EntryStats")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(block)
+	<-done
+	mustClose(t, o)
+}

@@ -67,6 +67,19 @@ type Object struct {
 	// across invocations; see the lifecycle notes on callRecord.
 	crPool sync.Pool
 
+	// Batched intake mailbox (docs/PERFORMANCE.md): arrivals at intercepted,
+	// unbounded entries append here under intakeMu — held only for the
+	// append — instead of competing for o.mu with a manager that holds it
+	// across guard scans. The manager folds the whole list into the wait
+	// queues in one wakeup (drainIntakeLocked). intakeSpare is the drained
+	// buffer kept for the next swap; it is touched only under o.mu.
+	// intakeClosed is set (under intakeMu) at close/poison so late arrivals
+	// fall through to the slow path and observe the precise error.
+	intakeMu     sync.Mutex
+	intake       []*callRecord
+	intakeClosed bool
+	intakeSpare  []*callRecord
+
 	poolMode    sched.Mode
 	poolWorkers int
 }
@@ -203,6 +216,12 @@ func New(name string, opts ...Option) (*Object, error) {
 		e.ipParams = is.Params
 		e.ipResults = is.Results
 	}
+	for _, e := range o.entries {
+		// Intercepted entries without an admission bound take the mailbox
+		// fast path: nothing on the submit side needs o.mu (validation uses
+		// immutable spec data, and there is no pending bound to check).
+		e.fastIntake = e.intercepted && e.maxPending == 0
+	}
 
 	workers := cfg.poolWorkers
 	if cfg.poolMode == sched.ModeOneToOne {
@@ -258,6 +277,7 @@ func (o *Object) PoolStats() sched.Stats { return o.pool.Stats() }
 func (o *Object) EntryStats(name string) (EntryStats, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.drainIntakeLocked() // count mailbox arrivals in Calls and Pending
 	e, ok := o.entries[name]
 	if !ok {
 		return EntryStats{}, false
@@ -330,22 +350,30 @@ func (o *Object) awaitResult(ctx context.Context, cr *callRecord) ([]Value, erro
 // submit validates, admits and enqueues a call. internal marks calls
 // originating from inside the object (local procedure interception, §2.3).
 // ctx is consulted only when admission control blocks the caller.
+//
+// Validation is lock-free (the entries map and specs are immutable after
+// New). Intercepted, unbounded entries then take the mailbox fast path; all
+// other calls — and late arrivals racing with close or poison — go through
+// o.mu, where the precise admission and error rules live.
 func (o *Object) submit(ctx context.Context, name string, params []Value, internal bool) (*callRecord, error) {
-	o.mu.Lock()
 	e, ok := o.entries[name]
 	if !ok {
-		o.mu.Unlock()
 		return nil, fmt.Errorf("object %s: call %q: %w", o.name, name, ErrUnknownEntry)
 	}
 	if e.spec.Local && !internal {
-		o.mu.Unlock()
 		return nil, fmt.Errorf("object %s: %q is a local procedure: %w", o.name, name, ErrUnknownEntry)
 	}
 	if len(params) != e.spec.Params {
-		o.mu.Unlock()
 		return nil, fmt.Errorf("object %s: call %s with %d params, declared %d: %w",
 			o.name, name, len(params), e.spec.Params, ErrBadArity)
 	}
+	if e.fastIntake {
+		if cr, ok := o.submitIntake(e, params); ok {
+			o.wakeManager(e)
+			return cr, nil
+		}
+	}
+	o.mu.Lock()
 	if o.closed {
 		o.mu.Unlock()
 		return nil, fmt.Errorf("object %s: %w", o.name, ErrClosed)
@@ -355,7 +383,7 @@ func (o *Object) submit(ctx context.Context, name string, params []Value, intern
 			return nil, err // admitLocked released the lock
 		}
 	}
-	cr := o.acquireCallLocked(e, params)
+	cr := o.acquireCall(e, params)
 	e.calls++
 	o.record(name, -1, cr.id, trace.Arrived)
 	e.waitq = append(e.waitq, cr)
@@ -365,13 +393,72 @@ func (o *Object) submit(ctx context.Context, name string, params []Value, intern
 	return cr, nil
 }
 
-// acquireCallLocked returns a recycled (or new) call record, fully
-// reinitialized for a call to e with the given params (ownership of the
-// slice transfers to the runtime). All field resets happen here, under o.mu:
-// a record's fields are only ever written with the object lock held, so a
-// stale handle from a previous lifecycle reads consistent values and is
-// caught by its id (see callRecord).
-func (o *Object) acquireCallLocked(e *entry, params []Value) *callRecord {
+// submitIntake is the mailbox fast path: append the arriving call under
+// intakeMu and let the manager fold the whole list into the wait queues in
+// one wakeup. It reports false when the mailbox is sealed (object closing
+// or poisoned); the caller falls back to the slow path for the precise
+// error. Publication safety: every field of the record is written by this
+// goroutine before the append, and the manager reads them only after a
+// drain, so the intakeMu release/acquire pair orders the writes before
+// every manager access.
+func (o *Object) submitIntake(e *entry, params []Value) (*callRecord, bool) {
+	o.intakeMu.Lock()
+	if o.intakeClosed {
+		o.intakeMu.Unlock()
+		return nil, false
+	}
+	cr := o.acquireCall(e, params)
+	o.record(e.spec.Name, -1, cr.id, trace.Arrived)
+	o.intake = append(o.intake, cr)
+	o.intakeMu.Unlock()
+	return cr, true
+}
+
+// drainIntakeLocked folds every mailbox arrival into its entry's wait
+// queue and attaches what fits. Called with o.mu held — by the manager at
+// the top of each blocking primitive and scan (one drain serves the whole
+// batch), and by any path that must observe the complete pending set
+// (withdraw, stats, the watchdog, close, poison).
+func (o *Object) drainIntakeLocked() {
+	o.intakeMu.Lock()
+	batch := o.intake
+	if len(batch) == 0 {
+		o.intakeMu.Unlock()
+		return
+	}
+	o.intake = o.intakeSpare[:0]
+	o.intakeMu.Unlock()
+	attach := !o.closed && !o.poisoned
+	for _, cr := range batch {
+		e := cr.entry
+		e.calls++
+		e.waitq = append(e.waitq, cr)
+		if attach {
+			o.attachWaitingLocked(e)
+		}
+	}
+	clear(batch) // drop the record references for GC
+	o.intakeSpare = batch
+}
+
+// closeIntakeLocked seals the mailbox — future fast-path submissions fall
+// through to the slow path and observe the close/poison state under o.mu —
+// and folds buffered arrivals into their wait queues so the caller's sweep
+// fails them like any other pending call. Called with o.mu held.
+func (o *Object) closeIntakeLocked() {
+	o.intakeMu.Lock()
+	o.intakeClosed = true
+	o.intakeMu.Unlock()
+	o.drainIntakeLocked()
+}
+
+// acquireCall returns a recycled (or new) call record, fully reinitialized
+// for a call to e with the given params (ownership of the slice transfers
+// to the runtime). Callers hold either o.mu (slow path) or intakeMu (fast
+// path); in both cases the record is unreachable from live handles — only
+// stale ones, which validate through their slot before touching the record
+// (see callRecord) — so the resets cannot be observed mid-write.
+func (o *Object) acquireCall(e *entry, params []Value) *callRecord {
 	cr, _ := o.crPool.Get().(*callRecord)
 	if cr == nil {
 		cr = &callRecord{resultCh: make(chan callResult, 1)}
@@ -420,6 +507,7 @@ func (o *Object) record(entry string, slot int, id uint64, kind trace.Kind) {
 func (o *Object) withdraw(cr *callRecord) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.drainIntakeLocked() // the call may still be sitting in the mailbox
 	if cr.delivered {
 		return false
 	}
@@ -644,6 +732,7 @@ func (o *Object) Close() error {
 	}
 	o.closed = true
 	close(o.closeCh)
+	o.closeIntakeLocked()
 	for _, name := range o.order {
 		e := o.entries[name]
 		for _, cr := range e.waitq {

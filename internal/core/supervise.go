@@ -314,6 +314,7 @@ func (o *Object) poison(reason error) {
 	}
 	o.poisoned = true
 	o.poisonErr = perr
+	o.closeIntakeLocked()
 	for _, name := range o.order {
 		e := o.entries[name]
 		for _, cr := range e.waitq {
@@ -505,6 +506,7 @@ func (o *Object) runWatchdog(cfg WatchdogConfig) {
 		}
 		now := time.Now()
 		o.mu.Lock()
+		o.drainIntakeLocked() // age mailbox arrivals like any pending call
 		if o.poisoned || o.mgrGone {
 			// Not a live-manager stall: poison already failed the calls,
 			// and a voluntarily-exited manager is not coming back.

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	alps "repro"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// E14ShardScaling: the paper's manager is one logical process, so one
+// managed object's Execute throughput is capped at one manager's speed
+// regardless of cores. A shard.Group recovers scaling the ALPS way — many
+// objects, one router. Each replica here serializes a fixed per-call cost
+// through Execute (the §2.3 exclusion shape: the body is a critical
+// section on the object's state); N shards give N managers whose critical
+// sections overlap, so throughput should rise ~linearly in the shard
+// count until callers run out.
+func E14ShardScaling(scale Scale) (*metrics.Table, error) {
+	var (
+		clients  = 64
+		calls    = pick(scale, 10, 60) // per client
+		bodyCost = 200 * time.Microsecond
+	)
+	table := metrics.NewTable(
+		fmt.Sprintf("E14: %d clients x %d Execute calls, %v/body, load-routed",
+			clients, calls, bodyCost),
+		"shards", "throughput", "speedup", "min/max per-shard calls")
+
+	base := 0.0
+	for _, shards := range []int{1, 2, 4, 8} {
+		g, err := shard.New("Service", shards,
+			func(i int, name string) (*alps.Object, error) {
+				return alps.New(name,
+					alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1,
+						Body: func(inv *alps.Invocation) error {
+							time.Sleep(bodyCost) // stand-in for the body's exclusive work
+							inv.Return(inv.Param(0))
+							return nil
+						}}),
+					alps.WithManager(func(m *alps.Mgr) {
+						_ = m.Loop(alps.OnAccept("P", func(a *alps.Accepted) {
+							_, _ = m.Execute(a)
+						}))
+					}, alps.Intercept("P")),
+				)
+			})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < calls; i++ {
+					if _, err := g.Call("P", c*calls+i); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errCh:
+			_ = g.Close()
+			return nil, err
+		default:
+		}
+
+		minCalls, maxCalls := uint64(1<<62), uint64(0)
+		for i := 0; i < g.Len(); i++ {
+			st, _ := g.Shard(i).EntryStats("P")
+			if st.Calls < minCalls {
+				minCalls = st.Calls
+			}
+			if st.Calls > maxCalls {
+				maxCalls = st.Calls
+			}
+		}
+		_ = g.Close()
+
+		ops := float64(clients*calls) / elapsed.Seconds()
+		if shards == 1 {
+			base = ops
+		}
+		table.AddRow(shards, throughput(clients*calls, elapsed),
+			fmt.Sprintf("%.2fx", ops/base),
+			fmt.Sprintf("%d / %d", minCalls, maxCalls))
+	}
+	return table, nil
+}

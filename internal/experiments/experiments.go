@@ -54,6 +54,7 @@ func All() []Experiment {
 		{ID: "E11", Title: "Monitors, serializers, path expressions as managers (§1)", Run: E11Generality},
 		{ID: "E12", Title: "Remote calls over simulated transputer links (§4)", Run: E12SimulatedLinks},
 		{ID: "E13", Title: "Parameter-based scheduling: allocator policies (§1)", Run: E13Allocator},
+		{ID: "E14", Title: "Shard groups: managed-object scaling across managers", Run: E14ShardScaling},
 	}
 }
 

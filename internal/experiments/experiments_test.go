@@ -17,8 +17,8 @@ func TestAllHaveUniqueIDsAndTitles(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 13 {
-		t.Fatalf("have %d experiments, want 13", len(seen))
+	if len(seen) != 14 {
+		t.Fatalf("have %d experiments, want 14", len(seen))
 	}
 }
 

@@ -36,6 +36,7 @@ type Dict struct {
 
 // Options configures a dictionary.
 type Options struct {
+	Name       string        // object name (default "Dictionary"; shard replicas need distinct names)
 	SearchMax  int           // hidden array size (default 8)
 	MaxActive  int           // max concurrent search executions (0 = SearchMax)
 	SearchCost time.Duration // simulated per-search database scan time
@@ -146,7 +147,10 @@ func New(opts Options) (*Dict, error) {
 		)
 	}
 
-	obj, err := alps.New("Dictionary", append(opts.ObjOpts,
+	if opts.Name == "" {
+		opts.Name = "Dictionary"
+	}
+	obj, err := alps.New(opts.Name, append(opts.ObjOpts,
 		alps.WithEntry(alps.EntrySpec{
 			Name: "Search", Params: 1, Results: 1, Array: opts.SearchMax, Body: search,
 		}),

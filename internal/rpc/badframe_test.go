@@ -1,0 +1,64 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBadFrameKillsLink sends a structurally invalid frame (unknown kind)
+// to a serving node over a raw connection: the node must tear the link
+// down — the connection reads EOF — rather than ignore the frame, and the
+// node itself must keep serving new connections.
+func TestBadFrameKillsLink(t *testing.T) {
+	_, addr := startEchoNode(t)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(&frame{Kind: frameKind(42), ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("link stayed up after malformed frame")
+	}
+
+	// A fresh, well-formed connection must still be served.
+	rem, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	res, err := rem.Call("Echo", "P", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int) != 42 {
+		t.Fatalf("echo = %v, want 42", res[0])
+	}
+}
+
+func TestFrameValidate(t *testing.T) {
+	good := frame{Kind: frameRequest, ErrKind: errNone}
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	badKind := frame{Kind: frameKind(0)}
+	if err := badKind.validate(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero kind: err = %v, want ErrBadFrame", err)
+	}
+	badErr := frame{Kind: frameResponse, ErrKind: errKind(-1)}
+	if err := badErr.validate(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad errKind: err = %v, want ErrBadFrame", err)
+	}
+	if err := decodeErr("mystery", errKind(77)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("decodeErr unknown kind: err = %v, want ErrBadFrame", err)
+	}
+}

@@ -3,6 +3,7 @@ package rpc
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"testing"
 )
 
@@ -19,6 +20,15 @@ func FuzzFrameDecode(f *testing.F) {
 		{Kind: frameChanSend, Chan: "chan-1", Params: []any{[]byte{1, 2, 3}}},
 		{Kind: frameList, ID: 3},
 		{Kind: frameListResp, ID: 3, Names: []string{"A", "B"}},
+		// Group-routed request: a call addressed to a shard.Group published
+		// under one name, with the string routing key in params — the wire
+		// shape cmd/alpsd serves with -shards.
+		{Kind: frameRequest, ID: 4, Object: "words", Entry: "Add", Params: []any{"alps", 3}, Client: "g", Seq: 1},
+		{Kind: frameResponse, ID: 4, Err: "shard 2 poisoned", ErrKind: errPoisoned},
+		// Out-of-protocol discriminants: validate must flag both without
+		// the decoder panicking or the codec round-trip misbehaving.
+		{Kind: frameKind(99), ID: 5},
+		{Kind: frameResponse, ID: 6, Err: "mystery", ErrKind: errKind(77)},
 	}
 	var buf bytes.Buffer
 	enc := gob.NewEncoder(&buf)
@@ -48,6 +58,16 @@ func FuzzFrameDecode(f *testing.F) {
 			}
 			if err := decodeErr(fr.Err, fr.ErrKind); (err == nil) != (fr.ErrKind == errNone) {
 				t.Fatalf("decodeErr(%q, %d) nil-ness inconsistent", fr.Err, fr.ErrKind)
+			}
+			if err := fr.validate(); err != nil {
+				if !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("validate returned untyped error %v", err)
+				}
+				if fr.Kind.valid() && fr.ErrKind.valid() {
+					t.Fatalf("validate rejected in-range frame %+v: %v", fr, err)
+				}
+			} else if !fr.Kind.valid() || !fr.ErrKind.valid() {
+				t.Fatalf("validate accepted out-of-range frame %+v", fr)
 			}
 		}
 	})

@@ -305,6 +305,15 @@ func (l *link) readLoop() {
 			l.shutdown(fmt.Errorf("%w: %v", ErrLinkClosed, err))
 			return
 		}
+		if err := f.validate(); err != nil {
+			// A structurally invalid frame means the peer is not speaking
+			// this protocol (or a skewed version of it); nothing later on
+			// the stream can be trusted, so fail the link with the typed
+			// error instead of silently ignoring the frame.
+			putFrame(f)
+			l.shutdown(fmt.Errorf("%w: %v", ErrLinkClosed, err))
+			return
+		}
 		switch f.Kind {
 		case frameRequest:
 			l.wg.Add(1)

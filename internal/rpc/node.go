@@ -69,6 +69,22 @@ func (n *Node) Publish(obj *core.Object) error {
 	return n.publish(obj.Name(), obj)
 }
 
+// Callable is anything that can service entry calls: a *core.Object, a
+// shard.Group, or any wrapper with the same call surface.
+type Callable interface {
+	CallCtx(ctx context.Context, entry string, params ...any) ([]any, error)
+}
+
+// PublishCallable makes any Callable available to remote clients under an
+// explicit name. This is how a shard.Group — N replica objects behind one
+// router — is hosted under a single published name.
+func (n *Node) PublishCallable(name string, c Callable) error {
+	if c == nil {
+		return fmt.Errorf("node %s: publish %q: nil callable", n.name, name)
+	}
+	return n.publish(name, c)
+}
+
 // PublishAs makes any callable available under an explicit name (used for
 // wrapped objects and in tests).
 func (n *Node) PublishAs(name string, obj callable) error {

@@ -1,0 +1,116 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// buildCountShard is one replica of a keyed word-count object: Add(word)
+// increments, Count(word) reads, both serialized by the shard's manager.
+func buildCountShard(i int, name string) (*core.Object, error) {
+	counts := make(map[string]int)
+	return core.New(name,
+		core.WithEntry(core.EntrySpec{Name: "Add", Params: 1, Results: 1,
+			Body: func(inv *core.Invocation) error {
+				w := inv.Param(0).(string)
+				counts[w]++
+				inv.Return(i)
+				return nil
+			}}),
+		core.WithEntry(core.EntrySpec{Name: "Count", Params: 1, Results: 1,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(counts[inv.Param(0).(string)])
+				return nil
+			}}),
+		core.WithManager(func(m *core.Mgr) {
+			_ = m.Loop(
+				core.OnAccept("Add", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("Count", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+			)
+		}, core.Intercept("Add"), core.Intercept("Count")),
+	)
+}
+
+// TestGroupOverRPC publishes a 4-shard group under one name and drives it
+// from concurrent remote clients: the node-side router must preserve key
+// affinity (every Add for a word lands on one shard) and remote Count
+// must observe every preceding Add for its word.
+func TestGroupOverRPC(t *testing.T) {
+	g, err := shard.New("words", 4, buildCountShard,
+		shard.WithKey("Add", shard.StringKey(0)),
+		shard.WithKey("Count", shard.StringKey(0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	node := NewNode("host")
+	if err := node.PublishCallable("words", g); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	const words, per = 8, 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, words)
+	for w := 0; w < words; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rem, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer rem.Close()
+			word := fmt.Sprintf("word-%d", w)
+			shards := make(map[int]bool)
+			for i := 0; i < per; i++ {
+				res, err := rem.Call("words", "Add", word)
+				if err != nil {
+					errCh <- fmt.Errorf("Add %s: %w", word, err)
+					return
+				}
+				shards[res[0].(int)] = true
+			}
+			if len(shards) != 1 {
+				errCh <- fmt.Errorf("word %s spread over shards %v", word, shards)
+				return
+			}
+			res, err := rem.Call("words", "Count", word)
+			if err != nil {
+				errCh <- fmt.Errorf("Count %s: %w", word, err)
+				return
+			}
+			if res[0].(int) != per {
+				errCh <- fmt.Errorf("Count %s = %v, want %d", word, res[0], per)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if agg, ok := g.EntryStats("Add"); !ok || agg.Completed != words*per {
+		t.Fatalf("aggregate Add stats = %+v, want %d completed", agg, words*per)
+	}
+}
+
+func TestPublishCallableNil(t *testing.T) {
+	node := NewNode("host")
+	defer node.Close()
+	if err := node.PublishCallable("x", nil); err == nil {
+		t.Fatal("publishing nil callable succeeded")
+	}
+}

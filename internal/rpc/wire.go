@@ -79,6 +79,29 @@ type ChanRef struct {
 // not host.
 var ErrUnknownObject = errors.New("rpc: unknown object")
 
+// ErrBadFrame reports a decoded frame that failed structural validation:
+// an unknown frame kind or error kind. A peer sending such frames is
+// either a version-skewed build or not speaking this protocol at all, so
+// the link is torn down rather than guessing.
+var ErrBadFrame = errors.New("rpc: malformed frame")
+
+func (k frameKind) valid() bool { return k >= frameRequest && k <= frameListResp }
+
+func (k errKind) valid() bool { return k >= errNone && k <= errPoisoned }
+
+// validate rejects frames whose discriminants fall outside the protocol.
+// It runs on every decoded frame before dispatch; gob guarantees the
+// field types, this guarantees the values.
+func (f *frame) validate() error {
+	if !f.Kind.valid() {
+		return fmt.Errorf("%w: unknown frame kind %d", ErrBadFrame, int(f.Kind))
+	}
+	if !f.ErrKind.valid() {
+		return fmt.Errorf("%w: unknown error kind %d", ErrBadFrame, int(f.ErrKind))
+	}
+	return nil
+}
+
 // ErrLinkClosed is returned for calls over a closed or failed connection.
 var ErrLinkClosed = errors.New("rpc: connection closed")
 
@@ -148,7 +171,9 @@ func decodeErr(msg string, kind errKind) error {
 	case errPoisoned:
 		return rewrap(msg, core.ErrObjectPoisoned)
 	default:
-		return errors.New(msg)
+		// frame.validate rejects out-of-range kinds before dispatch, so
+		// this is defense in depth for callers that skip validation.
+		return fmt.Errorf("%s: %w", msg, ErrBadFrame)
 	}
 }
 

@@ -17,12 +17,19 @@
 // The paper suggests the programmer chooses between these with compiler
 // switches; here it is a per-object option. Experiment E7 measures the
 // trade-off.
+//
+// Worker hand-off uses a buffered channel: a submission is one non-blocking
+// send and a worker picks it up with one receive, with no mutex or condition
+// variable on the dispatch path. Submissions that find the channel full spill
+// to an unbounded overflow list (Go must never block the manager, §2.3);
+// workers drain the spill between channel receives.
 package sched
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Mode selects how processes are provided for started procedures.
@@ -73,19 +80,24 @@ type Pool struct {
 	mode    Mode
 	workers int
 
+	// tasks is the buffered dispatch channel. Workers receive from it
+	// without touching mu; Go sends into it non-blockingly.
+	tasks chan func()
+
 	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []func()
+	overflow []func() // tasks that found the channel full, FIFO
 	closed   bool
-	draining bool
 
 	wg     sync.WaitGroup // persistent workers and spawned processes
 	taskWG sync.WaitGroup // outstanding (queued or running) tasks
 
+	// executed is the one counter workers touch per task; atomic so the
+	// completion path stays lock-free.
+	executed atomic.Uint64
+
 	created  uint64
 	resident int
 	maxRes   int
-	executed uint64
 	maxQueue int
 }
 
@@ -104,13 +116,19 @@ func New(mode Mode, workers int) (*Pool, error) {
 		return nil, fmt.Errorf("sched: unknown mode %d", int(mode))
 	}
 	p := &Pool{mode: mode, workers: workers}
-	p.cond = sync.NewCond(&p.mu)
 	p.created = uint64(workers)
 	p.resident = workers
 	p.maxRes = workers
-	for i := 0; i < workers; i++ {
-		p.wg.Add(1)
-		go p.worker()
+	if workers > 0 {
+		depth := workers * 8
+		if depth < 16 {
+			depth = 16
+		}
+		p.tasks = make(chan func(), depth)
+		for i := 0; i < workers; i++ {
+			p.wg.Add(1)
+			go p.worker()
+		}
 	}
 	return p, nil
 }
@@ -139,19 +157,39 @@ func (p *Pool) Go(f func()) error {
 			defer p.wg.Done()
 			defer p.taskWG.Done()
 			f()
+			p.executed.Add(1)
 			p.mu.Lock()
-			p.executed++
 			p.resident--
 			p.mu.Unlock()
 		}()
 		return nil
 	}
-	p.queue = append(p.queue, f)
-	if len(p.queue) > p.maxQueue {
-		p.maxQueue = len(p.queue)
+	select {
+	case p.tasks <- f:
+	default:
+		p.overflow = append(p.overflow, f)
+		// The workers may have drained the whole channel between the
+		// failed send and the append; with every worker now blocked on
+		// an empty channel nothing would ever revisit the overflow, so
+		// push spilled heads back out while there is room. After this
+		// loop either the overflow is empty or the channel is full —
+		// and a full channel guarantees a worker will complete a task
+		// ordered after this append and drain the spill.
+		for len(p.overflow) > 0 {
+			select {
+			case p.tasks <- p.overflow[0]:
+				p.overflow[0] = nil
+				p.overflow = p.overflow[1:]
+			default:
+				goto spilled
+			}
+		}
+	spilled:
+	}
+	if q := len(p.tasks) + len(p.overflow); q > p.maxQueue {
+		p.maxQueue = q
 	}
 	p.mu.Unlock()
-	p.cond.Signal()
 	return nil
 }
 
@@ -173,10 +211,9 @@ func (p *Pool) Close() {
 	p.closed = true
 	p.mu.Unlock()
 	p.taskWG.Wait()
-	p.mu.Lock()
-	p.draining = true
-	p.mu.Unlock()
-	p.cond.Broadcast()
+	if p.tasks != nil {
+		close(p.tasks)
+	}
 	p.wg.Wait()
 }
 
@@ -189,37 +226,37 @@ func (p *Pool) Stats() Stats {
 		Workers:          p.workers,
 		ProcessesCreated: p.created,
 		MaxResident:      p.maxRes,
-		TasksExecuted:    p.executed,
+		TasksExecuted:    p.executed.Load(),
 		MaxQueueLen:      p.maxQueue,
 	}
 }
 
+// runTask executes one task and retires it.
+func (p *Pool) runTask(f func()) {
+	f()
+	p.executed.Add(1)
+	p.taskWG.Done()
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	defer func() {
-		p.mu.Lock()
-		p.resident--
-		p.mu.Unlock()
-	}()
-	for {
-		p.mu.Lock()
-		for len(p.queue) == 0 && !p.draining {
-			p.cond.Wait()
-		}
-		if len(p.queue) == 0 {
+	for f := range p.tasks {
+		p.runTask(f)
+		// Drain spilled tasks before blocking on the channel again.
+		for {
+			p.mu.Lock()
+			if len(p.overflow) == 0 {
+				p.mu.Unlock()
+				break
+			}
+			g := p.overflow[0]
+			p.overflow[0] = nil
+			p.overflow = p.overflow[1:]
 			p.mu.Unlock()
-			return
+			p.runTask(g)
 		}
-		f := p.queue[0]
-		p.queue[0] = nil
-		p.queue = p.queue[1:]
-		p.mu.Unlock()
-
-		f()
-
-		p.mu.Lock()
-		p.executed++
-		p.mu.Unlock()
-		p.taskWG.Done()
 	}
+	p.mu.Lock()
+	p.resident--
+	p.mu.Unlock()
 }

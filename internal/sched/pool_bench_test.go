@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPoolDispatch measures the pure hand-off cost of the pool: the
+// per-task price of Go → worker pickup → retirement with a zero-cost body.
+// This isolates the dispatch path that E7's 200µs sleeping bodies hide.
+func BenchmarkPoolDispatch(b *testing.B) {
+	configs := []struct {
+		name    string
+		mode    Mode
+		workers int
+	}{
+		{"spawn", ModeSpawn, 0},
+		{"pooled-2", ModePooled, 2},
+		{"pooled-8", ModePooled, 8},
+		{"one-to-one-64", ModeOneToOne, 64},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			p, err := New(cfg.mode, cfg.workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Go(func() {}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.Wait()
+		})
+	}
+}
+
+// BenchmarkPoolDispatchParallel submits from many goroutines at once, the
+// contended shape a busy manager mailbox produces.
+func BenchmarkPoolDispatchParallel(b *testing.B) {
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("pooled-%d", workers), func(b *testing.B) {
+			p, err := New(ModePooled, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := p.Go(func() {}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			p.Wait()
+		})
+	}
+}

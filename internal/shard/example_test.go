@@ -1,0 +1,67 @@
+package shard_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// ExampleGroup shards a word-count dictionary across 4 replicas. Both
+// entries are keyed on the word, so every call for one word is pinned to
+// one shard and the paper's per-object serialization holds per key: the
+// three sequential Add("alps") calls are counted in order on one replica
+// while "paper" lives on (possibly) another, and Count observes every
+// preceding Add for its word.
+func ExampleGroup() {
+	build := func(i int, name string) (*core.Object, error) {
+		counts := make(map[string]int) // shard-private: only this replica's manager touches it
+		return core.New(name,
+			core.WithEntry(core.EntrySpec{Name: "Add", Params: 1,
+				Body: func(inv *core.Invocation) error {
+					counts[inv.Param(0).(string)]++
+					return nil
+				}}),
+			core.WithEntry(core.EntrySpec{Name: "Count", Params: 1, Results: 1,
+				Body: func(inv *core.Invocation) error {
+					inv.Return(counts[inv.Param(0).(string)])
+					return nil
+				}}),
+			core.WithManager(func(m *core.Mgr) {
+				_ = m.Loop(
+					// Execute runs each body in exclusion on the manager,
+					// so the shard-private map needs no further locking.
+					core.OnAccept("Add", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+					core.OnAccept("Count", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				)
+			}, core.Intercept("Add"), core.Intercept("Count")),
+		)
+	}
+
+	g, err := shard.New("wordcount", 4, build,
+		shard.WithKey("Add", shard.StringKey(0)),
+		shard.WithKey("Count", shard.StringKey(0)),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer g.Close()
+
+	for _, word := range []string{"alps", "paper", "alps", "object", "alps"} {
+		if _, err := g.Call("Add", word); err != nil {
+			panic(err)
+		}
+	}
+	for _, word := range []string{"alps", "paper", "object", "missing"} {
+		res, err := g.Call("Count", word)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s=%d\n", word, res[0].(int))
+	}
+	// Output:
+	// alps=3
+	// paper=1
+	// object=1
+	// missing=0
+}

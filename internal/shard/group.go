@@ -1,0 +1,342 @@
+// Package shard scales one ALPS object specification across cores by
+// running N replicas ("shards") behind a single name.
+//
+// The paper's manager is a single logical process: it serializes every
+// accept/start/await/finish for its object, which caps one object's
+// throughput at one manager's speed no matter how many cores the host
+// has. A Group recovers scaling the way ALPS programs compose it by
+// hand — many objects, one router — without giving up the model:
+//
+//   - Calls whose entry has a registered KeyFunc are routed by key hash,
+//     so every call with the same key lands on the same shard and the
+//     paper's per-object serialization becomes per-key serialization.
+//   - Keyless calls are spread with power-of-two-choices over the
+//     shards' pending depths, which keeps the load within a constant
+//     factor of best with only two atomic reads per call.
+//
+// A Group exposes the same CallCtx surface as a *core.Object, so it can
+// be published on an rpc.Node under one name (rpc.PublishCallable) and
+// driven by unmodified clients.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// KeyFunc extracts a routing key from a call's parameters. Returning
+// ok=false falls back to load-based (power-of-two-choices) routing for
+// that call.
+type KeyFunc func(params []core.Value) (key uint64, ok bool)
+
+// StringKey routes on the string parameter at index arg (FNV-1a).
+// Non-string or missing parameters fall back to load-based routing and
+// are rejected later by the shard's own arity/type checks.
+func StringKey(arg int) KeyFunc {
+	return func(params []core.Value) (uint64, bool) {
+		if arg < 0 || arg >= len(params) {
+			return 0, false
+		}
+		s, ok := params[arg].(string)
+		if !ok {
+			return 0, false
+		}
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(s))
+		return h.Sum64(), true
+	}
+}
+
+// IntKey routes on the integer parameter at index arg.
+func IntKey(arg int) KeyFunc {
+	return func(params []core.Value) (uint64, bool) {
+		if arg < 0 || arg >= len(params) {
+			return 0, false
+		}
+		switch v := params[arg].(type) {
+		case int:
+			return splitmix64(uint64(v)), true
+		case int64:
+			return splitmix64(uint64(v)), true
+		case uint64:
+			return splitmix64(v), true
+		case uint:
+			return splitmix64(uint64(v)), true
+		case int32:
+			return splitmix64(uint64(v)), true
+		case uint32:
+			return splitmix64(uint64(v)), true
+		default:
+			return 0, false
+		}
+	}
+}
+
+// Option configures a Group at construction time.
+type Option func(*Group)
+
+// WithKey registers a KeyFunc for one entry. Calls to that entry with a
+// key are pinned to shard key%N, preserving per-key call ordering.
+func WithKey(entry string, fn KeyFunc) Option {
+	return func(g *Group) { g.keyFns[entry] = fn }
+}
+
+// Group is N replica objects behind one name. See the package comment
+// for the routing rules. All methods are safe for concurrent use.
+type Group struct {
+	name   string
+	shards []*core.Object
+	keyFns map[string]KeyFunc
+
+	// inflight tracks each shard's in-flight group calls; the keyless
+	// router compares two entries and picks the shallower.
+	inflight []atomic.Int64
+
+	// down marks shards observed poisoned. Keyed routing ignores it
+	// (affinity is a correctness property: a key's shard failing must
+	// not silently re-home the key mid-stream); keyless routing steers
+	// around down shards while any remain up.
+	down []atomic.Bool
+
+	// rr seeds the router's two pseudo-random shard picks (splitmix64
+	// over a shared counter: no locks, no global rand contention).
+	rr atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a Group of n shards. build is called once per shard with
+// the shard index and the name the replica should carry (name#i); it
+// normally wraps core.New. On any build error the shards already built
+// are closed and the error is returned.
+func New(name string, n int, build func(i int, shardName string) (*core.Object, error), opts ...Option) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard group %s: %w: %d shards", name, ErrBadShardCount, n)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("shard group %s: nil build function", name)
+	}
+	g := &Group{
+		name:     name,
+		shards:   make([]*core.Object, 0, n),
+		keyFns:   make(map[string]KeyFunc),
+		inflight: make([]atomic.Int64, n),
+		down:     make([]atomic.Bool, n),
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	for i := 0; i < n; i++ {
+		obj, err := build(i, fmt.Sprintf("%s#%d", name, i))
+		if err != nil {
+			for _, built := range g.shards {
+				_ = built.Close()
+			}
+			return nil, fmt.Errorf("shard group %s: shard %d: %w", name, i, err)
+		}
+		if obj == nil {
+			for _, built := range g.shards {
+				_ = built.Close()
+			}
+			return nil, fmt.Errorf("shard group %s: shard %d: build returned nil object", name, i)
+		}
+		g.shards = append(g.shards, obj)
+	}
+	return g, nil
+}
+
+// ErrBadShardCount reports a Group constructed with fewer than one shard.
+var ErrBadShardCount = errors.New("shard count must be at least 1")
+
+// Name reports the group's published name.
+func (g *Group) Name() string { return g.name }
+
+// Len reports the number of shards.
+func (g *Group) Len() int { return len(g.shards) }
+
+// Shard exposes one replica (for tests and diagnostics).
+func (g *Group) Shard(i int) *core.Object { return g.shards[i] }
+
+// ShardFor reports the shard index a keyed call to entry with params
+// would be routed to, or -1 when the call would route by load.
+func (g *Group) ShardFor(entry string, params ...core.Value) int {
+	if fn, ok := g.keyFns[entry]; ok {
+		if key, ok := fn(params); ok {
+			return int(key % uint64(len(g.shards)))
+		}
+	}
+	return -1
+}
+
+// Call invokes entry on the routed shard and waits for its results.
+func (g *Group) Call(entry string, params ...core.Value) ([]core.Value, error) {
+	return g.CallCtx(context.Background(), entry, params...)
+}
+
+// CallCtx is Call with a caller-supplied context. The signature matches
+// core.Object's, so a Group satisfies rpc.Callable.
+func (g *Group) CallCtx(ctx context.Context, entry string, params ...core.Value) ([]core.Value, error) {
+	i := g.route(entry, params)
+	g.inflight[i].Add(1)
+	res, err := g.shards[i].CallCtx(ctx, entry, params...)
+	g.inflight[i].Add(-1)
+	if errors.Is(err, core.ErrObjectPoisoned) {
+		g.down[i].Store(true)
+	}
+	return res, err
+}
+
+// route picks the shard index for one call: key affinity when the entry
+// has a KeyFunc that yields a key, power-of-two-choices otherwise.
+func (g *Group) route(entry string, params []core.Value) int {
+	n := uint64(len(g.shards))
+	if fn, ok := g.keyFns[entry]; ok {
+		if key, ok := fn(params); ok {
+			return int(key % n)
+		}
+	}
+	if n == 1 {
+		return 0
+	}
+	// Two independent picks from a splitmix64 stream; prefer the one
+	// with the shallower pending depth, steering around down shards.
+	r := splitmix64(g.rr.Add(1))
+	a := int(r % n)
+	b := int((r >> 32) % n)
+	if b == a {
+		b = (a + 1) % int(n)
+	}
+	switch {
+	case g.down[a].Load() && !g.down[b].Load():
+		return b
+	case g.down[b].Load() && !g.down[a].Load():
+		return a
+	case g.down[a].Load() && g.down[b].Load():
+		// Both picks down: scan for any live shard before giving up and
+		// letting the poisoned shard report the error.
+		for i := range g.shards {
+			if !g.down[i].Load() {
+				return i
+			}
+		}
+		return a
+	}
+	if g.inflight[b].Load() < g.inflight[a].Load() {
+		return b
+	}
+	return a
+}
+
+// splitmix64 is the SplitMix64 mixer (Steele et al.), used both to
+// decorrelate integer keys and to derive the router's two picks.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Entries reports the entry names of shard 0 (all shards share a spec).
+func (g *Group) Entries() []string { return g.shards[0].Entries() }
+
+// EntryStats sums the named entry's counters across all shards.
+func (g *Group) EntryStats(entry string) (core.EntryStats, bool) {
+	var sum core.EntryStats
+	found := false
+	for _, obj := range g.shards {
+		st, ok := obj.EntryStats(entry)
+		if !ok {
+			continue
+		}
+		found = true
+		sum.Calls += st.Calls
+		sum.Completed += st.Completed
+		sum.Combined += st.Combined
+		sum.Failed += st.Failed
+		sum.Shed += st.Shed
+		sum.Pending += st.Pending
+		sum.Active += st.Active
+	}
+	return sum, found
+}
+
+// SupervisionStats aggregates supervision counters across shards.
+// Poisoned is true only when every shard is poisoned (the group keeps
+// serving the surviving key ranges until then); Err carries the first
+// poisoned shard's error.
+func (g *Group) SupervisionStats() core.SupervisionStats {
+	var sum core.SupervisionStats
+	sum.Poisoned = true
+	for _, obj := range g.shards {
+		st := obj.SupervisionStats()
+		sum.Restarts += st.Restarts
+		sum.Sheds += st.Sheds
+		sum.Stalls += st.Stalls
+		if st.Poisoned {
+			if sum.Err == nil {
+				sum.Err = st.Err
+			}
+		} else {
+			sum.Poisoned = false
+		}
+	}
+	if !sum.Poisoned && sum.Err != nil {
+		// Partial failure: surface the error only through Down/per-shard
+		// stats; a non-poisoned aggregate carries no poison error.
+		sum.Err = nil
+	}
+	return sum
+}
+
+// Down reports the indices of shards observed poisoned by group calls.
+func (g *Group) Down() []int {
+	var out []int
+	for i := range g.down {
+		if g.down[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MinMaxInflight reports the current smallest and largest per-shard
+// in-flight counts (diagnostics for routing balance).
+func (g *Group) MinMaxInflight() (min, max int64) {
+	min, max = math.MaxInt64, math.MinInt64
+	for i := range g.inflight {
+		v := g.inflight[i].Load()
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Close closes every shard concurrently and returns the joined errors.
+func (g *Group) Close() error {
+	g.closeOnce.Do(func() {
+		errs := make([]error, len(g.shards))
+		var wg sync.WaitGroup
+		for i, obj := range g.shards {
+			wg.Add(1)
+			go func(i int, obj *core.Object) {
+				defer wg.Done()
+				errs[i] = obj.Close()
+			}(i, obj)
+		}
+		wg.Wait()
+		g.closeErr = errors.Join(errs...)
+	})
+	return g.closeErr
+}

@@ -1,0 +1,291 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// logRecorder collects, per key, the sequence numbers in execution order
+// and the set of shards that executed them.
+type logRecorder struct {
+	mu     sync.Mutex
+	seqs   map[string][]int
+	shards map[string]map[int]bool
+}
+
+func newLogRecorder() *logRecorder {
+	return &logRecorder{seqs: make(map[string][]int), shards: make(map[string]map[int]bool)}
+}
+
+func (r *logRecorder) record(key string, seq, shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seqs[key] = append(r.seqs[key], seq)
+	if r.shards[key] == nil {
+		r.shards[key] = make(map[int]bool)
+	}
+	r.shards[key][shard] = true
+}
+
+// appendLog builds one shard replica: an Append(key, seq) entry whose
+// calls are serialized by a manager Execute loop, exactly like a plain
+// single object would serialize them.
+func appendLog(rec *logRecorder) func(i int, name string) (*core.Object, error) {
+	return func(i int, name string) (*core.Object, error) {
+		return core.New(name,
+			core.WithEntry(core.EntrySpec{Name: "Append", Params: 2, Results: 1,
+				Body: func(inv *core.Invocation) error {
+					rec.record(inv.Param(0).(string), inv.Param(1).(int), i)
+					inv.Return(i)
+					return nil
+				}}),
+			core.WithManager(func(m *core.Mgr) {
+				_ = m.Loop(core.OnAccept("Append", func(a *core.Accepted) {
+					_, _ = m.Execute(a)
+				}))
+			}, core.Intercept("Append")),
+		)
+	}
+}
+
+// TestKeyAffinityOrdering is the acceptance check for keyed routing: 16
+// keys interleaved across 4 shards, each key's calls issued in sequence
+// by its own goroutine. Every key must land on exactly one shard (the
+// one ShardFor predicts) and be executed in submission order — the same
+// per-key serialization a single un-sharded object provides.
+func TestKeyAffinityOrdering(t *testing.T) {
+	rec := newLogRecorder()
+	g, err := shard.New("log", 4, appendLog(rec), shard.WithKey("Append", shard.StringKey(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	const keys, per = 16, 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, keys)
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", k)
+			for s := 0; s < per; s++ {
+				if _, err := g.Call("Append", key, s); err != nil {
+					errCh <- fmt.Errorf("key %s seq %d: %w", key, s, err)
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		want := g.ShardFor("Append", key, 0)
+		if want < 0 || want >= 4 {
+			t.Fatalf("ShardFor(%s) = %d", key, want)
+		}
+		if len(rec.shards[key]) != 1 || !rec.shards[key][want] {
+			t.Fatalf("key %s executed on shards %v, want only %d", key, rec.shards[key], want)
+		}
+		if len(rec.seqs[key]) != per {
+			t.Fatalf("key %s: %d executions, want %d", key, len(rec.seqs[key]), per)
+		}
+		for i, seq := range rec.seqs[key] {
+			if seq != i {
+				t.Fatalf("key %s: execution %d has seq %d; per-key order broken: %v",
+					key, i, seq, rec.seqs[key])
+			}
+		}
+	}
+}
+
+// poisonable builds a replica whose manager panics when it accepts the
+// key "boom"; the default FailFast policy then poisons that shard only.
+func poisonable(i int, name string) (*core.Object, error) {
+	return core.New(name,
+		core.WithEntry(core.EntrySpec{Name: "Get", Params: 1, Results: 1,
+			Body: func(inv *core.Invocation) error { inv.Return(i); return nil }}),
+		core.WithEntry(core.EntrySpec{Name: "Ping", Results: 1,
+			Body: func(inv *core.Invocation) error { inv.Return(i); return nil }}),
+		core.WithManager(func(m *core.Mgr) {
+			_ = m.Loop(
+				core.OnAccept("Get", func(a *core.Accepted) {
+					if a.Params[0] == "boom" {
+						panic("boom")
+					}
+					_, _ = m.Execute(a)
+				}),
+				core.OnAccept("Ping", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+			)
+		}, core.InterceptPR("Get", 1, 0), core.Intercept("Ping")),
+	)
+}
+
+// TestPoisonedShardIsolation poisons one shard and checks the blast
+// radius: keys pinned to the dead shard fail with ErrObjectPoisoned,
+// every other key keeps working, and keyless routing steers around the
+// down shard entirely.
+func TestPoisonedShardIsolation(t *testing.T) {
+	g, err := shard.New("db", 4, poisonable, shard.WithKey("Get", shard.StringKey(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	dead := g.ShardFor("Get", "boom")
+	if _, err := g.Call("Get", "boom"); !errors.Is(err, core.ErrObjectPoisoned) {
+		t.Fatalf("poisoning call: err = %v, want ErrObjectPoisoned", err)
+	}
+	if down := g.Down(); len(down) != 1 || down[0] != dead {
+		t.Fatalf("Down() = %v, want [%d]", g.Down(), dead)
+	}
+
+	served, failed := 0, 0
+	for k := 0; k < 64; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		res, err := g.Call("Get", key)
+		switch g.ShardFor("Get", key) {
+		case dead:
+			if !errors.Is(err, core.ErrObjectPoisoned) {
+				t.Fatalf("key %s on dead shard: err = %v, want ErrObjectPoisoned", key, err)
+			}
+			failed++
+		default:
+			if err != nil {
+				t.Fatalf("key %s on live shard: %v", key, err)
+			}
+			if res[0].(int) == dead {
+				t.Fatalf("key %s executed on dead shard %d", key, dead)
+			}
+			served++
+		}
+	}
+	if served == 0 || failed == 0 {
+		t.Fatalf("test keys did not cover both live and dead shards (served=%d failed=%d)", served, failed)
+	}
+
+	// Keyless calls must steer around the down shard now that it is marked.
+	for i := 0; i < 100; i++ {
+		res, err := g.Call("Ping")
+		if err != nil {
+			t.Fatalf("keyless call %d: %v", i, err)
+		}
+		if res[0].(int) == dead {
+			t.Fatalf("keyless call %d routed to down shard %d", i, dead)
+		}
+	}
+
+	st := g.SupervisionStats()
+	if st.Poisoned {
+		t.Fatalf("aggregate Poisoned = true with %d live shards", 3)
+	}
+	if st.Err != nil {
+		t.Fatalf("partial failure surfaced aggregate Err = %v", st.Err)
+	}
+}
+
+// TestKeylessSpread drives concurrent keyless calls and checks that
+// power-of-two-choices touches every shard.
+func TestKeylessSpread(t *testing.T) {
+	g, err := shard.New("spread", 4, poisonable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := g.Call("Ping"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := uint64(0)
+	for i := 0; i < g.Len(); i++ {
+		st, ok := g.Shard(i).EntryStats("Ping")
+		if !ok {
+			t.Fatalf("shard %d: no Ping stats", i)
+		}
+		if st.Completed == 0 {
+			t.Fatalf("shard %d served no keyless calls", i)
+		}
+		total += st.Completed
+	}
+	if total != 800 {
+		t.Fatalf("total completed = %d, want 800", total)
+	}
+	agg, ok := g.EntryStats("Ping")
+	if !ok || agg.Completed != 800 || agg.Calls != 800 {
+		t.Fatalf("aggregate stats = %+v, want 800 calls/completed", agg)
+	}
+}
+
+// TestBuildFailureCleanup verifies that a failing shard build closes the
+// replicas already constructed.
+func TestBuildFailureCleanup(t *testing.T) {
+	var built []*core.Object
+	_, err := shard.New("broken", 4, func(i int, name string) (*core.Object, error) {
+		if i == 2 {
+			return nil, errors.New("synthetic build failure")
+		}
+		obj, err := poisonable(i, name)
+		if err == nil {
+			built = append(built, obj)
+		}
+		return obj, err
+	})
+	if err == nil {
+		t.Fatal("New succeeded despite build failure")
+	}
+	if len(built) != 2 {
+		t.Fatalf("built %d shards before failure, want 2", len(built))
+	}
+	for i, obj := range built {
+		if _, err := obj.Call("Ping"); !errors.Is(err, core.ErrClosed) {
+			t.Fatalf("shard %d not closed after build failure: err = %v", i, err)
+		}
+	}
+}
+
+func TestBadShardCount(t *testing.T) {
+	_, err := shard.New("empty", 0, poisonable)
+	if !errors.Is(err, shard.ErrBadShardCount) {
+		t.Fatalf("err = %v, want ErrBadShardCount", err)
+	}
+}
+
+// TestCloseJoinsErrors verifies fan-out Close reports every shard's close
+// error and is idempotent.
+func TestCloseJoinsErrors(t *testing.T) {
+	g, err := shard.New("closer", 3, poisonable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := g.Call("Ping"); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("call after close: err = %v, want ErrClosed", err)
+	}
+}
