@@ -98,6 +98,13 @@ type (
 	// SupervisionMetrics aggregates shed/restart/poison/stall counters
 	// across objects.
 	SupervisionMetrics = metrics.Supervision
+	// Sequencer is the virtual-scheduler hook the conformance harness
+	// injects via ObjectOptions.Sequencer (docs/TESTING.md). Nil in
+	// production.
+	Sequencer = core.Sequencer
+	// SeqPoint identifies one scheduling decision point reported to a
+	// Sequencer.
+	SeqPoint = core.SeqPoint
 )
 
 // Supervision policy values, re-exported.

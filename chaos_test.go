@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -71,11 +72,13 @@ func TestChaosSoak(t *testing.T) {
 
 	const clients, opsPer = 4, 300
 	cliMetrics := &rpc.Metrics{}
+	var clientsDone atomic.Int32
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			defer clientsDone.Add(1)
 			name := fmt.Sprintf("c%d", c)
 			redial := func() (net.Conn, error) { return network.DialFrom(name, "server") }
 			conn, err := redial()
@@ -110,11 +113,28 @@ func TestChaosSoak(t *testing.T) {
 		}(c)
 	}
 
-	// Mid-run: partition one client off in both directions, then heal.
-	time.Sleep(40 * time.Millisecond)
+	// Mid-run: partition one client off in both directions once traffic is
+	// demonstrably flowing, then heal after the partition has demonstrably
+	// bitten (drops observed) — event-based waits, not wall-clock guesses.
+	waitUntil(t, "100 ledger executions before partitioning", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(execs) >= 100
+	})
+	retriesBefore := cliMetrics.Retries.Value()
 	network.Partition("c0", "server")
 	network.Partition("server", "c0")
-	time.Sleep(100 * time.Millisecond)
+	// Heal once the partition has demonstrably bitten (a dropped frame and a
+	// few retry attempts) — but soon enough that c0's retry budget survives.
+	// A partitioned client cannot even dial, so drops accrue slowly; don't
+	// wait for many.
+	waitUntil(t, "partition drops (or clients finishing)", func() bool {
+		_, _, partDrops := network.Stats()
+		bitten := partDrops >= 1 && cliMetrics.Retries.Value() >= retriesBefore+3
+		// clientsDone guards the rare schedule where every client finished
+		// its ops before the partition could drop anything.
+		return bitten || clientsDone.Load() == clients
+	})
 	network.Heal("c0", "server")
 	network.Heal("server", "c0")
 
@@ -161,21 +181,8 @@ func TestChaosSoak(t *testing.T) {
 		t.Error("no reconnects happened — resilience path untested")
 	}
 
-	// Goroutine-leak check with settling time (as in soak_test.go).
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		after := runtime.NumGoroutine()
-		if after <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			stack := make([]byte, 1<<16)
-			n := runtime.Stack(stack, true)
-			t.Fatalf("goroutines: before %d, after %d — leak?\n%s", before, after, stack[:n])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// Goroutine-leak check with deadline-aware settling.
+	settleGoroutines(t, before)
 }
 
 // TestOverloadCrashSoak combines every supervision mechanism under fault
@@ -410,19 +417,6 @@ func TestOverloadCrashSoak(t *testing.T) {
 		t.Errorf("node Overloads %d < client overload finals %d", node, cli)
 	}
 
-	// Goroutine-leak check with settling time.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		after := runtime.NumGoroutine()
-		if after <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			stack := make([]byte, 1<<16)
-			n := runtime.Stack(stack, true)
-			t.Fatalf("goroutines: before %d, after %d — leak?\n%s", before, after, stack[:n])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// Goroutine-leak check with deadline-aware settling.
+	settleGoroutines(t, before)
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPassingCampaign(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-seed", "5", "-programs", "3", "-schedules", "2", "-q"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "PASS") {
+		t.Errorf("output missing PASS:\n%s", got)
+	}
+	if !strings.Contains(got, "6 runs") {
+		t.Errorf("output missing run count:\n%s", got)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-nope"}, &out); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

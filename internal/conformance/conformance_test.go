@@ -1,0 +1,275 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestScheduleDeterminism: a schedule's decision stream is a pure function
+// of its seed and the point sequence — two same-seed schedules fed the same
+// points produce identical logs and tallies.
+func TestScheduleDeterminism(t *testing.T) {
+	s1, s2 := NewSchedule(0xfeed), NewSchedule(0xfeed)
+	for i := 0; i < 400; i++ {
+		s1.Point(core.SeqSubmit, "o", "e", uint64(i))
+		s2.Point(core.SeqSubmit, "o", "e", uint64(i))
+	}
+	if s1.Points() != 400 || s2.Points() != 400 {
+		t.Fatalf("points = %d, %d, want 400", s1.Points(), s2.Points())
+	}
+	if s1.Counts() != s2.Counts() {
+		t.Fatalf("same-seed tallies differ: %v vs %v", s1.Counts(), s2.Counts())
+	}
+	l1, l2 := s1.Log(), s2.Log()
+	if len(l1) != len(l2) {
+		t.Fatalf("log lengths differ: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("logs diverge at %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+	// Different seeds must explore differently.
+	s3 := NewSchedule(0xbeef)
+	for i := 0; i < 400; i++ {
+		s3.Point(core.SeqSubmit, "o", "e", uint64(i))
+	}
+	l3 := s3.Log()
+	same := len(l3) == len(l1)
+	if same {
+		for i := range l1 {
+			if l1[i] != l3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 400-decision streams")
+	}
+}
+
+// TestRunConforms: generated programs under perturbed schedules replay
+// through the reference model with zero divergences.
+func TestRunConforms(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(RunConfig{
+				ProgramSeed:  seed,
+				ScheduleSeed: seed*2654435761 + 1,
+				Clients:      3,
+				Ops:          8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range rep.Divergences {
+				t.Errorf("divergence: %s", d)
+			}
+			if rep.Calls != 24 {
+				t.Errorf("calls = %d, want 24", rep.Calls)
+			}
+			if rep.Points == 0 {
+				t.Error("schedule served no decision points — sequencer not wired in")
+			}
+			if len(rep.Events) == 0 {
+				t.Error("no trace events recorded")
+			}
+		})
+	}
+}
+
+// TestExploreQuick runs a miniature campaign and expects full conformance.
+func TestExploreQuick(t *testing.T) {
+	res := Explore(ExploreConfig{Seed: 42, Programs: 6, Schedules: 2}, t.Logf)
+	if res.Runs != 12 {
+		t.Errorf("runs = %d, want 12", res.Runs)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("failure at %s:\n%s", f.Config, f.Reproducer())
+	}
+}
+
+func TestExploreDeadline(t *testing.T) {
+	res := Explore(ExploreConfig{
+		Seed: 1, Programs: 100, Schedules: 100,
+		Deadline: time.Now().Add(-time.Second),
+	}, nil)
+	if !res.Stopped {
+		t.Error("expired deadline did not stop the campaign")
+	}
+	if res.Runs != 0 {
+		t.Errorf("runs = %d after expired deadline", res.Runs)
+	}
+}
+
+func TestFailureReproducer(t *testing.T) {
+	f := Failure{
+		Config:      RunConfig{ProgramSeed: 0xab, ScheduleSeed: 0xcd, Clients: 2, Ops: 3},
+		Divergences: []Divergence{{Rule: "slot-exclusion", Entry: "E0", Index: 4, Detail: "x"}},
+	}
+	src := f.Reproducer()
+	for _, want := range []string{
+		"func TestConformanceRepro_ab_cd(t *testing.T)",
+		"conformance.Replay(0xab, 0xcd, 2, 3)",
+		"slot-exclusion",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("reproducer missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// TestMutantTraceCaught doctors a real run's trace — deleting one Awaited
+// event, i.e. pretending the implementation delivered results without the
+// manager's endorsement — and requires the checker to flag it. This proves
+// the model has teeth against realistic streams, not just hand-built ones.
+func TestMutantTraceCaught(t *testing.T) {
+	rep, err := Run(RunConfig{ProgramSeed: 1, ScheduleSeed: 99, Clients: 2, Ops: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("baseline run diverged: %v", rep.Divergences)
+	}
+	// Find an Awaited event whose call went on to Finish, and delete it.
+	finished := make(map[uint64]bool)
+	for _, ev := range rep.Events {
+		if ev.Kind == trace.Finished {
+			finished[ev.CallID] = true
+		}
+	}
+	cut := -1
+	for i, ev := range rep.Events {
+		if ev.Kind == trace.Awaited && finished[ev.CallID] {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		t.Skip("run produced no awaited+finished call (all combined); pick another seed")
+	}
+	mutant := append(append([]trace.Event{}, rep.Events[:cut]...), rep.Events[cut+1:]...)
+	divs := Check(mutant, rep.Meta)
+	if len(divs) == 0 {
+		t.Fatal("checker accepted a trace with a deleted Awaited event")
+	}
+	found := false
+	for _, d := range divs {
+		if d.Rule == "finish-without-await" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected finish-without-await, got %v", divs)
+	}
+}
+
+// TestGuardTemporariesDirected pins §2.4 against the live runtime: with
+// When and run-time Pri decorations on a width-2 array, guard evaluation
+// runs on scratch temporaries — predicates fire at least once per accepted
+// call (and extra times for losing candidates), yet exactly one Accepted
+// event per call commits and every caller still sees its own untouched
+// parameters round-tripped.
+func TestGuardTemporariesDirected(t *testing.T) {
+	var whenEvals, priEvals atomic.Int64
+	rec := trace.NewRecorder(0)
+	o, err := core.New("guards",
+		core.WithEntry(core.EntrySpec{
+			Name: "G", Params: 1, Results: 1, Array: 2,
+			Body: func(inv *core.Invocation) error {
+				inv.Return("R:" + inv.Param(0).(string))
+				return nil
+			},
+		}),
+		core.WithManager(func(m *core.Mgr) {
+			_ = m.Loop(
+				core.OnAccept("G", func(a *core.Accepted) {
+					if _, err := m.Execute(a); err != nil {
+						return
+					}
+				}).When(func(a *core.Accepted) bool {
+					whenEvals.Add(1)
+					return a.Params[0] != nil // reads the temporary
+				}).PriAccept(func(a *core.Accepted) int {
+					priEvals.Add(1)
+					return len(a.Params[0].(string)) % 3
+				}),
+			)
+		}, core.InterceptPR("G", 1, 0)),
+		core.WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := MetaFor(o)
+
+	const calls = 12
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			token := fmt.Sprintf("tok-%d%s", i, strings.Repeat("y", i%3))
+			res, err := o.Call("G", token)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(res) != 1 || res[0] != "R:"+token {
+				errs[i] = fmt.Errorf("call %d: got %v, want R:%s", i, res, token)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	events := rec.Events()
+	accepted := 0
+	for _, ev := range events {
+		if ev.Kind == trace.Accepted {
+			accepted++
+		}
+	}
+	if accepted != calls {
+		t.Errorf("accepted commits = %d, want exactly %d (guard evaluation must not commit)", accepted, calls)
+	}
+	if n := whenEvals.Load(); n < calls {
+		t.Errorf("When evaluated %d times, want >= %d", n, calls)
+	}
+	if n := priEvals.Load(); n < calls {
+		t.Errorf("PriAccept evaluated %d times, want >= %d", n, calls)
+	}
+	for _, d := range Check(events, meta) {
+		t.Errorf("divergence: %s", d)
+	}
+}
+
+// TestReplayAgreement: Replay is the reproducer entry point; it must agree
+// with Run for the same seeds.
+func TestReplayAgreement(t *testing.T) {
+	divs, err := Replay(3, 7, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range divs {
+		t.Errorf("divergence: %s", d)
+	}
+}

@@ -1,0 +1,32 @@
+// Package conformance is the deterministic conformance harness for the
+// ALPS runtime: it checks that internal/core implements the paper's
+// primitive semantics (accept / start / await / finish, hidden procedure
+// arrays, interception, combining, guarded selection) on every schedule a
+// seeded virtual scheduler can provoke.
+//
+// The harness has four layers (docs/TESTING.md):
+//
+//  1. A schedule perturbator (Schedule) implementing core.Sequencer: at
+//     every scheduling decision point inside the runtime it draws from a
+//     seeded PRNG and yields, spins or parks the calling goroutine. The
+//     decision stream is a pure function of the seed, so a failing
+//     (program, schedule) pair is re-runnable.
+//  2. A reference model (Check) — an obviously-correct interpreter of the
+//     paper's call lifecycle over abstract histories — driven by the
+//     internal/trace event stream the real implementation emits. Any
+//     transition the model does not allow is reported as a Divergence:
+//     exclusion violations, non-FIFO attachment, combined requests that
+//     also ran a body, results delivered without the manager's finish
+//     endorsement, and so on.
+//  3. A generative layer (GenerateProgram, Run, Explore): random manager
+//     programs — entries with hidden arrays of width 1..4, manager styles
+//     covering execute, start/await/finish pipelines, request combining
+//     and guarded selection with when/pri — exercised by random client
+//     workloads under K seeded schedules per program. Failing seeds are
+//     shrunk to a minimal reproducer (Shrink, Reproducer).
+//  4. Checker invariants reusable outside this package: CheckKeyOrder
+//     verifies per-key FIFO execution and at-most-once delivery for the
+//     sharding and RPC layers under simulated network chaos.
+//
+// cmd/alpsconform wraps Explore as a CLI for CI and overnight soaking.
+package conformance

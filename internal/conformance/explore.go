@@ -1,0 +1,179 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// ExploreConfig shapes an exploration campaign: Programs random manager
+// programs, each exercised under Schedules seeded schedules. Client/op
+// dimensions are derived per program from the master seed. A zero Deadline
+// means run to completion; otherwise exploration stops cleanly after it.
+type ExploreConfig struct {
+	Seed      uint64
+	Programs  int
+	Schedules int
+	Deadline  time.Time
+
+	// ConfirmTries bounds how many re-runs confirm and preserve a failure
+	// during shrinking (default 3). Failures under a seeded schedule are
+	// highly reproducible but not guaranteed — goroutine arrival order at
+	// decision points is the one residual nondeterminism — so shrinking only
+	// commits to a smaller config after re-observing the failure.
+	ConfirmTries int
+}
+
+func (c ExploreConfig) normalized() ExploreConfig {
+	if c.Programs < 1 {
+		c.Programs = 1
+	}
+	if c.Schedules < 1 {
+		c.Schedules = 1
+	}
+	if c.ConfirmTries < 1 {
+		c.ConfirmTries = 3
+	}
+	return c
+}
+
+// Failure is one diverging (program, schedule) pair, shrunk to the smallest
+// workload that still reproduces it.
+type Failure struct {
+	Config      RunConfig    // shrunk config
+	Original    RunConfig    // config that first exposed the failure
+	Divergences []Divergence // from the last confirming run of Config
+}
+
+// Reproducer renders the failure as a runnable Go regression test, ready to
+// drop into internal/conformance (docs/TESTING.md describes the workflow).
+func (f Failure) Reproducer() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Reproducer for conformance divergence at %s.\n", f.Config)
+	for _, d := range f.Divergences {
+		fmt.Fprintf(&b, "//   %s\n", d)
+	}
+	fmt.Fprintf(&b, "func TestConformanceRepro_%x_%x(t *testing.T) {\n",
+		f.Config.ProgramSeed, f.Config.ScheduleSeed)
+	fmt.Fprintf(&b, "\tdivs, err := conformance.Replay(%#x, %#x, %d, %d)\n",
+		f.Config.ProgramSeed, f.Config.ScheduleSeed, f.Config.Clients, f.Config.Ops)
+	b.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
+	b.WriteString("\tfor _, d := range divs {\n\t\tt.Errorf(\"divergence: %s\", d)\n\t}\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ExploreResult summarizes a campaign.
+type ExploreResult struct {
+	Runs     int    // program×schedule runs executed
+	Calls    int    // client calls issued across all runs
+	Points   uint64 // scheduling decision points served across all runs
+	Stopped  bool   // true if the deadline cut the campaign short
+	Failures []Failure
+}
+
+// maxFailures bounds how many distinct failures a campaign collects before
+// stopping early; one is enough to act on, a handful aids triage.
+const maxFailures = 5
+
+// Explore runs the campaign: for each of Programs program seeds derived from
+// the master seed, generate the program, derive a client workload from its
+// seed (1–4 clients, 2–12 ops each), and run it under Schedules schedule
+// seeds. Every failing pair is confirmed and shrunk before being reported.
+// logf (may be nil) receives one line per program and per failure.
+func Explore(cfg ExploreConfig, logf func(format string, args ...any)) ExploreResult {
+	cfg = cfg.normalized()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var res ExploreResult
+	master := workload.NewRNG(cfg.Seed)
+	for pi := 0; pi < cfg.Programs; pi++ {
+		programSeed := master.Uint64()
+		dims := workload.NewRNG(programSeed ^ 0xc0ffee)
+		clients := 1 + dims.Intn(4)
+		ops := 2 + dims.Intn(11)
+		for si := 0; si < cfg.Schedules; si++ {
+			if !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline) {
+				res.Stopped = true
+				return res
+			}
+			rc := RunConfig{
+				ProgramSeed:  programSeed,
+				ScheduleSeed: cfg.Seed ^ (uint64(pi)<<32 | uint64(si)) ^ 0x5851f42d4c957f2d,
+				Clients:      clients,
+				Ops:          ops,
+			}
+			rep, err := Run(rc)
+			res.Runs++
+			res.Calls += rep.Calls
+			res.Points += rep.Points
+			if err != nil {
+				logf("run %s: build error: %v", rc, err)
+				res.Failures = append(res.Failures, Failure{
+					Config: rc, Original: rc,
+					Divergences: []Divergence{{Rule: "build-error", Index: -1, Detail: err.Error()}},
+				})
+			} else if !rep.OK() {
+				logf("run %s: %d divergence(s); shrinking", rc, len(rep.Divergences))
+				f := shrinkFailure(rc, rep.Divergences, cfg.ConfirmTries)
+				logf("shrunk to %s (%d divergence(s))", f.Config, len(f.Divergences))
+				res.Failures = append(res.Failures, f)
+			}
+			if len(res.Failures) >= maxFailures {
+				return res
+			}
+		}
+		if (pi+1)%25 == 0 || pi+1 == cfg.Programs {
+			logf("explored %d/%d programs, %d runs, %d calls, %d failures",
+				pi+1, cfg.Programs, res.Runs, res.Calls, len(res.Failures))
+		}
+	}
+	return res
+}
+
+// confirm re-runs cfg up to tries times, returning the first failing run's
+// divergences, or ok=false if every run conformed.
+func confirm(cfg RunConfig, tries int) ([]Divergence, bool) {
+	for i := 0; i < tries; i++ {
+		rep, err := Run(cfg)
+		if err != nil {
+			return []Divergence{{Rule: "build-error", Index: -1, Detail: err.Error()}}, true
+		}
+		if !rep.OK() {
+			return rep.Divergences, true
+		}
+	}
+	return nil, false
+}
+
+// shrinkFailure greedily reduces the failing workload — halving then
+// decrementing clients and ops — accepting a candidate only when the failure
+// re-confirms under it. Seeds are never shrunk: they identify the program
+// and schedule.
+func shrinkFailure(orig RunConfig, divs []Divergence, tries int) Failure {
+	cur, curDivs := orig.normalized(), divs
+	for {
+		improved := false
+		for _, cand := range []RunConfig{
+			{cur.ProgramSeed, cur.ScheduleSeed, cur.Clients / 2, cur.Ops},
+			{cur.ProgramSeed, cur.ScheduleSeed, cur.Clients, cur.Ops / 2},
+			{cur.ProgramSeed, cur.ScheduleSeed, cur.Clients - 1, cur.Ops},
+			{cur.ProgramSeed, cur.ScheduleSeed, cur.Clients, cur.Ops - 1},
+		} {
+			if cand.Clients < 1 || cand.Ops < 1 || cand == cur {
+				continue
+			}
+			if d, failed := confirm(cand, tries); failed {
+				cur, curDivs = cand, d
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return Failure{Config: cur, Original: orig, Divergences: curDivs}
+		}
+	}
+}

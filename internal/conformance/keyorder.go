@@ -1,0 +1,81 @@
+package conformance
+
+import "fmt"
+
+// KeyedExec is one observed execution in a sharded or remote deployment's
+// ledger: the routing key, the issuing client, that client's per-key
+// sequence number (clients issue synchronously, numbering 0,1,2,...), and
+// the shard or node that executed the call.
+type KeyedExec struct {
+	Key    string
+	Client string
+	Seq    int
+	Shard  string
+}
+
+// CheckKeyOrder replays an execution ledger (in observed execution order)
+// against the sharding/RPC invariants the runtime promises:
+//
+//	key-affinity:  every execution for a key lands on the same shard — the
+//	               shard.Group key router never splits a key.
+//	per-key-fifo:  for each (client, key), sequence numbers execute in issue
+//	               order with no gaps — a synchronous client's calls are
+//	               totally ordered through its key's object.
+//	at-most-once:  no (client, key, seq) executes twice — the RPC dedup
+//	               ledger absorbs retries even under connection kills and
+//	               partitions.
+func CheckKeyOrder(execs []KeyedExec) []Divergence {
+	type ck struct{ client, key string }
+	type cks struct {
+		client, key string
+		seq         int
+	}
+	shardOf := make(map[string]string)
+	lastSeq := make(map[ck]int)
+	seen := make(map[cks]int) // index of first execution
+	var divs []Divergence
+	for i, e := range execs {
+		if prev, ok := shardOf[e.Key]; !ok {
+			shardOf[e.Key] = e.Shard
+		} else if prev != e.Shard {
+			divs = append(divs, Divergence{
+				Rule:  "key-affinity",
+				Entry: e.Key,
+				Index: i,
+				Detail: fmt.Sprintf("key %q executed on shard %q after shard %q",
+					e.Key, e.Shard, prev),
+			})
+		}
+		id := cks{e.Client, e.Key, e.Seq}
+		if first, dup := seen[id]; dup {
+			divs = append(divs, Divergence{
+				Rule:  "at-most-once",
+				Entry: e.Key,
+				Index: i,
+				Detail: fmt.Sprintf("client %q key %q seq %d executed again (first at index %d)",
+					e.Client, e.Key, e.Seq, first),
+			})
+			continue // don't double-report as a FIFO violation too
+		}
+		seen[id] = i
+		c := ck{e.Client, e.Key}
+		last, started := lastSeq[c]
+		want := 0
+		if started {
+			want = last + 1
+		}
+		if e.Seq != want {
+			divs = append(divs, Divergence{
+				Rule:  "per-key-fifo",
+				Entry: e.Key,
+				Index: i,
+				Detail: fmt.Sprintf("client %q key %q executed seq %d, expected %d",
+					e.Client, e.Key, e.Seq, want),
+			})
+		}
+		if !started || e.Seq > last {
+			lastSeq[c] = e.Seq
+		}
+	}
+	return divs
+}

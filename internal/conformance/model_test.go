@@ -1,0 +1,348 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// metaFixture declares the entries the hand-built streams use:
+//
+//	I — intercepted, 1 param / 1 result fully intercepted, array width 2
+//	D — direct (outside the intercepts clause), array width 1
+//	P — intercepted with only 1 of 2 params intercepted (combining illegal)
+func metaFixture() map[string]EntryMeta {
+	return map[string]EntryMeta{
+		"I": {Name: "I", Params: 1, Results: 1, Array: 2, Intercepted: true, IPParams: 1, IPResults: 1},
+		"D": {Name: "D", Params: 1, Results: 1, Array: 1},
+		"P": {Name: "P", Params: 2, Results: 1, Array: 1, Intercepted: true, IPParams: 1, IPResults: 1},
+	}
+}
+
+func ev(k trace.Kind, entry string, slot int, id uint64) trace.Event {
+	return trace.Event{Object: "t", Entry: entry, Slot: slot, CallID: id, Kind: k}
+}
+
+// fullI is a complete, conformant lifecycle of call id on entry I in slot.
+func fullI(id uint64, slot int) []trace.Event {
+	return []trace.Event{
+		ev(trace.Arrived, "I", -1, id),
+		ev(trace.Attached, "I", slot, id),
+		ev(trace.Accepted, "I", slot, id),
+		ev(trace.Started, "I", slot, id),
+		ev(trace.Ready, "I", slot, id),
+		ev(trace.Awaited, "I", slot, id),
+		ev(trace.Finished, "I", slot, id),
+	}
+}
+
+func ruleSet(divs []Divergence) map[string]int {
+	out := make(map[string]int)
+	for _, d := range divs {
+		out[d.Rule]++
+	}
+	return out
+}
+
+// wantRules asserts divs contains exactly the given rules (as a set).
+func wantRules(t *testing.T, divs []Divergence, want ...string) {
+	t.Helper()
+	got := ruleSet(divs)
+	wantSet := make(map[string]bool)
+	for _, r := range want {
+		wantSet[r] = true
+		if got[r] == 0 {
+			t.Errorf("missing expected divergence %q; got %v", r, divs)
+		}
+	}
+	for r := range got {
+		if !wantSet[r] {
+			t.Errorf("unexpected divergence rule %q; got %v", r, divs)
+		}
+	}
+}
+
+func TestCheckConformantStreams(t *testing.T) {
+	for name, events := range map[string][]trace.Event{
+		"intercepted pipeline": fullI(1, 0),
+		"direct entry": {
+			ev(trace.Arrived, "D", -1, 1),
+			ev(trace.Attached, "D", 0, 1),
+			ev(trace.Started, "D", 0, 1),
+			ev(trace.Finished, "D", 0, 1),
+		},
+		"combined request": {
+			ev(trace.Arrived, "I", -1, 1),
+			ev(trace.Attached, "I", 0, 1),
+			ev(trace.Accepted, "I", 0, 1),
+			ev(trace.Combined, "I", 0, 1),
+		},
+		"two calls two elements": append(fullI(1, 0), fullI(2, 1)...),
+		"shed fresh id (reject-newest)": {
+			ev(trace.Shed, "I", -1, 9),
+		},
+		"restart requeue with marker": {
+			ev(trace.Arrived, "I", -1, 1),
+			ev(trace.Attached, "I", 0, 1),
+			ev(trace.Accepted, "I", 0, 1),
+			ev(trace.MgrRestart, "", 0, 1),
+			ev(trace.Attached, "I", 0, 1), // accepted → attached requeue
+			ev(trace.Accepted, "I", 0, 1),
+			ev(trace.Started, "I", 0, 1),
+			ev(trace.Ready, "I", 0, 1),
+			ev(trace.Awaited, "I", 0, 1),
+			ev(trace.Finished, "I", 0, 1),
+		},
+		"close relaxation: runtime finishes started body": {
+			ev(trace.Arrived, "I", -1, 1),
+			ev(trace.Attached, "I", 0, 1),
+			ev(trace.Accepted, "I", 0, 1),
+			ev(trace.Started, "I", 0, 1),
+			ev(trace.Closed, "", -1, 0),
+			ev(trace.Finished, "I", 0, 1), // no await: manager is gone
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if divs := Check(events, metaFixture()); len(divs) != 0 {
+				t.Errorf("conformant stream flagged: %v", divs)
+			}
+		})
+	}
+}
+
+// TestCheckCatchesSkippedFinishEndorsement is the harness's own negative
+// control: an implementation that delivers results without the manager's
+// await+finish endorsement (the paper's central guarantee, §2.3) must be
+// flagged. The stream below "forgets" the Awaited step.
+func TestCheckCatchesSkippedFinishEndorsement(t *testing.T) {
+	events := []trace.Event{
+		ev(trace.Arrived, "I", -1, 1),
+		ev(trace.Attached, "I", 0, 1),
+		ev(trace.Accepted, "I", 0, 1),
+		ev(trace.Started, "I", 0, 1),
+		ev(trace.Ready, "I", 0, 1),
+		ev(trace.Finished, "I", 0, 1), // skipped the manager's await
+	}
+	wantRules(t, Check(events, metaFixture()), "finish-without-await")
+}
+
+func TestCheckNegativeStreams(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []trace.Event
+		rules  []string
+	}{
+		{
+			name: "combine after start ran a body",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+				ev(trace.Attached, "I", 0, 1),
+				ev(trace.Accepted, "I", 0, 1),
+				ev(trace.Started, "I", 0, 1),
+				ev(trace.Combined, "I", 0, 1),
+			},
+			rules: []string{"bad-combine", "combine-after-start"},
+		},
+		{
+			name: "combining with partial param interception",
+			events: []trace.Event{
+				ev(trace.Arrived, "P", -1, 1),
+				ev(trace.Attached, "P", 0, 1),
+				ev(trace.Accepted, "P", 0, 1),
+				ev(trace.Combined, "P", 0, 1),
+			},
+			rules: []string{"combine-partial-params"},
+		},
+		{
+			name: "exclusion: two calls in one array element",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+				ev(trace.Attached, "I", 0, 1),
+				ev(trace.Arrived, "I", -1, 2),
+				ev(trace.Attached, "I", 0, 2), // element 0 still owned by call 1
+				ev(trace.Accepted, "I", 0, 1),
+				ev(trace.Started, "I", 0, 1),
+				ev(trace.Ready, "I", 0, 1),
+				ev(trace.Awaited, "I", 0, 1),
+				ev(trace.Finished, "I", 0, 1),
+				ev(trace.Accepted, "I", 0, 2),
+				ev(trace.Started, "I", 0, 2),
+				ev(trace.Ready, "I", 0, 2),
+				ev(trace.Awaited, "I", 0, 2),
+				ev(trace.Finished, "I", 0, 2),
+			},
+			rules: []string{"slot-exclusion"},
+		},
+		{
+			name: "attachment out of arrival order",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+				ev(trace.Arrived, "I", -1, 2),
+				ev(trace.Attached, "I", 0, 2), // call 1 arrived first
+				ev(trace.Attached, "I", 1, 1),
+				ev(trace.Accepted, "I", 0, 2),
+				ev(trace.Combined, "I", 0, 2),
+				ev(trace.Accepted, "I", 1, 1),
+				ev(trace.Combined, "I", 1, 1),
+			},
+			rules: []string{"attach-not-fifo"},
+		},
+		{
+			name: "double terminal",
+			events: append(fullI(1, 0),
+				ev(trace.Failed, "I", 0, 1)),
+			rules: []string{"double-terminal"},
+		},
+		{
+			name: "restart requeue without restart marker",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+				ev(trace.Attached, "I", 0, 1),
+				ev(trace.Accepted, "I", 0, 1),
+				ev(trace.Attached, "I", 0, 1), // requeue, but no MgrRestart seen
+				ev(trace.Accepted, "I", 0, 1),
+				ev(trace.Combined, "I", 0, 1),
+			},
+			rules: []string{"requeue-without-restart"},
+		},
+		{
+			name: "stream ends with live call",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+			},
+			rules: []string{"call-not-terminated"},
+		},
+		{
+			name: "slot lies about its element",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+				ev(trace.Attached, "I", 0, 1),
+				ev(trace.Accepted, "I", 1, 1), // attached to 0, accepted claims 1
+				ev(trace.Combined, "I", 0, 1),
+			},
+			rules: []string{"slot-mismatch"},
+		},
+		{
+			name: "accept on a non-intercepted entry",
+			events: []trace.Event{
+				ev(trace.Arrived, "D", -1, 1),
+				ev(trace.Attached, "D", 0, 1),
+				ev(trace.Accepted, "D", 0, 1),
+				ev(trace.Started, "D", 0, 1),
+				ev(trace.Finished, "D", 0, 1),
+			},
+			// The bogus accept also derails start and finish downstream.
+			rules: []string{"accept-not-intercepted", "bad-start", "finish-without-await"},
+		},
+		{
+			name: "shed of a running call",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+				ev(trace.Attached, "I", 0, 1),
+				ev(trace.Accepted, "I", 0, 1),
+				ev(trace.Started, "I", 0, 1),
+				ev(trace.Shed, "I", 0, 1),
+			},
+			rules: []string{"bad-shed"},
+		},
+		{
+			name: "start skips the manager's accept",
+			events: []trace.Event{
+				ev(trace.Arrived, "I", -1, 1),
+				ev(trace.Attached, "I", 0, 1),
+				ev(trace.Started, "I", 0, 1), // intercepted: must be accepted first
+				ev(trace.Ready, "I", 0, 1),
+				ev(trace.Awaited, "I", 0, 1),
+				ev(trace.Finished, "I", 0, 1),
+			},
+			rules: []string{"bad-start", "bad-ready", "bad-await", "finish-without-await"},
+		},
+		{
+			name: "event for a call that never arrived",
+			events: []trace.Event{
+				ev(trace.Attached, "I", 0, 7),
+			},
+			rules: []string{"attach-without-arrival"},
+		},
+		{
+			name: "undeclared entry",
+			events: []trace.Event{
+				ev(trace.Arrived, "ghost", -1, 1),
+			},
+			rules: []string{"unknown-entry"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantRules(t, Check(tc.events, metaFixture()), tc.rules...)
+		})
+	}
+}
+
+func TestCheckOutcomesAccounting(t *testing.T) {
+	endorsedOne := fullI(1, 0) // one Finished on I
+	cases := []struct {
+		name     string
+		outcomes map[string]Outcome
+		rules    []string
+	}{
+		{"balanced", map[string]Outcome{"I": {OK: 1}}, nil},
+		{"result without finish", map[string]Outcome{"I": {OK: 2}}, []string{"result-without-finish"}},
+		{"finish without result", map[string]Outcome{"I": {OK: 0}}, []string{"finish-without-result"}},
+		{"error accounting", map[string]Outcome{"I": {OK: 1, Err: 1}}, []string{"error-accounting"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantRules(t, CheckOutcomes(endorsedOne, tc.outcomes), tc.rules...)
+		})
+	}
+}
+
+func TestCheckKeyOrder(t *testing.T) {
+	cases := []struct {
+		name  string
+		execs []KeyedExec
+		rules []string
+	}{
+		{
+			name: "clean ledger",
+			execs: []KeyedExec{
+				{"k1", "c1", 0, "s0"},
+				{"k2", "c1", 0, "s1"},
+				{"k1", "c2", 0, "s0"},
+				{"k1", "c1", 1, "s0"},
+				{"k2", "c1", 1, "s1"},
+			},
+		},
+		{
+			name: "key splits across shards",
+			execs: []KeyedExec{
+				{"k1", "c1", 0, "s0"},
+				{"k1", "c1", 1, "s2"},
+			},
+			rules: []string{"key-affinity"},
+		},
+		{
+			name: "per-key FIFO violated",
+			execs: []KeyedExec{
+				{"k1", "c1", 1, "s0"},
+				{"k1", "c1", 0, "s0"},
+			},
+			rules: []string{"per-key-fifo", "per-key-fifo"},
+		},
+		{
+			name: "duplicate execution",
+			execs: []KeyedExec{
+				{"k1", "c1", 0, "s0"},
+				{"k1", "c1", 0, "s0"},
+				{"k1", "c1", 1, "s0"},
+			},
+			rules: []string{"at-most-once"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantRules(t, CheckKeyOrder(tc.execs), tc.rules...)
+		})
+	}
+}

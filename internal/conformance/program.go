@@ -1,0 +1,320 @@
+package conformance
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Style selects how the generated manager serves an entry's calls.
+type Style int
+
+const (
+	// StyleExecute accepts each call and runs it inline via Mgr.Execute
+	// ("execute P" = start; await; finish, §2.3).
+	StyleExecute Style = iota + 1
+	// StylePipeline drives the full accept → start → await → finish
+	// pipeline, rewriting the intercepted parameter prefix at start and the
+	// intercepted result prefix at finish (initial-subsequence transfer,
+	// §2.6).
+	StylePipeline
+	// StyleCombine answers calls whose token hashes even by FinishAccepted —
+	// request combining, §2.7: the caller gets results although no body ever
+	// ran — and executes the rest.
+	StyleCombine
+	// StyleDirect leaves the entry out of the intercepts clause: calls start
+	// as soon as an array element frees up, with no manager involvement.
+	StyleDirect
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case StyleExecute:
+		return "execute"
+	case StylePipeline:
+		return "pipeline"
+	case StyleCombine:
+		return "combine"
+	case StyleDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// EntryProgram is the generated shape of one entry: its hidden-array width,
+// hidden parameter/result arity, manager style and guard decorations.
+type EntryProgram struct {
+	Name   string
+	Style  Style
+	Array  int // hidden-procedure-array width, 1..4
+	Hidden int // hidden params == hidden results, 0..2 (0 for StyleDirect)
+
+	// Guard decorations (intercepted styles only). When attaches an
+	// acceptance condition that reads the scratch handle's intercepted
+	// params; PriRT attaches a run-time priority computed from them; a
+	// constant Pri is used otherwise. Both exercise §2.4's rule that guard
+	// evaluation happens on temporaries and commits nothing.
+	When  bool
+	PriRT bool
+	Pri   int
+}
+
+// Program is one generated manager program: a set of entries plus the seed
+// it was derived from. The same seed always regenerates the same program.
+type Program struct {
+	Seed    uint64
+	Entries []EntryProgram
+}
+
+// GenerateProgram derives a random manager program from seed: 2–4 entries
+// with hidden arrays of width 1–4, a mix of manager styles, hidden
+// parameters, and When/Pri guard decorations. Entry 0 is always intercepted
+// so every program has a manager.
+func GenerateProgram(seed uint64) Program {
+	rng := workload.NewRNG(seed ^ 0xa1b5c3d7e9f01234)
+	p := Program{Seed: seed}
+	n := 2 + rng.Intn(3) // 2..4 entries
+	for i := 0; i < n; i++ {
+		ep := EntryProgram{
+			Name:   fmt.Sprintf("E%d", i),
+			Array:  1 + rng.Intn(4),
+			Hidden: rng.Intn(3),
+		}
+		style := 1 + rng.Intn(4)
+		if i == 0 && Style(style) == StyleDirect {
+			style = int(StyleExecute) // at least one intercepted entry
+		}
+		ep.Style = Style(style)
+		if ep.Style == StyleDirect {
+			ep.Hidden = 0 // hidden values are supplied by the manager at start
+		} else {
+			ep.When = rng.Bool(0.5)
+			if rng.Bool(0.4) {
+				ep.PriRT = true
+			} else {
+				ep.Pri = rng.Intn(3)
+			}
+		}
+		p.Entries = append(p.Entries, ep)
+	}
+	return p
+}
+
+// Expected computes the result a caller of ep must receive for token. Every
+// style's transform chain is deterministic, so the harness can verify the
+// paper's parameter/result transfer end to end:
+//
+//	execute/combine/direct: body (or combining manager) answers "R:"+token
+//	pipeline:               manager start rewrites the param to "P:"+token,
+//	                        body answers "R:P:"+token, manager finish
+//	                        rewrites the result to "F:R:P:"+token
+func (ep EntryProgram) Expected(token string) string {
+	if ep.Style == StylePipeline {
+		return "F:R:P:" + token
+	}
+	return "R:" + token
+}
+
+// Combinable reports whether a StyleCombine manager answers token by
+// combining (even FNV hash) or by executing a body (odd).
+func Combinable(token string) bool {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(token))
+	return h.Sum64()%2 == 0
+}
+
+// Probe collects the program-level observations the trace cannot express:
+// guard predicate evaluations (the When/Pri temporaries check), hidden
+// parameter/result mismatches, and manager primitive errors.
+type Probe struct {
+	WhenEvals       atomic.Uint64 // When predicate evaluations
+	PriEvals        atomic.Uint64 // run-time priority evaluations
+	HiddenBad       atomic.Uint64 // body saw wrong hidden params
+	HiddenResultBad atomic.Uint64 // manager saw wrong hidden results
+	Combined        atomic.Uint64 // calls answered by FinishAccepted
+	MgrErrors       atomic.Uint64 // primitive errors before close
+	closed          atomic.Bool   // set by Run just before Close: shutdown errors are expected
+}
+
+func (pr *Probe) noteMgrErr(err error) {
+	if err == nil || pr.closed.Load() {
+		return
+	}
+	pr.MgrErrors.Add(1)
+}
+
+// hiddenVals is the deterministic hidden-parameter vector the manager
+// supplies at start/execute: entry-h0, entry-h1, ...
+func hiddenVals(ep EntryProgram) []core.Value {
+	if ep.Hidden == 0 {
+		return nil
+	}
+	out := make([]core.Value, ep.Hidden)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-h%d", ep.Name, i)
+	}
+	return out
+}
+
+// Build constructs a live object implementing program p, with the given
+// schedule perturbator and trace recorder injected. The returned Probe
+// accumulates program-level observations; call Close on the object when the
+// workload is done.
+func Build(p Program, seq core.Sequencer, rec *trace.Recorder) (*core.Object, *Probe, error) {
+	probe := &Probe{}
+	var opts []core.Option
+	var intercepts []core.InterceptSpec
+	for _, ep := range p.Entries {
+		ep := ep
+		body := func(inv *core.Invocation) error {
+			tok, _ := inv.Param(0).(string)
+			for i := 0; i < ep.Hidden; i++ {
+				if want := fmt.Sprintf("%s-h%d", ep.Name, i); inv.Hidden(i) != want {
+					probe.HiddenBad.Add(1)
+				}
+			}
+			if ep.Hidden > 0 {
+				// Echo the hidden params back reversed, so the manager can
+				// verify hidden-result transfer (§2.8).
+				rev := make([]core.Value, ep.Hidden)
+				for i := range rev {
+					rev[i] = inv.Hidden(ep.Hidden - 1 - i)
+				}
+				inv.ReturnHidden(rev...)
+			}
+			inv.Return("R:" + tok)
+			return nil
+		}
+		opts = append(opts, core.WithEntry(core.EntrySpec{
+			Name: ep.Name, Params: 1, Results: 1, Array: ep.Array,
+			HiddenParams: ep.Hidden, HiddenResults: ep.Hidden,
+			Body: body,
+		}))
+		switch ep.Style {
+		case StyleExecute:
+			intercepts = append(intercepts, core.InterceptPR(ep.Name, 1, 0))
+		case StylePipeline, StyleCombine:
+			intercepts = append(intercepts, core.InterceptPR(ep.Name, 1, 1))
+		}
+	}
+
+	mgrFn := func(m *core.Mgr) {
+		var guards []core.Guard
+		for _, ep := range p.Entries {
+			ep := ep
+			checkHidden := func(aw *core.Awaited) {
+				for i := 0; i < ep.Hidden; i++ {
+					want := fmt.Sprintf("%s-h%d", ep.Name, ep.Hidden-1-i)
+					if i >= len(aw.Hidden) || aw.Hidden[i] != want {
+						probe.HiddenResultBad.Add(1)
+					}
+				}
+			}
+			var g core.Guard
+			switch ep.Style {
+			case StyleExecute:
+				g = core.OnAccept(ep.Name, func(a *core.Accepted) {
+					aw, err := m.Execute(a, hiddenVals(ep)...)
+					if err != nil {
+						probe.noteMgrErr(err)
+						return
+					}
+					checkHidden(aw)
+				})
+			case StylePipeline:
+				g = core.OnAccept(ep.Name, func(a *core.Accepted) {
+					// Initial-subsequence parameter transfer: replace the
+					// intercepted prefix before start (§2.6).
+					tok, _ := a.Params[0].(string)
+					a.Params[0] = "P:" + tok
+					probe.noteMgrErr(m.Start(a, hiddenVals(ep)...))
+				})
+				aw := core.OnAwait(ep.Name, func(aw *core.Awaited) {
+					checkHidden(aw)
+					res, _ := aw.Results[0].(string)
+					probe.noteMgrErr(m.Finish(aw, "F:"+res))
+				})
+				guards = append(guards, decorateAwait(aw, ep, probe))
+			case StyleCombine:
+				g = core.OnAccept(ep.Name, func(a *core.Accepted) {
+					tok, _ := a.Params[0].(string)
+					if Combinable(tok) {
+						// Request combining: answer without running a body.
+						if err := m.FinishAccepted(a, "R:"+tok); err != nil {
+							probe.noteMgrErr(err)
+							return
+						}
+						probe.Combined.Add(1)
+						return
+					}
+					aw, err := m.Execute(a, hiddenVals(ep)...)
+					if err != nil {
+						probe.noteMgrErr(err)
+						return
+					}
+					checkHidden(aw)
+				})
+			default: // StyleDirect: no guard
+				continue
+			}
+			guards = append(guards, decorateAccept(g, ep, probe))
+		}
+		_ = m.Loop(guards...)
+	}
+
+	opts = append(opts,
+		core.WithManager(mgrFn, intercepts...),
+		core.WithTrace(rec),
+		core.WithObjectOptions(core.ObjectOptions{Sequencer: seq}),
+	)
+	o, err := core.New(fmt.Sprintf("conf-%x", p.Seed), opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return o, probe, nil
+}
+
+// decorateAccept applies the generated When/Pri decorations to an accept
+// guard. The predicates read the scratch handle's intercepted params — §2.4:
+// acceptance conditions and run-time priorities are evaluated against the
+// values that would be received, on temporaries, committing nothing.
+func decorateAccept(g core.Guard, ep EntryProgram, probe *Probe) core.Guard {
+	if ep.When {
+		g = g.When(func(a *core.Accepted) bool {
+			probe.WhenEvals.Add(1)
+			tok, _ := a.Params[0].(string)
+			return !strings.HasPrefix(tok, "\x00") // reads the temporary; always true
+		})
+	}
+	if ep.PriRT {
+		g = g.PriAccept(func(a *core.Accepted) int {
+			probe.PriEvals.Add(1)
+			tok, _ := a.Params[0].(string)
+			return len(tok) % 3
+		})
+	} else {
+		g = g.Pri(ep.Pri)
+	}
+	return g
+}
+
+// decorateAwait mirrors decorateAccept for the pipeline's await guard.
+func decorateAwait(g core.Guard, ep EntryProgram, probe *Probe) core.Guard {
+	if ep.When {
+		g = g.WhenAwait(func(aw *core.Awaited) bool {
+			probe.WhenEvals.Add(1)
+			return aw.Err == nil // reads the temporary; generated bodies never fail
+		})
+	}
+	if !ep.PriRT {
+		g = g.Pri(ep.Pri)
+	}
+	return g
+}

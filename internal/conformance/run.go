@@ -1,0 +1,240 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RunConfig identifies one conformance run completely: a program seed (which
+// manager program to generate), a schedule seed (which interleavings the
+// perturbator provokes), and the client workload dimensions.
+type RunConfig struct {
+	ProgramSeed  uint64
+	ScheduleSeed uint64
+	Clients      int // concurrent caller goroutines (min 1)
+	Ops          int // synchronous calls per client (min 1)
+}
+
+// String renders the config as a stable one-liner for logs and reproducers.
+func (c RunConfig) String() string {
+	return fmt.Sprintf("program=%#x schedule=%#x clients=%d ops=%d",
+		c.ProgramSeed, c.ScheduleSeed, c.Clients, c.Ops)
+}
+
+func (c RunConfig) normalized() RunConfig {
+	if c.Clients < 1 {
+		c.Clients = 1
+	}
+	if c.Ops < 1 {
+		c.Ops = 1
+	}
+	return c
+}
+
+// Report is the outcome of one conformance run. A run conforms iff
+// Divergences is empty: the trace replayed cleanly through the reference
+// model, every caller saw the exact transformed result the program's style
+// dictates, and the probe counters agree with the trace.
+type Report struct {
+	Config      RunConfig
+	Program     Program
+	Meta        map[string]EntryMeta
+	Divergences []Divergence
+	Events      []trace.Event
+	Calls       int    // client calls issued
+	Combined    uint64 // calls answered by request combining
+	Points      uint64 // scheduling decision points served
+}
+
+// OK reports whether the run produced no divergences.
+func (r Report) OK() bool { return len(r.Divergences) == 0 }
+
+// Run executes one (program, schedule) pair: it generates the program,
+// builds the live object with the seeded perturbator and an unlimited trace
+// recorder injected, drives it with the seeded client workload, then replays
+// the recorded trace through the reference model and cross-checks
+// caller-observed outcomes and probe counters against it.
+func Run(cfg RunConfig) (Report, error) {
+	cfg = cfg.normalized()
+	prog := GenerateProgram(cfg.ProgramSeed)
+	rec := trace.NewRecorder(0) // unlimited: a dropped event would read as a divergence
+	sched := NewSchedule(cfg.ScheduleSeed)
+	o, probe, err := Build(prog, sched, rec)
+	if err != nil {
+		return Report{Config: cfg, Program: prog}, err
+	}
+	meta := MetaFor(o)
+
+	var (
+		mu       sync.Mutex
+		outcomes = make(map[string]Outcome)
+		perEntry = make(map[string]int) // calls issued per entry
+		divs     []Divergence
+	)
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := workload.NewRNG(cfg.ProgramSeed ^ cfg.ScheduleSeed ^ (uint64(ci)+1)*0x9e3779b97f4a7c15)
+			var local []Divergence
+			localOut := make(map[string]Outcome)
+			localCalls := make(map[string]int)
+			for op := 0; op < cfg.Ops; op++ {
+				ep := prog.Entries[rng.Intn(len(prog.Entries))]
+				// Variable-length tokens so run-time priorities (len%3)
+				// actually discriminate between competitors.
+				token := fmt.Sprintf("c%d-%d%s", ci, op, strings.Repeat("x", rng.Intn(3)))
+				localCalls[ep.Name]++
+				results, err := o.Call(ep.Name, token)
+				out := localOut[ep.Name]
+				if err != nil {
+					out.Err++
+					local = append(local, Divergence{
+						Rule:  "call-error",
+						Entry: ep.Name,
+						Index: -1,
+						Detail: fmt.Sprintf("client %d op %d (%q): unexpected error: %v",
+							ci, op, token, err),
+					})
+				} else {
+					out.OK++
+					want := ep.Expected(token)
+					if len(results) != 1 || results[0] != want {
+						local = append(local, Divergence{
+							Rule:  "result-value",
+							Entry: ep.Name,
+							Index: -1,
+							Detail: fmt.Sprintf("client %d op %d (%q): got %v, want [%q]",
+								ci, op, token, results, want),
+						})
+					}
+				}
+				localOut[ep.Name] = out
+			}
+			mu.Lock()
+			for k, v := range localOut {
+				agg := outcomes[k]
+				agg.OK += v.OK
+				agg.Err += v.Err
+				outcomes[k] = agg
+			}
+			for k, v := range localCalls {
+				perEntry[k] += v
+			}
+			divs = append(divs, local...)
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	probe.closed.Store(true) // manager errors from shutdown drain are expected
+	if err := o.Close(); err != nil {
+		divs = append(divs, Divergence{
+			Rule: "close-error", Index: -1,
+			Detail: fmt.Sprintf("Close: %v", err),
+		})
+	}
+
+	events := rec.Events()
+	divs = append(divs, Check(events, meta)...)
+	divs = append(divs, CheckOutcomes(events, outcomes)...)
+	divs = append(divs, auditProbe(prog, probe, perEntry, events)...)
+
+	return Report{
+		Config:      cfg,
+		Program:     prog,
+		Meta:        meta,
+		Divergences: divs,
+		Events:      events,
+		Calls:       cfg.Clients * cfg.Ops,
+		Combined:    probe.Combined.Load(),
+		Points:      sched.Points(),
+	}, nil
+}
+
+// auditProbe cross-checks the program-level probe counters against the
+// program shape and the trace: hidden parameter/result vectors intact, guard
+// predicates actually evaluated for decorated entries that received calls,
+// combining accounted for, no manager primitive errors.
+func auditProbe(prog Program, probe *Probe, perEntry map[string]int, events []trace.Event) []Divergence {
+	var divs []Divergence
+	if n := probe.HiddenBad.Load(); n > 0 {
+		divs = append(divs, Divergence{
+			Rule: "hidden-param-mismatch", Index: -1,
+			Detail: fmt.Sprintf("%d bodies saw hidden params differing from what the manager supplied", n),
+		})
+	}
+	if n := probe.HiddenResultBad.Load(); n > 0 {
+		divs = append(divs, Divergence{
+			Rule: "hidden-result-mismatch", Index: -1,
+			Detail: fmt.Sprintf("%d awaits saw hidden results differing from what the body returned", n),
+		})
+	}
+	if n := probe.MgrErrors.Load(); n > 0 {
+		divs = append(divs, Divergence{
+			Rule: "manager-error", Index: -1,
+			Detail: fmt.Sprintf("%d manager primitive errors before close", n),
+		})
+	}
+
+	// §2.4: if any decorated entry was called, its acceptance condition /
+	// run-time priority must have been evaluated at least once. (The counters
+	// are aggregates, so this is a lower bound, never a false positive.)
+	var whenCalled, priCalled bool
+	for _, ep := range prog.Entries {
+		if perEntry[ep.Name] == 0 {
+			continue
+		}
+		if ep.When {
+			whenCalled = true
+		}
+		if ep.PriRT {
+			priCalled = true
+		}
+	}
+	if whenCalled && probe.WhenEvals.Load() == 0 {
+		divs = append(divs, Divergence{
+			Rule: "guard-eval-missing", Index: -1,
+			Detail: "entries with acceptance conditions received calls but no When predicate ever ran",
+		})
+	}
+	if priCalled && probe.PriEvals.Load() == 0 {
+		divs = append(divs, Divergence{
+			Rule: "guard-eval-missing", Index: -1,
+			Detail: "entries with run-time priorities received calls but no Pri function ever ran",
+		})
+	}
+
+	var traced uint64
+	for _, ev := range events {
+		if ev.Kind == trace.Combined {
+			traced++
+		}
+	}
+	if got := probe.Combined.Load(); got != traced {
+		divs = append(divs, Divergence{
+			Rule: "combine-accounting", Index: -1,
+			Detail: fmt.Sprintf("manager combined %d calls, trace recorded %d Combined events", got, traced),
+		})
+	}
+	return divs
+}
+
+// Replay re-runs a previously failing (program, schedule) pair — the entry
+// point emitted into shrunken reproducers — and returns its divergences.
+func Replay(programSeed, scheduleSeed uint64, clients, ops int) ([]Divergence, error) {
+	rep, err := Run(RunConfig{
+		ProgramSeed:  programSeed,
+		ScheduleSeed: scheduleSeed,
+		Clients:      clients,
+		Ops:          ops,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Divergences, nil
+}

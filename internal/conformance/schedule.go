@@ -1,0 +1,136 @@
+package conformance
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Decision is what the schedule perturbator does to the goroutine that hit a
+// scheduling decision point.
+type Decision uint8
+
+const (
+	// DecideRun lets the goroutine continue immediately.
+	DecideRun Decision = iota
+	// DecideYield calls runtime.Gosched, offering the processor to any other
+	// runnable goroutine (caller, manager or body).
+	DecideYield
+	// DecidePark parks the goroutine for a short, seeded duration, forcing
+	// interleavings the Go scheduler would rarely produce on its own (a body
+	// overtaking its caller, a manager scanning mid-submission, ...).
+	DecidePark
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case DecideRun:
+		return "run"
+	case DecideYield:
+		return "yield"
+	case DecidePark:
+		return "park"
+	default:
+		return "Decision(?)"
+	}
+}
+
+// logCap bounds the recorded decision log; enough for any single conformance
+// run while keeping long exploration loops from accumulating memory.
+const logCap = 1 << 14
+
+// Schedule is the seeded virtual-scheduler hook: a core.Sequencer whose
+// decision stream is a pure function of its seed and of the order goroutines
+// reach decision points. Every Point draws the next decision from a splitmix64
+// PRNG under one mutex — parks happen while the mutex is held, so scheduling
+// decisions are fully serialized: at most one goroutine transits a decision
+// point at a time, and a parked decision holds every other participant at its
+// own point until the park expires. That serialization is what makes a
+// (program seed, schedule seed) pair re-runnable: the same seeds replay the
+// same decision stream against the same workload (see Replay).
+//
+// Inject via core.ObjectOptions{Sequencer: NewSchedule(seed)}.
+type Schedule struct {
+	maxPark time.Duration
+
+	mu     sync.Mutex
+	rng    *workload.RNG
+	points uint64
+	counts [3]uint64
+	log    []Decision
+}
+
+// NewSchedule creates a perturbator seeded with seed. Parks are bounded at
+// 50µs so even park-heavy schedules finish quickly.
+func NewSchedule(seed uint64) *Schedule {
+	return &Schedule{
+		maxPark: 50 * time.Microsecond,
+		rng:     workload.NewRNG(seed),
+	}
+}
+
+// Point implements core.Sequencer. It is called by the runtime with no locks
+// held, so parking here can delay the object but never deadlock it.
+func (s *Schedule) Point(p core.SeqPoint, object, entry string, callID uint64) {
+	s.mu.Lock()
+	s.points++
+	d, park := s.decide()
+	s.counts[d]++
+	if len(s.log) < logCap {
+		s.log = append(s.log, d)
+	}
+	switch d {
+	case DecidePark:
+		// Parking inside the mutex serializes the whole system through this
+		// decision: every goroutine at a Point waits until the park ends.
+		time.Sleep(park)
+		s.mu.Unlock()
+	case DecideYield:
+		s.mu.Unlock()
+		runtime.Gosched()
+	default:
+		s.mu.Unlock()
+	}
+}
+
+// decide draws the next decision: 50% run, 37.5% yield, 12.5% park with a
+// seeded duration in [1µs, maxPark]. Called with s.mu held.
+func (s *Schedule) decide() (Decision, time.Duration) {
+	r := s.rng.Uint64()
+	switch {
+	case r&7 < 4:
+		return DecideRun, 0
+	case r&7 < 7:
+		return DecideYield, 0
+	default:
+		span := uint64(s.maxPark / time.Microsecond)
+		return DecidePark, time.Duration(1+(r>>32)%span) * time.Microsecond
+	}
+}
+
+// Points reports how many decision points this schedule has served.
+func (s *Schedule) Points() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.points
+}
+
+// Counts reports how many times each Decision was taken, indexed by Decision.
+func (s *Schedule) Counts() [3]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// Log returns the recorded decision stream (capped at an internal bound), for
+// determinism tests: two same-seed schedules fed the same point sequence
+// produce identical logs.
+func (s *Schedule) Log() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Decision(nil), s.log...)
+}

@@ -167,6 +167,7 @@ func (m *Mgr) Select(guards ...Guard) (int, error) {
 	}
 	o := m.obj
 	for {
+		o.seqPoint(SeqMgrScan, "", 0)
 		m.dirty.Store(0)
 		o.mu.Lock()
 		if o.closed {
@@ -190,11 +191,13 @@ func (m *Mgr) Select(guards ...Guard) (int, error) {
 		case guardAccept:
 			a := m.commitAcceptLocked(c.e, c.s)
 			o.mu.Unlock()
+			o.seqPoint(SeqMgrAccept, a.Entry, a.id)
 			g.actAccept(a)
 			return c.guardIdx, nil
 		case guardAwait:
 			aw := m.commitAwaitLocked(c.e, c.s)
 			o.mu.Unlock()
+			o.seqPoint(SeqMgrAwait, aw.Entry, aw.id)
 			g.actAwait(aw)
 			return c.guardIdx, nil
 		case guardReceive:

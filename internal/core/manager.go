@@ -300,6 +300,7 @@ func (m *Mgr) Accept(entryName string) (*Accepted, error) {
 	o := m.obj
 	m.watchEntry(e)
 	for {
+		o.seqPoint(SeqMgrScan, e.spec.Name, 0)
 		m.dirty.Store(0)
 		o.mu.Lock()
 		if o.closed {
@@ -310,6 +311,7 @@ func (m *Mgr) Accept(entryName string) (*Accepted, error) {
 		if len(e.attached) > 0 {
 			a := m.commitAcceptLocked(e, e.attached[0])
 			o.mu.Unlock()
+			o.seqPoint(SeqMgrAccept, e.spec.Name, a.id)
 			return a, nil
 		}
 		if err := m.blockLocked(); err != nil {
@@ -332,6 +334,7 @@ func (m *Mgr) AcceptSlot(entryName string, i int) (*Accepted, error) {
 	o := m.obj
 	m.watchEntry(e)
 	for {
+		o.seqPoint(SeqMgrScan, e.spec.Name, 0)
 		m.dirty.Store(0)
 		o.mu.Lock()
 		if o.closed {
@@ -342,6 +345,7 @@ func (m *Mgr) AcceptSlot(entryName string, i int) (*Accepted, error) {
 		if s := e.slots[i]; s.state == slotAttached {
 			a := m.commitAcceptLocked(e, s)
 			o.mu.Unlock()
+			o.seqPoint(SeqMgrAccept, e.spec.Name, a.id)
 			return a, nil
 		}
 		if err := m.blockLocked(); err != nil {
@@ -357,6 +361,7 @@ func (m *Mgr) AcceptSlot(entryName string, i int) (*Accepted, error) {
 // the hidden values transfers to the runtime.
 func (m *Mgr) Start(a *Accepted, hidden ...Value) error {
 	o := m.obj
+	o.seqPoint(SeqMgrStart, a.Entry, a.id)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	cr := a.call
@@ -395,6 +400,7 @@ func (m *Mgr) Await(entryName string) (*Awaited, error) {
 	o := m.obj
 	m.watchEntry(e)
 	for {
+		o.seqPoint(SeqMgrScan, e.spec.Name, 0)
 		m.dirty.Store(0)
 		o.mu.Lock()
 		if o.closed {
@@ -405,6 +411,7 @@ func (m *Mgr) Await(entryName string) (*Awaited, error) {
 		if len(e.ready) > 0 {
 			aw := m.commitAwaitLocked(e, e.ready[0])
 			o.mu.Unlock()
+			o.seqPoint(SeqMgrAwait, e.spec.Name, aw.id)
 			return aw, nil
 		}
 		if err := m.blockLocked(); err != nil {
@@ -423,6 +430,7 @@ func (m *Mgr) AwaitCall(a *Accepted) (*Awaited, error) {
 	o := m.obj
 	m.watchEntry(e)
 	for {
+		o.seqPoint(SeqMgrScan, e.spec.Name, 0)
 		m.dirty.Store(0)
 		o.mu.Lock()
 		if o.closed {
@@ -433,6 +441,7 @@ func (m *Mgr) AwaitCall(a *Accepted) (*Awaited, error) {
 		if s := e.slots[a.Slot]; s.state == slotReady {
 			aw := m.commitAwaitLocked(e, s)
 			o.mu.Unlock()
+			o.seqPoint(SeqMgrAwait, e.spec.Name, aw.id)
 			if aw.id != a.id {
 				return nil, fmt.Errorf("await %s.%s[%d]: slot reused by another call: %w",
 					o.name, a.Entry, a.Slot, ErrBadState)
@@ -452,6 +461,7 @@ func (m *Mgr) AwaitCall(a *Accepted) (*Awaited, error) {
 // the result values transfers to the caller.
 func (m *Mgr) Finish(aw *Awaited, results ...Value) error {
 	o := m.obj
+	o.seqPoint(SeqMgrFinish, aw.Entry, aw.id)
 	o.mu.Lock()
 	cr := aw.call
 	if !liveHandle(aw.s, cr, aw.id, slotAwaited) {
@@ -489,6 +499,7 @@ func (m *Mgr) Finish(aw *Awaited, results ...Value) error {
 // the result values transfers to the caller.
 func (m *Mgr) FinishAccepted(a *Accepted, results ...Value) error {
 	o := m.obj
+	o.seqPoint(SeqMgrCombine, a.Entry, a.id)
 	o.mu.Lock()
 	cr := a.call
 	if !liveHandle(a.s, cr, a.id, slotAccepted) {
@@ -525,6 +536,7 @@ func (m *Mgr) FinishAccepted(a *Accepted, results ...Value) error {
 // through unchanged; the Awaited handle is returned for monitoring.
 func (m *Mgr) Execute(a *Accepted, hidden ...Value) (*Awaited, error) {
 	o := m.obj
+	o.seqPoint(SeqMgrExecute, a.Entry, a.id)
 	o.mu.Lock()
 	cr := a.call
 	if !liveHandle(a.s, cr, a.id, slotAccepted) {
@@ -557,6 +569,7 @@ func (m *Mgr) Execute(a *Accepted, hidden ...Value) (*Awaited, error) {
 	o.mu.Unlock()
 
 	inv := &cr.inv
+	o.seqPoint(SeqBodyBegin, e.spec.Name, cr.id)
 	err := runSafely(o, cr, e.spec.Body, inv)
 	if err == nil {
 		if !inv.returned && e.spec.Results > 0 {
@@ -572,6 +585,8 @@ func (m *Mgr) Execute(a *Accepted, hidden ...Value) (*Awaited, error) {
 				o.name, e.spec.Name, len(inv.hiddenRes), e.spec.HiddenResults, ErrBadArity)
 		}
 	}
+
+	o.seqPoint(SeqBodyEnd, e.spec.Name, cr.id)
 
 	o.mu.Lock()
 	cr.bodyResults = inv.results

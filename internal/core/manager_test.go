@@ -688,7 +688,7 @@ func TestTraceLifecycleManaged(t *testing.T) {
 		kinds = append(kinds, e.Kind)
 	}
 	want := []trace.Kind{trace.Arrived, trace.Attached, trace.Accepted,
-		trace.Started, trace.Ready, trace.Awaited, trace.Finished}
+		trace.Started, trace.Ready, trace.Awaited, trace.Finished, trace.Closed}
 	if fmt.Sprint(kinds) != fmt.Sprint(want) {
 		t.Fatalf("managed lifecycle = %v, want %v", kinds, want)
 	}

@@ -80,6 +80,10 @@ type Object struct {
 	intakeClosed bool
 	intakeSpare  []*callRecord
 
+	// seq is the scheduling-decision hook (nil in production; see
+	// Sequencer). Immutable after New.
+	seq Sequencer
+
 	poolMode    sched.Mode
 	poolWorkers int
 }
@@ -172,6 +176,7 @@ func New(name string, opts ...Option) (*Object, error) {
 		initFn:   cfg.initFn,
 		poolMode: cfg.poolMode,
 		sup:      cfg.sup,
+		seq:      cfg.sup.Sequencer,
 	}
 	o.wdEnabled = cfg.sup.Watchdog.Threshold > 0
 	o.lifeCtx, o.lifeCancel = context.WithCancel(context.Background())
@@ -269,6 +274,19 @@ func (o *Object) EntryInfo(name string) (EntrySpec, bool) {
 	return spec, true
 }
 
+// EntryIntercepted reports whether the entry is listed in the manager's
+// intercepts clause, and the intercepted parameter/result prefix widths.
+// The conformance checker uses this to select the legal lifecycle shape for
+// the entry's calls (intercepted calls pass through accept/await/finish;
+// plain calls start as soon as an array element frees up).
+func (o *Object) EntryIntercepted(name string) (intercepted bool, ipParams, ipResults int) {
+	e, ok := o.entries[name]
+	if !ok {
+		return false, 0, 0
+	}
+	return e.intercepted, e.ipParams, e.ipResults
+}
+
 // PoolStats reports lightweight-process statistics for the object.
 func (o *Object) PoolStats() sched.Stats { return o.pool.Stats() }
 
@@ -326,6 +344,7 @@ func (o *Object) CallCtx(ctx context.Context, name string, params ...Value) ([]V
 // drops the caller's reference on the record when done. The uncancellable
 // case (context.Background and friends) skips the two-way select.
 func (o *Object) awaitResult(ctx context.Context, cr *callRecord) ([]Value, error) {
+	o.seqPoint(SeqAwaitResult, cr.entry.spec.Name, cr.id)
 	if ctx.Done() == nil {
 		res := <-cr.resultCh
 		cr.release(o)
@@ -367,6 +386,7 @@ func (o *Object) submit(ctx context.Context, name string, params []Value, intern
 		return nil, fmt.Errorf("object %s: call %s with %d params, declared %d: %w",
 			o.name, name, len(params), e.spec.Params, ErrBadArity)
 	}
+	o.seqPoint(SeqSubmit, name, 0)
 	if e.fastIntake {
 		if cr, ok := o.submitIntake(e, params); ok {
 			o.wakeManager(e)
@@ -591,6 +611,7 @@ func (o *Object) startBodyLocked(cr *callRecord, regular, hidden []Value) {
 		o.bodyWG.Done()
 		e.active--
 		o.deliverLocked(cr, nil, ErrClosed)
+		o.record(e.spec.Name, cr.slotIndex(), cr.id, trace.Failed)
 		o.freeSlotLocked(cr.slot)
 	}
 }
@@ -600,6 +621,7 @@ func (o *Object) runBody(cr *callRecord) {
 	defer o.bodyWG.Done()
 	inv := &cr.inv
 	e := cr.entry
+	o.seqPoint(SeqBodyBegin, e.spec.Name, cr.id)
 	err := runSafely(o, cr, e.spec.Body, inv)
 	if err == nil {
 		if !inv.returned && e.spec.Results > 0 {
@@ -615,6 +637,8 @@ func (o *Object) runBody(cr *callRecord) {
 				o.name, e.spec.Name, len(inv.hiddenRes), e.spec.HiddenResults, ErrBadArity)
 		}
 	}
+
+	o.seqPoint(SeqBodyEnd, e.spec.Name, cr.id)
 
 	o.mu.Lock()
 	cr.bodyResults = inv.results
@@ -732,6 +756,7 @@ func (o *Object) Close() error {
 	}
 	o.closed = true
 	close(o.closeCh)
+	o.record("", -1, 0, trace.Closed)
 	o.closeIntakeLocked()
 	for _, name := range o.order {
 		e := o.entries[name]

@@ -366,7 +366,8 @@ func TestTraceLifecycleUnmanaged(t *testing.T) {
 	for _, e := range rec.Events() {
 		kinds = append(kinds, e.Kind)
 	}
-	want := []trace.Kind{trace.Arrived, trace.Attached, trace.Started, trace.Finished}
+	// Close emits the shutdown marker after the call's own lifecycle.
+	want := []trace.Kind{trace.Arrived, trace.Attached, trace.Started, trace.Finished, trace.Closed}
 	if fmt.Sprint(kinds) != fmt.Sprint(want) {
 		t.Fatalf("lifecycle = %v, want %v", kinds, want)
 	}

@@ -158,6 +158,11 @@ type ObjectOptions struct {
 	// Metrics, when non-nil, accumulates shed/restart/poison/stall
 	// counters. Share one instance across objects to aggregate.
 	Metrics *metrics.Supervision
+	// Sequencer, when non-nil, receives a Point callback at every
+	// scheduling decision inside the runtime (see Sequencer). It is the
+	// deterministic-schedule hook used by the conformance harness; leave it
+	// nil in production (the default costs one branch per point).
+	Sequencer Sequencer
 }
 
 // WithObjectOptions attaches supervision and admission-control

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// The conformance checker (internal/conformance) requires every lifecycle
+// transition to emit a trace event: a call that reaches a terminal outcome
+// with no terminal event is invisible to the model. These tests pin the
+// emits on the rare paths the mainline suites never exercise.
+
+// TestTraceFailedOnPoolClosedStart covers the start path racing with
+// shutdown: the process pool is already closed when a call tries to start,
+// so the call fails with ErrClosed — and must leave a Failed event, not
+// vanish from the trace after Arrived/Attached.
+func TestTraceFailedOnPoolClosedStart(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Body: echoBody}),
+		WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, o)
+
+	// Close the pool out from under the object, as Close does mid-shutdown.
+	o.pool.Close()
+	if _, err := o.Call("P", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call with closed pool: err = %v, want ErrClosed", err)
+	}
+
+	byCall := rec.ByCall()
+	if len(byCall) != 1 {
+		t.Fatalf("traced %d calls, want 1", len(byCall))
+	}
+	for id, events := range byCall {
+		last := events[len(events)-1]
+		if last.Kind != trace.Failed {
+			t.Errorf("call %d: terminal event = %v, want failed (events: %v)", id, last.Kind, events)
+		}
+		terminals := 0
+		for _, e := range events {
+			switch e.Kind {
+			case trace.Finished, trace.Combined, trace.Failed:
+				terminals++
+			}
+		}
+		if terminals != 1 {
+			t.Errorf("call %d: %d terminal events, want exactly 1 (events: %v)", id, terminals, events)
+		}
+	}
+}
+
+// TestTraceClosedMarker pins the shutdown marker: Close emits exactly one
+// Closed event, before the sweep that fails calls the manager can no longer
+// serve, so checkers can scope close-phase relaxations to events after it.
+func TestTraceClosedMarker(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "P", Params: 1, Results: 1, Body: echoBody}),
+		WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Call("P", 1); err != nil {
+		t.Fatal(err)
+	}
+	mustClose(t, o)
+	mustClose(t, o) // idempotent: must not emit a second marker
+
+	closed := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.Closed {
+			closed++
+		}
+	}
+	if closed != 1 {
+		t.Fatalf("Closed events = %d, want exactly 1", closed)
+	}
+}
+
+// TestTraceFailedOnManagerlessWithdraw covers the withdraw path: a
+// cancelled call that never attached must still record a Failed terminal.
+func TestTraceFailedOnManagerlessWithdraw(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	o, err := New("X",
+		WithEntry(EntrySpec{Name: "Slow", Params: 0, Results: 0, Body: func(inv *Invocation) error {
+			close(started)
+			<-release
+			return nil
+		}}),
+		WithTrace(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIFO: release the body first, then close the object.
+	defer func() { mustClose(t, o) }()
+	defer close(release)
+
+	// Occupy the single array element, then cancel a queued second call.
+	go func() { _, _ = o.Call("Slow") }()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := o.CallCtx(ctx, "Slow")
+		done <- err
+	}()
+	// Wait (counter-based) until the second call is pending in the queue.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if st, ok := o.EntryStats("Slow"); ok && st.Pending >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second call never became pending")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call err = %v", err)
+	}
+	if rec.Count("Slow", trace.Failed) != 1 {
+		t.Fatalf("Failed events = %d, want 1 (events: %v)", rec.Count("Slow", trace.Failed), rec.Events())
+	}
+}

@@ -1,0 +1,98 @@
+package shard_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// TestShardKeyOrderConformance drives a keyed group with interleaved
+// multi-client traffic and replays the execution ledger through the
+// conformance key-order checker: every key pinned to one shard
+// (key-affinity), every synchronous client's per-key calls executed in
+// issue order (per-key-fifo), and no call executed twice (at-most-once).
+func TestShardKeyOrderConformance(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		ledger []conformance.KeyedExec
+	)
+	build := func(i int, name string) (*core.Object, error) {
+		return core.New(name,
+			core.WithEntry(core.EntrySpec{Name: "Exec", Params: 3, Results: 1, Array: 2,
+				Body: func(inv *core.Invocation) error {
+					mu.Lock()
+					ledger = append(ledger, conformance.KeyedExec{
+						Key:    inv.Param(0).(string),
+						Client: inv.Param(1).(string),
+						Seq:    inv.Param(2).(int),
+						Shard:  name,
+					})
+					mu.Unlock()
+					inv.Return(inv.Param(2))
+					return nil
+				}}),
+			core.WithManager(func(m *core.Mgr) {
+				_ = m.Loop(core.OnAccept("Exec", func(a *core.Accepted) {
+					_, _ = m.Execute(a)
+				}))
+			}, core.Intercept("Exec")),
+		)
+	}
+	g, err := shard.New("conf", 4, build, shard.WithKey("Exec", shard.StringKey(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// 6 clients share 8 keys; each client walks its keys round-robin with
+	// its own per-key sequence counters, issuing synchronously.
+	const clients, keys, rounds = 6, 8, 12
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := fmt.Sprintf("c%d", c)
+			seqs := make(map[string]int)
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					if (k+c)%2 == 0 { // each client uses half the keys
+						continue
+					}
+					key := fmt.Sprintf("key-%d", k)
+					seq := seqs[key]
+					seqs[key]++
+					res, err := g.Call("Exec", key, client, seq)
+					if err != nil {
+						t.Errorf("%s %s seq %d: %v", client, key, seq, err)
+						return
+					}
+					if len(res) != 1 || res[0] != seq {
+						t.Errorf("%s %s seq %d: answered %v", client, key, seq, res)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if want := clients * rounds * keys / 2; len(ledger) != want {
+		t.Errorf("ledger has %d executions, want %d", len(ledger), want)
+	}
+	for _, d := range conformance.CheckKeyOrder(ledger) {
+		t.Errorf("divergence: %s", d)
+	}
+	// Cross-check affinity against the router's own prediction.
+	for _, e := range ledger {
+		if want := g.Shard(g.ShardFor("Exec", e.Key, e.Client, e.Seq)).Name(); e.Shard != want {
+			t.Errorf("key %q executed on %q, router predicts %q", e.Key, e.Shard, want)
+		}
+	}
+}

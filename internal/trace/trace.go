@@ -53,6 +53,12 @@ const (
 	// Poisoned: the object was poisoned — its manager died without recovery
 	// and every pending and future call fails with ErrObjectPoisoned.
 	Poisoned
+	// Closed: the object began shutting down. Emitted exactly once, before
+	// the close sweep fails the calls the manager can no longer serve, so
+	// trace consumers can scope close-phase lifecycle relaxations (a call
+	// may jump to Failed, or a started body may finish without the
+	// manager's await/finish endorsement) to events after this marker.
+	Closed
 )
 
 var kindNames = map[Kind]string{
@@ -73,6 +79,7 @@ var kindNames = map[Kind]string{
 	Stalled:    "stalled",
 	MgrRestart: "mgr-restart",
 	Poisoned:   "poisoned",
+	Closed:     "closed",
 }
 
 // String implements fmt.Stringer.

@@ -160,19 +160,6 @@ func TestSoakMixedWorkload(t *testing.T) {
 		}
 	}
 
-	// Goroutine-leak check with settling time.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		after := runtime.NumGoroutine()
-		if after <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			bufStack := make([]byte, 1<<16)
-			n := runtime.Stack(bufStack, true)
-			t.Fatalf("goroutines: before %d, after %d — leak?\n%s", before, after, bufStack[:n])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// Goroutine-leak check with deadline-aware settling.
+	settleGoroutines(t, before)
 }

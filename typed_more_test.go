@@ -1,0 +1,280 @@
+package alps_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	alps "repro"
+)
+
+// newTypedFixture builds an object exercising every arity/type shape the
+// generic wrappers must handle: wrong result types, 0/1/2-result entries,
+// an echo entry, and a managed entry whose hidden parameters let bodies
+// probe hidden arity mismatches.
+func newTypedFixture(t *testing.T) *alps.Object {
+	t.Helper()
+	obj, err := alps.New("Typed",
+		alps.WithEntry(alps.EntrySpec{Name: "Str", Results: 1,
+			Body: func(inv *alps.Invocation) error { inv.Return("s"); return nil }}),
+		alps.WithEntry(alps.EntrySpec{Name: "Two", Results: 2,
+			Body: func(inv *alps.Invocation) error { inv.Return(1, "x"); return nil }}),
+		alps.WithEntry(alps.EntrySpec{Name: "None",
+			Body: func(inv *alps.Invocation) error { return nil }}),
+		alps.WithEntry(alps.EntrySpec{Name: "Echo", Params: 1, Results: 1,
+			Body: func(inv *alps.Invocation) error { inv.Return(inv.Param(0)); return nil }}),
+		alps.WithEntry(alps.EntrySpec{Name: "Hid", Results: 2, HiddenParams: 2,
+			Body: func(inv *alps.Invocation) error {
+				s, err := alps.Hidden[string](inv, 0)
+				if err != nil {
+					return err
+				}
+				// Both the type mismatch (hidden 1 is an int) and the
+				// out-of-range index must surface as ErrBadArity.
+				_, typeErr := alps.Hidden[string](inv, 1)
+				_, rangeErr := alps.Hidden[string](inv, 5)
+				inv.Return(s, errors.Is(typeErr, alps.ErrBadArity) && errors.Is(rangeErr, alps.ErrBadArity))
+				return nil
+			}}),
+		alps.WithManager(func(m *alps.Mgr) {
+			for {
+				a, err := m.Accept("Hid")
+				if err != nil {
+					return
+				}
+				if _, err := m.Execute(a, "h0", 42); err != nil {
+					return
+				}
+			}
+		}, alps.Intercept("Hid")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = obj.Close() })
+	return obj
+}
+
+func TestCall1ErrorPaths(t *testing.T) {
+	obj := newTypedFixture(t)
+	cases := []struct {
+		name    string
+		call    func() (any, error)
+		wantErr error
+		wantMsg string // substring of the error text
+	}{
+		{
+			name:    "result type mismatch yields zero value",
+			call:    func() (any, error) { return alps.Call1[int](obj, "Str") },
+			wantErr: alps.ErrBadArity,
+			wantMsg: "value is string, want int",
+		},
+		{
+			name:    "two results where one expected",
+			call:    func() (any, error) { return alps.Call1[int](obj, "Two") },
+			wantErr: alps.ErrBadArity,
+			wantMsg: "returned 2 results, want 1",
+		},
+		{
+			name:    "zero results where one expected",
+			call:    func() (any, error) { return alps.Call1[int](obj, "None") },
+			wantErr: alps.ErrBadArity,
+			wantMsg: "returned 0 results, want 1",
+		},
+		{
+			name:    "unknown entry",
+			call:    func() (any, error) { return alps.Call1[int](obj, "Nope") },
+			wantErr: alps.ErrUnknownEntry,
+		},
+		{
+			name:    "wrong parameter count",
+			call:    func() (any, error) { return alps.Call1[string](obj, "Echo", "a", "b") },
+			wantErr: alps.ErrBadArity,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.call()
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("err %q missing %q", err, tc.wantMsg)
+			}
+			if got != 0 && got != "" && got != nil {
+				t.Errorf("error path returned non-zero value %v", got)
+			}
+		})
+	}
+}
+
+func TestCall2ErrorPaths(t *testing.T) {
+	obj := newTypedFixture(t)
+	cases := []struct {
+		name    string
+		call    func() error
+		wantErr error
+		wantMsg string
+	}{
+		{
+			name: "both results convert",
+			call: func() error {
+				a, b, err := alps.Call2[int, string](obj, "Two")
+				if err == nil && (a != 1 || b != "x") {
+					return errors.New("wrong values")
+				}
+				return err
+			},
+		},
+		{
+			name: "first result mismatch is attributed",
+			call: func() error {
+				_, _, err := alps.Call2[string, string](obj, "Two")
+				return err
+			},
+			wantErr: alps.ErrBadArity,
+			wantMsg: "result 0",
+		},
+		{
+			name: "second result mismatch is attributed",
+			call: func() error {
+				_, _, err := alps.Call2[int, int](obj, "Two")
+				return err
+			},
+			wantErr: alps.ErrBadArity,
+			wantMsg: "result 1",
+		},
+		{
+			name: "one result where two expected",
+			call: func() error {
+				_, _, err := alps.Call2[string, string](obj, "Str")
+				return err
+			},
+			wantErr: alps.ErrBadArity,
+			wantMsg: "returned 1 results, want 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("err %q missing %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestCall0Arity(t *testing.T) {
+	obj := newTypedFixture(t)
+	if err := alps.Call0(obj, "None"); err != nil {
+		t.Fatalf("Call0(None) = %v", err)
+	}
+	if err := alps.Call0(obj, "Str"); !errors.Is(err, alps.ErrBadArity) {
+		t.Fatalf("Call0 on 1-result entry = %v, want ErrBadArity", err)
+	}
+}
+
+// TestCall1CtxCancelled: a call withdrawn by context cancellation before
+// the manager accepts it must surface the context's error with a
+// zero-value result. (A call whose body already started cannot be
+// abandoned — the runtime waits for it — so the entry is gated behind a
+// manager that never accepts.)
+func TestCall1CtxCancelled(t *testing.T) {
+	release := make(chan struct{})
+	obj, err := alps.New("Blocky",
+		alps.WithEntry(alps.EntrySpec{Name: "Block", Results: 1,
+			Body: func(inv *alps.Invocation) error {
+				inv.Return("late")
+				return nil
+			}}),
+		alps.WithManager(func(m *alps.Mgr) {
+			<-release // hold every call in the attached state
+			for {
+				a, err := m.Accept("Block")
+				if err != nil {
+					return
+				}
+				_, _ = m.Execute(a)
+			}
+		}, alps.Intercept("Block")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = obj.Close() })
+	t.Cleanup(func() { close(release) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, callErr := alps.Call1Ctx[string](ctx, obj, "Block")
+	if !errors.Is(callErr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", callErr)
+	}
+	if got != "" {
+		t.Errorf("cancelled call returned %q, want zero value", got)
+	}
+}
+
+// TestHiddenMismatches drives the managed entry whose body probes hidden
+// parameter conversions: the manager supplies ("h0", 42), and the body's
+// in-range string, mismatched type and out-of-range probes must behave.
+func TestHiddenMismatches(t *testing.T) {
+	obj := newTypedFixture(t)
+	s, flagged, err := alps.Call2[string, bool](obj, "Hid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "h0" {
+		t.Errorf("hidden[0] = %q, want h0", s)
+	}
+	if !flagged {
+		t.Error("hidden type/range mismatches were not reported as ErrBadArity")
+	}
+}
+
+func TestAsTable(t *testing.T) {
+	t.Run("interface target always converts", func(t *testing.T) {
+		v, err := alps.As[any](42)
+		if err != nil || v != 42 {
+			t.Fatalf("As[any] = %v, %v", v, err)
+		}
+	})
+	t.Run("nil value mismatches concrete target", func(t *testing.T) {
+		if _, err := alps.As[int](nil); !errors.Is(err, alps.ErrBadArity) {
+			t.Fatalf("As[int](nil) = %v, want ErrBadArity", err)
+		}
+	})
+	t.Run("zero value on mismatch", func(t *testing.T) {
+		v, err := alps.As[int]("x")
+		if err == nil || v != 0 {
+			t.Fatalf("As[int](string) = %d, %v", v, err)
+		}
+	})
+}
+
+// TestCallAfterClose: every wrapper must pass ErrClosed through unchanged.
+func TestTypedCallAfterClose(t *testing.T) {
+	obj := newTypedFixture(t)
+	if err := obj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alps.Call1[string](obj, "Str"); !errors.Is(err, alps.ErrClosed) {
+		t.Errorf("Call1 after close = %v, want ErrClosed", err)
+	}
+	if err := alps.Call0(obj, "None"); !errors.Is(err, alps.ErrClosed) {
+		t.Errorf("Call0 after close = %v, want ErrClosed", err)
+	}
+	if _, _, err := alps.Call2[int, string](obj, "Two"); !errors.Is(err, alps.ErrClosed) {
+		t.Errorf("Call2 after close = %v, want ErrClosed", err)
+	}
+}
