@@ -46,6 +46,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Core object model types, re-exported.
@@ -120,6 +121,44 @@ const (
 	// ShedRejectOldest fails the oldest pending call and admits the new one.
 	ShedRejectOldest = core.ShedRejectOldest
 )
+
+// Durability types (docs/DURABILITY.md), re-exported. A DurableStore is a
+// write-ahead call ledger plus snapshots; per-object journals plug into
+// ObjectOptions.Journal so acknowledged state transitions survive process
+// death and are replayed through the object's own call surface on restart.
+type (
+	// Journal is the hook an object delivers call outcomes to
+	// (ObjectOptions.Journal). Nil — the default — keeps the delivery path
+	// free of durability work.
+	Journal = core.Journal
+	// DurableStore is one directory of write-ahead log segments and
+	// snapshots shared by the objects of a process.
+	DurableStore = wal.Store
+	// DurabilityOptions configures OpenStore.
+	DurabilityOptions = wal.StoreOptions
+	// JournalOptions configures one object's journal (entry skip-list,
+	// local durability waits).
+	JournalOptions = wal.JournalOptions
+	// ObjectJournal is one object's handle on the store; it satisfies
+	// Journal.
+	ObjectJournal = wal.ObjectJournal
+	// RecoverHooks are the object-side callbacks for crash recovery and
+	// snapshots.
+	RecoverHooks = wal.RecoverHooks
+	// RecoveryStats summarizes what OpenStore recovered from disk.
+	RecoveryStats = wal.RecoveryStats
+	// DurabilityMetrics counts fsyncs, journaled bytes/records and
+	// snapshots.
+	DurabilityMetrics = wal.Metrics
+)
+
+// OpenStore opens (or creates) the durability store rooted at dir and
+// recovers its ledger: the newest readable snapshot is loaded, the log's
+// torn tail is truncated, and journaled outcomes above the snapshot floor
+// are staged for per-object Recover (docs/DURABILITY.md).
+func OpenStore(dir string, opts DurabilityOptions) (*DurableStore, error) {
+	return wal.OpenStore(dir, opts)
+}
 
 // Channel types, re-exported.
 type (

@@ -698,3 +698,85 @@ func BenchmarkSimnetLink(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDurability measures what the write-ahead call ledger costs a
+// managed write (docs/DURABILITY.md): nothing when disabled (one nil
+// check), an in-memory append when journaled without waiting (the
+// rpc-hosted mode, where the ack sync pays the fsync), a full fsync per
+// call when embedded locally with Wait:true, and — the point of group
+// commit — a fraction of an fsync per call once concurrent writers share
+// flushes.
+func BenchmarkDurability(b *testing.B) {
+	newDurableDB := func(b *testing.B, wait bool) *rwdb.DB {
+		b.Helper()
+		store, err := alps.OpenStore(b.TempDir(), alps.DurabilityOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = store.Close() })
+		j := store.Journal("Database", alps.JournalOptions{Skip: rwdb.JournalSkip, Wait: wait})
+		db, err := rwdb.New(rwdb.Config{ReadMax: 4, ObjOpts: []alps.Option{
+			alps.WithObjectOptions(alps.ObjectOptions{Journal: j}),
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.Recover(db.Hooks()); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = db.Close() })
+		return db
+	}
+
+	b.Run("write-no-journal", func(b *testing.B) {
+		b.ReportAllocs()
+		db, err := rwdb.New(rwdb.Config{ReadMax: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Write(i&31, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write-journal-buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		db := newDurableDB(b, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Write(i&31, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write-journal-fsync", func(b *testing.B) {
+		b.ReportAllocs()
+		db := newDurableDB(b, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Write(i&31, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, writers := range []int{8, 64} {
+		b.Run(fmt.Sprintf("write-journal-fsync/writers=%d", writers), func(b *testing.B) {
+			b.ReportAllocs()
+			db := newDurableDB(b, true)
+			b.SetParallelism(writers)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					if err := db.Write(i&31, i); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/conformance"
+	"repro/internal/rpc"
+)
+
+// buildAlpsd compiles the daemon once per test binary into a temp dir.
+func buildAlpsd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "alpsd")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/alpsd")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build alpsd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// daemon is one live alpsd child process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startDaemon launches the binary with a durable data dir and scans its
+// stdout for the bound address (and the recovery line, which it logs).
+func startDaemon(t *testing.T, bin, dataDir string) *daemon {
+	t.Helper()
+	// -snapshot-every is small so later cycles recover from a snapshot plus
+	// a short replay suffix, not a pure log replay.
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir,
+		"-search-cost", "0s", "-snapshot-every", "64")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "alpsd: recovered ledger:") {
+			t.Log(line)
+		}
+		if rest, ok := strings.CutPrefix(line, "alpsd listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		t.Fatalf("daemon never reported its address (scan err: %v)", sc.Err())
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() { _, _ = io.Copy(io.Discard, out) }()
+	return &daemon{cmd: cmd, addr: addr}
+}
+
+// TestCrashRecoverySoak is the end-to-end durability acceptance test: a
+// real alpsd child is kill -9'd in the middle of write traffic, restarted
+// on the same data dir, and the recovered database must satisfy the
+// CheckCrashRecovery invariants — zero lost acknowledged writes, no
+// phantom values — across several kill cycles.
+func TestCrashRecoverySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash soak spawns real processes")
+	}
+	bin := buildAlpsd(t)
+	dataDir := t.TempDir()
+
+	d := startDaemon(t, bin, dataDir)
+	var curAddr atomic.Value
+	curAddr.Store(d.addr)
+	t.Cleanup(func() {
+		_ = d.cmd.Process.Kill()
+		_, _ = d.cmd.Process.Wait()
+	})
+
+	const keys = 4
+	const cycles = 3
+	var ledger []conformance.DurOp
+	val := 0
+
+	readBack := func(rem *rpc.Remote) {
+		t.Helper()
+		for k := 0; k < keys; k++ {
+			res, err := rem.Call("Database", "Read", k)
+			if err != nil {
+				t.Fatalf("read key %d: %v", k, err)
+			}
+			v := 0
+			if res[1].(bool) {
+				v = res[0].(int)
+			}
+			ledger = append(ledger, conformance.DurOp{Kind: "read", Key: k, Value: v})
+		}
+	}
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		// A fresh Remote per incarnation: each gets a distinct ClientID so
+		// its sequence numbers can't collide with a previous incarnation's
+		// recovered at-most-once table.
+		rem, err := rpc.DialWith(d.addr, rpc.DialOptions{
+			ClientID: fmt.Sprintf("soak-%d", cycle),
+			Retry:    rpc.RetryPolicy{Max: 2, Backoff: 2 * time.Millisecond, AttemptTimeout: 5 * time.Second},
+		})
+		if err != nil {
+			t.Fatalf("cycle %d: dial: %v", cycle, err)
+		}
+		readBack(rem)
+
+		// Traffic, with the kill landing mid-write: a single synchronous
+		// writer round-robins monotone values over the keys while a second
+		// goroutine SIGKILLs the daemon.
+		dead := make(chan struct{})
+		go func(cmd *exec.Cmd) {
+			time.Sleep(time.Duration(60+30*cycle) * time.Millisecond)
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+			close(dead)
+		}(d.cmd)
+
+		failed := 0
+		for failed < 2 {
+			val++
+			k := val % keys
+			ledger = append(ledger, conformance.DurOp{Kind: "sent", Key: k, Value: val})
+			if _, err := rem.Call("Database", "Write", k, val); err == nil {
+				ledger = append(ledger, conformance.DurOp{Kind: "ack", Key: k, Value: val})
+			} else {
+				failed++
+			}
+		}
+		<-dead
+		rem.Close()
+		ledger = append(ledger, conformance.DurOp{Kind: "crash"})
+
+		d = startDaemon(t, bin, dataDir)
+		curAddr.Store(d.addr)
+	}
+
+	// Final incarnation: the recovered state must reflect every write the
+	// dead processes acknowledged.
+	rem, err := rpc.DialWith(d.addr, rpc.DialOptions{ClientID: "soak-final"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+	readBack(rem)
+
+	acked := 0
+	for _, op := range ledger {
+		if op.Kind == "ack" {
+			acked++
+		}
+	}
+	if acked == 0 {
+		t.Fatal("soak acknowledged no writes — the kill landed too early to test anything")
+	}
+	t.Logf("soak: %d writes sent, %d acknowledged, %d crashes", val, acked, cycles)
+	for _, div := range conformance.CheckCrashRecovery(ledger) {
+		t.Errorf("%s: %s", div.Rule, div.Detail)
+	}
+}

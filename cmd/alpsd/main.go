@@ -9,6 +9,9 @@
 //	alpsd -addr 127.0.0.1:7100
 //	alpsd -addr 127.0.0.1:7100 -defs coord.defs   # also host declarative
 //	                                              # coordination objects
+//	alpsd -addr 127.0.0.1:7100 -data-dir /var/lib/alpsd
+//	                                              # durable database: acknowledged
+//	                                              # writes survive kill -9
 package main
 
 import (
@@ -55,12 +58,13 @@ func run(args []string) error {
 // server bundles the node and its hosted objects so tests can start and
 // stop a daemon in-process.
 type server struct {
-	node *rpc.Node
-	d    *dict.Dict   // single dictionary (-shards 1)
-	dg   *shard.Group // sharded dictionary (-shards > 1)
-	b    *buffer.Buffer
-	db   *rwdb.DB
-	sp   *spooler.Spooler
+	node  *rpc.Node
+	d     *dict.Dict   // single dictionary (-shards 1)
+	dg    *shard.Group // sharded dictionary (-shards > 1)
+	b     *buffer.Buffer
+	db    *rwdb.DB
+	sp    *spooler.Spooler
+	store *alps.DurableStore // nil unless -data-dir is set
 
 	defObjs []*alps.Object
 }
@@ -79,6 +83,11 @@ func newServer(args []string) (*server, string, error) {
 		printers   = fs.Int("printers", 2, "spooler printer pool size")
 		pageCost   = fs.Duration("page-cost", time.Millisecond, "simulated print time per page")
 		defsPath   = fs.String("defs", "", "definition file of additional coordination objects")
+
+		// Durability (docs/DURABILITY.md).
+		dataDir   = fs.String("data-dir", "", "durability directory for the database's write-ahead ledger; empty = durability off")
+		syncIv    = fs.Duration("sync", 0, "background fsync interval for journaled outcomes; 0 = sync only on demand (each acknowledged call group-commits)")
+		snapEvery = fs.Int("snapshot-every", 4096, "journaled records between durability snapshots")
 
 		// Supervision & admission control (docs/SUPERVISION.md).
 		mgrPolicy   = fs.String("manager-policy", "failfast", "manager panic policy: failfast (poison) or restart")
@@ -166,9 +175,37 @@ func newServer(args []string) (*server, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	srv.db, err = rwdb.New(rwdb.Config{ReadMax: *readMax, ObjOpts: []alps.Option{supOpt}})
+	// Durability: open the ledger before the database object exists, create
+	// the object with its journal attached, then recover — restore the
+	// newest snapshot and replay journaled writes through the object's own
+	// call surface — before the listener opens.
+	var journal *alps.ObjectJournal
+	dbOpt := supOpt
+	if *dataDir != "" {
+		srv.store, err = alps.OpenStore(*dataDir, alps.DurabilityOptions{
+			SyncInterval:  *syncIv,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		journal = srv.store.Journal("Database", alps.JournalOptions{Skip: rwdb.JournalSkip})
+		doo := oo
+		doo.Journal = journal
+		dbOpt = alps.WithObjectOptions(doo)
+	}
+	srv.db, err = rwdb.New(rwdb.Config{ReadMax: *readMax, ObjOpts: []alps.Option{dbOpt}})
 	if err != nil {
 		return nil, "", err
+	}
+	if journal != nil {
+		replayed, rerr := journal.Recover(srv.db.Hooks())
+		if rerr != nil {
+			return nil, "", rerr
+		}
+		st := srv.store.Stats()
+		fmt.Printf("alpsd: recovered ledger: %d outcomes (%d replayed), %d acks, snapshot@%d, %d torn bytes truncated, %d segments, %s\n",
+			st.Outcomes, replayed, st.Acks, st.SnapshotAt, st.TornBytes, st.Segments, st.Duration)
 	}
 	srv.sp, err = spooler.New(spooler.Config{Printers: *printers, PageCost: *pageCost, ObjOpts: []alps.Option{supOpt}})
 	if err != nil {
@@ -177,6 +214,7 @@ func newServer(args []string) (*server, string, error) {
 
 	srv.node = rpc.NewNodeWith(*name, rpc.NodeOptions{
 		Metrics: &rpc.Metrics{Supervision: sup},
+		Durable: srv.store,
 	})
 	if srv.dg != nil {
 		if err := srv.node.PublishCallable(srv.dg.Name(), srv.dg); err != nil {
@@ -239,5 +277,11 @@ func (s *server) Close() {
 	}
 	for _, obj := range s.defObjs {
 		_ = obj.Close()
+	}
+	// Last, after the node drained and the objects stopped delivering calls:
+	// flush and close the ledger so every acknowledged outcome is on disk
+	// before the process exits.
+	if s.store != nil {
+		_ = s.store.Close()
 	}
 }

@@ -1,0 +1,79 @@
+package conformance
+
+import "testing"
+
+func TestCheckCrashRecovery(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []DurOp
+		want []string // divergence rules, in order
+	}{
+		{
+			name: "clean soak",
+			ops: []DurOp{
+				{Kind: "sent", Key: 1, Value: 1}, {Kind: "ack", Key: 1, Value: 1},
+				{Kind: "sent", Key: 1, Value: 2}, // in flight at the crash
+				{Kind: "crash"},
+				{Kind: "read", Key: 1, Value: 1},
+			},
+		},
+		{
+			name: "unacked write surviving the crash is legal",
+			ops: []DurOp{
+				{Kind: "sent", Key: 1, Value: 1}, {Kind: "ack", Key: 1, Value: 1},
+				{Kind: "sent", Key: 1, Value: 2},
+				{Kind: "crash"},
+				{Kind: "read", Key: 1, Value: 2},
+			},
+		},
+		{
+			name: "unwritten key reads zero",
+			ops:  []DurOp{{Kind: "crash"}, {Kind: "read", Key: 7, Value: 0}},
+		},
+		{
+			name: "lost acknowledged write",
+			ops: []DurOp{
+				{Kind: "sent", Key: 1, Value: 1}, {Kind: "ack", Key: 1, Value: 1},
+				{Kind: "sent", Key: 1, Value: 2}, {Kind: "ack", Key: 1, Value: 2},
+				{Kind: "crash"},
+				{Kind: "read", Key: 1, Value: 1},
+			},
+			want: []string{"lost-ack"},
+		},
+		{
+			name: "phantom value",
+			ops: []DurOp{
+				{Kind: "sent", Key: 1, Value: 1}, {Kind: "ack", Key: 1, Value: 1},
+				{Kind: "crash"},
+				{Kind: "read", Key: 1, Value: 9},
+			},
+			want: []string{"phantom"},
+		},
+		{
+			name: "non-monotone writer is a harness bug",
+			ops: []DurOp{
+				{Kind: "sent", Key: 1, Value: 5},
+				{Kind: "sent", Key: 1, Value: 3},
+			},
+			want: []string{"discipline"},
+		},
+		{
+			name: "ack of a value never sent",
+			ops:  []DurOp{{Kind: "ack", Key: 1, Value: 4}},
+			want: []string{"discipline"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			divs := CheckCrashRecovery(tc.ops)
+			if len(divs) != len(tc.want) {
+				t.Fatalf("divergences = %v, want rules %v", divs, tc.want)
+			}
+			for i, d := range divs {
+				if d.Rule != tc.want[i] {
+					t.Errorf("divergence %d rule = %q, want %q (%s)", i, d.Rule, tc.want[i], d.Detail)
+				}
+			}
+		})
+	}
+}

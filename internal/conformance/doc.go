@@ -26,7 +26,9 @@
 //     shrunk to a minimal reproducer (Shrink, Reproducer).
 //  4. Checker invariants reusable outside this package: CheckKeyOrder
 //     verifies per-key FIFO execution and at-most-once delivery for the
-//     sharding and RPC layers under simulated network chaos.
+//     sharding and RPC layers under simulated network chaos, and
+//     CheckCrashRecovery verifies zero lost acknowledged writes for the
+//     durability layer's kill -9 soak (docs/DURABILITY.md).
 //
 // cmd/alpsconform wraps Explore as a CLI for CI and overnight soaking.
 package conformance

@@ -264,6 +264,12 @@ type callRecord struct {
 	inv   Invocation // body-side view, embedded to avoid a per-start allocation
 	runFn func()     // pre-bound o.runBody(cr) thunk, created once per record
 
+	// lsn is the journal position of this call's outcome record (0 when
+	// the object has no journal, the outcome was not journaled, or the
+	// journal defers the sync to the rpc acknowledgement). Written in
+	// deliverLocked, read by the awaiter after the resultCh receive.
+	lsn uint64
+
 	// arrived is the submission timestamp, stamped only when the stall
 	// watchdog is enabled (a time.Now() per call is measurable on the hot
 	// path and useless otherwise).

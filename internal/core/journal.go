@@ -1,0 +1,20 @@
+package core
+
+// Journal is the durability hook: when an object carries one
+// (ObjectOptions.Journal), every delivered call outcome is offered to it
+// from inside the delivery path, under o.mu — which makes journal order
+// identical to delivery order, the order a replay must re-execute
+// mutations in. internal/wal provides the implementation; core only knows
+// the interface, exactly as with Sequencer, so the disabled path stays a
+// nil field check.
+//
+// RecordOutcome returns the log position local awaiters must wait on
+// before treating the call as done, or 0 when there is nothing to wait
+// for (failed calls, filtered entries, replay, or a journal configured to
+// let a later acknowledgement record carry the sync — see
+// wal.JournalOptions.Wait). WaitDurable blocks until that position is on
+// stable storage.
+type Journal interface {
+	RecordOutcome(entry string, callID uint64, params, results []Value, callErr error) uint64
+	WaitDurable(lsn uint64) error
+}

@@ -84,6 +84,10 @@ type Object struct {
 	// Sequencer). Immutable after New.
 	seq Sequencer
 
+	// journal is the durability hook (nil in production unless the object
+	// is journaled; see Journal). Immutable after New.
+	journal Journal
+
 	poolMode    sched.Mode
 	poolWorkers int
 }
@@ -177,6 +181,7 @@ func New(name string, opts ...Option) (*Object, error) {
 		poolMode: cfg.poolMode,
 		sup:      cfg.sup,
 		seq:      cfg.sup.Sequencer,
+		journal:  cfg.sup.Journal,
 	}
 	o.wdEnabled = cfg.sup.Watchdog.Threshold > 0
 	o.lifeCtx, o.lifeCancel = context.WithCancel(context.Background())
@@ -347,13 +352,11 @@ func (o *Object) awaitResult(ctx context.Context, cr *callRecord) ([]Value, erro
 	o.seqPoint(SeqAwaitResult, cr.entry.spec.Name, cr.id)
 	if ctx.Done() == nil {
 		res := <-cr.resultCh
-		cr.release(o)
-		return res.results, res.err
+		return o.settle(cr, res)
 	}
 	select {
 	case res := <-cr.resultCh:
-		cr.release(o)
-		return res.results, res.err
+		return o.settle(cr, res)
 	case <-ctx.Done():
 	}
 	// Try to withdraw the call; if it is already accepted we must wait.
@@ -362,7 +365,27 @@ func (o *Object) awaitResult(ctx context.Context, cr *callRecord) ([]Value, erro
 		return nil, ctx.Err()
 	}
 	res := <-cr.resultCh
+	return o.settle(cr, res)
+}
+
+// settle hands a delivered result to the caller, first holding it until
+// the outcome is durable when the object's journal asked for that (the
+// record's lsn must be read before release returns the record to the
+// pool). With no journal this is the release the fast path always did.
+func (o *Object) settle(cr *callRecord, res callResult) ([]Value, error) {
+	if o.journal == nil {
+		cr.release(o)
+		return res.results, res.err
+	}
+	lsn := cr.lsn
 	cr.release(o)
+	if lsn != 0 {
+		if err := o.journal.WaitDurable(lsn); err != nil {
+			// The transition happened in memory but is not on disk; the
+			// caller must not treat it as done.
+			return nil, err
+		}
+	}
 	return res.results, res.err
 }
 
@@ -494,6 +517,7 @@ func (o *Object) acquireCall(e *entry, params []Value) *callRecord {
 	cr.bodyResults = nil
 	cr.hiddenResults = nil
 	cr.bodyErr = nil
+	cr.lsn = 0
 	cr.inv = Invocation{}
 	if o.wdEnabled {
 		cr.arrived = time.Now()
@@ -691,6 +715,12 @@ func (o *Object) deliverLocked(cr *callRecord, results []Value, err error) {
 		cr.entry.failed++
 	} else {
 		cr.entry.completed++
+	}
+	if o.journal != nil {
+		// Under o.mu: the journal sees outcomes in delivery order, which
+		// for manager-exclusive mutations is execution order — the order a
+		// crash-recovery replay must reapply them in (docs/DURABILITY.md).
+		cr.lsn = o.journal.RecordOutcome(cr.entry.spec.Name, cr.id, cr.params, results, err)
 	}
 	cr.resultCh <- callResult{results: results, err: err}
 }

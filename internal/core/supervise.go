@@ -163,6 +163,11 @@ type ObjectOptions struct {
 	// deterministic-schedule hook used by the conformance harness; leave it
 	// nil in production (the default costs one branch per point).
 	Sequencer Sequencer
+	// Journal, when non-nil, receives every delivered call outcome for
+	// write-ahead logging (see Journal and internal/wal). Nil — the
+	// default — keeps the delivery path free of durability work beyond one
+	// nil check.
+	Journal Journal
 }
 
 // WithObjectOptions attaches supervision and admission-control

@@ -8,6 +8,8 @@
 package rwdb
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -79,6 +81,18 @@ func New(cfg Config) (*DB, error) {
 		return nil
 	}
 
+	// snapshot serializes the data part for a durability checkpoint. It runs
+	// via m.Execute, so no writer can be mid-update while it encodes; active
+	// readers are harmless (the map is only read on both sides).
+	snapshot := func(inv *alps.Invocation) error {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(db.data); err != nil {
+			return err
+		}
+		inv.Return(buf.Bytes())
+		return nil
+	}
+
 	manager := func(m *alps.Mgr) {
 		readCount := 0      // active readers
 		writerLast := false // the last completed user was a writer
@@ -105,13 +119,22 @@ func New(cfg Config) (*DB, error) {
 			}).When(func(*alps.Accepted) bool {
 				return readCount == 0 && (m.Pending("Read") == 0 || !writerLast)
 			}),
+			// Snapshot is accepted unconditionally: Execute keeps it exclusive
+			// with writers (the only mutators), and making it wait on the
+			// read/write alternation would let a hot workload starve
+			// checkpoints. It does not perturb writerLast — a checkpoint is
+			// not a database user under the paper's fairness rule.
+			alps.OnAccept("Snapshot", func(a *alps.Accepted) {
+				_, _ = m.Execute(a)
+			}),
 		)
 	}
 
 	obj, err := alps.New("Database", append(cfg.ObjOpts,
 		alps.WithEntry(alps.EntrySpec{Name: "Read", Params: 1, Results: 2, Array: cfg.ReadMax, Body: read}),
 		alps.WithEntry(alps.EntrySpec{Name: "Write", Params: 2, Body: write}),
-		alps.WithManager(manager, alps.Intercept("Read"), alps.Intercept("Write")),
+		alps.WithEntry(alps.EntrySpec{Name: "Snapshot", Results: 1, Body: snapshot}),
+		alps.WithManager(manager, alps.Intercept("Read"), alps.Intercept("Write"), alps.Intercept("Snapshot")),
 	)...)
 	if err != nil {
 		return nil, err
@@ -141,6 +164,50 @@ func (db *DB) Write(key, value int) error {
 func (db *DB) Stats() (peakReaders int, violations int) {
 	return int(db.peakReaders.Load()), int(db.violations.Load())
 }
+
+// SnapshotState captures the database contents for a durability
+// checkpoint. It goes through the object's own call surface (the Snapshot
+// entry), so the manager's exclusion — not a lock — guarantees the blob is
+// consistent with every acknowledged write.
+func (db *DB) SnapshotState() ([]byte, error) {
+	res, err := db.obj.Call("Snapshot")
+	if err != nil {
+		return nil, err
+	}
+	return res[0].([]byte), nil
+}
+
+// RestoreState replaces the database contents with a blob produced by
+// SnapshotState. Recovery-only: it writes the data part directly and must
+// run before the object serves traffic.
+func (db *DB) RestoreState(blob []byte) error {
+	m := make(map[int]int)
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&m); err != nil {
+		return fmt.Errorf("rwdb: restore: %w", err)
+	}
+	db.data = m
+	return nil
+}
+
+// Hooks wires the database to a durability journal: restore loads a
+// checkpoint blob, replay re-executes journaled writes through the call
+// surface (last-write-wins makes at-least-once replay idempotent), and
+// snapshot captures state for future checkpoints (docs/DURABILITY.md).
+func (db *DB) Hooks() alps.RecoverHooks {
+	return alps.RecoverHooks{
+		Restore: db.RestoreState,
+		Replay: func(entry string, params []any) error {
+			_, err := db.obj.Call(entry, params...)
+			return err
+		},
+		Snapshot: db.SnapshotState,
+	}
+}
+
+// JournalSkip reports which entries stay out of the durable ledger: reads
+// make no state transition, and the Snapshot entry is the checkpoint
+// mechanism itself.
+func JournalSkip(entry string) bool { return entry != "Write" }
 
 // ReadMax reports the configured reader bound.
 func (db *DB) ReadMax() int { return db.readMax }

@@ -163,7 +163,11 @@ func retryableErr(err error) bool {
 	return errors.Is(err, ErrLinkClosed) ||
 		errors.Is(err, net.ErrClosed) ||
 		errors.Is(err, context.DeadlineExceeded) ||
-		errors.Is(err, core.ErrOverload)
+		errors.Is(err, core.ErrOverload) ||
+		// A replay-wait timeout means the original execution is still in
+		// flight; retrying with the SAME sequence number (unlike overload)
+		// re-enters the wait and eventually replays its result.
+		errors.Is(err, ErrReplayTimeout)
 }
 
 // healthyLink returns the live link, redialling if the current one died.

@@ -15,6 +15,11 @@ type dedupEntry struct {
 	results []any
 	errMsg  string
 	errKind errKind
+	// lsn is the durable ack record's log position (0 when the node has no
+	// durability layer, the entry is not journaled, or the response was
+	// preloaded from disk and is already durable). Written by the primary
+	// before done closes; every responder syncs through it before sending.
+	lsn uint64
 }
 
 // dedupCache is a node's bounded at-most-once table. The first request
@@ -64,6 +69,29 @@ func (d *dedupCache) complete(key dedupKey, e *dedupEntry, results []any, errMsg
 		d.order = d.order[1:]
 	}
 	d.mu.Unlock()
+}
+
+// preload seeds a completed entry recovered from the durability layer, so
+// a (client, seq) retried across a node restart replays its on-disk
+// response instead of re-executing. Recovered entries arrive snapshot
+// table first, then log acks in LSN order; a later entry for the same key
+// supersedes the earlier response. Capacity eviction applies as usual.
+func (d *dedupCache) preload(client string, seq uint64, results []any, errMsg string, kind errKind) {
+	key := dedupKey{client, seq}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[key]; ok {
+		e.results, e.errMsg, e.errKind = results, errMsg, kind
+		return
+	}
+	e := &dedupEntry{done: make(chan struct{}), results: results, errMsg: errMsg, errKind: kind}
+	close(e.done)
+	d.entries[key] = e
+	d.order = append(d.order, key)
+	for len(d.order) > d.cap {
+		delete(d.entries, d.order[0])
+		d.order = d.order[1:]
+	}
 }
 
 // len reports how many entries (in-flight + completed) are tracked.

@@ -8,10 +8,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // framePool recycles frame structs on both the encode and decode paths.
@@ -51,12 +53,14 @@ type callable interface {
 // client wires in its metrics and trace sinks. The zero value is valid
 // (no dedup, no drain gate, no observation).
 type linkHooks struct {
-	dedup    *dedupCache     // at-most-once table (nodes only)
-	serveCtx context.Context // execution ctx for dedup-tracked calls (node lifetime)
-	begin    func() bool     // drain gate; false rejects the request
-	end      func()          // paired with a successful begin
-	metrics  *Metrics        // nil-safe counters
-	rec      *trace.Recorder // nil-safe event sink
+	dedup      *dedupCache     // at-most-once table (nodes only)
+	serveCtx   context.Context // execution ctx for dedup-tracked calls (node lifetime)
+	begin      func() bool     // drain gate; false rejects the request
+	end        func()          // paired with a successful begin
+	metrics    *Metrics        // nil-safe counters
+	rec        *trace.Recorder // nil-safe event sink
+	durable    *wal.Store      // durability store (nodes with -data-dir only)
+	replayWait time.Duration   // duplicate wait bound; 0 = unbounded
 }
 
 // link is one end of a connection: it can issue requests, serve requests
@@ -390,7 +394,10 @@ func (l *link) serveRequest(f *frame) {
 	}
 
 	// At-most-once: the first arrival of a (client, seq) executes; a
-	// retry waits for that execution and replays its response.
+	// retry waits for that execution and replays its response. The wait is
+	// bounded by replayWait — the wire carries no per-call deadline, so
+	// without the bound a primary stuck in a guard that never fires would
+	// pin this goroutine forever (and, before the bound existed, did).
 	var entry *dedupEntry
 	if f.Client != "" && l.hooks.dedup != nil {
 		var primary bool
@@ -400,9 +407,33 @@ func (l *link) serveRequest(f *frame) {
 				m.DedupHits.Inc()
 			}
 			l.hooks.rec.Record(f.Object, f.Entry, -1, f.Seq, trace.Replayed)
+			var timeout <-chan time.Time
+			if l.hooks.replayWait > 0 {
+				t := time.NewTimer(l.hooks.replayWait)
+				defer t.Stop()
+				timeout = t.C
+			}
 			select {
 			case <-entry.done:
+				// The primary wrote entry.lsn before closing done; sync
+				// through it so a replayed acknowledgement is as durable as
+				// the original would have been.
+				if st := l.hooks.durable; st != nil && entry.lsn != 0 {
+					if err := st.WaitSynced(entry.lsn); err != nil {
+						resp.Err, resp.ErrKind = encodeErr(fmt.Errorf("rpc: replay %s.%s: durability: %w", f.Object, f.Entry, err))
+						_ = l.send(&resp)
+						return
+					}
+				}
 				resp.Results, resp.Err, resp.ErrKind = entry.results, entry.errMsg, entry.errKind
+				_ = l.send(&resp)
+			case <-timeout:
+				if m := l.hooks.metrics; m != nil {
+					m.ReplayTimeouts.Inc()
+				}
+				resp.Err, resp.ErrKind = encodeErr(fmt.Errorf(
+					"rpc: duplicate of %s.%s (client %s seq %d) still in flight after %v: %w",
+					f.Object, f.Entry, f.Client, f.Seq, l.hooks.replayWait, ErrReplayTimeout))
 				_ = l.send(&resp)
 			case <-l.done:
 			}
@@ -410,7 +441,7 @@ func (l *link) serveRequest(f *frame) {
 		}
 	}
 
-	id, entryName := f.ID, f.Entry
+	id, objName, entryName := f.ID, f.Object, f.Entry
 	client, seq := f.Client, f.Seq
 	params := l.resolveParams(f.Params)
 	ctx := l.ctx
@@ -439,10 +470,38 @@ func (l *link) serveRequest(f *frame) {
 				}
 			}
 		}
+		// Durable at-most-once: journal the acknowledgement and sync it
+		// before the response (or any replay of it) can leave the node.
+		// The ack is appended AFTER the call's outcome record in the same
+		// log, so this one group-committed sync also makes the state
+		// transition durable — zero lost acknowledged calls. Failed calls
+		// are not journaled: no transition happened, and re-executing them
+		// on retry after a crash is the desired behaviour.
+		var ackLSN uint64
+		if st := l.hooks.durable; st != nil && entry != nil && err == nil && st.DurableEntry(objName, entryName) {
+			lsn, aerr := st.AppendAck(objName, entryName, client, seq, r.Results, "", 0)
+			if aerr != nil {
+				r.Results = nil
+				r.Err, r.ErrKind = encodeErr(fmt.Errorf("rpc: %s.%s executed but journal append failed: %w", objName, entryName, aerr))
+			} else {
+				ackLSN = lsn
+				entry.lsn = lsn // published to duplicates by complete's close(done)
+			}
+		}
 		if entry != nil {
 			// Record the outcome even if the arrival link is already dead:
-			// the retry that replaces it replays from here.
+			// the retry that replaces it replays from here. Completing
+			// before the sync is safe — every responder (this goroutine
+			// and any duplicate) still waits on the ack LSN before
+			// sending, and the snapshot writer dumps the dedup table
+			// before collecting object state (docs/DURABILITY.md).
 			l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+		}
+		if ackLSN != 0 {
+			if aerr := l.hooks.durable.WaitSynced(ackLSN); aerr != nil {
+				r.Results = nil
+				r.Err, r.ErrKind = encodeErr(fmt.Errorf("rpc: %s.%s executed but not durable: %w", objName, entryName, aerr))
+			}
 		}
 		resCh <- r
 	}()

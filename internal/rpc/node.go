@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // Node hosts ALPS objects behind a listener, making their entry procedures
@@ -50,7 +51,7 @@ func NewNode(name string) *Node {
 func NewNodeWith(name string, opts NodeOptions) *Node {
 	registerDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Node{
+	n := &Node{
 		name:    name,
 		opts:    opts,
 		dedup:   newDedupCache(opts.DedupCap),
@@ -59,6 +60,42 @@ func NewNodeWith(name string, opts NodeOptions) *Node {
 		objects: make(map[string]callable),
 		links:   make(map[*link]struct{}),
 	}
+	if st := opts.Durable; st != nil {
+		// At-most-once across process death: the ledger the previous
+		// incarnation synced before acknowledging becomes this cache's
+		// starting contents, so a retried (client, seq) is answered from
+		// disk instead of re-executing.
+		for _, a := range st.RecoveredAcks() {
+			n.dedup.preload(a.Client, a.Seq, a.Results, a.ErrMsg, errKind(a.ErrKind))
+		}
+		st.SetDedupDump(n.dedupDump)
+	}
+	return n
+}
+
+// dedupDump snapshots the cache's completed entries for inclusion in a
+// durability checkpoint, in completion order.
+func (n *Node) dedupDump() []wal.AckEntry {
+	d := n.dedup
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]wal.AckEntry, 0, len(d.order))
+	for _, key := range d.order {
+		e, ok := d.entries[key]
+		if !ok {
+			continue
+		}
+		select {
+		case <-e.done:
+		default:
+			continue // in-flight: its ack is not on disk yet either
+		}
+		out = append(out, wal.AckEntry{
+			Client: key.client, Seq: key.seq,
+			Results: e.results, ErrMsg: e.errMsg, ErrKind: int32(e.errKind),
+		})
+	}
+	return out
 }
 
 // Name reports the node's name.
@@ -112,13 +149,22 @@ func (n *Node) Objects() []string {
 // hooks builds the link callbacks wiring this node's dedup cache, drain
 // gate and observation sinks into each accepted connection.
 func (n *Node) hooks() linkHooks {
+	replayWait := n.opts.ReplayWait
+	switch {
+	case replayWait == 0:
+		replayWait = 30 * time.Second
+	case replayWait < 0:
+		replayWait = 0 // explicit "wait forever"
+	}
 	return linkHooks{
-		dedup:    n.dedup,
-		serveCtx: n.ctx,
-		begin:    n.beginServe,
-		end:      n.endServe,
-		metrics:  n.opts.Metrics,
-		rec:      n.opts.Trace,
+		dedup:      n.dedup,
+		serveCtx:   n.ctx,
+		begin:      n.beginServe,
+		end:        n.endServe,
+		metrics:    n.opts.Metrics,
+		rec:        n.opts.Trace,
+		durable:    n.opts.Durable,
+		replayWait: replayWait,
 	}
 }
 

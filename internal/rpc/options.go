@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // RetryPolicy governs how a Remote re-issues failed calls. Retries are
@@ -119,6 +120,9 @@ type Metrics struct {
 	// Poisons counts responses that failed with core.ErrObjectPoisoned
 	// (terminal; never retried).
 	Poisons metrics.Counter
+	// ReplayTimeouts counts duplicate requests that gave up waiting on an
+	// in-flight primary execution (ErrReplayTimeout responses).
+	ReplayTimeouts metrics.Counter
 
 	// Supervision, when non-nil, is the object-layer supervision counter
 	// set shared with the hosted objects (via core.ObjectOptions.Metrics),
@@ -141,6 +145,21 @@ type NodeOptions struct {
 	Metrics *Metrics
 	// Trace, when non-nil, records link lifecycle and replay events.
 	Trace *trace.Recorder
+	// Durable mounts a write-ahead durability store on the node. Acks for
+	// journaled entries are synced to it before their responses leave, the
+	// at-most-once table recovered from it seeds the dedup cache, and
+	// snapshots include the cache's completed entries. The node does not
+	// own the store: open it (and recover the objects) before creating the
+	// node, close it after Node.Close. Nil — the default — keeps the serve
+	// path free of durability work.
+	Durable *wal.Store
+	// ReplayWait bounds how long a duplicate request waits for the
+	// in-flight primary execution of its (client, seq) before answering
+	// ErrReplayTimeout (the wire carries no per-call deadline, so the node
+	// must bound this wait itself or a stalled primary pins the duplicate's
+	// serve goroutine forever). 0 selects the 30s default; negative
+	// disables the bound.
+	ReplayWait time.Duration
 }
 
 func randomClientID() string {

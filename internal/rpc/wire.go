@@ -41,8 +41,9 @@ const (
 	errUnknownEntry
 	errUnknownObject
 	errBadArity
-	errOverload // core.ErrOverload: admission control shed the call; retryable
-	errPoisoned // core.ErrObjectPoisoned: object's manager died; terminal
+	errOverload      // core.ErrOverload: admission control shed the call; retryable
+	errPoisoned      // core.ErrObjectPoisoned: object's manager died; terminal
+	errReplayTimeout // ErrReplayTimeout: duplicate gave up waiting on the primary; retryable
 )
 
 // frame is the single wire message type.
@@ -87,7 +88,7 @@ var ErrBadFrame = errors.New("rpc: malformed frame")
 
 func (k frameKind) valid() bool { return k >= frameRequest && k <= frameListResp }
 
-func (k errKind) valid() bool { return k >= errNone && k <= errPoisoned }
+func (k errKind) valid() bool { return k >= errNone && k <= errReplayTimeout }
 
 // validate rejects frames whose discriminants fall outside the protocol.
 // It runs on every decoded frame before dispatch; gob guarantees the
@@ -104,6 +105,13 @@ func (f *frame) validate() error {
 
 // ErrLinkClosed is returned for calls over a closed or failed connection.
 var ErrLinkClosed = errors.New("rpc: connection closed")
+
+// ErrReplayTimeout is returned to a duplicate request that waited
+// NodeOptions.ReplayWait for the primary execution of its (client, seq)
+// without seeing it complete. The original execution continues; its result
+// stays in the dedup cache, so a later retry of the same sequence number
+// replays it. Retryable with the SAME sequence number.
+var ErrReplayTimeout = errors.New("rpc: timed out waiting for in-flight duplicate")
 
 var registerOnce sync.Once
 
@@ -147,6 +155,8 @@ func encodeErr(err error) (string, errKind) {
 		kind = errUnknownObject
 	case errors.Is(err, core.ErrBadArity):
 		kind = errBadArity
+	case errors.Is(err, ErrReplayTimeout):
+		kind = errReplayTimeout
 	}
 	return err.Error(), kind
 }
@@ -170,6 +180,8 @@ func decodeErr(msg string, kind errKind) error {
 		return rewrap(msg, core.ErrOverload)
 	case errPoisoned:
 		return rewrap(msg, core.ErrObjectPoisoned)
+	case errReplayTimeout:
+		return rewrap(msg, ErrReplayTimeout)
 	default:
 		// frame.validate rejects out-of-range kinds before dispatch, so
 		// this is defense in depth for callers that skip validation.

@@ -1,0 +1,112 @@
+// Package wal is the pluggable durability layer for ALPS objects: an
+// append-only, CRC-checked, segmented write-ahead log of externally visible
+// call outcomes, periodic snapshots that bound replay time, and a recovery
+// path that rebuilds an object (and the node's at-most-once dedup ledger)
+// after process death. See docs/DURABILITY.md for the format, the
+// group-commit model and the crash matrix.
+//
+// The layer is event sourcing pointed at disk: internal/trace already emits
+// the accept/start/await/finish lifecycle stream the conformance model
+// replays; the WAL records the durable subset of it — the outcomes a caller
+// was (or is about to be) told about — so a restarted process can replay
+// them into a fresh object and answer retried calls from disk.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS abstracts the filesystem so crash tests can inject a power-loss
+// failpoint (see FailFS). OSFS is the production implementation.
+type FS interface {
+	// Create truncates or creates the named file for writing.
+	Create(name string) (File, error)
+	// Append opens the named file for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// List reports the file names (not paths) in dir, sorted. A missing
+	// directory is an empty listing, not an error.
+	List(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate shortens the named file to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+	// SyncDir makes directory-level operations (create, rename, remove)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is a writable log file: buffered writes become durable only after
+// Sync returns.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+	io.Closer
+}
+
+// OSFS is the production FS backed by the operating system.
+type OSFS struct{}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Append implements FS.
+func (OSFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// JournalOptions configures one object's journal.
+type JournalOptions struct {
+	// Skip excludes an entry from the durable ledger (read-only entries,
+	// the snapshot entry itself). Skipped entries cost nothing on the hot
+	// path and are re-executed, not replayed, if retried across a crash.
+	Skip func(entry string) bool
+	// Wait makes WaitDurable block local awaiters until the outcome record
+	// is synced. Leave false when the object is served over rpc: the ack
+	// record is appended after the outcome in the same log, so the rpc
+	// layer's single pre-response sync covers both and the extra wait here
+	// would just double the fsyncs.
+	Wait bool
+}
+
+// RecoverHooks are the object-side callbacks for crash recovery and
+// snapshots. All three operate on the object's public call surface; the
+// wal layer never sees object internals.
+type RecoverHooks struct {
+	// Restore loads a state blob captured by Snapshot, before replay.
+	Restore func(data []byte) error
+	// Replay re-executes one journaled successful outcome.
+	Replay func(entry string, params []any) error
+	// Snapshot captures the object's state for future checkpoints
+	// (typically by calling a manager-exclusive entry so the blob is
+	// consistent). Nil disables state snapshots for this object; its
+	// records are then never pruned and recovery is pure replay.
+	Snapshot func() ([]byte, error)
+}
+
+// ObjectJournal journals one object's call outcomes. It satisfies
+// core.Journal structurally; core never imports this package, mirroring
+// how core.Sequencer keeps the disabled path a nil field check.
+type ObjectJournal struct {
+	s    *Store
+	name string
+	opts JournalOptions
+
+	replaying atomic.Bool
+
+	mu   sync.Mutex
+	snap func() ([]byte, error)
+	// err is sticky: once an append fails the journal reports it from
+	// WaitDurable so no caller acknowledges a transition that never hit
+	// the log.
+	err error
+}
+
+// Journal creates (or returns) the journal for the named object. Create
+// the object with this journal in its ObjectOptions, then call Recover
+// before serving traffic.
+func (s *Store) Journal(name string, opts JournalOptions) *ObjectJournal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.journals[name]; ok {
+		return j
+	}
+	j := &ObjectJournal{s: s, name: name, opts: opts}
+	s.journals[name] = j
+	return j
+}
+
+func (j *ObjectJournal) skips(entry string) bool {
+	return j.opts.Skip != nil && j.opts.Skip(entry)
+}
+
+func (j *ObjectJournal) snapshotHook() func() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap
+}
+
+// Recover restores the object from the newest snapshot and replays every
+// journaled outcome above its floor, in LSN order. Outcomes recorded while
+// replaying are suppressed (the log already has them). It returns the
+// number of records replayed.
+func (j *ObjectJournal) Recover(h RecoverHooks) (int, error) {
+	j.s.mu.Lock()
+	blob, hasBlob := j.s.snapState[j.name]
+	pending := j.s.byObject[j.name]
+	delete(j.s.byObject, j.name)
+	j.s.mu.Unlock()
+
+	j.replaying.Store(true)
+	defer j.replaying.Store(false)
+
+	if hasBlob && h.Restore != nil {
+		if err := h.Restore(blob); err != nil {
+			return 0, fmt.Errorf("wal: restore %s: %w", j.name, err)
+		}
+	}
+	replayed := 0
+	if h.Replay != nil {
+		for _, r := range pending {
+			if err := h.Replay(r.Entry, r.Params); err != nil {
+				return replayed, fmt.Errorf("wal: replay %s.%s (lsn %d): %w", j.name, r.Entry, r.LSN, err)
+			}
+			replayed++
+		}
+	}
+
+	j.mu.Lock()
+	j.snap = h.Snapshot
+	j.mu.Unlock()
+	return replayed, nil
+}
+
+// RecordOutcome implements core.Journal: journal one delivered call
+// outcome and return the LSN local awaiters should wait on (0 = nothing to
+// wait for). Failed calls are not journaled — they made no state
+// transition to replay; their response, if any, travels in the rpc ack
+// record instead.
+func (j *ObjectJournal) RecordOutcome(entry string, callID uint64, params, results []any, callErr error) uint64 {
+	if callErr != nil || j.replaying.Load() || j.skips(entry) {
+		return 0
+	}
+	lsn, err := j.s.append(&Record{
+		Kind:    KindOutcome,
+		Object:  j.name,
+		Entry:   entry,
+		CallID:  callID,
+		Params:  params,
+		Results: results,
+	})
+	if err != nil {
+		j.mu.Lock()
+		j.err = err
+		j.mu.Unlock()
+		return 0
+	}
+	if !j.opts.Wait {
+		return 0
+	}
+	return lsn
+}
+
+// WaitDurable implements core.Journal: block until lsn is on stable
+// storage (or report the journal's sticky append error).
+func (j *ObjectJournal) WaitDurable(lsn uint64) error {
+	j.mu.Lock()
+	err := j.err
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if lsn == 0 {
+		return nil
+	}
+	return j.s.WaitSynced(lsn)
+}
+
+// Err reports the journal's sticky append error, if any (diagnostics).
+func (j *ObjectJournal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,399 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Metrics aggregates the durability counters. Share one instance across a
+// node's log to surface them through rpc.Metrics.
+type Metrics struct {
+	Fsyncs    metrics.Counter // fsync-class operations issued
+	Bytes     metrics.Counter // record bytes appended (framed)
+	Records   metrics.Counter // records appended
+	Snapshots metrics.Counter // snapshots written
+}
+
+// Options configures a Log. The zero value is usable: OS filesystem, 4 MiB
+// segments, no forced sync cadence (callers that need durability use
+// WaitSynced / Append with sync).
+type Options struct {
+	// FS is the filesystem; nil selects OSFS. Crash tests inject a FailFS.
+	FS FS
+	// SegmentBytes rotates the active segment beyond this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// SyncEvery forces a flush+fsync after every N appended records
+	// (0 = none). It bounds the volatile window for appenders that do not
+	// wait on durability themselves.
+	SyncEvery int
+	// SyncInterval starts a background flusher that syncs any unsynced
+	// suffix on this cadence (0 = none). Like SyncEvery it bounds the
+	// volatile window; acknowledged calls are still synced inline via
+	// WaitSynced before their response leaves.
+	SyncInterval time.Duration
+	// Metrics, when non-nil, accumulates fsync/byte/record counters.
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Log is an append-only segmented record log with group-commit durability.
+//
+// Concurrent appenders serialize on an internal mutex for the buffered
+// write; durability is paid separately and batched: WaitSynced(lsn) returns
+// once every record up to lsn is on stable storage, and at most one caller
+// at a time runs the flush+fsync while later callers wait for its result —
+// a burst of concurrent acknowledgements costs one fsync, the same
+// "last writer flushes" shape the rpc write path uses for its buffered
+// frames (docs/PERFORMANCE.md).
+type Log struct {
+	fs   FS
+	dir  string
+	opts Options
+
+	// mu guards the active segment: writer, byte counts, LSN assignment.
+	mu          sync.Mutex
+	f           File
+	bw          *bufio.Writer
+	scratch     bytes.Buffer
+	lsn         uint64 // last assigned LSN
+	segStart    uint64 // first LSN of the active segment
+	segBytes    int64
+	unsynced    int // records appended since the last sync
+	closed      bool
+	writeErr    error // sticky: a failed write poisons the log
+	segments    []segmentInfo
+	activeName  string
+	snapshotLSN uint64 // floor below which segments have been pruned
+
+	// smu guards the durability frontier and elects the single flusher.
+	smu      sync.Mutex
+	scond    *sync.Cond
+	synced   uint64
+	flushing bool
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+}
+
+type segmentInfo struct {
+	name  string
+	first uint64 // first LSN in the segment
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".db"
+	tmpSuffix  = ".tmp"
+)
+
+func segmentName(first uint64) string { return fmt.Sprintf("%s%016d%s", segPrefix, first, segSuffix) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// open prepares a Log for appending after recovery scanned the directory:
+// lastLSN is the highest LSN already on disk, segs the surviving segments
+// (sorted by first LSN), snapLSN the snapshot floor.
+func openLog(dir string, opts Options, lastLSN uint64, segs []segmentInfo, snapLSN uint64) (*Log, error) {
+	opts = opts.withDefaults()
+	l := &Log{
+		fs:          opts.FS,
+		dir:         dir,
+		opts:        opts,
+		lsn:         lastLSN,
+		synced:      lastLSN, // everything recovery saw is on disk
+		segments:    segs,
+		snapshotLSN: snapLSN,
+	}
+	l.scond = sync.NewCond(&l.smu)
+	if err := l.openSegmentLocked(lastLSN + 1); err != nil {
+		return nil, err
+	}
+	if opts.SyncInterval > 0 {
+		l.tickStop = make(chan struct{})
+		l.tickDone = make(chan struct{})
+		go l.runTicker(opts.SyncInterval)
+	}
+	return l, nil
+}
+
+// openSegmentLocked starts a fresh segment whose first record will carry
+// LSN first. Called with l.mu held (or before the log is shared).
+func (l *Log) openSegmentLocked(first uint64) error {
+	name := segmentName(first)
+	f, err := l.fs.Create(path.Join(l.dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 64<<10)
+	l.segStart = first
+	l.segBytes = 0
+	l.activeName = name
+	l.segments = append(l.segments, segmentInfo{name: name, first: first})
+	return nil
+}
+
+// Append encodes rec, assigns it the next LSN and writes it to the active
+// segment's buffer. The record is NOT durable until a sync covers its LSN:
+// callers that acknowledge externally must WaitSynced(lsn) first.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: append: log closed")
+	}
+	if l.writeErr != nil {
+		err := l.writeErr
+		l.mu.Unlock()
+		return 0, err
+	}
+	if l.segBytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.writeErr = err
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	l.scratch.Reset()
+	rec.LSN = l.lsn + 1
+	if err := appendRecord(&l.scratch, rec); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	if _, err := l.bw.Write(l.scratch.Bytes()); err != nil {
+		l.writeErr = fmt.Errorf("wal: write: %w", err)
+		err = l.writeErr
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.lsn++
+	lsn := l.lsn
+	n := int64(l.scratch.Len())
+	l.segBytes += n
+	l.unsynced++
+	forceSync := l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery
+	l.mu.Unlock()
+
+	if m := l.opts.Metrics; m != nil {
+		m.Records.Inc()
+		m.Bytes.Add(uint64(n))
+	}
+	if forceSync {
+		if err := l.WaitSynced(lsn); err != nil {
+			return lsn, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (flush + fsync, so only the final
+// segment can ever carry a torn tail) and starts the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.flushSyncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	return l.openSegmentLocked(l.lsn + 1)
+}
+
+// flushSyncLocked flushes the buffered writer and fsyncs the active file.
+func (l *Log) flushSyncLocked() error {
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.unsynced = 0
+	if m := l.opts.Metrics; m != nil {
+		m.Fsyncs.Inc()
+	}
+	return nil
+}
+
+// AppendedLSN reports the highest assigned LSN.
+func (l *Log) AppendedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// SyncedLSN reports the durability frontier.
+func (l *Log) SyncedLSN() uint64 {
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	return l.synced
+}
+
+// WaitSynced blocks until every record up to target is durable (group
+// commit: one concurrent caller flushes on behalf of the batch) and returns
+// the log's sticky write error, if any.
+func (l *Log) WaitSynced(target uint64) error {
+	l.smu.Lock()
+	for {
+		if l.synced >= target {
+			l.smu.Unlock()
+			return nil
+		}
+		l.mu.Lock()
+		if l.writeErr != nil {
+			err := l.writeErr
+			l.mu.Unlock()
+			l.smu.Unlock()
+			return err
+		}
+		l.mu.Unlock()
+		if !l.flushing {
+			l.flushing = true
+			l.smu.Unlock()
+
+			l.mu.Lock()
+			upTo := l.lsn
+			err := l.flushSyncLocked()
+			if err != nil {
+				l.writeErr = err
+			}
+			l.mu.Unlock()
+
+			l.smu.Lock()
+			l.flushing = false
+			if err == nil && upTo > l.synced {
+				l.synced = upTo
+			}
+			l.scond.Broadcast()
+			if err != nil {
+				l.smu.Unlock()
+				return err
+			}
+			continue
+		}
+		l.scond.Wait()
+	}
+}
+
+// Sync makes everything appended so far durable.
+func (l *Log) Sync() error { return l.WaitSynced(l.AppendedLSN()) }
+
+func (l *Log) runTicker(iv time.Duration) {
+	defer close(l.tickDone)
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.tickStop:
+			return
+		case <-t.C:
+		}
+		if l.AppendedLSN() > l.SyncedLSN() {
+			_ = l.Sync()
+		}
+	}
+}
+
+// Close syncs the tail and closes the active segment. Further appends fail.
+func (l *Log) Close() error {
+	if l.tickStop != nil {
+		close(l.tickStop)
+		<-l.tickDone
+		l.tickStop = nil
+	}
+	err := l.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	return err
+}
+
+// pruneTo removes snapshots and whole segments made redundant by a durable
+// snapshot at snapLSN: a segment is deletable when the next segment starts
+// at or below snapLSN+1 (every record in it is covered by the snapshot).
+func (l *Log) pruneTo(snapLSN uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if snapLSN > l.snapshotLSN {
+		l.snapshotLSN = snapLSN
+	}
+	kept := l.segments[:0]
+	removed := false
+	for i, seg := range l.segments {
+		covered := false
+		if i+1 < len(l.segments) && l.segments[i+1].first <= snapLSN+1 && seg.name != l.activeName {
+			covered = true
+		}
+		if covered {
+			if err := l.fs.Remove(path.Join(l.dir, seg.name)); err == nil {
+				removed = true
+				continue
+			}
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = append([]segmentInfo(nil), kept...)
+	if removed {
+		_ = l.fs.SyncDir(l.dir)
+	}
+}
+
+// listSorted returns dir's entries with the given prefix/suffix, sorted by
+// their embedded number.
+func listSorted(fs FS, dir, prefix, suffix string) ([]segmentInfo, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []segmentInfo
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, segmentInfo{name: name, first: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].first < out[j].first })
+	return out, nil
+}

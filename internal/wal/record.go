@@ -1,0 +1,136 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Kind discriminates log records.
+type Kind int
+
+const (
+	// KindOutcome is a call outcome journaled by the object runtime in
+	// delivery order: entry, parameters and results (or error). Replaying
+	// the successful outcomes against a fresh object rebuilds its state.
+	KindOutcome Kind = iota + 1
+	// KindAck is an acknowledgement record appended by the RPC layer just
+	// before a response leaves the node: the (client, seq) dedup identity
+	// and the response. Recovery folds these into the node's at-most-once
+	// cache so a retried call is answered from disk, never re-executed.
+	KindAck
+)
+
+func (k Kind) valid() bool { return k >= KindOutcome && k <= KindAck }
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOutcome:
+		return "outcome"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Record is one durable log entry. Params/Results values must be
+// gob-encodable (the same constraint the rpc wire imposes).
+type Record struct {
+	Kind   Kind
+	Object string
+	Entry  string
+	CallID uint64 // runtime call id (outcome records; diagnostic only)
+
+	// Dedup identity (ack records): the caller's stable client ID and its
+	// per-client sequence number.
+	Client string
+	Seq    uint64
+
+	Params  []any
+	Results []any
+	ErrMsg  string // non-empty for failed calls
+	ErrKind int32  // rpc sentinel classification, carried opaquely
+
+	// LSN is the record's log sequence number, assigned by Log.Append and
+	// restored by recovery. It is not part of the encoded payload.
+	LSN uint64
+}
+
+// ErrCorrupt reports a record that failed structural validation: a bad
+// CRC, an implausible length, or an undecodable payload. Recovery treats a
+// corrupt record at the tail of the final segment as a torn write (truncate
+// and continue) and anywhere else as data loss (fail).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// recHeaderLen is the frame prologue: uint32 payload length, uint32 CRC.
+const recHeaderLen = 8
+
+// maxRecordLen bounds a single record's payload; a length beyond it is
+// corruption, not a huge record (prevents a flipped length byte from
+// driving a multi-gigabyte allocation during recovery).
+const maxRecordLen = 64 << 20
+
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func init() {
+	// Values travel inside []any; register the composites the rpc layer
+	// also supports so parameters survive the gob round trip.
+	gob.Register([]any{})
+	gob.Register(map[string]any{})
+	gob.Register([]byte(nil))
+}
+
+// appendRecord encodes rec into a frame appended to buf:
+//
+//	uint32 length | uint32 crc32c(payload) | payload (gob)
+func appendRecord(buf *bytes.Buffer, rec *Record) error {
+	payload := encBufPool.Get().(*bytes.Buffer)
+	payload.Reset()
+	defer encBufPool.Put(payload)
+	if err := gob.NewEncoder(payload).Encode(rec); err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload.Bytes(), crcTable))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+	return nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// decodeRecord decodes one framed record from data, returning the record
+// and the bytes consumed. io.ErrUnexpectedEOF means the frame is cut short
+// (a torn tail); ErrCorrupt means the frame is structurally wrong.
+func decodeRecord(data []byte) (*Record, int, error) {
+	if len(data) < recHeaderLen {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n == 0 || n > maxRecordLen {
+		return nil, 0, fmt.Errorf("%w: implausible length %d", ErrCorrupt, n)
+	}
+	if len(data) < recHeaderLen+int(n) {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	payload := data[recHeaderLen : recHeaderLen+int(n)]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(data[4:8]); got != want {
+		return nil, 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	var rec Record
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return nil, 0, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if !rec.Kind.valid() {
+		return nil, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, int(rec.Kind))
+	}
+	return &rec, recHeaderLen + int(n), nil
+}

@@ -1,0 +1,135 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path"
+)
+
+// Snapshot is a durable checkpoint: opaque per-object state plus the node's
+// completed at-most-once table, with the log position the state is known to
+// cover.
+//
+// The floor is FUZZY: the LSN is read before object state is collected, so
+// state may already include the effects of records above it. Recovery
+// replays every record above the floor, which makes replay at-least-once in
+// that window — journaled entries must therefore be replay-idempotent
+// (last-write-wins updates are; counters that increment blindly are not).
+// See docs/DURABILITY.md.
+type Snapshot struct {
+	// LSN is the floor: every record at or below it is covered by this
+	// snapshot and its segment may be pruned.
+	LSN uint64
+	// Objects maps object name to the opaque state blob its Snapshot hook
+	// produced (decoded by its Restore hook).
+	Objects map[string][]byte
+	// Dedup is the completed at-most-once table at snapshot time.
+	Dedup []AckEntry
+}
+
+// AckEntry is one completed (client, seq) response preserved across
+// restarts so a retry is answered from disk, never re-executed.
+type AckEntry struct {
+	Client  string
+	Seq     uint64
+	Results []any
+	ErrMsg  string
+	ErrKind int32
+}
+
+func snapshotName(lsn uint64) string { return fmt.Sprintf("%s%016d%s", snapPrefix, lsn, snapSuffix) }
+
+// encodeSnapshot frames a snapshot exactly like a log record
+// (uint32 length | uint32 crc32c | gob payload) so the decoder shares the
+// corruption taxonomy.
+func encodeSnapshot(s *Snapshot) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
+		return nil, fmt.Errorf("wal: encode snapshot: %w", err)
+	}
+	out := make([]byte, recHeaderLen+payload.Len())
+	binary.LittleEndian.PutUint32(out[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload.Bytes(), crcTable))
+	copy(out[recHeaderLen:], payload.Bytes())
+	return out, nil
+}
+
+// decodeSnapshot is the inverse of encodeSnapshot. A short or mangled
+// buffer returns io.ErrUnexpectedEOF or ErrCorrupt; the atomic-rename
+// publish protocol means either indicates real damage, not a torn write.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < recHeaderLen {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n == 0 || n > maxRecordLen {
+		return nil, fmt.Errorf("%w: implausible snapshot length %d", ErrCorrupt, n)
+	}
+	if len(data) < recHeaderLen+int(n) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	payload := data[recHeaderLen : recHeaderLen+int(n)]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(data[4:8]); got != want {
+		return nil, fmt.Errorf("%w: snapshot crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: snapshot payload: %v", ErrCorrupt, err)
+	}
+	return &s, nil
+}
+
+// writeSnapshot publishes s atomically: write + fsync a temporary file,
+// rename it to its final name, fsync the directory. A crash at any point
+// leaves either the old snapshot set or the new one — never a torn file
+// under the final name.
+func writeSnapshot(fs FS, dir string, s *Snapshot) (string, error) {
+	data, err := encodeSnapshot(s)
+	if err != nil {
+		return "", err
+	}
+	final := snapshotName(s.LSN)
+	tmp := path.Join(dir, final+tmpSuffix)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("wal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := fs.Rename(tmp, path.Join(dir, final)); err != nil {
+		return "", fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return "", fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return final, nil
+}
+
+// readSnapshot loads the named snapshot file.
+func readSnapshot(fs FS, dir, name string) (*Snapshot, error) {
+	r, err := fs.Open(path.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(r)
+	if cerr := r.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(data)
+}
