@@ -1,0 +1,79 @@
+package alps_test
+
+import (
+	"sync"
+	"testing"
+
+	alps "repro"
+	"repro/internal/rpc"
+)
+
+// BenchmarkRemotePipelined is the E14-shaped remote workload: 64 client
+// goroutines multiplexed over a few shared connections, all driving one
+// echo object on a TCP-loopback node. Unlike E10's lock-step single
+// client, the pending-table lets many calls ride each link concurrently,
+// so this measures the transport's pipelined throughput — codec cost,
+// read-loop dispatch, and frame coalescing — rather than one round-trip
+// latency.
+func BenchmarkRemotePipelined(b *testing.B) {
+	run := func(b *testing.B, clients, conns int, pool []alps.Option) {
+		b.ReportAllocs()
+		opts := append([]alps.Option{
+			alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 128,
+				Body: func(inv *alps.Invocation) error {
+					inv.Return(inv.Param(0))
+					return nil
+				}}),
+		}, pool...)
+		obj, err := alps.New("Echo", opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer obj.Close()
+		node := rpc.NewNode("bench")
+		if err := node.Publish(obj); err != nil {
+			b.Fatal(err)
+		}
+		addr, err := node.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer node.Close()
+
+		rems := make([]*rpc.Remote, conns)
+		for i := range rems {
+			if rems[i], err = rpc.Dial(addr); err != nil {
+				b.Fatal(err)
+			}
+			defer rems[i].Close()
+		}
+
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per := b.N/clients + 1
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rem := rems[c%conns]
+				for i := 0; i < per; i++ {
+					if _, err := rem.Call("Echo", "P", i); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.Run("clients=64-conns=1", func(b *testing.B) { run(b, 64, 1, nil) })
+	b.Run("clients=64-conns=4", func(b *testing.B) { run(b, 64, 4, nil) })
+	// Same wire workload with the paper-§3 pooled provisioning instead of
+	// spawn-per-call: a handful of resident worker processes absorb the
+	// body executions, trading goroutine creation for channel handoff —
+	// "attractive for resources in high demand" (PAPER.md), which a 64:1
+	// client fan-in is.
+	b.Run("clients=64-conns=4-pooled", func(b *testing.B) {
+		run(b, 64, 4, []alps.Option{alps.WithPool(alps.PoolShared, 8)})
+	})
+}

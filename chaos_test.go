@@ -18,14 +18,15 @@ import (
 )
 
 // TestChaosSoak runs a mixed client workload over a simnet with injected
-// connection kills and a mid-run one-way partition pair, and asserts the
-// at-most-once contract end to end: every invocation lands exactly once
-// (zero lost, zero duplicated) and nothing leaks.
+// connection kills, byte corruption and a mid-run one-way partition pair,
+// and asserts the at-most-once contract end to end: every invocation
+// lands exactly once (zero lost, zero duplicated) and nothing leaks.
 //
-// Corruption injection is deliberately excluded here: a flipped byte is
-// detected by gob decode failure with overwhelming probability but not
-// certainty (docs/FAULTS.md), so its test lives in internal/simnet where
-// the assertion matches the guarantee.
+// Corruption injection became admissible here with the checksummed wire
+// codec: every frame carries a CRC32-C, so a flipped byte is detected
+// with certainty, kills the link typed (ErrBadFrame, docs/FAULTS.md §5)
+// and funnels into the same retry/replay path as a connection kill — the
+// gob era could only promise detection "with overwhelming probability".
 func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak skipped in -short mode")
@@ -33,10 +34,11 @@ func TestChaosSoak(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	network := simnet.New(simnet.Config{
-		Latency:  100 * time.Microsecond,
-		Jitter:   50 * time.Microsecond,
-		KillProb: 0.02, // ≥1% per-write connection-kill probability
-		Seed:     42,
+		Latency:     100 * time.Microsecond,
+		Jitter:      50 * time.Microsecond,
+		KillProb:    0.02, // ≥1% per-write connection-kill probability
+		CorruptProb: 0.01, // one flipped byte per ~100 writes; must die typed, never execute
+		Seed:        42,
 	})
 
 	// Ledger records every executed invocation token, the dedup oracle.
@@ -124,13 +126,15 @@ func TestChaosSoak(t *testing.T) {
 	retriesBefore := cliMetrics.Retries.Value()
 	network.Partition("c0", "server")
 	network.Partition("server", "c0")
-	// Heal once the partition has demonstrably bitten (a dropped frame and a
-	// few retry attempts) — but soon enough that c0's retry budget survives.
-	// A partitioned client cannot even dial, so drops accrue slowly; don't
-	// wait for many.
+	// Heal once the partition has demonstrably bitten — but soon enough
+	// that c0's retry budget survives. A dropped frame is the strongest
+	// signal, but it only accrues on an established connection: if c0's
+	// link was already dead (a kill or corruption landed first), the
+	// partitioned client cannot even dial and drops never happen, so a
+	// burst of retry attempts since the partition counts as bitten too.
 	waitUntil(t, "partition drops (or clients finishing)", func() bool {
 		_, _, partDrops := network.Stats()
-		bitten := partDrops >= 1 && cliMetrics.Retries.Value() >= retriesBefore+3
+		bitten := partDrops >= 1 || cliMetrics.Retries.Value() >= retriesBefore+5
 		// clientsDone guards the rare schedule where every client finished
 		// its ops before the partition could drop anything.
 		return bitten || clientsDone.Load() == clients
@@ -176,6 +180,9 @@ func TestChaosSoak(t *testing.T) {
 		nodeMetrics.DedupHits.Value(), nodeMetrics.DrainDrops.Value())
 	if kills == 0 {
 		t.Error("fault injection never fired — chaos test is vacuous")
+	}
+	if corruptions == 0 {
+		t.Error("corruption injection never fired — CRC detection untested")
 	}
 	if cliMetrics.Reconnects.Value() == 0 {
 		t.Error("no reconnects happened — resilience path untested")

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"bufio"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/shard"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -83,6 +85,9 @@ func microBenches() []microBench {
 		{"E9PriorityGuards", microE9Guards},
 		{"E10RemoteCall/local", microE10Local},
 		{"E10RemoteCall/remote-tcp", microE10Remote},
+		{"RemotePipelined/clients=64-conns=1", microRemotePipelined},
+		{"WireCodec/encode-frame", microWireEncode},
+		{"WireCodec/decode-frame", microWireDecode},
 		{"ManagerPrimitives/unmanaged-call", microUnmanaged},
 		{"ManagerPrimitives/managed-execute", microManagedExecute},
 		{"ManagerPrimitives/managed-execute-8c", microManagedExecute8C},
@@ -376,6 +381,123 @@ func microE10Remote(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rem.Call("Echo", "P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// microRemotePipelined is the E14-shaped throughput workload behind the
+// wire-codec headline (BenchmarkRemotePipelined in bench_remote_test.go):
+// 64 client goroutines multiplexed over one shared connection, driving a
+// hidden-array echo object. Unlike E10's lock-step round-trips, the
+// pending table keeps many calls on the link at once, so this measures
+// codec cost, read-loop dispatch, frame coalescing and the async
+// completion path, not one-call latency.
+func microRemotePipelined(b *testing.B) {
+	b.ReportAllocs()
+	obj, err := alps.New("Echo",
+		alps.WithEntry(alps.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 128,
+			Body: func(inv *alps.Invocation) error {
+				inv.Return(inv.Param(0))
+				return nil
+			}}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer obj.Close()
+	node := rpc.NewNode("bench")
+	if err := node.Publish(obj); err != nil {
+		b.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	rem, err := rpc.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rem.Close()
+
+	const clients = 64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := rem.Call("Echo", "P", i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// wireBenchFrame is a representative request frame for the codec micros:
+// mixed scalar parameters, the shape a real call puts on the wire.
+func wireBenchFrame() *wire.Frame {
+	return &wire.Frame{
+		Kind:   wire.KindRequest,
+		ID:     12345,
+		Object: "Echo",
+		Entry:  "P",
+		Client: "bench-client",
+		Seq:    678,
+		Params: []any{42, "payload", true, 3.14, []byte("0123456789abcdef")},
+	}
+}
+
+func microWireEncode(b *testing.B) {
+	b.ReportAllocs()
+	table := wire.DefaultTable.Snapshot()
+	f := wireBenchFrame()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := wire.GetBuf()
+		out, err := wire.AppendFrame(*buf, f, table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		*buf = out
+		wire.PutBuf(buf)
+	}
+}
+
+// loopReader replays one encoded frame endlessly, so a single decoder
+// can stream b.N frames without per-iteration reader churn.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func microWireDecode(b *testing.B) {
+	b.ReportAllocs()
+	table := wire.DefaultTable.Snapshot()
+	encoded, err := wire.AppendFrame(nil, wireBenchFrame(), table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec := wire.NewDecoder(bufio.NewReader(&loopReader{data: encoded}), table)
+	var f wire.Frame
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(&f); err != nil {
 			b.Fatal(err)
 		}
 	}

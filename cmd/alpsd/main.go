@@ -59,6 +59,7 @@ func run(args []string) error {
 // stop a daemon in-process.
 type server struct {
 	node  *rpc.Node
+	nm    *rpc.Metrics // node transport + supervision counters, reported at drain
 	d     *dict.Dict   // single dictionary (-shards 1)
 	dg    *shard.Group // sharded dictionary (-shards > 1)
 	b     *buffer.Buffer
@@ -212,8 +213,9 @@ func newServer(args []string) (*server, string, error) {
 		return nil, "", err
 	}
 
+	srv.nm = &rpc.Metrics{Supervision: sup}
 	srv.node = rpc.NewNodeWith(*name, rpc.NodeOptions{
-		Metrics: &rpc.Metrics{Supervision: sup},
+		Metrics: srv.nm,
 		Durable: srv.store,
 	})
 	if srv.dg != nil {
@@ -259,6 +261,19 @@ func newServer(args []string) (*server, string, error) {
 func (s *server) Close() {
 	if s.node != nil {
 		s.node.Close()
+	}
+	if m := s.nm; m != nil {
+		// Transport totals at drain: flushes vs frames shows how well the
+		// combining write queue coalesced (frames/flush ≈ 1 means lock-step
+		// callers, tens means saturated pipelining — docs/WIRE.md).
+		sent, recv := m.FramesSent.Value(), m.FramesRecv.Value()
+		flushes := m.Flushes.Value()
+		perFlush := float64(sent)
+		if flushes > 0 {
+			perFlush = float64(sent) / float64(flushes)
+		}
+		fmt.Printf("alpsd: transport: %d B out / %d B in, %d frames out / %d in, %d flushes (%.1f frames/flush), %d dedup replays\n",
+			m.BytesSent.Value(), m.BytesRecv.Value(), sent, recv, flushes, perFlush, m.DedupHits.Value())
 	}
 	if s.d != nil {
 		_ = s.d.Close()

@@ -21,9 +21,10 @@ import (
 )
 
 // defaultWatch lists the micro benchmarks gated by default: the paper's
-// headline E1 hot path, the manager Execute pipeline, and the remote-call
-// path — the three the roadmap optimizes hardest.
-const defaultWatch = "E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute,E10RemoteCall/remote-tcp"
+// headline E1 hot path, the manager Execute pipeline, the remote-call
+// path, and the pipelined transport headline the wire codec bought — the
+// four the roadmap optimizes hardest.
+const defaultWatch = "E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute,E10RemoteCall/remote-tcp,RemotePipelined/clients=64-conns=1"
 
 // benchFile mirrors the subset of cmd/alpsbench's JSON schema we need.
 type benchFile struct {

@@ -19,7 +19,8 @@ func writeJSON(t *testing.T, dir, name, body string) string {
 const baseJSON = `{"label":"base","micro":[
 	{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1000},
 	{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
-	{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000}]}`
+	{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000},
+	{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000}]}`
 
 func check(t *testing.T, curJSON string, extra ...string) error {
 	t.Helper()
@@ -34,7 +35,8 @@ func TestWithinThresholdPasses(t *testing.T) {
 	err := check(t, `{"label":"cur","micro":[
 		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1100},
 		{"name":"ManagerPrimitives/managed-execute","ns_per_op":1500},
-		{"name":"E10RemoteCall/remote-tcp","ns_per_op":51000}]}`)
+		{"name":"E10RemoteCall/remote-tcp","ns_per_op":51000},
+		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3100}]}`)
 	if err != nil {
 		t.Fatalf("within-threshold run failed: %v", err)
 	}
@@ -44,7 +46,8 @@ func TestRegressionFails(t *testing.T) {
 	err := check(t, `{"label":"cur","micro":[
 		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1200},
 		{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
-		{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000}]}`)
+		{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000},
+		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000}]}`)
 	if err == nil {
 		t.Fatal("20% regression passed")
 	}

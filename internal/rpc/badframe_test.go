@@ -1,11 +1,17 @@
 package rpc
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // TestBadFrameKillsLink sends a structurally invalid frame (unknown kind)
@@ -20,13 +26,26 @@ func TestBadFrameKillsLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	if err := enc.Encode(&frame{Kind: frameKind(42), ID: 1}); err != nil {
+	br := bufio.NewReader(conn)
+	if err := wire.WriteHello(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.ReadHello(br); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a frame with kind 42 — AppendFrame refuses to build one,
+	// so assemble length | crc | payload directly with a valid checksum to
+	// prove it is the parser, not the CRC, that rejects it.
+	payload := []byte{42, 1} // kind 42, ID 1
+	bad := binary.AppendUvarint(nil, uint64(len(payload)))
+	bad = binary.LittleEndian.AppendUint32(bad, crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	bad = append(bad, payload...)
+	if _, err := conn.Write(bad); err != nil {
 		t.Fatal(err)
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	buf := make([]byte, 1)
-	if _, err := conn.Read(buf); err == nil {
+	if _, err := br.Read(buf); err == nil {
 		t.Fatal("link stayed up after malformed frame")
 	}
 
@@ -45,17 +64,147 @@ func TestBadFrameKillsLink(t *testing.T) {
 	}
 }
 
+// TestGobPeerFailsLoudly is the version-negotiation check: a peer that
+// opens the stream with anything but this build's hello — the old gob
+// framing, say — must fail the link with ErrVersionSkew before a single
+// frame is exchanged, not produce garbage calls.
+func TestGobPeerFailsLoudly(t *testing.T) {
+	_, addr := startEchoNode(t)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A gob stream opens with a type-definition record, never "ALPW".
+	if _, err := conn.Write([]byte{0x2b, 0xff, 0x81, 0x03, 0x01, 0x01, 0x05}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The node answers with its own hello, then kills the link on ours.
+	br := bufio.NewReader(conn)
+	if err := wire.ReadHello(br); err != nil {
+		t.Fatalf("node did not announce its protocol: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := br.Read(buf); err == nil {
+		t.Fatal("link stayed up for a gob-era peer")
+	}
+
+	// A dialing link that meets a foreign peer classifies the failure as
+	// ErrVersionSkew (alongside ErrLinkClosed for the retry machinery).
+	left, right := net.Pipe()
+	defer right.Close()
+	go func() {
+		// Drain the link's own hello first — net.Pipe is unbuffered, so the
+		// link's eager hello flush blocks until someone reads it.
+		_, _ = right.Read(make([]byte, 64))
+		_, _ = right.Write([]byte("NOTALPSWIRE"))
+	}()
+	l := newLink(left, nil, linkHooks{})
+	defer l.close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !l.isClosed() {
+		if time.Now().After(deadline) {
+			t.Fatal("link did not die on foreign hello")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.closeReason(); !errors.Is(err, ErrVersionSkew) || !errors.Is(err, ErrLinkClosed) {
+		t.Fatalf("close reason %v, want ErrVersionSkew and ErrLinkClosed", err)
+	}
+}
+
+// corruptingConn flips one bit of the byte at stream offset flipAt on the
+// read side — a deterministic stand-in for simnet's probabilistic
+// CorruptProb, aimed at a chosen frame position.
+type corruptingConn struct {
+	net.Conn
+	off    int
+	flipAt int
+}
+
+func (c *corruptingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.off <= c.flipAt && c.flipAt < c.off+n {
+		p[c.flipAt-c.off] ^= 0x10
+	}
+	c.off += n
+	return n, err
+}
+
+// TestCorruptFrameTypedError: a frame corrupted in flight — one flipped
+// bit inside the CRC of the first response, carried over a simnet
+// connection — must surface to the caller as a typed ErrBadFrame failure,
+// promptly. Before the checksummed codec, a flip that still gob-decoded
+// was executed as-is and one that did not could stall the stream; now
+// detection is certain (docs/FAULTS.md §5) and the link dies loudly.
+func TestCorruptFrameTypedError(t *testing.T) {
+	obj, err := core.New("Echo",
+		core.WithEntry(core.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 8,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(inv.Param(0).(int) * 2)
+				return nil
+			}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = obj.Close() })
+	node := NewNode("srv")
+	if err := node.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+	network := simnet.New(simnet.Config{})
+	lis, err := network.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = node.Serve(lis) }()
+	defer node.Close()
+
+	conn, err := network.DialFrom("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 7 sits inside the first response frame's CRC field (after the
+	// 5-byte hello and the 1-byte length prefix): the checksum can no
+	// longer match its payload, whatever the payload bytes are.
+	rem := DialConn(&corruptingConn{Conn: conn, flipAt: 7})
+	defer rem.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := rem.Call("Echo", "P", 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call over a corrupted stream succeeded")
+		}
+		if !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("err = %v, want ErrBadFrame", err)
+		}
+		if !errors.Is(err, ErrLinkClosed) {
+			t.Fatalf("err = %v, want ErrLinkClosed for the retry machinery", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("corrupted frame hung the caller instead of failing typed")
+	}
+}
+
 func TestFrameValidate(t *testing.T) {
 	good := frame{Kind: frameRequest, ErrKind: errNone}
-	if err := good.validate(); err != nil {
+	if err := good.Validate(); err != nil {
 		t.Fatalf("valid frame rejected: %v", err)
 	}
 	badKind := frame{Kind: frameKind(0)}
-	if err := badKind.validate(); !errors.Is(err, ErrBadFrame) {
+	if err := badKind.Validate(); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("zero kind: err = %v, want ErrBadFrame", err)
 	}
-	badErr := frame{Kind: frameResponse, ErrKind: errKind(-1)}
-	if err := badErr.validate(); !errors.Is(err, ErrBadFrame) {
+	badErr := frame{Kind: frameResponse, ErrKind: errKind(255)}
+	if err := badErr.Validate(); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("bad errKind: err = %v, want ErrBadFrame", err)
 	}
 	if err := decodeErr("mystery", errKind(77)); !errors.Is(err, ErrBadFrame) {

@@ -1,0 +1,89 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPipelinedCoalescing drives many concurrent clients over one link
+// and checks the transport counters prove frame coalescing: more frames
+// than flushes (batching actually happened) and byte counters that
+// account for every frame. This is the regression guard for the batched
+// write path — if the combiner degrades to one-write-per-frame the
+// frames-per-flush ratio collapses to ~1 and this test fails.
+func TestPipelinedCoalescing(t *testing.T) {
+	obj, err := core.New("Echo",
+		core.WithEntry(core.EntrySpec{Name: "P", Params: 1, Results: 1, Array: 128,
+			Body: func(inv *core.Invocation) error {
+				inv.Return(inv.Param(0))
+				return nil
+			}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+
+	nm := &Metrics{}
+	node := NewNodeWith("coalesce", NodeOptions{Metrics: nm})
+	if err := node.Publish(obj); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	cm := &Metrics{}
+	rem, err := DialWith(addr, DialOptions{Metrics: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	const clients, perClient = 64, 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := rem.Call("Echo", "P", i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const calls = clients * perClient
+	for _, side := range []struct {
+		name string
+		m    *Metrics
+	}{{"client", cm}, {"node", nm}} {
+		frames, flushes := side.m.FramesSent.Value(), side.m.Flushes.Value()
+		sent, recv := side.m.BytesSent.Value(), side.m.BytesRecv.Value()
+		if frames < calls {
+			t.Errorf("%s: FramesSent = %d, want >= %d", side.name, frames, calls)
+		}
+		if flushes == 0 {
+			t.Fatalf("%s: no flushes recorded", side.name)
+		}
+		if sent == 0 || recv == 0 {
+			t.Errorf("%s: BytesSent = %d, BytesRecv = %d, want both > 0", side.name, sent, recv)
+		}
+		ratio := float64(frames) / float64(flushes)
+		t.Logf("%s: %d frames / %d flushes = %.2f frames/flush, %d bytes out (%d per flush), %d bytes in",
+			side.name, frames, flushes, ratio, sent, sent/flushes, recv)
+		// 64 concurrent callers on one link must coalesce well beyond
+		// lock-step. The bound is deliberately loose (the scheduler decides
+		// actual batch sizes); degradation to ~1 is what it catches.
+		if ratio < 1.5 {
+			t.Errorf("%s: frames/flush = %.2f, want >= 1.5 (coalescing collapsed)", side.name, ratio)
+		}
+	}
+}

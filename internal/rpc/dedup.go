@@ -1,6 +1,9 @@
 package rpc
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // dedupKey identifies a logical call across retries and reconnects.
 type dedupKey struct {
@@ -8,10 +11,15 @@ type dedupKey struct {
 	seq    uint64
 }
 
-// dedupEntry tracks one logical call: in flight until done is closed,
-// then holding the response for replay to duplicate requests.
+// dedupEntry tracks one logical call: in flight until complete, then
+// holding the response for replay to duplicate requests. The completion
+// signal is an atomic flag, not a channel: duplicates that need to block
+// are rare (a retry racing its primary), so the channel is created lazily
+// by waitCh and the common path pays one atomic store instead of a
+// channel allocation and close per request.
 type dedupEntry struct {
-	done    chan struct{}
+	state   atomic.Uint32 // 0 = in flight, 1 = complete
+	done    chan struct{} // lazily created for blocked duplicates; guarded by the cache mutex
 	results []any
 	errMsg  string
 	errKind errKind
@@ -42,6 +50,18 @@ func newDedupCache(capacity int) *dedupCache {
 	return &dedupCache{cap: capacity, entries: make(map[dedupKey]*dedupEntry)}
 }
 
+// completed reports whether the entry's response is recorded. The
+// results fields are safe to read once this returns true.
+func (e *dedupEntry) completed() bool { return e.state.Load() == 1 }
+
+// closedChan is the ready-made wait channel for already-completed
+// entries.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // begin returns the entry for key and whether the caller is the primary
 // executor (first arrival) rather than a duplicate.
 func (d *dedupCache) begin(key dedupKey) (*dedupEntry, bool) {
@@ -50,9 +70,29 @@ func (d *dedupCache) begin(key dedupKey) (*dedupEntry, bool) {
 	if e, ok := d.entries[key]; ok {
 		return e, false
 	}
-	e := &dedupEntry{done: make(chan struct{})}
+	e := &dedupEntry{}
 	d.entries[key] = e
 	return e, true
+}
+
+// waitCh returns a channel that is closed once e completes. Must not be
+// called with the cache mutex held.
+func (d *dedupCache) waitCh(e *dedupEntry) <-chan struct{} {
+	if e.completed() {
+		return closedChan
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Re-check under the lock: complete flips state inside this same
+	// critical section, so either we see it completed here or complete
+	// will see (and close) the channel we create.
+	if e.completed() {
+		return closedChan
+	}
+	if e.done == nil {
+		e.done = make(chan struct{})
+	}
+	return e.done
 }
 
 // complete records the response, releases waiting duplicates, and evicts
@@ -61,8 +101,11 @@ func (d *dedupCache) complete(key dedupKey, e *dedupEntry, results []any, errMsg
 	e.results = results
 	e.errMsg = errMsg
 	e.errKind = kind
-	close(e.done)
 	d.mu.Lock()
+	e.state.Store(1)
+	if e.done != nil {
+		close(e.done)
+	}
 	d.order = append(d.order, key)
 	for len(d.order) > d.cap {
 		delete(d.entries, d.order[0])
@@ -84,8 +127,8 @@ func (d *dedupCache) preload(client string, seq uint64, results []any, errMsg st
 		e.results, e.errMsg, e.errKind = results, errMsg, kind
 		return
 	}
-	e := &dedupEntry{done: make(chan struct{}), results: results, errMsg: errMsg, errKind: kind}
-	close(e.done)
+	e := &dedupEntry{results: results, errMsg: errMsg, errKind: kind}
+	e.state.Store(1)
 	d.entries[key] = e
 	d.order = append(d.order, key)
 	for len(d.order) > d.cap {

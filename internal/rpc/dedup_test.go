@@ -94,9 +94,7 @@ func TestDedupPreload(t *testing.T) {
 		if primary {
 			t.Fatal("preloaded entry treated as primary")
 		}
-		select {
-		case <-e.done:
-		default:
+		if !e.completed() {
 			t.Fatal("preloaded entry not completed")
 		}
 		if e.results[0] != "disk" {

@@ -3,9 +3,10 @@ package rpc
 import (
 	"bufio"
 	"context"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,14 +15,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
-// framePool recycles frame structs on both the encode and decode paths.
+// framePool recycles frame structs on the decode path; the wire decoder
+// fully overwrites a frame before returning it, so recycling cannot leak
+// values between messages.
 var framePool = sync.Pool{New: func() any { return new(frame) }}
 
-// getFrame returns a zeroed frame. Zeroing before gob.Decode is mandatory:
-// gob leaves fields absent from the wire untouched, so a recycled frame
-// would otherwise leak values from its previous use into the next message.
 func getFrame() *frame {
 	f := framePool.Get().(*frame)
 	*f = frame{}
@@ -35,6 +36,15 @@ func putFrame(f *frame) { framePool.Put(f) }
 // recycled channel can never deliver a stale response to a later call.
 var respChPool = sync.Pool{New: func() any { return make(chan frame, 1) }}
 
+// maxQueued bounds the encoded bytes waiting for the write loop. Senders
+// crossing it block until the writer drains — backpressure instead of
+// unbounded buffering when the peer reads slowly.
+const maxQueued = 256 << 10
+
+// readBufSize is the read-side bufio buffer. Batched writes arrive as
+// batched reads, so one syscall fills many frames' worth.
+const readBufSize = 64 << 10
+
 // objectResolver resolves object names to callable objects (the node's
 // registry on the serving side; empty on pure clients).
 type objectResolver interface {
@@ -46,6 +56,15 @@ type objectResolver interface {
 // tests can stub it).
 type callable interface {
 	CallCtx(ctx context.Context, entry string, params ...any) ([]any, error)
+}
+
+// asyncCallable is the optional fast-path surface of a published object:
+// core.Object implements it for plain (non-intercepted, unbounded,
+// unjournaled) entries. The read loop submits such calls directly and the
+// response is sent from the object's completion dispatcher — no serve
+// goroutine spawned, no goroutine parked per in-flight request.
+type asyncCallable interface {
+	CallAsync(entry string, params []any, done func([]any, error)) bool
 }
 
 // linkHooks are the owner-supplied callbacks of a link: a node wires in
@@ -64,20 +83,36 @@ type linkHooks struct {
 }
 
 // link is one end of a connection: it can issue requests, serve requests
-// (when it has a resolver), and route channel messages both ways.
+// (when it has a resolver), and route channel messages both ways. Frames
+// are wire-codec binary over a version-negotiated stream; many calls ride
+// the link concurrently via the pending table, and writers coalesce their
+// frames into batched flushes.
 type link struct {
 	conn  net.Conn
 	res   objectResolver
 	hooks linkHooks
 
-	encMu sync.Mutex
-	bw    *bufio.Writer
-	enc   *gob.Encoder
+	// table is this link's immutable snapshot of the registered user types.
+	// Snapshotting at creation means concurrent Register calls can never
+	// race the encoder or change the meaning of frames in flight.
+	table *wire.TypeTable
 
-	// wpend counts writers that have entered send but not yet finished
-	// encoding; the writer that decrements it to zero flushes the buffered
-	// writer, so a burst of frames queued under load leaves in one syscall.
-	wpend atomic.Int32
+	// The write path is a combining queue — the group-commit discipline
+	// the WAL and the manager mailbox already proved, without a dedicated
+	// writer goroutine. Senders encode into pooled buffers OUTSIDE any
+	// lock (the binary codec is stateless, unlike the gob stream) and
+	// append the framed bytes to wbuf under wmu. The first sender to find
+	// no combiner active becomes it: it swaps wbuf out and commits it with
+	// one conn.Write, looping until the queue is empty. Frames appended
+	// while its syscall is in flight all ride the next one, so batch size
+	// adapts to load with no latency timer and no handoff hop: an idle
+	// link writes a lone frame synchronously, a saturated link coalesces
+	// dozens of frames per syscall.
+	wmu      sync.Mutex
+	wcond    *sync.Cond // backpressure: senders wait while wbuf > maxQueued
+	wbuf     []byte     // encoded frames awaiting the combiner
+	wscratch []byte     // combiner's swap buffer (alternates with wbuf)
+	writing  bool       // a combiner is draining the queue
 
 	mu       sync.Mutex
 	pending  map[uint64]chan frame
@@ -98,15 +133,12 @@ type link struct {
 }
 
 func newLink(conn net.Conn, res objectResolver, hooks linkHooks) *link {
-	registerDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	bw := bufio.NewWriterSize(conn, 8<<10)
 	l := &link{
 		conn:    conn,
 		res:     res,
 		hooks:   hooks,
-		bw:      bw,
-		enc:     gob.NewEncoder(bw),
+		table:   wire.DefaultTable.Snapshot(),
 		pending: make(map[uint64]chan frame),
 		chans:   make(map[string]*channel.Chan),
 		proxies: make(map[string]*channel.Chan),
@@ -114,33 +146,148 @@ func newLink(conn net.Conn, res objectResolver, hooks linkHooks) *link {
 		ctx:     ctx,
 		cancel:  cancel,
 	}
+	l.wcond = sync.NewCond(&l.wmu)
 	hooks.rec.Record("", conn.RemoteAddr().String(), -1, 0, trace.LinkUp)
+	// Announce the protocol as the first bytes on the queue: both sides
+	// read their peer's hello before decoding frames, and queueing it
+	// ahead of any frame keeps the write loop the only writer.
+	hb := make([]byte, 0, 8)
+	if err := wire.WriteHello((*sliceWriter)(&hb)); err != nil {
+		l.shutdown(fmt.Errorf("rpc: hello: %v: %w", err, ErrLinkClosed))
+	}
+	l.wbuf = hb
+	// Flush the hello eagerly even if no frame ever follows: both sides
+	// read their peer's banner before decoding frames, and a gob-era or
+	// foreign peer should see our protocol announced before we kill its
+	// connection.
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.flushQueued()
+	}()
 	l.wg.Add(1)
 	go l.readLoop()
 	return l
 }
 
-// send encodes one frame into the link's buffered writer. Flushes coalesce:
-// every writer announces itself in wpend before taking the encode lock, and
-// only the writer that finds no successor waiting pays for the flush — a
-// burst of concurrent sends becomes a single syscall.
+// sliceWriter adapts an append target to io.Writer for WriteHello.
+type sliceWriter []byte
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+// send encodes one frame, queues it, and drains the queue if no combiner
+// is active (see the wbuf comment on the link struct).
+//
+// Two failure classes, deliberately distinct: an ENCODE failure
+// (unsupported value type) happens before any byte is committed, so it is
+// returned to the caller and the link survives; a WRITE failure tears the
+// whole link down — the combiner that hits it reports it, senders whose
+// frames it was carrying observe it through l.done.
 func (l *link) send(f *frame) error {
-	l.wpend.Add(1)
-	l.encMu.Lock()
-	err := l.enc.Encode(f)
-	if l.wpend.Add(-1) == 0 && err == nil {
-		err = l.bw.Flush()
-	}
-	l.encMu.Unlock()
+	buf := wire.GetBuf()
+	b, err := wire.AppendFrame(*buf, f, l.table)
 	if err != nil {
-		// A failed encode or flush may have left a partial frame on the
-		// wire; the gob stream cannot resynchronize, so the whole link is
-		// dead.
-		err = fmt.Errorf("rpc: encode: %v: %w", err, ErrLinkClosed)
-		l.shutdown(err)
+		wire.PutBuf(buf)
 		return err
 	}
+	*buf = b
+
+	l.wmu.Lock()
+	for len(l.wbuf) >= maxQueued && l.writing && !l.closedLocked() {
+		l.wcond.Wait()
+	}
+	if l.closedLocked() {
+		l.wmu.Unlock()
+		wire.PutBuf(buf)
+		return l.closeReason()
+	}
+	l.wbuf = append(l.wbuf, b...)
+	if m := l.hooks.metrics; m != nil {
+		m.FramesSent.Inc()
+	}
+	if l.writing {
+		// An active combiner will carry these bytes in its next batch.
+		l.wmu.Unlock()
+		wire.PutBuf(buf)
+		return nil
+	}
+	err = l.drainLocked()
+	wire.PutBuf(buf)
+	return err
+}
+
+// flushQueued drains the write queue if no combiner is active — used to
+// push the hello out at link creation.
+func (l *link) flushQueued() {
+	l.wmu.Lock()
+	if l.writing || l.closedLocked() {
+		l.wmu.Unlock()
+		return
+	}
+	_ = l.drainLocked()
+}
+
+// drainLocked makes the caller the combiner: it repeatedly swaps wbuf out
+// and commits it with one conn.Write outside the lock, until the queue is
+// empty. Called with wmu held; returns with it released.
+func (l *link) drainLocked() error {
+	l.writing = true
+	for len(l.wbuf) > 0 {
+		// Yield before swapping: senders already runnable get to append
+		// their frames to this batch instead of starting the next one.
+		// On a loaded box (or a single core) this turns lock-step call
+		// schedules into multi-frame syscalls; on an idle link it costs
+		// one scheduler round trip.
+		l.wmu.Unlock()
+		runtime.Gosched()
+		l.wmu.Lock()
+		batch := l.wbuf
+		if cap(l.wscratch) > 1<<20 {
+			// Don't let one burst pin a huge buffer forever.
+			l.wscratch = nil
+		}
+		l.wbuf = l.wscratch[:0]
+		l.wmu.Unlock()
+		l.wcond.Broadcast()
+
+		_, err := l.conn.Write(batch)
+		if err != nil {
+			// A failed write may have left a partial frame on the wire;
+			// the stream cannot resynchronize, so the whole link is dead.
+			err = fmt.Errorf("rpc: write: %v: %w", err, ErrLinkClosed)
+			l.shutdown(err)
+			l.wmu.Lock()
+			l.writing = false
+			l.wmu.Unlock()
+			return err
+		}
+		if m := l.hooks.metrics; m != nil {
+			// Frames-per-flush = FramesSent / Flushes; mean batch size =
+			// BytesSent / Flushes.
+			m.Flushes.Inc()
+			m.BytesSent.Add(uint64(len(batch)))
+		}
+		l.wmu.Lock()
+		l.wscratch = batch
+	}
+	l.writing = false
+	l.wmu.Unlock()
 	return nil
+}
+
+// closedLocked reports closure without taking l.mu — reading l.closed
+// under wmu would invert the lock order, so the done channel is the
+// source of truth here.
+func (l *link) closedLocked() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // isClosed reports whether the link has shut down.
@@ -178,27 +325,38 @@ func (l *link) call(ctx context.Context, object, entry string, params []any, cli
 		respChPool.Put(respCh)
 	}()
 
-	req := getFrame()
-	req.Kind, req.ID = frameRequest, id
-	req.Object, req.Entry, req.Params = object, entry, params
-	req.Client, req.Seq = client, seq
-	err := l.send(req)
-	putFrame(req)
-	if err != nil {
+	req := frame{Kind: frameRequest, ID: id, Object: object, Entry: entry,
+		Params: params, Client: client, Seq: seq}
+	if err := l.send(&req); err != nil {
 		return nil, fmt.Errorf("rpc: call %s.%s: %w", object, entry, err)
+	}
+	if ctx.Done() == nil {
+		// Uncancellable context (the common hot path): a plain receive —
+		// shutdown's poison sweep guarantees a zero-kind frame arrives if
+		// the link dies, so no select and no l.done arm are needed.
+		resp := <-respCh
+		if resp.Kind == 0 {
+			return nil, fmt.Errorf("rpc: call %s.%s interrupted: %w", object, entry, l.closeReason())
+		}
+		if err := decodeErr(resp.Err, resp.ErrKind); err != nil {
+			return nil, err
+		}
+		return resp.Results, nil
 	}
 	select {
 	case resp := <-respCh:
+		if resp.Kind == 0 {
+			// The send succeeded but the connection died before the
+			// response: fail fast and name the call, so the failure is
+			// attributable.
+			return nil, fmt.Errorf("rpc: call %s.%s interrupted: %w", object, entry, l.closeReason())
+		}
 		if err := decodeErr(resp.Err, resp.ErrKind); err != nil {
 			return nil, err
 		}
 		return resp.Results, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case <-l.done:
-		// The send succeeded but the connection died before the response:
-		// fail fast and name the call, so the failure is attributable.
-		return nil, fmt.Errorf("rpc: call %s.%s interrupted: %w", object, entry, l.closeReason())
 	}
 }
 
@@ -225,20 +383,18 @@ func (l *link) list(ctx context.Context) ([]string, error) {
 		respChPool.Put(respCh)
 	}()
 
-	req := getFrame()
-	req.Kind, req.ID = frameList, id
-	err := l.send(req)
-	putFrame(req)
-	if err != nil {
+	req := frame{Kind: frameList, ID: id}
+	if err := l.send(&req); err != nil {
 		return nil, err
 	}
 	select {
 	case resp := <-respCh:
+		if resp.Kind == 0 { // shutdown's poison sweep: the link died
+			return nil, l.closeReason()
+		}
 		return resp.Names, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
-	case <-l.done:
-		return nil, l.closeReason()
 	}
 }
 
@@ -287,46 +443,77 @@ func (l *link) proxyFor(ref ChanRef) *channel.Chan {
 			if !ok {
 				return
 			}
-			fr := getFrame()
-			fr.Kind, fr.Chan, fr.Params = frameChanSend, ref.Name, msg
-			err := l.send(fr)
-			putFrame(fr)
-			if err != nil {
-				return
+			fr := frame{Kind: frameChanSend, Chan: ref.Name, Params: msg}
+			if err := l.send(&fr); err != nil {
+				if errors.Is(err, ErrLinkClosed) {
+					return
+				}
+				// Encode failure: this message is undeliverable but the
+				// link (and the channel) live on; drop it and keep
+				// forwarding — matching a local unbuffered channel whose
+				// reader ignores a malformed message.
+				continue
 			}
 		}
 	}()
 	return proxy
 }
 
+// readLoop is the link's single reader: it verifies the peer's hello, then
+// decodes and dispatches frames until the stream dies. Dispatch never
+// blocks on a slow consumer — responses land in buffered per-call channels
+// (extra sends dropped), channel messages go into unbounded ALPS channels,
+// and requests and list queries run on their own goroutines — so one slow
+// waiter cannot stall delivery for the calls pipelined behind it.
 func (l *link) readLoop() {
 	defer l.wg.Done()
-	dec := gob.NewDecoder(bufio.NewReaderSize(l.conn, 8<<10))
+	br := bufio.NewReaderSize(l.conn, readBufSize)
+	if err := wire.ReadHello(br); err != nil {
+		// Wrap with BOTH sentinels: callers check ErrLinkClosed for
+		// retry/teardown, operators check ErrVersionSkew to tell a
+		// mixed-version cluster from rotten bytes.
+		l.shutdown(fmt.Errorf("%w: %w", ErrLinkClosed, err))
+		return
+	}
+	dec := wire.NewDecoder(br, l.table)
+	m := l.hooks.metrics
+	// One resident frame serves every inline-dispatched message; only
+	// request frames — whose ownership passes to a serving goroutine —
+	// go through the pool.
+	f := getFrame()
+	defer func() { putFrame(f) }()
 	for {
-		f := getFrame()
-		if err := dec.Decode(f); err != nil {
-			putFrame(f)
-			l.shutdown(fmt.Errorf("%w: %v", ErrLinkClosed, err))
+		err := dec.Decode(f)
+		if m != nil {
+			m.BytesRecv.Add(dec.BytesRead())
+		}
+		if err != nil {
+			// Includes the typed ErrBadFrame path: corrupted or truncated
+			// frames (CRC mismatch, bad tags) classify via errors.Is and
+			// fail every pending call instead of hanging it.
+			l.shutdown(fmt.Errorf("%w: %w", ErrLinkClosed, err))
 			return
 		}
-		if err := f.validate(); err != nil {
-			// A structurally invalid frame means the peer is not speaking
-			// this protocol (or a skewed version of it); nothing later on
-			// the stream can be trusted, so fail the link with the typed
-			// error instead of silently ignoring the frame.
-			putFrame(f)
-			l.shutdown(fmt.Errorf("%w: %v", ErrLinkClosed, err))
-			return
+		if m != nil {
+			m.FramesRecv.Inc()
 		}
 		switch f.Kind {
 		case frameRequest:
-			l.wg.Add(1)
-			go func(f *frame) {
-				defer l.wg.Done()
-				l.serveRequest(f)
-				putFrame(f)
-			}(f)
-			continue // ownership passed to the serving goroutine
+			req := f
+			f = getFrame()
+			if l.serveInline(req) {
+				// Submitted straight into the object; the response will be
+				// sent from its completion dispatcher and the frame is now
+				// owned by that path.
+				continue
+			}
+			// Blocking path, on a detached goroutine: the drain gate (hooks
+			// begin/end) already accounts in-flight work for Node.Close,
+			// and link teardown must not wait out a long-running body.
+			go func() {
+				l.serveRequest(req)
+				putFrame(req)
+			}()
 		case frameResponse, frameListResp:
 			// Deliver while holding l.mu: call/list delete their pending
 			// entry under the same lock before recycling the channel, so a
@@ -346,27 +533,42 @@ func (l *link) readLoop() {
 			ch, ok := l.chans[f.Chan]
 			l.mu.Unlock()
 			if ok {
-				// The message slice is handed off; the recycled frame drops
-				// its reference at the next getFrame reset.
+				// Never blocks: ALPS channels are unbounded. The message
+				// slice is handed off; the recycled frame drops its
+				// reference at the next getFrame reset.
 				_ = ch.Send(f.Params...)
 			}
 		case frameList:
-			names := []string(nil)
-			if l.res != nil {
-				names = l.res.names()
-			}
-			resp := getFrame()
-			resp.Kind, resp.ID, resp.Names = frameListResp, f.ID, names
-			_ = l.send(resp)
-			putFrame(resp)
+			// Off the read loop: the reply's send could block on a full
+			// write buffer and stall response dispatch otherwise.
+			go func(id uint64) {
+				names := []string(nil)
+				if l.res != nil {
+					names = l.res.names()
+				}
+				resp := frame{Kind: frameListResp, ID: id, Names: names}
+				_ = l.send(&resp)
+			}(f.ID)
 		}
-		putFrame(f)
 	}
 }
 
+// sendResponse delivers a result-carrying response, downgrading to an
+// error response if the results themselves fail to encode — the client
+// must never be left waiting on a response that died locally.
+func (l *link) sendResponse(r *frame) {
+	err := l.send(r)
+	if err == nil || errors.Is(err, ErrLinkClosed) {
+		return
+	}
+	fallback := frame{Kind: frameResponse, ID: r.ID}
+	fallback.Err, fallback.ErrKind = encodeErr(fmt.Errorf("rpc: encoding response: %v", err))
+	_ = l.send(&fallback)
+}
+
 // serveRequest executes one incoming request. The frame is only borrowed:
-// everything the detached body goroutine needs is copied into locals, since
-// the caller recycles f as soon as serveRequest returns.
+// everything the body needs is copied into locals before the blocking
+// call, since the caller recycles f as soon as serveRequest returns.
 func (l *link) serveRequest(f *frame) {
 	resp := frame{Kind: frameResponse, ID: f.ID}
 	if l.hooks.begin != nil && !l.hooks.begin() {
@@ -403,40 +605,7 @@ func (l *link) serveRequest(f *frame) {
 		var primary bool
 		entry, primary = l.hooks.dedup.begin(dedupKey{f.Client, f.Seq})
 		if !primary {
-			if m := l.hooks.metrics; m != nil {
-				m.DedupHits.Inc()
-			}
-			l.hooks.rec.Record(f.Object, f.Entry, -1, f.Seq, trace.Replayed)
-			var timeout <-chan time.Time
-			if l.hooks.replayWait > 0 {
-				t := time.NewTimer(l.hooks.replayWait)
-				defer t.Stop()
-				timeout = t.C
-			}
-			select {
-			case <-entry.done:
-				// The primary wrote entry.lsn before closing done; sync
-				// through it so a replayed acknowledgement is as durable as
-				// the original would have been.
-				if st := l.hooks.durable; st != nil && entry.lsn != 0 {
-					if err := st.WaitSynced(entry.lsn); err != nil {
-						resp.Err, resp.ErrKind = encodeErr(fmt.Errorf("rpc: replay %s.%s: durability: %w", f.Object, f.Entry, err))
-						_ = l.send(&resp)
-						return
-					}
-				}
-				resp.Results, resp.Err, resp.ErrKind = entry.results, entry.errMsg, entry.errKind
-				_ = l.send(&resp)
-			case <-timeout:
-				if m := l.hooks.metrics; m != nil {
-					m.ReplayTimeouts.Inc()
-				}
-				resp.Err, resp.ErrKind = encodeErr(fmt.Errorf(
-					"rpc: duplicate of %s.%s (client %s seq %d) still in flight after %v: %w",
-					f.Object, f.Entry, f.Client, f.Seq, l.hooks.replayWait, ErrReplayTimeout))
-				_ = l.send(&resp)
-			case <-l.done:
-			}
+			l.replayDuplicate(f.ID, f.Object, f.Entry, f.Client, f.Seq, entry)
 			return
 		}
 	}
@@ -451,65 +620,244 @@ func (l *link) serveRequest(f *frame) {
 		// is tied to the node's lifetime, not the connection's.
 		ctx = l.hooks.serveCtx
 	}
-	resCh := make(chan frame, 1)
-	// The call runs on its own goroutine so a link teardown abandons the
-	// wait instead of blocking shutdown behind a long-running body; the
-	// object's own Close remains responsible for the body itself.
-	go func() {
-		results, err := obj.CallCtx(ctx, entryName, params...)
-		r := frame{Kind: frameResponse, ID: id, Results: results}
-		if err != nil {
+	// The body runs inline: serveRequest already has its own goroutine, so
+	// the gob-era hand-off through an inner goroutine and result channel
+	// is gone — one goroutine and one channel fewer per request.
+	results, err := obj.CallCtx(ctx, entryName, params...)
+	r := frame{Kind: frameResponse, ID: id, Results: results}
+	if err != nil {
+		r.Results = nil
+		r.Err, r.ErrKind = encodeErr(err)
+		if m := l.hooks.metrics; m != nil {
+			switch r.ErrKind {
+			case errOverload:
+				m.Overloads.Inc()
+			case errPoisoned:
+				m.Poisons.Inc()
+			}
+		}
+	}
+	// Durable at-most-once: journal the acknowledgement and sync it
+	// before the response (or any replay of it) can leave the node.
+	// The ack is appended AFTER the call's outcome record in the same
+	// log, so this one group-committed sync also makes the state
+	// transition durable — zero lost acknowledged calls. Failed calls
+	// are not journaled: no transition happened, and re-executing them
+	// on retry after a crash is the desired behaviour.
+	var ackLSN uint64
+	if st := l.hooks.durable; st != nil && entry != nil && err == nil && st.DurableEntry(objName, entryName) {
+		lsn, aerr := st.AppendAck(objName, entryName, client, seq, r.Results, "", 0)
+		if aerr != nil {
 			r.Results = nil
-			r.Err, r.ErrKind = encodeErr(err)
-			if m := l.hooks.metrics; m != nil {
-				switch r.ErrKind {
-				case errOverload:
-					m.Overloads.Inc()
-				case errPoisoned:
-					m.Poisons.Inc()
-				}
-			}
+			r.Err, r.ErrKind = encodeErr(fmt.Errorf("rpc: %s.%s executed but journal append failed: %w", objName, entryName, aerr))
+		} else {
+			ackLSN = lsn
+			entry.lsn = lsn // published to duplicates by complete's close(done)
 		}
-		// Durable at-most-once: journal the acknowledgement and sync it
-		// before the response (or any replay of it) can leave the node.
-		// The ack is appended AFTER the call's outcome record in the same
-		// log, so this one group-committed sync also makes the state
-		// transition durable — zero lost acknowledged calls. Failed calls
-		// are not journaled: no transition happened, and re-executing them
-		// on retry after a crash is the desired behaviour.
-		var ackLSN uint64
-		if st := l.hooks.durable; st != nil && entry != nil && err == nil && st.DurableEntry(objName, entryName) {
-			lsn, aerr := st.AppendAck(objName, entryName, client, seq, r.Results, "", 0)
-			if aerr != nil {
-				r.Results = nil
-				r.Err, r.ErrKind = encodeErr(fmt.Errorf("rpc: %s.%s executed but journal append failed: %w", objName, entryName, aerr))
-			} else {
-				ackLSN = lsn
-				entry.lsn = lsn // published to duplicates by complete's close(done)
-			}
+	}
+	if entry != nil {
+		// Record the outcome even if the arrival link is already dead:
+		// the retry that replaces it replays from here. Completing
+		// before the sync is safe — every responder (this goroutine
+		// and any duplicate) still waits on the ack LSN before
+		// sending, and the snapshot writer dumps the dedup table
+		// before collecting object state (docs/DURABILITY.md).
+		l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+	}
+	if ackLSN != 0 {
+		if aerr := l.hooks.durable.WaitSynced(ackLSN); aerr != nil {
+			r.Results = nil
+			r.Err, r.ErrKind = encodeErr(fmt.Errorf("rpc: %s.%s executed but not durable: %w", objName, entryName, aerr))
 		}
-		if entry != nil {
-			// Record the outcome even if the arrival link is already dead:
-			// the retry that replaces it replays from here. Completing
-			// before the sync is safe — every responder (this goroutine
-			// and any duplicate) still waits on the ack LSN before
-			// sending, and the snapshot writer dumps the dedup table
-			// before collecting object state (docs/DURABILITY.md).
-			l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
-		}
-		if ackLSN != 0 {
-			if aerr := l.hooks.durable.WaitSynced(ackLSN); aerr != nil {
-				r.Results = nil
-				r.Err, r.ErrKind = encodeErr(fmt.Errorf("rpc: %s.%s executed but not durable: %w", objName, entryName, aerr))
-			}
-		}
-		resCh <- r
-	}()
+	}
+	l.sendResponse(&r)
+}
+
+// replayDuplicate answers a retry of a (client, seq) whose primary
+// execution is recorded or still in flight: it waits — bounded by
+// replayWait — for the primary's completion and replays its response. The
+// wait is bounded because the wire carries no per-call deadline; without
+// the bound a primary stuck in a guard that never fires would pin this
+// goroutine forever (and, before the bound existed, did). Callers own the
+// drain gate.
+func (l *link) replayDuplicate(id uint64, objName, entryName, client string, seq uint64, entry *dedupEntry) {
+	resp := frame{Kind: frameResponse, ID: id}
+	if m := l.hooks.metrics; m != nil {
+		m.DedupHits.Inc()
+	}
+	l.hooks.rec.Record(objName, entryName, -1, seq, trace.Replayed)
+	var timeout <-chan time.Time
+	if l.hooks.replayWait > 0 {
+		t := time.NewTimer(l.hooks.replayWait)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
-	case r := <-resCh:
-		_ = l.send(&r)
+	case <-l.hooks.dedup.waitCh(entry):
+		// The primary wrote entry.lsn before closing done; sync through it
+		// so a replayed acknowledgement is as durable as the original
+		// would have been.
+		if st := l.hooks.durable; st != nil && entry.lsn != 0 {
+			if err := st.WaitSynced(entry.lsn); err != nil {
+				resp.Err, resp.ErrKind = encodeErr(fmt.Errorf("rpc: replay %s.%s: durability: %w", objName, entryName, err))
+				_ = l.send(&resp)
+				return
+			}
+		}
+		resp.Results, resp.Err, resp.ErrKind = entry.results, entry.errMsg, entry.errKind
+		l.sendResponse(&resp)
+	case <-timeout:
+		if m := l.hooks.metrics; m != nil {
+			m.ReplayTimeouts.Inc()
+		}
+		resp.Err, resp.ErrKind = encodeErr(fmt.Errorf(
+			"rpc: duplicate of %s.%s (client %s seq %d) still in flight after %v: %w",
+			objName, entryName, client, seq, l.hooks.replayWait, ErrReplayTimeout))
+		_ = l.send(&resp)
 	case <-l.done:
 	}
+}
+
+// serveInline is the zero-goroutine request path: when the published
+// object supports asynchronous completion, the read loop submits the call
+// directly and the response is sent by the object's completion
+// dispatcher. It reports false — before taking the drain gate or touching
+// the dedup table — when the request needs the blocking path: durability
+// configured, unknown objects, objects without CallAsync. Returning true
+// transfers ownership of f: serveInline (or the work it spawned) recycles
+// the frame.
+func (l *link) serveInline(f *frame) bool {
+	if l.hooks.durable != nil || l.res == nil {
+		return false
+	}
+	obj, ok := l.res.lookup(f.Object)
+	if !ok {
+		return false
+	}
+	ac, isAsync := obj.(asyncCallable)
+	if !isAsync {
+		return false
+	}
+	if l.hooks.begin != nil && !l.hooks.begin() {
+		return false // draining: the blocking path re-checks and rejects
+	}
+	// The drain gate is held from here on: every path below must reach
+	// endServe exactly once, so falling back to serveRequest — which would
+	// take the gate a second time — is no longer an option.
+	id, objName, entryName := f.ID, f.Object, f.Entry
+	client, seq := f.Client, f.Seq
+	var entry *dedupEntry
+	if client != "" && l.hooks.dedup != nil {
+		var primary bool
+		entry, primary = l.hooks.dedup.begin(dedupKey{client, seq})
+		if !primary {
+			// Replays can block on the primary: their own goroutine. The
+			// frame is done — everything the wait needs is copied above.
+			putFrame(f)
+			go func() {
+				defer l.endServe()
+				l.replayDuplicate(id, objName, entryName, client, seq, entry)
+			}()
+			return true
+		}
+	}
+	params := l.resolveParams(f.Params)
+	done := func(results []any, err error) {
+		l.finishServe(id, client, seq, entry, results, err)
+		putFrame(f) // params (aliasing f) are dead once the body finished
+		l.endServe()
+	}
+	if ac.CallAsync(entryName, params, done) {
+		return true
+	}
+	// The object declined (intercepted entry, admission bound, journal,
+	// sequencer, closing): execute on the blocking path, with the gate and
+	// the dedup entry already held.
+	go func() {
+		defer l.endServe()
+		ctx := l.ctx
+		if entry != nil && l.hooks.serveCtx != nil {
+			ctx = l.hooks.serveCtx
+		}
+		results, err := obj.CallCtx(ctx, entryName, params...)
+		l.finishServe(id, client, seq, entry, results, err)
+		putFrame(f)
+	}()
+	return true
+}
+
+func (l *link) endServe() {
+	if l.hooks.end != nil {
+		l.hooks.end()
+	}
+}
+
+// finishServe turns a call outcome into the response frame: error
+// encoding and metrics, the at-most-once record for replays, then the
+// send — non-blocking first, since this runs on the object's shared
+// completion dispatcher, with a goroutine fallback when the link is
+// backpressured.
+func (l *link) finishServe(id uint64, client string, seq uint64, entry *dedupEntry, results []any, err error) {
+	r := frame{Kind: frameResponse, ID: id, Results: results}
+	if err != nil {
+		r.Results = nil
+		r.Err, r.ErrKind = encodeErr(err)
+		if m := l.hooks.metrics; m != nil {
+			switch r.ErrKind {
+			case errOverload:
+				m.Overloads.Inc()
+			case errPoisoned:
+				m.Poisons.Inc()
+			}
+		}
+	}
+	if entry != nil {
+		// Record the outcome even if the arrival link is already dead: the
+		// retry that replaces it replays from here.
+		l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+	}
+	if !l.trySendResponse(&r) {
+		go l.sendResponse(&r)
+	}
+}
+
+// trySendResponse queues r without ever blocking the caller: no
+// backpressure wait and no combining — one wedged peer must not stall the
+// completion dispatcher for every other caller of the object. It reports
+// false (frame not queued) when the queue is over budget or the frame
+// fails to encode; the caller retries on the blocking path. When the
+// append leaves no combiner active, a flusher goroutine is kicked — under
+// load a combiner is almost always draining, so the spawn is rare.
+func (l *link) trySendResponse(r *frame) bool {
+	buf := wire.GetBuf()
+	b, err := wire.AppendFrame(*buf, r, l.table)
+	if err != nil {
+		wire.PutBuf(buf)
+		return false // sendResponse downgrades to an encodable error frame
+	}
+	*buf = b
+	l.wmu.Lock()
+	if l.closedLocked() {
+		l.wmu.Unlock()
+		wire.PutBuf(buf)
+		return true // link dead: the response is undeliverable either way
+	}
+	if len(l.wbuf) >= maxQueued && l.writing {
+		l.wmu.Unlock()
+		wire.PutBuf(buf)
+		return false
+	}
+	l.wbuf = append(l.wbuf, b...)
+	if m := l.hooks.metrics; m != nil {
+		m.FramesSent.Inc()
+	}
+	writing := l.writing
+	l.wmu.Unlock()
+	wire.PutBuf(buf)
+	if !writing {
+		go l.flushQueued()
+	}
+	return true
 }
 
 func (l *link) closeReason() error {
@@ -530,6 +878,17 @@ func (l *link) shutdown(reason error) {
 	}
 	l.closed = true
 	l.closeErr = reason
+	// Poison every pending call with a zero-kind frame: the hot receive
+	// path in call() is a plain channel recv (no l.done select arm), so
+	// link death must reach waiters through their own channels. Calls
+	// registering after this sweep see l.closed under the same mutex and
+	// fail before ever blocking.
+	for _, ch := range l.pending {
+		select {
+		case ch <- frame{}:
+		default:
+		}
+	}
 	proxies := make([]*channel.Chan, 0, len(l.proxies))
 	for _, p := range l.proxies {
 		proxies = append(proxies, p)
@@ -537,6 +896,12 @@ func (l *link) shutdown(reason error) {
 	l.mu.Unlock()
 
 	close(l.done)
+	// Release senders blocked on backpressure. The lock pairs the
+	// broadcast with their closedLocked re-check: a sender between its
+	// check and its Wait still holds wmu, so it cannot miss the wakeup.
+	l.wmu.Lock()
+	l.wcond.Broadcast()
+	l.wmu.Unlock()
 	l.cancel()
 	_ = l.conn.Close()
 	for _, p := range proxies {
@@ -545,8 +910,29 @@ func (l *link) shutdown(reason error) {
 	l.hooks.rec.Record("", l.conn.RemoteAddr().String(), -1, 0, trace.LinkDown)
 }
 
-// close shuts the link down and waits for its goroutines.
+// close shuts the link down gracefully: frames already committed to the
+// write queue — responses whose drain-gate accounting has completed but
+// whose flush is still pending — reach the wire first, then the link
+// tears down and waits for its goroutines.
 func (l *link) close() {
+	l.flushPending()
 	l.shutdown(ErrLinkClosed)
 	l.wg.Wait()
+}
+
+// flushPending waits, briefly and best-effort, until the write queue is
+// empty and no combiner is mid-batch. Bounded: a peer that stopped
+// reading must not turn a graceful close into a hang.
+func (l *link) flushPending() {
+	deadline := time.Now().Add(time.Second)
+	l.wmu.Lock()
+	for (len(l.wbuf) > 0 || l.writing) && !l.closedLocked() {
+		l.wmu.Unlock()
+		runtime.Gosched()
+		if time.Now().After(deadline) {
+			return
+		}
+		l.wmu.Lock()
+	}
+	l.wmu.Unlock()
 }

@@ -36,6 +36,11 @@ type Node struct {
 	lis     net.Listener
 	closed  bool
 
+	// objSnap is a copy-on-write snapshot of objects, rebuilt by publish.
+	// lookup runs once per request and reads the snapshot without taking
+	// n.mu, so the serve hot path never contends with accept/publish.
+	objSnap atomic.Pointer[map[string]callable]
+
 	draining atomic.Bool
 	inflight atomic.Int64
 
@@ -49,7 +54,6 @@ func NewNode(name string) *Node {
 
 // NewNodeWith creates a node with explicit resilience options.
 func NewNodeWith(name string, opts NodeOptions) *Node {
-	registerDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		name:    name,
@@ -85,9 +89,7 @@ func (n *Node) dedupDump() []wal.AckEntry {
 		if !ok {
 			continue
 		}
-		select {
-		case <-e.done:
-		default:
+		if !e.completed() {
 			continue // in-flight: its ack is not on disk yet either
 		}
 		out = append(out, wal.AckEntry{
@@ -138,6 +140,11 @@ func (n *Node) publish(name string, obj callable) error {
 		return fmt.Errorf("node %s: object %q already published", n.name, name)
 	}
 	n.objects[name] = obj
+	snap := make(map[string]callable, len(n.objects))
+	for k, v := range n.objects {
+		snap[k] = v
+	}
+	n.objSnap.Store(&snap)
 	return nil
 }
 
@@ -271,9 +278,11 @@ func (n *Node) Inflight() int64 { return n.inflight.Load() }
 
 // lookup implements objectResolver.
 func (n *Node) lookup(name string) (callable, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	obj, ok := n.objects[name]
+	snap := n.objSnap.Load()
+	if snap == nil {
+		return nil, false
+	}
+	obj, ok := (*snap)[name]
 	return obj, ok
 }
 

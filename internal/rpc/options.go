@@ -124,6 +124,17 @@ type Metrics struct {
 	// in-flight primary execution (ErrReplayTimeout responses).
 	ReplayTimeouts metrics.Counter
 
+	// Transport counters, accumulated per link and summed across the links
+	// sharing this Metrics. FramesSent/Flushes is the frames-per-flush
+	// coalescing ratio (1.0 = lock-step, higher = batched) and
+	// BytesSent/Flushes the mean batch size — the numbers the pipelined
+	// benches use to prove coalescing actually happens.
+	BytesSent  metrics.Counter // payload+framing bytes flushed to the wire
+	BytesRecv  metrics.Counter // framed bytes consumed off the wire
+	FramesSent metrics.Counter // frames written (requests, responses, chan sends)
+	FramesRecv metrics.Counter // frames decoded
+	Flushes    metrics.Counter // explicit write-buffer flushes (batch boundaries)
+
 	// Supervision, when non-nil, is the object-layer supervision counter
 	// set shared with the hosted objects (via core.ObjectOptions.Metrics),
 	// so restart/shed/poison/stall counts surface alongside the wire

@@ -1,8 +1,8 @@
 package rpc
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"net"
 	"sync"
@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // startSimNode publishes obj on a fresh simnet node named "srv" and
@@ -162,11 +163,23 @@ func TestWireLevelDuplicateSuppressed(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer conn.Close()
-		if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		tab := wire.DefaultTable.Snapshot()
+		br := bufio.NewReader(conn)
+		if err := wire.WriteHello(conn); err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.ReadHello(br); err != nil {
+			t.Fatal(err)
+		}
+		b, err := wire.AppendFrame(nil, &req, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(b); err != nil {
 			t.Fatal(err)
 		}
 		var resp frame
-		if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		if err := wire.NewDecoder(br, tab).Decode(&resp); err != nil {
 			t.Fatal(err)
 		}
 		return resp
@@ -457,8 +470,8 @@ func TestDialListTimeoutsConfigurable(t *testing.T) {
 		t.Fatalf("defaults = %v/%v, want 10s/10s", def.Timeout, def.ListTimeout)
 	}
 
-	// A listener that accepts but never speaks gob: List must give up
-	// after the configured (short) timeout instead of 10s.
+	// A listener that accepts but never answers the hello: List must give
+	// up after the configured (short) timeout instead of 10s.
 	network := simnet.New(simnet.Config{})
 	if _, err := network.Listen("mute"); err != nil {
 		t.Fatal(err)

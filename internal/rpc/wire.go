@@ -5,103 +5,67 @@
 // parameters.
 //
 // A Node hosts objects (and channels) behind a TCP listener; a Remote is a
-// client connection. Frames are gob-encoded over a persistent connection;
-// parameter and result values must be gob-encodable (basic types work out
-// of the box, user-defined types are registered with Register).
+// client connection. Frames use internal/wire's length-prefixed binary
+// codec over a persistent, pipelined connection; parameter and result
+// values must be wire-encodable (basic types, []byte, []any,
+// map[string]any and ChanRef work out of the box, user-defined struct
+// types are registered with Register).
 package rpc
 
 import (
-	"encoding/gob"
 	"errors"
-	"fmt"
-	"strings"
-	"sync"
 
-	"repro/internal/core"
+	"repro/internal/wire"
 )
 
-// frameKind discriminates wire frames.
-type frameKind int
+// The rpc layer's frame vocabulary is the wire package's, re-exported
+// under the historical local names so the serving and dispatch code reads
+// unchanged.
+type (
+	frameKind = wire.Kind
+	errKind   = wire.ErrKind
+	frame     = wire.Frame
+)
 
 const (
-	frameRequest  frameKind = iota + 1 // call an entry procedure
-	frameResponse                      // results of a request
-	frameChanSend                      // message for a published channel
-	frameList                          // list hosted objects
-	frameListResp                      // response to frameList
+	frameRequest  = wire.KindRequest
+	frameResponse = wire.KindResponse
+	frameChanSend = wire.KindChanSend
+	frameList     = wire.KindList
+	frameListResp = wire.KindListResp
+
+	errNone          = wire.ErrNone
+	errGeneric       = wire.ErrGeneric
+	errClosed        = wire.ErrKindClosed
+	errUnknownEntry  = wire.ErrKindUnknownEntry
+	errUnknownObject = wire.ErrKindUnknownObject
+	errBadArity      = wire.ErrKindBadArity
+	errOverload      = wire.ErrKindOverload
+	errPoisoned      = wire.ErrKindPoisoned
+	errReplayTimeout = wire.ErrKindReplayTimeout
 )
-
-// errKind carries sentinel-error identity across the wire.
-type errKind int
-
-const (
-	errNone errKind = iota
-	errGeneric
-	errClosed
-	errUnknownEntry
-	errUnknownObject
-	errBadArity
-	errOverload      // core.ErrOverload: admission control shed the call; retryable
-	errPoisoned      // core.ErrObjectPoisoned: object's manager died; terminal
-	errReplayTimeout // ErrReplayTimeout: duplicate gave up waiting on the primary; retryable
-)
-
-// frame is the single wire message type.
-type frame struct {
-	Kind    frameKind
-	ID      uint64
-	Object  string
-	Entry   string
-	Params  []any
-	Results []any
-	Err     string
-	ErrKind errKind
-	Chan    string
-	Names   []string
-
-	// Client and Seq identify a logical call across retries and
-	// reconnects: Client is the caller's stable identity, Seq its
-	// per-client call sequence number. Nodes dedup on the pair so retried
-	// requests execute at most once (docs/FAULTS.md); a zero Client means
-	// the caller wants no dedup.
-	Client string
-	Seq    uint64
-}
 
 // ChanRef names a channel published on the sending side of a call. When a
 // ChanRef arrives as a call parameter, the receiving node replaces it with
 // a live channel whose sends are forwarded back to the publisher — this is
 // how a user communicates with an executing remote procedure (§1).
-type ChanRef struct {
-	Name string
-}
+type ChanRef = wire.ChanRef
 
 // ErrUnknownObject is returned when a call names an object the node does
 // not host.
-var ErrUnknownObject = errors.New("rpc: unknown object")
+var ErrUnknownObject = wire.ErrUnknownObject
 
-// ErrBadFrame reports a decoded frame that failed structural validation:
-// an unknown frame kind or error kind. A peer sending such frames is
-// either a version-skewed build or not speaking this protocol at all, so
-// the link is torn down rather than guessing.
-var ErrBadFrame = errors.New("rpc: malformed frame")
+// ErrBadFrame reports a frame that failed structural validation: a bad
+// length prefix, a CRC mismatch, a truncated varint, or an unknown frame
+// kind, error kind or value tag. A peer sending such frames is corrupting
+// bytes or not speaking this protocol at all, so the link is torn down
+// rather than guessing.
+var ErrBadFrame = wire.ErrMalformed
 
-func (k frameKind) valid() bool { return k >= frameRequest && k <= frameListResp }
-
-func (k errKind) valid() bool { return k >= errNone && k <= errReplayTimeout }
-
-// validate rejects frames whose discriminants fall outside the protocol.
-// It runs on every decoded frame before dispatch; gob guarantees the
-// field types, this guarantees the values.
-func (f *frame) validate() error {
-	if !f.Kind.valid() {
-		return fmt.Errorf("%w: unknown frame kind %d", ErrBadFrame, int(f.Kind))
-	}
-	if !f.ErrKind.valid() {
-		return fmt.Errorf("%w: unknown error kind %d", ErrBadFrame, int(f.ErrKind))
-	}
-	return nil
-}
+// ErrVersionSkew reports a connection whose protocol hello did not match
+// this build — an old gob-era peer or a foreign protocol. The link fails
+// before any frame is exchanged.
+var ErrVersionSkew = wire.ErrVersionSkew
 
 // ErrLinkClosed is returned for calls over a closed or failed connection.
 var ErrLinkClosed = errors.New("rpc: connection closed")
@@ -111,92 +75,23 @@ var ErrLinkClosed = errors.New("rpc: connection closed")
 // without seeing it complete. The original execution continues; its result
 // stays in the dedup cache, so a later retry of the same sequence number
 // replays it. Retryable with the SAME sequence number.
-var ErrReplayTimeout = errors.New("rpc: timed out waiting for in-flight duplicate")
-
-var registerOnce sync.Once
-
-// registerDefaults registers the types commonly carried inside []any.
-func registerDefaults() {
-	registerOnce.Do(func() {
-		gob.Register(ChanRef{})
-		gob.Register([]any{})
-		gob.Register(map[string]any{})
-		gob.Register([]byte(nil))
-		gob.Register([2]int{})
-	})
-}
+var ErrReplayTimeout = wire.ErrReplayTimeout
 
 // Register makes a user-defined type transmissible as a parameter, result
 // or message value. It must be called identically on both ends before the
-// type is used.
+// type is used — links capture the registered set when they are created.
+//
+// Registration goes to an explicit type table (wire.DefaultTable), not a
+// process-global gob registry: it is concurrency-safe, idempotent, and
+// duplicate-name panics are impossible because names are package-path
+// qualified.
 func Register(value any) {
-	registerDefaults()
-	gob.Register(value)
+	wire.Register(value)
 }
 
 // encodeErr maps an error to its wire representation.
-func encodeErr(err error) (string, errKind) {
-	if err == nil {
-		return "", errNone
-	}
-	kind := errGeneric
-	switch {
-	// Poison wraps the manager's panic text, which could itself mention
-	// other sentinels; check it first so the terminal classification wins.
-	case errors.Is(err, core.ErrObjectPoisoned):
-		kind = errPoisoned
-	case errors.Is(err, core.ErrOverload):
-		kind = errOverload
-	case errors.Is(err, core.ErrClosed):
-		kind = errClosed
-	case errors.Is(err, core.ErrUnknownEntry):
-		kind = errUnknownEntry
-	case errors.Is(err, ErrUnknownObject):
-		kind = errUnknownObject
-	case errors.Is(err, core.ErrBadArity):
-		kind = errBadArity
-	case errors.Is(err, ErrReplayTimeout):
-		kind = errReplayTimeout
-	}
-	return err.Error(), kind
-}
+func encodeErr(err error) (string, errKind) { return wire.EncodeErr(err) }
 
 // decodeErr reconstructs an error from its wire representation, preserving
 // sentinel identity for errors.Is.
-func decodeErr(msg string, kind errKind) error {
-	if kind == errNone {
-		return nil
-	}
-	switch kind {
-	case errClosed:
-		return rewrap(msg, core.ErrClosed)
-	case errUnknownEntry:
-		return rewrap(msg, core.ErrUnknownEntry)
-	case errUnknownObject:
-		return rewrap(msg, ErrUnknownObject)
-	case errBadArity:
-		return rewrap(msg, core.ErrBadArity)
-	case errOverload:
-		return rewrap(msg, core.ErrOverload)
-	case errPoisoned:
-		return rewrap(msg, core.ErrObjectPoisoned)
-	case errReplayTimeout:
-		return rewrap(msg, ErrReplayTimeout)
-	default:
-		// frame.validate rejects out-of-range kinds before dispatch, so
-		// this is defense in depth for callers that skip validation.
-		return fmt.Errorf("%s: %w", msg, ErrBadFrame)
-	}
-}
-
-// rewrap re-attaches a sentinel to a remote error message for errors.Is,
-// without repeating the sentinel's own text when the message (produced by
-// wrapping the same sentinel on the server) already ends with it.
-func rewrap(msg string, sentinel error) error {
-	s := sentinel.Error()
-	if msg == s {
-		return sentinel
-	}
-	msg = strings.TrimSuffix(msg, ": "+s)
-	return fmt.Errorf("%s: %w", msg, sentinel)
-}
+func decodeErr(msg string, kind errKind) error { return wire.DecodeErr(msg, kind) }

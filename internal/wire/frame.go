@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// MaxFrame caps the payload size the decoder will buffer for a single
+// frame. Anything larger is treated as malformed — a corrupted or hostile
+// length prefix must not convince the reader to allocate gigabytes.
+const MaxFrame = 16 << 20
+
+// castagnoli is the CRC-32C table; crc32c is hardware-accelerated on the
+// platforms we run on.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// bufPool recycles encode buffers. Frames are framed as
+// `uvarint len | crc32c | payload`, so the encoder builds the payload in a
+// pooled scratch first, then commits the framed bytes in one append.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
+// GetBuf returns a pooled, empty byte slice for encode scratch.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. Oversized buffers are
+// dropped so one huge frame doesn't pin memory in the pool forever.
+func PutBuf(b *[]byte) {
+	if cap(*b) > 1<<20 {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// appendPayload encodes f's body (everything inside the frame envelope).
+// Field order is fixed per kind; absent fields are simply not encoded, so
+// a request carries no error slot and a response no object name.
+func appendPayload(dst []byte, f *Frame, t *TypeTable) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	dst = append(dst, byte(f.Kind))
+	dst = appendUvarint(dst, f.ID)
+	var err error
+	switch f.Kind {
+	case KindRequest:
+		dst = appendStringField(dst, f.Object)
+		dst = appendStringField(dst, f.Entry)
+		dst = appendStringField(dst, f.Client)
+		dst = appendUvarint(dst, f.Seq)
+		if dst, err = appendValues(dst, f.Params, t); err != nil {
+			return nil, err
+		}
+	case KindResponse:
+		dst = append(dst, byte(f.ErrKind))
+		dst = appendStringField(dst, f.Err)
+		if dst, err = appendValues(dst, f.Results, t); err != nil {
+			return nil, err
+		}
+	case KindChanSend:
+		dst = appendStringField(dst, f.Chan)
+		if dst, err = appendValues(dst, f.Params, t); err != nil {
+			return nil, err
+		}
+	case KindList:
+		// kind and ID only
+	case KindListResp:
+		dst = appendUvarint(dst, uint64(len(f.Names)))
+		for _, n := range f.Names {
+			dst = appendStringField(dst, n)
+		}
+	}
+	return dst, nil
+}
+
+// AppendFrame appends the complete wire encoding of f —
+// `uvarint len | crc32c(payload) | payload` — to dst. Encoding failures
+// (unsupported value types) leave dst unchanged, so a half-encoded frame
+// can never reach the wire: the caller reports the error to the local
+// waiter and the link lives on.
+func AppendFrame(dst []byte, f *Frame, t *TypeTable) ([]byte, error) {
+	scratch := GetBuf()
+	defer PutBuf(scratch)
+	payload, err := appendPayload(*scratch, f, t)
+	if err != nil {
+		return dst, err
+	}
+	*scratch = payload
+	if len(payload) > MaxFrame {
+		return dst, fmt.Errorf("%w: frame payload %d exceeds MaxFrame", ErrMalformed, len(payload))
+	}
+	dst = appendUvarint(dst, uint64(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), nil
+}
+
+// Decoder reads frames off a buffered stream. It is not safe for
+// concurrent use — each link owns one, driven by its read loop.
+type Decoder struct {
+	r     *bufio.Reader
+	table *TypeTable
+
+	// arena is the per-frame payload buffer. If a decoded value aliased it
+	// (tagBytes ownership transfer), the arena has escaped to the caller
+	// and is abandoned to the GC; otherwise it is reused for the next
+	// frame. This mirrors PR 2's copy-elision rule: the producer hands the
+	// buffer over instead of copying, and never touches it again.
+	arena []byte
+
+	// interned caches small repeated strings — object, entry, client and
+	// channel names recur on every frame of a conversation, so decode them
+	// once instead of allocating per frame.
+	interned map[string]string
+
+	// bytesRead counts wire bytes consumed (header + CRC + payload),
+	// drained by the link into its BytesRecv metric.
+	bytesRead uint64
+}
+
+// NewDecoder returns a Decoder reading from r using table's registered
+// user types. The table should be an immutable Snapshot when links share
+// a source table across goroutines.
+func NewDecoder(r *bufio.Reader, table *TypeTable) *Decoder {
+	return &Decoder{r: r, table: table, interned: make(map[string]string)}
+}
+
+// BytesRead returns and resets the count of wire bytes consumed since the
+// last call.
+func (d *Decoder) BytesRead() uint64 {
+	n := d.bytesRead
+	d.bytesRead = 0
+	return n
+}
+
+// intern returns raw as a string, reusing a prior allocation when the same
+// bytes were seen before. Only used for identifier-ish fields; payload
+// strings are not interned (arbitrary cardinality would grow the map
+// without bound).
+func (d *Decoder) intern(raw []byte) string {
+	if len(raw) == 0 {
+		return ""
+	}
+	if s, ok := d.interned[string(raw)]; ok { // no-alloc map lookup
+		return s
+	}
+	s := string(raw)
+	if len(d.interned) < 4096 && len(s) <= 256 {
+		d.interned[s] = s
+	}
+	return s
+}
+
+func (d *Decoder) internField(b []byte) (string, []byte, error) {
+	raw, b, err := bytesField(b)
+	if err != nil {
+		return "", nil, err
+	}
+	return d.intern(raw), b, nil
+}
+
+// Decode reads the next frame into f. Frame fields are freshly decoded
+// values (or arena aliases, per the tagBytes rule); f's previous contents
+// are fully overwritten. Structural problems — bad length, CRC mismatch,
+// unknown kinds or tags, trailing garbage — return an error wrapping
+// ErrMalformed; the caller should tear the link down, because a stream
+// that framed one frame wrong has lost sync for all subsequent ones.
+func (d *Decoder) Decode(f *Frame) error {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return io.EOF
+		}
+		return err
+	}
+	hdr := uvarintLen(n)
+	if n > MaxFrame {
+		return fmt.Errorf("%w: frame length %d exceeds MaxFrame", ErrMalformed, n)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(d.r, crcBuf[:]); err != nil {
+		return fmt.Errorf("%w: short frame header: %v", ErrMalformed, err)
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if uint64(cap(d.arena)) < n {
+		d.arena = make([]byte, n)
+	}
+	payload := d.arena[:n]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return fmt.Errorf("%w: short frame payload: %v", ErrMalformed, err)
+	}
+	d.bytesRead += uint64(hdr) + 4 + n
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrMalformed, got, want)
+	}
+
+	vd := valueDecoder{table: d.table}
+	if err := d.parse(&vd, payload, f); err != nil {
+		return err
+	}
+	if vd.aliased {
+		// A decoded []byte aliases the arena: hand the buffer over and
+		// start fresh next frame.
+		d.arena = nil
+	}
+	return nil
+}
+
+func (d *Decoder) parse(vd *valueDecoder, b []byte, f *Frame) error {
+	*f = Frame{}
+	if len(b) < 1 {
+		return fmt.Errorf("%w: empty payload", ErrMalformed)
+	}
+	f.Kind = Kind(b[0])
+	b = b[1:]
+	if !f.Kind.Valid() {
+		return fmt.Errorf("%w: unknown frame kind %d", ErrMalformed, int(f.Kind))
+	}
+	var err error
+	if f.ID, b, err = uvarint(b); err != nil {
+		return err
+	}
+	switch f.Kind {
+	case KindRequest:
+		if f.Object, b, err = d.internField(b); err != nil {
+			return err
+		}
+		if f.Entry, b, err = d.internField(b); err != nil {
+			return err
+		}
+		if f.Client, b, err = d.internField(b); err != nil {
+			return err
+		}
+		if f.Seq, b, err = uvarint(b); err != nil {
+			return err
+		}
+		if f.Params, b, err = vd.values(b); err != nil {
+			return err
+		}
+	case KindResponse:
+		if len(b) < 1 {
+			return fmt.Errorf("%w: truncated response", ErrMalformed)
+		}
+		f.ErrKind = ErrKind(b[0])
+		b = b[1:]
+		if !f.ErrKind.Valid() {
+			return fmt.Errorf("%w: unknown error kind %d", ErrMalformed, int(f.ErrKind))
+		}
+		var raw []byte
+		if raw, b, err = bytesField(b); err != nil {
+			return err
+		}
+		f.Err = string(raw)
+		if f.Results, b, err = vd.values(b); err != nil {
+			return err
+		}
+	case KindChanSend:
+		if f.Chan, b, err = d.internField(b); err != nil {
+			return err
+		}
+		if f.Params, b, err = vd.values(b); err != nil {
+			return err
+		}
+	case KindList:
+	case KindListResp:
+		var n uint64
+		if n, b, err = uvarint(b); err != nil {
+			return err
+		}
+		if n > uint64(len(b)) {
+			return fmt.Errorf("%w: %d names in %d bytes", ErrMalformed, n, len(b))
+		}
+		if n > 0 {
+			f.Names = make([]string, n)
+			for i := range f.Names {
+				var raw []byte
+				if raw, b, err = bytesField(b); err != nil {
+					return err
+				}
+				f.Names[i] = string(raw)
+			}
+		}
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after frame", ErrMalformed, len(b))
+	}
+	return nil
+}
+
+// DecodeFrame parses a single standalone framed message from b (tests,
+// fuzzing). Production links use Decoder for arena reuse and interning.
+func DecodeFrame(b []byte, table *TypeTable) (*Frame, error) {
+	d := NewDecoder(bufio.NewReader(bytes.NewReader(b)), table)
+	var f Frame
+	if err := d.Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// uvarintLen reports the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary byte streams to the frame decoder — the
+// migration of internal/rpc's gob-era FuzzFrameDecode corpus to the binary
+// codec. readLoop treats any decode failure as link death, so a truncated,
+// corrupted, or adversarial stream must produce an error — never a panic,
+// a hang, or an unbounded allocation — and whatever does decode must pass
+// Validate and round-trip the error codec consistently.
+func FuzzWireDecode(f *testing.F) {
+	tab := NewTypeTable()
+	seedFrames := []Frame{
+		{Kind: KindRequest, ID: 1, Object: "X", Entry: "P", Params: []any{1, "s"}, Client: "c", Seq: 7},
+		{Kind: KindResponse, ID: 2, Results: []any{42}, Err: "boom", ErrKind: ErrKindClosed},
+		{Kind: KindChanSend, Chan: "chan-1", Params: []any{[]byte{1, 2, 3}}},
+		{Kind: KindList, ID: 3},
+		{Kind: KindListResp, ID: 3, Names: []string{"A", "B"}},
+		// Group-routed request: a call addressed to a shard.Group published
+		// under one name, with the string routing key in params — the wire
+		// shape cmd/alpsd serves with -shards.
+		{Kind: KindRequest, ID: 4, Object: "words", Entry: "Add", Params: []any{"alps", 3}, Client: "g", Seq: 1},
+		{Kind: KindResponse, ID: 4, Err: "shard 2 poisoned", ErrKind: ErrKindPoisoned},
+		// Exercise every value tag, including nesting.
+		{Kind: KindRequest, ID: 5, Object: "O", Entry: "E", Params: []any{
+			nil, true, false, -7, int8(1), int16(2), int32(3), int64(4),
+			uint(5), uint8(6), uint16(7), uint32(8), uint64(9),
+			float32(1.5), 2.5, "str", []byte{0xff},
+			[]any{"nested", map[string]any{"k": [2]int{1, 2}}},
+			ChanRef{Name: "ch"},
+		}},
+	}
+	var full []byte
+	for i := range seedFrames {
+		b, err := AppendFrame(full, &seedFrames[i], tab)
+		if err != nil {
+			f.Fatal(err)
+		}
+		full = b
+	}
+	f.Add(append([]byte(nil), full...))
+	// Truncations at assorted depths.
+	for _, cut := range []int{1, len(full) / 3, len(full) / 2, len(full) - 1} {
+		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	// Byte corruption sweep (CRC must catch these).
+	corrupted := append([]byte(nil), full...)
+	for i := 7; i < len(corrupted); i += 13 {
+		corrupted[i] ^= 0xff
+	}
+	f.Add(corrupted)
+	// Tag mutation: smash plausible tag positions to out-of-range values.
+	mutTags := append([]byte(nil), full...)
+	for i := 8; i < len(mutTags); i += 11 {
+		mutTags[i] = 200 + byte(i%50)
+	}
+	f.Add(mutTags)
+	// Length mutation: inflate the first frame's length prefix.
+	f.Add(append([]byte{0xff, 0xff, 0xff, 0x7f}, full[:16]...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(bufio.NewReader(bytes.NewReader(data)), tab)
+		for i := 0; i < 64; i++ {
+			var fr Frame
+			if err := d.Decode(&fr); err != nil {
+				return // corrupt/truncated input must fail cleanly
+			}
+			// Anything the decoder accepts must be in-protocol.
+			if err := fr.Validate(); err != nil {
+				t.Fatalf("decoder produced invalid frame %+v: %v", fr, err)
+			}
+			if err := DecodeErr(fr.Err, fr.ErrKind); (err == nil) != (fr.ErrKind == ErrNone) {
+				t.Fatalf("DecodeErr(%q, %d) nil-ness inconsistent", fr.Err, fr.ErrKind)
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// TypeTable maps user-defined param/result types to wire names. The
+// built-in types (value.go's tag set) never touch it; only types outside
+// that set — structs registered by applications — go through tagNamed.
+//
+// Unlike gob's process-global registry, a TypeTable is an explicit value:
+// registration is concurrency-safe and idempotent, duplicate names cannot
+// panic (names are fully qualified by package path, so two distinct types
+// can never collide), and links capture an immutable Snapshot at creation
+// so concurrent Register calls can never race a link's encoder.
+type TypeTable struct {
+	mu    sync.RWMutex
+	types map[string]reflect.Type
+
+	// frozen tables (link snapshots) reject Register instead of racing.
+	frozen bool
+}
+
+// NewTypeTable returns an empty, mutable table.
+func NewTypeTable() *TypeTable {
+	return &TypeTable{types: make(map[string]reflect.Type)}
+}
+
+// typeName returns the fully qualified wire name for v's dynamic type:
+// "pkgpath.TypeName". Unnamed or unexported-package types return "".
+func typeName(rt reflect.Type) string {
+	if rt.Name() == "" {
+		return ""
+	}
+	if pp := rt.PkgPath(); pp != "" {
+		return pp + "." + rt.Name()
+	}
+	return rt.Name()
+}
+
+// Register makes v's concrete type encodable through this table. Safe for
+// concurrent use; registering the same type twice is a no-op. Distinct
+// types always get distinct names (package-path qualified), so the
+// duplicate-name panic class of gob.Register is structurally impossible.
+func (t *TypeTable) Register(v any) {
+	rt := reflect.TypeOf(v)
+	if rt == nil {
+		return
+	}
+	name := typeName(rt)
+	if name == "" {
+		panic(fmt.Sprintf("wire: cannot register unnamed type %v", rt))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen {
+		panic("wire: Register on a frozen TypeTable snapshot")
+	}
+	if prev, ok := t.types[name]; ok && prev != rt {
+		// Only reachable if two types share a package path and name —
+		// i.e. never from real Go code. Guard anyway.
+		panic(fmt.Sprintf("wire: name %q already registered for %v", name, prev))
+	}
+	t.types[name] = rt
+}
+
+// Snapshot returns an immutable copy of the table. Links take one at
+// creation: later Register calls on the source table do not affect frames
+// already in flight, and nothing can mutate the snapshot.
+func (t *TypeTable) Snapshot() *TypeTable {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cp := make(map[string]reflect.Type, len(t.types))
+	for k, v := range t.types {
+		cp[k] = v
+	}
+	return &TypeTable{types: cp, frozen: true}
+}
+
+// Names returns the registered wire names, sorted (for tests/debugging).
+func (t *TypeTable) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.types))
+	for k := range t.types {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// appendNamed encodes a registered user type as
+// `tagNamed | name | gob(value)`. The gob payload is a self-contained
+// per-value stream (fresh encoder), so it needs no registry on the far
+// side beyond this table — the name lookup supplies the concrete type and
+// gob fills in the fields reflectively. User structs are the cold path;
+// the hot-path types all have dedicated tags.
+func (t *TypeTable) appendNamed(dst []byte, v any) ([]byte, error) {
+	rt := reflect.TypeOf(v)
+	name := typeName(rt)
+	t.mu.RLock()
+	reg, ok := t.types[name]
+	t.mu.RUnlock()
+	if name == "" || !ok || reg != rt {
+		return nil, fmt.Errorf("%w: %T (register it with rpc.Register)", ErrUnsupported, v)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("%w: %T: %v", ErrUnsupported, v, err)
+	}
+	dst = append(dst, tagNamed)
+	dst = appendStringField(dst, name)
+	return appendBytesField(dst, buf.Bytes()), nil
+}
+
+// decodeNamed reconstructs a registered user type from its wire name and
+// gob payload.
+func (t *TypeTable) decodeNamed(name string, payload []byte) (any, error) {
+	t.mu.RLock()
+	rt, ok := t.types[name]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: unregistered type %q", ErrMalformed, name)
+	}
+	pv := reflect.New(rt)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).DecodeValue(pv); err != nil {
+		return nil, fmt.Errorf("%w: decoding %q: %v", ErrMalformed, name, err)
+	}
+	return pv.Elem().Interface(), nil
+}
+
+// DefaultTable is the table package-level Register feeds. It exists so the
+// common one-node-per-process case keeps the old ergonomic
+// `rpc.Register(T{})`; multi-node tests that want isolation can build their
+// own tables.
+var DefaultTable = NewTypeTable()
+
+// Register adds v's type to DefaultTable.
+func Register(v any) { DefaultTable.Register(v) }
