@@ -7,6 +7,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/objects/parbuffer"
 	"repro/internal/objects/rwdb"
 	"repro/internal/objects/spooler"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/sched"
 	"repro/internal/shard"
@@ -94,6 +97,7 @@ func microBenches() []microBench {
 		{"ManagerPrimitives/managed-combining", microManagedCombining},
 		{"ShardGroup/shards=1-clients=64", microShardGroup1},
 		{"ShardGroup/shards=8-clients=64", microShardGroup8},
+		{"ReplicatedCall/replicas=3", microReplicatedCall},
 		{"Channel/send-recv", microChannel},
 		{"GuardScanWidth/array-4096", microGuardWidth},
 		{"SimnetLink", microSimnetLink},
@@ -665,6 +669,100 @@ func microManagedCombining(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := obj.Call("P", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCounter is the replicated state machine behind microReplicatedCall:
+// a single counter, so every committed entry does trivial work and the
+// measurement is the consensus pipeline, not the object body.
+type benchCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (o *benchCounter) CallCtx(context.Context, string, ...any) ([]any, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.n++
+	return []any{o.n}, nil
+}
+
+// microReplicatedCall measures a committed call through a 3-member
+// replication group over simnet: client -> leader -> quorum append ->
+// apply -> reply. Against E10RemoteCall/local this prices what consensus
+// costs per call; it is the headline the failover work must not ratchet.
+func microReplicatedCall(b *testing.B) {
+	b.ReportAllocs()
+	nw := simnet.New(simnet.Config{Seed: 7})
+	ids := []string{"A", "B", "C"}
+	peers := map[string]string{"A": "A", "B": "B", "C": "C"}
+	reps := make([]*replica.Replica, 0, len(ids))
+	nodes := make([]*rpc.Node, 0, len(ids))
+	defer func() {
+		for _, r := range reps {
+			r.Close()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, id := range ids {
+		id := id
+		rep, err := replica.New(replica.Config{
+			ID:    id,
+			Group: "KV",
+			Peers: peers,
+			Dial: func(addr string) (net.Conn, error) {
+				return nw.DialFrom(id, addr)
+			},
+			ElectionTimeout: 60 * time.Millisecond,
+			Seed:            7,
+		}, &benchCounter{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps = append(reps, rep)
+		node := rpc.NewNode(id)
+		if err := rep.Publish(node); err != nil {
+			b.Fatal(err)
+		}
+		lis, err := nw.Listen(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = node.Serve(lis) }()
+		nodes = append(nodes, node)
+	}
+
+	// Wait out the first election so the timed region is steady-state
+	// replication, not leader discovery.
+	leader := ""
+	for deadline := time.Now().Add(3 * time.Second); leader == "" && time.Now().Before(deadline); {
+		for i, r := range reps {
+			if role, _, _ := r.Status(); role == replica.Leader {
+				leader = ids[i]
+				break
+			}
+		}
+		if leader == "" {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if leader == "" {
+		b.Fatal("no leader elected")
+	}
+	conn, err := nw.DialFrom("bench-client", leader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rem := rpc.DialConnWith(conn, rpc.DialOptions{ClientID: "bench-client"})
+	defer rem.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rem.Call("KV", "Inc"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,14 @@
 //	alpsclient -addr 127.0.0.1:7100 write 3 99
 //	alpsclient -addr 127.0.0.1:7100 read 3
 //	alpsclient -addr 127.0.0.1:7100 print report.ps 12
+//
+// A comma-separated -addr targets a replication group: the client dials
+// the first reachable member and bounces to the next on a link death or
+// a not-leader rejection, retrying with the same at-most-once identity:
+//
+//	alpsclient -addr 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 \
+//	    -retries 20 put region eu-west
+//	alpsclient -addr 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 get region
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -56,7 +65,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("alpsclient", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7100", "node address")
+	addr := fs.String("addr", "127.0.0.1:7100", "node address; comma-separate a replication group's members")
 	timeout := fs.Duration("timeout", 10*time.Second, "dial, list and per-call deadline")
 	retries := fs.Int("retries", 0, "retries after a transport failure (at-most-once safe)")
 	if err := fs.Parse(args); err != nil {
@@ -64,14 +73,21 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, search, deposit, remove, read, write, print, call)")
+		return fmt.Errorf("missing command (list, search, deposit, remove, read, write, put, get, print, call)")
 	}
 
-	rem, err := rpc.DialWith(*addr, rpc.DialOptions{
+	opts := rpc.DialOptions{
 		Timeout:     *timeout,
 		ListTimeout: *timeout,
 		Retry:       rpc.RetryPolicy{Max: *retries},
-	})
+	}
+	var rem *rpc.Remote
+	var err error
+	if addrs := strings.Split(*addr, ","); len(addrs) > 1 {
+		rem, err = rpc.DialMulti(addrs, opts)
+	} else {
+		rem, err = rpc.DialWith(*addr, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -116,6 +132,28 @@ func run(args []string) error {
 
 	case "remove":
 		res, err := call("Buffer", "Remove")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%v\n", res[0])
+		return nil
+
+	case "put":
+		if len(rest) != 3 {
+			return fmt.Errorf("put needs a key and a value")
+		}
+		res, err := call("Registry", "Put", rest[1], rest[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok (%v keys)\n", res[0])
+		return nil
+
+	case "get":
+		if len(rest) != 2 {
+			return fmt.Errorf("get needs a key")
+		}
+		res, err := call("Registry", "Get", rest[1])
 		if err != nil {
 			return err
 		}

@@ -12,13 +12,23 @@
 //	alpsd -addr 127.0.0.1:7100 -data-dir /var/lib/alpsd
 //	                                              # durable database: acknowledged
 //	                                              # writes survive kill -9
+//	alpsd -addr 127.0.0.1:7100 -replica-id A \
+//	      -peers "A=127.0.0.1:7100,B=127.0.0.1:7101,C=127.0.0.1:7102"
+//	                                              # member A of a consensus-replicated
+//	                                              # Registry group (docs/REPLICATION.md);
+//	                                              # add -join when restarting a crashed
+//	                                              # member into a live group
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -66,6 +76,8 @@ type server struct {
 	db    *rwdb.DB
 	sp    *spooler.Spooler
 	store *alps.DurableStore // nil unless -data-dir is set
+	reg   *alps.Object       // replicated registry (-peers)
+	rep   *alps.Replica      // this node's replication-group member
 
 	defObjs []*alps.Object
 }
@@ -89,6 +101,11 @@ func newServer(args []string) (*server, string, error) {
 		dataDir   = fs.String("data-dir", "", "durability directory for the database's write-ahead ledger; empty = durability off")
 		syncIv    = fs.Duration("sync", 0, "background fsync interval for journaled outcomes; 0 = sync only on demand (each acknowledged call group-commits)")
 		snapEvery = fs.Int("snapshot-every", 4096, "journaled records between durability snapshots")
+
+		// Replication (docs/REPLICATION.md).
+		replicaID = fs.String("replica-id", "", "this member's ID in a replication group (requires -peers)")
+		peersSpec = fs.String("peers", "", `static replication-group membership "id=host:port,..." including this member; hosts the consensus-replicated Registry object`)
+		join      = fs.Bool("join", false, "rejoin an existing group quietly: triple this member's election patience so it catches up as a follower instead of forcing an election")
 
 		// Supervision & admission control (docs/SUPERVISION.md).
 		mgrPolicy   = fs.String("manager-policy", "failfast", "manager panic policy: failfast (poison) or restart")
@@ -234,6 +251,45 @@ func newServer(args []string) (*server, string, error) {
 	if err := srv.node.Publish(srv.sp.Object()); err != nil {
 		return nil, "", err
 	}
+	if *peersSpec != "" || *replicaID != "" || *join {
+		if *peersSpec == "" || *replicaID == "" {
+			return nil, "", fmt.Errorf("replication needs both -replica-id and -peers")
+		}
+		peers, perr := parsePeers(*peersSpec)
+		if perr != nil {
+			return nil, "", perr
+		}
+		if _, ok := peers[*replicaID]; !ok {
+			return nil, "", fmt.Errorf("-replica-id %q is not listed in -peers", *replicaID)
+		}
+		var snap func() ([]byte, error)
+		var restore func([]byte) error
+		srv.reg, snap, restore, err = newRegistry(supOpt)
+		if err != nil {
+			return nil, "", err
+		}
+		// A rejoining member is slow to campaign: it should catch up as a
+		// follower, not force an election on the group it crashed out of.
+		et := 150 * time.Millisecond
+		if *join {
+			et *= 3
+		}
+		srv.rep, err = alps.ReplicatedObject(srv.node, alps.ReplicaConfig{
+			ID:              *replicaID,
+			Group:           "Registry",
+			Peers:           peers,
+			Store:           srv.store,
+			ElectionTimeout: et,
+			Snapshot:        snap,
+			Restore:         restore,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("alpsd: "+format+"\n", args...)
+			},
+		}, srv.reg)
+		if err != nil {
+			return nil, "", err
+		}
+	}
 	if *defsPath != "" {
 		src, err := os.ReadFile(*defsPath)
 		if err != nil {
@@ -257,8 +313,90 @@ func newServer(args []string) (*server, string, error) {
 	return srv, bound, nil
 }
 
+// parsePeers parses "id=host:port,id=host:port,..." into a peer map.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers element %q (want id=host:port)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate member %q in -peers", id)
+		}
+		peers[id] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
+}
+
+// newRegistry builds the object the replication group hosts: a flat
+// string registry with non-blocking entries — guards that never park, so
+// replicated apply can never stall the group (docs/REPLICATION.md
+// §limits). Returns the object plus the snapshot/restore pair log
+// compaction and rejoin catch-up use.
+func newRegistry(supOpt alps.Option) (*alps.Object, func() ([]byte, error), func([]byte) error, error) {
+	var mu sync.Mutex
+	data := make(map[string]string)
+	obj, err := alps.New("Registry",
+		alps.WithEntry(alps.EntrySpec{Name: "Put", Params: 2, Results: 1, Body: func(inv *alps.Invocation) error {
+			k, _ := inv.Param(0).(string)
+			v, _ := inv.Param(1).(string)
+			mu.Lock()
+			data[k] = v
+			n := len(data)
+			mu.Unlock()
+			inv.Return(n)
+			return nil
+		}}),
+		alps.WithEntry(alps.EntrySpec{Name: "Get", Params: 1, Results: 1, Body: func(inv *alps.Invocation) error {
+			k, _ := inv.Param(0).(string)
+			mu.Lock()
+			v := data[k]
+			mu.Unlock()
+			inv.Return(v)
+			return nil
+		}}),
+		supOpt,
+	)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	snapshot := func() ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(data); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	restore := func(b []byte) error {
+		m := make(map[string]string)
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+			return err
+		}
+		mu.Lock()
+		data = m
+		mu.Unlock()
+		return nil
+	}
+	return obj, snapshot, restore, nil
+}
+
 // Close tears the node and all hosted objects down.
 func (s *server) Close() {
+	// The replication member first: it stops proposing and fails parked
+	// waiters before the node drains their links.
+	if s.rep != nil {
+		s.rep.Close()
+	}
 	if s.node != nil {
 		s.node.Close()
 	}
@@ -289,6 +427,9 @@ func (s *server) Close() {
 	}
 	if s.sp != nil {
 		_ = s.sp.Close()
+	}
+	if s.reg != nil {
+		_ = s.reg.Close()
 	}
 	for _, obj := range s.defObjs {
 		_ = obj.Close()

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	alps "repro"
+	"repro/internal/rpc"
+)
+
+// reservePorts grabs n distinct loopback ports by binding and releasing
+// them. A later bind can race another process for the port; acceptable in
+// tests, where a collision just fails fast.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = lis.Addr().String()
+		_ = lis.Close()
+	}
+	return addrs
+}
+
+// TestReplicatedRegistryFailover runs the daemon's advertised topology
+// for real: three alpsd processes (in-process), a replicated Registry,
+// a DialMulti client — then the leader dies and nobody notices.
+func TestReplicatedRegistryFailover(t *testing.T) {
+	addrs := reservePorts(t, 3)
+	ids := []string{"A", "B", "C"}
+	var peerParts []string
+	for i, id := range ids {
+		peerParts = append(peerParts, fmt.Sprintf("%s=%s", id, addrs[i]))
+	}
+	peers := strings.Join(peerParts, ",")
+
+	servers := make(map[string]*server, 3)
+	for i, id := range ids {
+		srv, _, err := newServer([]string{
+			"-addr", addrs[i], "-name", id,
+			"-replica-id", id, "-peers", peers,
+			"-search-cost", "0s",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		servers[id] = srv
+	}
+
+	rem, err := rpc.DialMulti(addrs, rpc.DialOptions{
+		ClientID: "failover-test",
+		Retry: rpc.RetryPolicy{
+			Max:            200,
+			Backoff:        time.Millisecond,
+			MaxBackoff:     25 * time.Millisecond,
+			AttemptTimeout: time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	if _, err := rem.Call("Registry", "Put", "region", "eu-west"); err != nil {
+		t.Fatalf("Put before failover: %v", err)
+	}
+
+	var leader *server
+	deadline := time.Now().Add(3 * time.Second)
+	for leader == nil && time.Now().Before(deadline) {
+		for _, srv := range servers {
+			if role, _, _ := srv.rep.Status(); role == alps.ReplicaLeader {
+				leader = srv
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leader == nil {
+		t.Fatal("no leader elected")
+	}
+	leader.Close()
+
+	if _, err := rem.Call("Registry", "Put", "owner", "ops"); err != nil {
+		t.Fatalf("Put through failover: %v", err)
+	}
+	for key, want := range map[string]string{"region": "eu-west", "owner": "ops"} {
+		res, err := rem.Call("Registry", "Get", key)
+		if err != nil {
+			t.Fatalf("Get %s after failover: %v", key, err)
+		}
+		if res[0] != want {
+			t.Fatalf("Get %s = %v, want %q — the group forgot an acknowledged write", key, res, want)
+		}
+	}
+}
+
+// TestReplicationFlagValidation: half-configured replication must fail
+// fast, not limp into a single-member group.
+func TestReplicationFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-replica-id", "A"},
+		{"-peers", "A=127.0.0.1:1"},
+		{"-join"},
+		{"-replica-id", "A", "-peers", "B=127.0.0.1:1"},
+		{"-replica-id", "A", "-peers", "garbage"},
+		{"-replica-id", "A", "-peers", "A=127.0.0.1:1,A=127.0.0.1:2"},
+	} {
+		srv, _, err := newServer(append([]string{"-addr", "127.0.0.1:0"}, args...))
+		if err == nil {
+			srv.Close()
+			t.Errorf("newServer(%v) accepted a broken replication config", args)
+		}
+	}
+}

@@ -22,9 +22,10 @@ import (
 
 // defaultWatch lists the micro benchmarks gated by default: the paper's
 // headline E1 hot path, the manager Execute pipeline, the remote-call
-// path, and the pipelined transport headline the wire codec bought — the
-// four the roadmap optimizes hardest.
-const defaultWatch = "E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute,E10RemoteCall/remote-tcp,RemotePipelined/clients=64-conns=1"
+// path, the pipelined transport headline the wire codec bought, and the
+// quorum-committed call through a 3-member replication group — the paths
+// the roadmap optimizes hardest.
+const defaultWatch = "E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute,E10RemoteCall/remote-tcp,RemotePipelined/clients=64-conns=1,ReplicatedCall/replicas=3"
 
 // benchFile mirrors the subset of cmd/alpsbench's JSON schema we need.
 type benchFile struct {

@@ -20,7 +20,8 @@ const baseJSON = `{"label":"base","micro":[
 	{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1000},
 	{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
 	{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000},
-	{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000}]}`
+	{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000},
+	{"name":"ReplicatedCall/replicas=3","ns_per_op":45000}]}`
 
 func check(t *testing.T, curJSON string, extra ...string) error {
 	t.Helper()
@@ -36,7 +37,8 @@ func TestWithinThresholdPasses(t *testing.T) {
 		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1100},
 		{"name":"ManagerPrimitives/managed-execute","ns_per_op":1500},
 		{"name":"E10RemoteCall/remote-tcp","ns_per_op":51000},
-		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3100}]}`)
+		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3100},
+		{"name":"ReplicatedCall/replicas=3","ns_per_op":46000}]}`)
 	if err != nil {
 		t.Fatalf("within-threshold run failed: %v", err)
 	}
@@ -47,7 +49,8 @@ func TestRegressionFails(t *testing.T) {
 		{"name":"E1BoundedBuffer/alps-manager","ns_per_op":1200},
 		{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
 		{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000},
-		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000}]}`)
+		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000},
+		{"name":"ReplicatedCall/replicas=3","ns_per_op":45000}]}`)
 	if err == nil {
 		t.Fatal("20% regression passed")
 	}

@@ -26,9 +26,13 @@
 //     shrunk to a minimal reproducer (Shrink, Reproducer).
 //  4. Checker invariants reusable outside this package: CheckKeyOrder
 //     verifies per-key FIFO execution and at-most-once delivery for the
-//     sharding and RPC layers under simulated network chaos, and
+//     sharding and RPC layers under simulated network chaos,
 //     CheckCrashRecovery verifies zero lost acknowledged writes for the
-//     durability layer's kill -9 soak (docs/DURABILITY.md).
+//     durability layer's kill -9 soak (docs/DURABILITY.md), and
+//     CheckLinearizable certifies a linearizable per-key history —
+//     exactly-once acks, no lost or duplicated effects, session order,
+//     real-time precedence — for the replication layer's leader-kill
+//     failover soak (docs/REPLICATION.md).
 //
 // cmd/alpsconform wraps Explore as a CLI for CI and overnight soaking.
 package conformance

@@ -1,0 +1,169 @@
+package conformance
+
+import "fmt"
+
+// RepOp is one client-observed call in a replicated counter history: the
+// routing key, the issuing client, that client's per-key issue number
+// (synchronous clients number 0,1,2,... — a RETRY keeps its number), the
+// counter value the acknowledged call returned, and optional wall-clock
+// bounds (UnixNano; 0 = unknown) for the real-time check.
+type RepOp struct {
+	Key    string
+	Client string
+	Seq    int
+	Value  uint64
+	Start  int64
+	End    int64
+}
+
+// CheckLinearizable replays a per-key increment history against the
+// promises a consensus-replicated object makes across failover
+// (docs/REPLICATION.md). It extends CheckKeyOrder from "executions land
+// in order on one executor" to "acknowledged results are consistent with
+// ONE total order of increments", which is what survives a leader kill:
+//
+//	per-key-fifo:     for each (client, key), issue numbers are gapless
+//	                  and in order — the ledger records synchronous
+//	                  sessions faithfully.
+//	value-duplicated: no two acknowledged calls observed the same counter
+//	                  value — two increments can never return the same
+//	                  value in any linear order. A duplicate means a
+//	                  retried call re-executed: exactly-once broken.
+//	lost-update:      end-of-run, the observed values for a key are
+//	                  exactly {1..N} for N observed calls. A gap means the
+//	                  counter advanced without any acknowledged owner —
+//	                  a double-apply consumed the missing value.
+//	session-order:    for each (client, key), returned values strictly
+//	                  increase in issue order — a session never observes
+//	                  the counter moving backwards across a failover.
+//	real-time:        for op pairs with known bounds, an op that ENDED
+//	                  before another STARTED must hold the smaller value —
+//	                  the linearization respects wall-clock precedence,
+//	                  not just per-session order. Pairwise, O(n²) per key:
+//	                  sized for harness ledgers, not production traces.
+//
+// Together (values distinct, contiguous, session-monotonic, real-time
+// consistent) these certify the history is linearizable: order-by-value
+// is a legal linearization.
+func CheckLinearizable(ops []RepOp) []Divergence {
+	type ck struct{ client, key string }
+	type cks struct {
+		client, key string
+		seq         int
+	}
+	type kv struct {
+		key   string
+		value uint64
+	}
+	var divs []Divergence
+	seen := make(map[cks]int)
+	valueAt := make(map[kv]int)
+	lastSeq := make(map[ck]int)
+	lastVal := make(map[ck]uint64)
+	count := make(map[string]int)
+	maxVal := make(map[string]uint64)
+	for i, op := range ops {
+		id := cks{op.Client, op.Key, op.Seq}
+		if first, dup := seen[id]; dup {
+			divs = append(divs, Divergence{
+				Rule:  "at-most-once",
+				Entry: op.Key,
+				Index: i,
+				Detail: fmt.Sprintf("client %q key %q seq %d acknowledged twice (first at index %d)",
+					op.Client, op.Key, op.Seq, first),
+			})
+			continue
+		}
+		seen[id] = i
+
+		v := kv{op.Key, op.Value}
+		if first, dup := valueAt[v]; dup {
+			divs = append(divs, Divergence{
+				Rule:  "value-duplicated",
+				Entry: op.Key,
+				Index: i,
+				Detail: fmt.Sprintf("key %q value %d observed twice (first at index %d) — a retry re-executed",
+					op.Key, op.Value, first),
+			})
+		} else {
+			valueAt[v] = i
+		}
+		count[op.Key]++
+		if op.Value > maxVal[op.Key] {
+			maxVal[op.Key] = op.Value
+		}
+
+		c := ck{op.Client, op.Key}
+		last, started := lastSeq[c]
+		want := 0
+		if started {
+			want = last + 1
+		}
+		if op.Seq != want {
+			divs = append(divs, Divergence{
+				Rule:  "per-key-fifo",
+				Entry: op.Key,
+				Index: i,
+				Detail: fmt.Sprintf("client %q key %q issued seq %d, expected %d",
+					op.Client, op.Key, op.Seq, want),
+			})
+		}
+		if started && op.Value <= lastVal[c] {
+			divs = append(divs, Divergence{
+				Rule:  "session-order",
+				Entry: op.Key,
+				Index: i,
+				Detail: fmt.Sprintf("client %q key %q observed value %d after value %d — session moved backwards",
+					op.Client, op.Key, op.Value, lastVal[c]),
+			})
+		}
+		if !started || op.Seq > last {
+			lastSeq[c] = op.Seq
+		}
+		if op.Value > lastVal[c] {
+			lastVal[c] = op.Value
+		}
+	}
+
+	// End-of-run: the acknowledged values of each key must be exactly
+	// {1..N}. (Duplicates are already reported above; here gaps surface.)
+	for key, n := range count {
+		if max := maxVal[key]; max != uint64(n) {
+			missing := make([]uint64, 0, 4)
+			for v := uint64(1); v <= max && len(missing) < 4; v++ {
+				if _, ok := valueAt[kv{key, v}]; !ok {
+					missing = append(missing, v)
+				}
+			}
+			divs = append(divs, Divergence{
+				Rule:  "lost-update",
+				Entry: key,
+				Index: -1,
+				Detail: fmt.Sprintf("key %q: %d acknowledged calls but counter reached %d (missing values %v…) — increments applied without an owner",
+					key, n, max, missing),
+			})
+		}
+	}
+
+	// Real-time precedence, where timestamps are known.
+	for i, a := range ops {
+		if a.End == 0 {
+			continue
+		}
+		for j, b := range ops {
+			if i == j || b.Start == 0 || a.Key != b.Key {
+				continue
+			}
+			if a.End < b.Start && a.Value > b.Value {
+				divs = append(divs, Divergence{
+					Rule:  "real-time",
+					Entry: a.Key,
+					Index: j,
+					Detail: fmt.Sprintf("key %q: call with value %d finished before the call with value %d started — no linear order explains both",
+						a.Key, a.Value, b.Value),
+				})
+			}
+		}
+	}
+	return divs
+}

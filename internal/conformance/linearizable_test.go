@@ -1,0 +1,267 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/simnet"
+)
+
+// has reports whether divs contains a divergence of rule.
+func has(divs []Divergence, rule string) bool {
+	for _, d := range divs {
+		if d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckLinearizableNegativeControls: the oracle must accept a clean
+// interleaved history and flag each corruption class — an oracle that
+// cannot fail is not an oracle.
+func TestCheckLinearizableNegativeControls(t *testing.T) {
+	clean := []RepOp{
+		{Key: "k", Client: "p", Seq: 0, Value: 1},
+		{Key: "k", Client: "q", Seq: 0, Value: 2},
+		{Key: "k", Client: "p", Seq: 1, Value: 3},
+		{Key: "k", Client: "q", Seq: 1, Value: 4},
+	}
+	cases := []struct {
+		name string
+		ops  []RepOp
+		rule string // "" = expect clean
+	}{
+		{"clean interleaved history", clean, ""},
+		{"re-executed retry duplicates a value", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1},
+			{Key: "k", Client: "q", Seq: 0, Value: 1},
+		}, "value-duplicated"},
+		{"double-apply leaves an unowned value", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1},
+			{Key: "k", Client: "p", Seq: 1, Value: 2},
+			{Key: "k", Client: "p", Seq: 2, Value: 4}, // value 3 applied, never acknowledged
+		}, "lost-update"},
+		{"session observes the counter moving backwards", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 2},
+			{Key: "k", Client: "p", Seq: 1, Value: 1},
+		}, "session-order"},
+		{"issue numbering gap", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1},
+			{Key: "k", Client: "p", Seq: 2, Value: 2},
+		}, "per-key-fifo"},
+		{"same call acknowledged twice", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1},
+			{Key: "k", Client: "p", Seq: 0, Value: 2},
+		}, "at-most-once"},
+		{"wall-clock precedence inverted", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 2, Start: 10, End: 20},
+			{Key: "k", Client: "q", Seq: 0, Value: 1, Start: 30, End: 40},
+		}, "real-time"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			divs := CheckLinearizable(c.ops)
+			if c.rule == "" {
+				if len(divs) != 0 {
+					t.Fatalf("clean history flagged: %v", divs)
+				}
+				return
+			}
+			if !has(divs, c.rule) {
+				t.Fatalf("corruption not flagged as %q; got %v", c.rule, divs)
+			}
+		})
+	}
+}
+
+// counterCallable is the replicated object under test: a keyed counter.
+type counterCallable struct {
+	mu   sync.Mutex
+	data map[string]uint64
+}
+
+func (o *counterCallable) CallCtx(_ context.Context, entry string, params ...any) ([]any, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch entry {
+	case "Inc":
+		key, _ := params[0].(string)
+		o.data[key]++
+		return []any{o.data[key]}, nil
+	default:
+		return nil, fmt.Errorf("counter: unknown entry %q", entry)
+	}
+}
+
+// leaderKiller is the core.Sequencer hook that turns "kill the leader
+// mid-traffic" into a deterministic schedule: it counts SeqMgrExecute
+// points (one per applied log entry on its member) and, at the
+// configured apply count, crashes the member iff it is the leader. One
+// kill fires per run (the flag is shared group-wide); with fixed
+// network, election and workload seeds the same member dies at the same
+// applied index every time.
+type leaderKiller struct {
+	after uint64
+	count atomic.Uint64
+	fired *atomic.Bool
+	lead  func() bool
+	crash func()
+}
+
+func (k *leaderKiller) Point(p core.SeqPoint, _, _ string, _ uint64) {
+	if p != core.SeqMgrExecute {
+		return
+	}
+	if k.count.Add(1) < k.after || !k.lead() || k.fired.Swap(true) {
+		return
+	}
+	go k.crash() // async: Close waits for the apply loop this runs on
+}
+
+// TestReplicatedHistoryLinearizableAcrossLeaderKill is the acceptance
+// soak: three replicas over simnet, two synchronous clients hammering
+// two keys, and a Sequencer-scheduled kill of the leader mid-traffic.
+// Every acknowledged call must fit one linear order per key.
+func TestReplicatedHistoryLinearizableAcrossLeaderKill(t *testing.T) {
+	nw := simnet.New(simnet.Config{Seed: 21})
+	ids := []string{"A", "B", "C"}
+	peers := map[string]string{"A": "A", "B": "B", "C": "C"}
+	fired := &atomic.Bool{}
+
+	type memberT struct {
+		rep  *replica.Replica
+		node *rpc.Node
+	}
+	members := make(map[string]*memberT)
+	for _, id := range ids {
+		id := id
+		obj := &counterCallable{data: make(map[string]uint64)}
+		killer := &leaderKiller{after: 12, fired: fired}
+		rep, err := replica.New(replica.Config{
+			ID:    id,
+			Group: "KV",
+			Peers: peers,
+			Dial: func(addr string) (net.Conn, error) {
+				return nw.DialFrom(id, addr)
+			},
+			ElectionTimeout: 60 * time.Millisecond,
+			Seed:            13,
+			Sequencer:       killer,
+		}, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := rpc.NewNode(id)
+		if err := rep.Publish(node); err != nil {
+			t.Fatal(err)
+		}
+		lis, err := nw.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = node.Serve(lis) }()
+		m := &memberT{rep: rep, node: node}
+		members[id] = m
+		killer.lead = func() bool {
+			role, _, _ := rep.Status()
+			return role == replica.Leader
+		}
+		killer.crash = func() {
+			t.Logf("sequencer: killing leader %s", id)
+			nw.Kill(id)
+			rep.Close()
+			node.Close()
+		}
+		t.Cleanup(func() {
+			rep.Close()
+			node.Close()
+		})
+	}
+
+	keys := []string{"x", "y"}
+	const perClient = 24 // 12 per key per client; the kill fires mid-run
+	var (
+		opsMu sync.Mutex
+		ops   []RepOp
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, clientID := range []string{"alice", "bob"} {
+		clientID := clientID
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var next atomic.Uint64
+			redial := func() (net.Conn, error) {
+				var lastErr error
+				for range ids {
+					addr := ids[int(next.Add(1)-1)%len(ids)]
+					conn, err := nw.DialFrom(clientID, addr)
+					if err == nil {
+						return conn, nil
+					}
+					lastErr = err
+				}
+				return nil, fmt.Errorf("all members down: %w", lastErr)
+			}
+			conn, err := redial()
+			if err != nil {
+				errs <- err
+				return
+			}
+			rem := rpc.DialConnWith(conn, rpc.DialOptions{
+				ClientID: clientID,
+				Redial:   redial,
+				Retry: rpc.RetryPolicy{
+					Max:            200,
+					Backoff:        time.Millisecond,
+					MaxBackoff:     25 * time.Millisecond,
+					AttemptTimeout: time.Second,
+				},
+			})
+			defer rem.Close()
+			seqPerKey := make(map[string]int)
+			for i := 0; i < perClient; i++ {
+				key := keys[i%len(keys)]
+				start := time.Now().UnixNano()
+				res, err := rem.Call("KV", "Inc", key)
+				end := time.Now().UnixNano()
+				if err != nil {
+					errs <- fmt.Errorf("%s: Inc %s #%d: %w", clientID, key, i, err)
+					return
+				}
+				op := RepOp{
+					Key: key, Client: clientID, Seq: seqPerKey[key],
+					Value: res[0].(uint64), Start: start, End: end,
+				}
+				seqPerKey[key]++
+				opsMu.Lock()
+				ops = append(ops, op)
+				opsMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Fatal("the scheduled leader kill never fired — the soak did not test failover")
+	}
+	if divs := CheckLinearizable(ops); len(divs) != 0 {
+		for _, d := range divs {
+			t.Error(d)
+		}
+		t.Fatalf("replicated history not linearizable across the leader kill (%d divergences)", len(divs))
+	}
+}

@@ -1,0 +1,375 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// control is the consensus endpoint a member publishes under
+// ControlName(group): votes, append-entries batches and snapshot installs
+// arrive as ordinary rpc requests — wire.Frames on the same pipelined
+// transport, coalesced into the same batched flushes, guarded by the same
+// CRCs as client traffic. Handlers type-check every parameter: the codec
+// only guarantees frames are structurally legal, and a hostile or
+// corrupted-but-CRC-colliding peer must get an error, not a panic.
+type control struct {
+	r *Replica
+}
+
+// CallCtx implements rpc.Callable for the three consensus procedures.
+func (c *control) CallCtx(_ context.Context, entry string, params ...any) ([]any, error) {
+	switch entry {
+	case "RequestVote":
+		return c.requestVote(params)
+	case "AppendEntries":
+		return c.appendEntries(params)
+	case "InstallSnapshot":
+		return c.installSnapshot(params)
+	default:
+		return nil, fmt.Errorf("replica: %w: %q", core.ErrUnknownEntry, entry)
+	}
+}
+
+// requestVote: params [term, candidateID, lastLogIndex, lastLogTerm],
+// reply [term, granted]. The vote is durable before it is granted — a
+// member that promises, crashes and restarts must keep its promise.
+func (c *control) requestVote(params []any) ([]any, error) {
+	term, err := asU64(params, 0)
+	candidate, err2 := asStr(params, 1)
+	lastIdx, err3 := asU64(params, 2)
+	lastTerm, err4 := asU64(params, 3)
+	if err = firstErr(err, err2, err3, err4); err != nil {
+		return nil, fmt.Errorf("replica: RequestVote: %w", err)
+	}
+	r := c.r
+	r.mu.Lock()
+	if term > r.term {
+		r.term = term
+		r.votedFor = ""
+		r.role = Follower
+		r.leaderID = ""
+	}
+	if term < r.term {
+		reply := []any{r.term, false}
+		r.mu.Unlock()
+		return reply, nil
+	}
+	myLastIdx := r.lastIndex()
+	myLastTerm, _ := r.termAt(myLastIdx)
+	upToDate := lastTerm > myLastTerm || (lastTerm == myLastTerm && lastIdx >= myLastIdx)
+	grant := (r.votedFor == "" || r.votedFor == candidate) && upToDate
+	var lsn uint64
+	if grant {
+		r.votedFor = candidate
+		r.resetElectionDeadline()
+		lsn = r.persistStateLocked()
+	}
+	curTerm := r.term
+	r.mu.Unlock()
+	if lsn != 0 {
+		if err := r.waitSynced(lsn); err != nil {
+			return nil, fmt.Errorf("replica: RequestVote: persist: %w", err)
+		}
+	}
+	if grant {
+		r.logf("granted vote to %s for t%d", candidate, term)
+	}
+	return []any{curTerm, grant}, nil
+}
+
+// appendEntries: params [term, leaderID, prevIndex, prevTerm,
+// leaderCommit, entries], reply [term, success, conflictIndex]. Appended
+// entries are synced before the success reply: the leader counts this
+// reply toward quorum, so "acknowledged" must mean "on stable storage" —
+// the same contract client acks honor (docs/DURABILITY.md).
+func (c *control) appendEntries(params []any) ([]any, error) {
+	term, err := asU64(params, 0)
+	leader, err2 := asStr(params, 1)
+	prev, err3 := asU64(params, 2)
+	prevTerm, err4 := asU64(params, 3)
+	commit, err5 := asU64(params, 4)
+	batch, err6 := asSlice(params, 5)
+	if err = firstErr(err, err2, err3, err4, err5, err6); err != nil {
+		return nil, fmt.Errorf("replica: AppendEntries: %w", err)
+	}
+	entries := make([]entry, len(batch))
+	for i, raw := range batch {
+		e, derr := decodeEntry(raw)
+		if derr != nil {
+			return nil, fmt.Errorf("replica: AppendEntries: entry %d: %w", i, derr)
+		}
+		entries[i] = e
+	}
+
+	r := c.r
+	r.mu.Lock()
+	if term < r.term {
+		reply := []any{r.term, false, uint64(0)}
+		r.mu.Unlock()
+		return reply, nil
+	}
+	stateDirty := term > r.term
+	r.term = term
+	if r.role != Follower {
+		r.role = Follower
+	}
+	if stateDirty {
+		r.votedFor = ""
+	}
+	r.leaderID = leader
+	r.resetElectionDeadline()
+
+	// Entries at or below our snapshot floor are already committed and
+	// applied here; trim them off rather than refusing the batch.
+	if prev < r.snapIndex {
+		trim := r.snapIndex - prev
+		if trim >= uint64(len(entries)) {
+			reply := []any{r.term, true, uint64(0)}
+			var lsn uint64
+			if stateDirty {
+				lsn = r.persistStateLocked()
+			}
+			r.mu.Unlock()
+			if lsn != 0 {
+				_ = r.waitSynced(lsn)
+			}
+			return reply, nil
+		}
+		entries = entries[trim:]
+		prev = r.snapIndex
+		prevTerm = r.snapTerm
+	}
+	if prev > r.lastIndex() {
+		// We are missing everything before this batch: tell the leader
+		// where our log ends so it backs off in one hop.
+		reply := []any{r.term, false, r.lastIndex() + 1}
+		var lsn uint64
+		if stateDirty {
+			lsn = r.persistStateLocked()
+		}
+		r.mu.Unlock()
+		if lsn != 0 {
+			_ = r.waitSynced(lsn)
+		}
+		return reply, nil
+	}
+	if t, ok := r.termAt(prev); !ok || t != prevTerm {
+		// Conflict at prev: hint the first index of the conflicting term
+		// so the leader skips the whole run instead of probing one by one.
+		conflict := prev
+		if ok {
+			for conflict > r.snapIndex+1 {
+				ct, cok := r.termAt(conflict - 1)
+				if !cok || ct != t {
+					break
+				}
+				conflict--
+			}
+		}
+		reply := []any{r.term, false, conflict}
+		var lsn uint64
+		if stateDirty {
+			lsn = r.persistStateLocked()
+		}
+		r.mu.Unlock()
+		if lsn != 0 {
+			_ = r.waitSynced(lsn)
+		}
+		return reply, nil
+	}
+
+	var lastLSN uint64
+	if stateDirty {
+		lastLSN = r.persistStateLocked()
+	}
+	for i, e := range entries {
+		idx := prev + 1 + uint64(i)
+		if idx <= r.lastIndex() {
+			if t, _ := r.termAt(idx); t == e.Term {
+				continue // already have it
+			}
+			// Conflicting suffix: ours loses. Persist the truncation so
+			// recovery rebuilds the same log shape, and fail any local
+			// waiters parked on the overwritten proposals.
+			lastLSN = r.persistTruncateLocked(idx)
+			r.truncateFromLocked(idx)
+		}
+		at := r.appendLocalLocked(e)
+		lastLSN = r.persistAppendLocked(at, e)
+	}
+	if commit > r.commitIndex {
+		last := r.lastIndex()
+		if commit > last {
+			commit = last
+		}
+		if commit > r.commitIndex {
+			r.commitIndex = commit
+			r.applyCond.Signal()
+		}
+	}
+	curTerm := r.term
+	r.mu.Unlock()
+	if lastLSN != 0 {
+		if err := r.waitSynced(lastLSN); err != nil {
+			return nil, fmt.Errorf("replica: AppendEntries: persist: %w", err)
+		}
+	}
+	return []any{curTerm, true, uint64(0)}, nil
+}
+
+// installSnapshot: params [term, leaderID, lastIndex, lastTerm, blob],
+// reply [term]. The snapshot is journaled before the reply; the actual
+// state restore happens on the apply loop, where it cannot race an entry
+// execution.
+func (c *control) installSnapshot(params []any) ([]any, error) {
+	term, err := asU64(params, 0)
+	leader, err2 := asStr(params, 1)
+	lastIdx, err3 := asU64(params, 2)
+	lastTerm, err4 := asU64(params, 3)
+	blob, err5 := asBytes(params, 4)
+	if err = firstErr(err, err2, err3, err4, err5); err != nil {
+		return nil, fmt.Errorf("replica: InstallSnapshot: %w", err)
+	}
+	snap, err := decodeSnapshot(blob)
+	if err != nil {
+		return nil, fmt.Errorf("replica: InstallSnapshot: %w", err)
+	}
+	if snap.LastIndex != lastIdx || snap.LastTerm != lastTerm {
+		return nil, fmt.Errorf("replica: InstallSnapshot: envelope %d/t%d disagrees with payload %d/t%d",
+			lastIdx, lastTerm, snap.LastIndex, snap.LastTerm)
+	}
+
+	r := c.r
+	r.mu.Lock()
+	if term < r.term {
+		reply := []any{r.term}
+		r.mu.Unlock()
+		return reply, nil
+	}
+	stateDirty := term > r.term
+	r.term = term
+	r.role = Follower
+	if stateDirty {
+		r.votedFor = ""
+	}
+	r.leaderID = leader
+	r.resetElectionDeadline()
+	if lastIdx <= r.commitIndex {
+		// Stale: we already have (or will apply) everything it covers.
+		reply := []any{r.term}
+		r.mu.Unlock()
+		return reply, nil
+	}
+	// The snapshot supersedes the log wholesale; conflicting local
+	// proposals (there should be none on a follower this far behind) fail.
+	r.truncateFromLocked(r.snapIndex + 1)
+	r.log = nil
+	r.snapIndex, r.snapTerm, r.snapBlob = lastIdx, lastTerm, blob
+	r.commitIndex = lastIdx
+	r.pendingSnap = snap
+	lsn := r.persistSnapshotLocked(lastIdx, lastTerm, blob)
+	if stateDirty {
+		lsn = r.persistStateLocked()
+	}
+	curTerm := r.term
+	r.applyCond.Signal()
+	r.mu.Unlock()
+	if lsn != 0 {
+		if err := r.waitSynced(lsn); err != nil {
+			return nil, fmt.Errorf("replica: InstallSnapshot: persist: %w", err)
+		}
+	}
+	r.logf("accepted snapshot through %d/t%d from %s", lastIdx, lastTerm, leader)
+	return []any{curTerm}, nil
+}
+
+// --- wire-shape helpers ---
+
+// encodeEntry flattens a log entry into the nested-[]any shape the wire
+// codec carries natively: [term, entry, client, seq, params].
+func encodeEntry(e entry) []any {
+	params := e.Params
+	if params == nil {
+		params = []any{}
+	}
+	return []any{e.Term, e.Entry, e.Client, e.Seq, params}
+}
+
+func decodeEntry(raw any) (entry, error) {
+	f, ok := raw.([]any)
+	if !ok || len(f) != 5 {
+		return entry{}, fmt.Errorf("bad entry shape %T", raw)
+	}
+	term, ok1 := f[0].(uint64)
+	name, ok2 := f[1].(string)
+	client, ok3 := f[2].(string)
+	seq, ok4 := f[3].(uint64)
+	params, ok5 := f[4].([]any)
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return entry{}, fmt.Errorf("bad entry field types")
+	}
+	return entry{Term: term, Entry: name, Client: client, Seq: seq, Params: params}, nil
+}
+
+func asU64(params []any, i int) (uint64, error) {
+	if i >= len(params) {
+		return 0, fmt.Errorf("missing param %d", i)
+	}
+	v, ok := params[i].(uint64)
+	if !ok {
+		return 0, fmt.Errorf("param %d: want uint64, got %T", i, params[i])
+	}
+	return v, nil
+}
+
+func asStr(params []any, i int) (string, error) {
+	if i >= len(params) {
+		return "", fmt.Errorf("missing param %d", i)
+	}
+	v, ok := params[i].(string)
+	if !ok {
+		return "", fmt.Errorf("param %d: want string, got %T", i, params[i])
+	}
+	return v, nil
+}
+
+func asSlice(params []any, i int) ([]any, error) {
+	if i >= len(params) {
+		return nil, fmt.Errorf("missing param %d", i)
+	}
+	v, ok := params[i].([]any)
+	if !ok {
+		return nil, fmt.Errorf("param %d: want []any, got %T", i, params[i])
+	}
+	return v, nil
+}
+
+func asBytes(params []any, i int) ([]byte, error) {
+	if i >= len(params) {
+		return nil, fmt.Errorf("missing param %d", i)
+	}
+	v, ok := params[i].([]byte)
+	if !ok {
+		return nil, fmt.Errorf("param %d: want []byte, got %T", i, params[i])
+	}
+	return v, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// electionPatience is the in-package yardstick tests use to size
+// failover waits: two full election timeouts comfortably cover one
+// split vote plus the winning round.
+func (r *Replica) electionPatience() time.Duration {
+	return 2 * r.cfg.ElectionTimeout
+}

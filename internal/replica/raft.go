@@ -1,0 +1,422 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// run is the member's timer loop: as follower/candidate it watches for
+// election timeout, as leader it drives heartbeats. One ticker at the
+// heartbeat interval gives both enough resolution.
+func (r *Replica) run() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		switch r.role {
+		case Leader:
+			r.mu.Unlock()
+			r.kickPeers()
+		case Follower, Candidate:
+			if time.Now().After(r.electionDeadline) {
+				r.startElectionLocked() // unlocks
+			} else {
+				r.mu.Unlock()
+			}
+		}
+	}
+}
+
+// resetElectionDeadline draws the next timeout from the member's seeded
+// stream: [T, 2T) so two members rarely fire together, reproducibly so
+// the failover schedule of a seeded test replays exactly.
+func (r *Replica) resetElectionDeadline() {
+	base := r.cfg.ElectionTimeout
+	d := base + time.Duration(r.rng.Intn(int(base)))
+	r.electionDeadline = time.Now().Add(d)
+}
+
+// startElectionLocked begins a candidacy: bump the term, vote for self,
+// persist both before soliciting, then collect votes concurrently.
+// Called with r.mu held; returns with it released.
+func (r *Replica) startElectionLocked() {
+	r.role = Candidate
+	r.term++
+	r.votedFor = r.cfg.ID
+	r.leaderID = ""
+	term := r.term
+	lastIdx := r.lastIndex()
+	lastTerm, _ := r.termAt(lastIdx)
+	r.resetElectionDeadline()
+	lsn := r.persistStateLocked()
+	r.mu.Unlock()
+	if err := r.waitSynced(lsn); err != nil {
+		r.logf("election t%d: persist: %v", term, err)
+		return
+	}
+	r.logf("election t%d: soliciting votes (last %d/t%d)", term, lastIdx, lastTerm)
+
+	votes := make(chan bool, len(r.peers))
+	for _, p := range r.peers {
+		go func(p *peer) {
+			granted, peerTerm, err := p.requestVote(term, r.cfg.ID, lastIdx, lastTerm)
+			if err != nil {
+				votes <- false
+				return
+			}
+			if peerTerm > term {
+				r.observeTerm(peerTerm)
+				votes <- false
+				return
+			}
+			votes <- granted
+		}(p)
+	}
+	need := (len(r.peers)+1)/2 + 1 // quorum of the full group
+	got := 1                       // self
+	if got >= need {
+		// Single-member group: the self vote is already a quorum.
+		r.becomeLeader(term)
+		return
+	}
+	go func() {
+		for range r.peers {
+			if <-votes {
+				got++
+			}
+			if got >= need {
+				r.becomeLeader(term)
+				return
+			}
+		}
+	}()
+}
+
+// becomeLeader transitions if the member is still the candidate of term.
+// The fresh leader appends a no-op barrier entry: Raft never commits a
+// prior-term entry by counting replicas, so the barrier is what lets the
+// new leader commit everything it inherited — and what guarantees parked
+// waiters resolve after a failover instead of hanging on an uncommittable
+// tail.
+func (r *Replica) becomeLeader(term uint64) {
+	r.mu.Lock()
+	if r.closed || r.role != Candidate || r.term != term {
+		r.mu.Unlock()
+		return
+	}
+	r.role = Leader
+	r.leaderID = r.cfg.ID
+	next := r.lastIndex() + 1
+	for _, p := range r.peers {
+		p.mu.Lock()
+		p.nextIndex = next
+		p.matchIndex = 0
+		p.mu.Unlock()
+	}
+	barrier := entry{Term: term}
+	idx := r.appendLocalLocked(barrier)
+	lsn := r.persistAppendLocked(idx, barrier)
+	r.mu.Unlock()
+	if err := r.waitSynced(lsn); err != nil {
+		r.logf("barrier persist: %v", err)
+	}
+	r.logf("leader of t%d (barrier at %d)", term, idx)
+	r.kickPeers()
+	r.maybeAdvanceCommit()
+}
+
+// observeTerm steps down if t is newer than ours — the single rule that
+// keeps stale leaders from splitting the group's brain.
+func (r *Replica) observeTerm(t uint64) {
+	r.mu.Lock()
+	lsn := uint64(0)
+	if t > r.term {
+		r.term = t
+		r.votedFor = ""
+		r.role = Follower
+		r.leaderID = ""
+		r.resetElectionDeadline()
+		lsn = r.persistStateLocked()
+	}
+	r.mu.Unlock()
+	if lsn != 0 {
+		_ = r.waitSynced(lsn)
+	}
+}
+
+// kickPeers nudges every replication loop: new entries to ship, a commit
+// index to advertise, or just a heartbeat due.
+func (r *Replica) kickPeers() {
+	for _, p := range r.peers {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// maybeAdvanceCommit recomputes the quorum match point. Only entries of
+// the CURRENT term commit by counting (the barrier carries the rest).
+func (r *Replica) maybeAdvanceCommit() {
+	r.mu.Lock()
+	if r.role != Leader {
+		r.mu.Unlock()
+		return
+	}
+	matches := make([]uint64, 0, len(r.peers)+1)
+	matches = append(matches, r.lastIndex())
+	for _, p := range r.peers {
+		p.mu.Lock()
+		matches = append(matches, p.matchIndex)
+		p.mu.Unlock()
+	}
+	// quorum-th highest match index is replicated on a majority.
+	for i := 1; i < len(matches); i++ {
+		for j := i; j > 0 && matches[j] > matches[j-1]; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
+	n := matches[(len(matches)-1)/2]
+	if n > r.commitIndex {
+		if t, ok := r.termAt(n); ok && t == r.term {
+			r.commitIndex = n
+			r.applyCond.Signal()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// --- peer: one replication target ---
+
+// peer is the leader-side view of one other member: its lazily-dialed
+// Remote, replication cursors, and the goroutine shipping entries to it.
+type peer struct {
+	r    *Replica
+	id   string
+	addr string
+	kick chan struct{}
+
+	mu         sync.Mutex
+	rem        *rpc.Remote
+	nextIndex  uint64
+	matchIndex uint64
+}
+
+func newPeer(r *Replica, id, addr string) *peer {
+	return &peer{r: r, id: id, addr: addr, kick: make(chan struct{}, 1), nextIndex: 1}
+}
+
+// ensure returns a live Remote, dialing on demand — a peer that is down
+// at startup (or restarting after a crash) becomes reachable the moment
+// its endpoint listens again.
+func (p *peer) ensure() (*rpc.Remote, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rem != nil {
+		return p.rem, nil
+	}
+	conn, err := p.r.cfg.Dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	addr := p.addr
+	p.rem = rpc.DialConnWith(conn, rpc.DialOptions{
+		ClientID: p.r.cfg.ID + "->" + p.id,
+		Redial:   func() (net.Conn, error) { return p.r.cfg.Dial(addr) },
+	})
+	return p.rem, nil
+}
+
+func (p *peer) close() {
+	p.mu.Lock()
+	rem := p.rem
+	p.mu.Unlock()
+	if rem != nil {
+		rem.Close()
+	}
+}
+
+// call issues one consensus RPC, bounded by the election timeout — a
+// wedged peer must not pin the replication loop past the point where the
+// group would re-elect anyway.
+func (p *peer) call(entry string, params ...any) ([]any, error) {
+	rem, err := p.ensure()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.r.cfg.ElectionTimeout)
+	defer cancel()
+	return rem.CallWith(ctx, rpc.CallOptions{}, ControlName(p.r.cfg.Group), entry, params...)
+}
+
+func (p *peer) requestVote(term uint64, candidate string, lastIdx, lastTerm uint64) (granted bool, peerTerm uint64, err error) {
+	res, err := p.call("RequestVote", term, candidate, lastIdx, lastTerm)
+	if err != nil {
+		return false, 0, err
+	}
+	if len(res) != 2 {
+		return false, 0, fmt.Errorf("replica: RequestVote: bad reply arity %d", len(res))
+	}
+	t, ok1 := res[0].(uint64)
+	g, ok2 := res[1].(bool)
+	if !ok1 || !ok2 {
+		return false, 0, fmt.Errorf("replica: RequestVote: bad reply types")
+	}
+	return g, t, nil
+}
+
+// maxBatch bounds entries per AppendEntries frame: catch-up streams in
+// chunks instead of one giant frame.
+const maxBatch = 64
+
+// loop ships log entries (and heartbeats) while our member leads; kicked
+// on appends, commit changes and the heartbeat tick.
+func (p *peer) loop() {
+	r := p.r
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-p.kick:
+		}
+		for {
+			if !p.replicateOnce() {
+				break
+			}
+		}
+	}
+}
+
+// replicateOnce sends one AppendEntries (or InstallSnapshot) round.
+// Returns true when there is definitely more to ship right now.
+func (p *peer) replicateOnce() bool {
+	r := p.r
+	r.mu.Lock()
+	if r.closed || r.role != Leader {
+		r.mu.Unlock()
+		return false
+	}
+	term := r.term
+	commit := r.commitIndex
+	p.mu.Lock()
+	next := p.nextIndex
+	p.mu.Unlock()
+
+	if next <= r.snapIndex && r.snapBlob != nil {
+		// The entries this peer needs are compacted away: ship the
+		// snapshot, then resume the log from its floor.
+		blob := r.snapBlob
+		snapIdx, snapTerm := r.snapIndex, r.snapTerm
+		r.mu.Unlock()
+		res, err := p.call("InstallSnapshot", term, r.cfg.ID, snapIdx, snapTerm, blob)
+		if err != nil {
+			return false
+		}
+		if len(res) == 1 {
+			if t, ok := res[0].(uint64); ok && t > term {
+				r.observeTerm(t)
+				return false
+			}
+		}
+		p.mu.Lock()
+		if p.nextIndex < snapIdx+1 {
+			p.nextIndex = snapIdx + 1
+		}
+		if p.matchIndex < snapIdx {
+			p.matchIndex = snapIdx
+		}
+		p.mu.Unlock()
+		r.maybeAdvanceCommit()
+		return true
+	}
+
+	prev := next - 1
+	prevTerm, ok := r.termAt(prev)
+	if !ok {
+		// prev is below our snapshot floor and we have no blob to ship
+		// (compaction disabled): restart the peer from the floor.
+		p.mu.Lock()
+		p.nextIndex = r.snapIndex + 1
+		p.mu.Unlock()
+		r.mu.Unlock()
+		return true
+	}
+	last := r.lastIndex()
+	n := int(last - prev)
+	if n > maxBatch {
+		n = maxBatch
+	}
+	batch := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		e, _ := r.entryAt(prev + 1 + uint64(i))
+		batch = append(batch, encodeEntry(e))
+	}
+	r.mu.Unlock()
+
+	res, err := p.call("AppendEntries", term, r.cfg.ID, prev, prevTerm, commit, batch)
+	if err != nil {
+		return false
+	}
+	peerTerm, success, conflict, derr := decodeAppendReply(res)
+	if derr != nil {
+		return false
+	}
+	if peerTerm > term {
+		r.observeTerm(peerTerm)
+		return false
+	}
+	if success {
+		p.mu.Lock()
+		match := prev + uint64(len(batch))
+		if match > p.matchIndex {
+			p.matchIndex = match
+		}
+		if match+1 > p.nextIndex {
+			p.nextIndex = match + 1
+		}
+		next := p.nextIndex
+		p.mu.Unlock()
+		r.maybeAdvanceCommit()
+		r.mu.Lock()
+		more := next <= r.lastIndex()
+		r.mu.Unlock()
+		return more
+	}
+	// Log mismatch: back off to the follower's hint and retry immediately.
+	p.mu.Lock()
+	if conflict == 0 || conflict >= p.nextIndex {
+		p.nextIndex--
+		if p.nextIndex == 0 {
+			p.nextIndex = 1
+		}
+	} else {
+		p.nextIndex = conflict
+	}
+	p.mu.Unlock()
+	return true
+}
+
+func decodeAppendReply(res []any) (term uint64, success bool, conflict uint64, err error) {
+	if len(res) != 3 {
+		return 0, false, 0, fmt.Errorf("replica: AppendEntries: bad reply arity %d", len(res))
+	}
+	t, ok1 := res[0].(uint64)
+	s, ok2 := res[1].(bool)
+	c, ok3 := res[2].(uint64)
+	if !ok1 || !ok2 || !ok3 {
+		return 0, false, 0, fmt.Errorf("replica: AppendEntries: bad reply types")
+	}
+	return t, s, c, nil
+}

@@ -1,0 +1,555 @@
+// Package replica makes an ALPS object survive the death of its host: a
+// Raft-style replicated log carries the object's call ledger — entry name,
+// parameters, and the caller's (client, seq) at-most-once identity —
+// across 3+ rpc.Nodes, so when the leader is killed mid-traffic a new
+// leader finishes the group's work with the paper's managed-object
+// semantics intact (docs/REPLICATION.md).
+//
+// The design reuses the substrate the earlier PRs built instead of
+// inventing a parallel one:
+//
+//   - Consensus messages are ordinary wire.Frame requests on the pipelined
+//     rpc transport, addressed to a control endpoint the node publishes
+//     under ControlName(group) — no second codec, no second connection
+//     pool, and the coalescing write path batches consensus and client
+//     traffic together.
+//   - The (client, seq) dedup cache of PR 1 doubles as the client-session
+//     table (rpc.SessionTable): every member records each committed call's
+//     response at apply time, in log order, so a call retried against a
+//     NEW leader after a failover replays the recorded response instead of
+//     re-executing the entry body — exactly-once across the failover.
+//   - Each member's consensus state (term, vote, log, snapshot floors) is
+//     durable through the same wal.Store that journals objects and acks
+//     (wal.KindReplica records), so a kill -9'd member recovers its
+//     promises before rejoining.
+//
+// Scheduling note: commits are applied to the live object SEQUENTIALLY, in
+// log order, which is what makes per-key FIFO trivial across a failover.
+// The flip side is that a blocking guarded entry would stall the whole
+// group's apply loop; replicate non-blocking entries (guards that shed or
+// fail instead of parking) — see docs/REPLICATION.md §limits.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wal"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// ControlName returns the published name of a group's consensus endpoint
+// on each member node. The "!" prefix keeps it out of the object
+// namespace users see.
+func ControlName(group string) string { return "!raft:" + group }
+
+// ErrClosed is returned by calls on a closed replica.
+var ErrClosed = errors.New("replica: closed")
+
+// Role is a member's current consensus role.
+type Role int
+
+const (
+	Follower Role = iota
+	Candidate
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Config describes one member of a replication group.
+type Config struct {
+	// ID is this member's name; it must be a key of Peers.
+	ID string
+	// Group is the replicated object's published name; the consensus
+	// endpoint rides under ControlName(Group).
+	Group string
+	// Peers maps member ID → node address for the whole group, self
+	// included. Membership is static for the group's lifetime; a restarted
+	// member rejoins under its old ID at the same address.
+	Peers map[string]string
+	// Dial opens a transport to a peer address. Defaults to TCP with a 2s
+	// timeout; tests inject simnet dials here.
+	Dial func(addr string) (net.Conn, error)
+	// Store, when non-nil, makes this member's consensus state durable:
+	// term and vote are synced before they are acted on, log entries
+	// before they are acknowledged — the same ack-before-response
+	// discipline the rpc layer uses for client responses.
+	Store *wal.Store
+	// ElectionTimeout is the base follower patience; an election fires
+	// after a seeded-random duration in [T, 2T) without leader contact
+	// (default 150ms). Heartbeats default to T/10.
+	ElectionTimeout time.Duration
+	Heartbeat       time.Duration
+	// Seed drives the randomized election timeouts, XORed with the
+	// member ID's hash so members draw distinct but reproducible
+	// sequences — the knob that makes failover schedules replayable.
+	Seed uint64
+	// SessionCap bounds the replicated session table (default 1024). It
+	// MUST be identical across the group or session eviction diverges.
+	SessionCap int
+	// SnapshotThreshold compacts the log once more than this many applied
+	// entries are retained (default 1024; requires Snapshot/Restore).
+	SnapshotThreshold int
+	// Snapshot captures the applied object's state for log compaction and
+	// rejoin catch-up; Restore rebuilds it. Both are invoked only from the
+	// apply loop. Leaving them nil disables compaction: catch-up then
+	// replays the full log, which is correct but unbounded.
+	Snapshot func() ([]byte, error)
+	Restore  func([]byte) error
+	// Sequencer, when non-nil, receives a Point callback as each commit is
+	// about to be applied (core.SeqMgrExecute with the group name and log
+	// index) — the deterministic-schedule hook the conformance harness
+	// uses to drive failover interleavings.
+	Sequencer core.Sequencer
+	// Logf, when non-nil, receives debug lines (role changes, elections).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() {
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 150 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.ElectionTimeout / 10
+		if c.Heartbeat <= 0 {
+			c.Heartbeat = time.Millisecond
+		}
+	}
+	if c.SessionCap <= 0 {
+		c.SessionCap = 1024
+	}
+	if c.SnapshotThreshold <= 0 {
+		c.SnapshotThreshold = 1024
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 2*time.Second)
+		}
+	}
+}
+
+// entry is one replicated log record. A zero Entry name is the no-op
+// barrier a fresh leader appends to commit its predecessors' entries
+// (Raft's "no commit of prior-term entries by counting" rule).
+type entry struct {
+	Term   uint64
+	Entry  string
+	Client string
+	Seq    uint64
+	Params []any
+}
+
+// result is a resolved proposal.
+type result struct {
+	results []any
+	err     error
+}
+
+// waiter parks one client call until its log entry applies (or dies).
+type waiter struct {
+	term uint64 // proposal term: a truncated entry fails its waiters
+	ch   chan result
+}
+
+// Replica is one member of a replication group. It implements the node's
+// serve surfaces: rpc.Callable for plain calls and the session-aware
+// CallSession for deduplicated ones; Publish registers both plus the
+// consensus control endpoint.
+type Replica struct {
+	cfg Config
+	obj rpc.Callable
+
+	mu       sync.Mutex
+	role     Role
+	term     uint64
+	votedFor string
+	leaderID string
+
+	// log[i] holds index snapIndex+1+i; everything at or below snapIndex
+	// lives only in the snapshot.
+	log       []entry
+	snapIndex uint64
+	snapTerm  uint64
+	snapBlob  []byte
+
+	commitIndex uint64
+	applied     uint64
+	pendingSnap *snapshotPayload // installed by the apply loop
+
+	peers []*peer
+
+	waiters map[uint64][]waiter
+
+	sessions *rpc.SessionTable
+
+	electionDeadline time.Time
+	rng              *workload.RNG
+
+	applyCond *sync.Cond
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New creates (and starts) a group member applying committed calls to
+// obj. The member recovers its durable consensus state from cfg.Store
+// before contacting any peer, then runs as a follower until elections say
+// otherwise.
+func New(cfg Config, obj rpc.Callable) (*Replica, error) {
+	cfg.withDefaults()
+	if cfg.ID == "" || cfg.Group == "" {
+		return nil, errors.New("replica: Config.ID and Config.Group are required")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("replica: %s is not in Peers", cfg.ID)
+	}
+	r := &Replica{
+		cfg:      cfg,
+		obj:      obj,
+		waiters:  make(map[uint64][]waiter),
+		sessions: rpc.NewSessionTable(cfg.SessionCap),
+		rng:      workload.NewRNG(cfg.Seed ^ idHash(cfg.ID)),
+		done:     make(chan struct{}),
+	}
+	r.applyCond = sync.NewCond(&r.mu)
+	for id, addr := range cfg.Peers {
+		if id == cfg.ID {
+			continue
+		}
+		r.peers = append(r.peers, newPeer(r, id, addr))
+	}
+	sort.Slice(r.peers, func(i, j int) bool { return r.peers[i].id < r.peers[j].id })
+	if err := r.recover(); err != nil {
+		return nil, err
+	}
+	r.resetElectionDeadline()
+	r.wg.Add(2)
+	go r.run()
+	go r.applyLoop()
+	for _, p := range r.peers {
+		r.wg.Add(1)
+		go p.loop()
+	}
+	return r, nil
+}
+
+// Publish registers the replica's serve surfaces on its node: the
+// replicated object under the group name and the consensus endpoint under
+// ControlName(group).
+func (r *Replica) Publish(n *rpc.Node) error {
+	if err := n.PublishCallable(r.cfg.Group, r); err != nil {
+		return err
+	}
+	return n.PublishCallable(ControlName(r.cfg.Group), &control{r: r})
+}
+
+// Role reports the member's current role and term (diagnostics).
+func (r *Replica) Status() (Role, uint64, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role, r.term, r.leaderID
+}
+
+// Applied reports how many log entries this member has applied.
+func (r *Replica) Applied() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Sessions exposes the replicated session table (tests and diagnostics).
+func (r *Replica) Sessions() *rpc.SessionTable { return r.sessions }
+
+// CallCtx implements rpc.Callable: a call with no at-most-once identity.
+// It commits through the log like any other call but records no session.
+func (r *Replica) CallCtx(ctx context.Context, entryName string, params ...any) ([]any, error) {
+	return r.CallSession(ctx, "", 0, entryName, params)
+}
+
+// CallSession is the session-aware serve surface the rpc layer dispatches
+// to: propose the call, wait for quorum commit and local apply, return the
+// applied result. A retry of an already-committed (client, seq) — the
+// failover case — short-circuits to the replicated session table.
+func (r *Replica) CallSession(ctx context.Context, client string, seq uint64, entryName string, params []any) ([]any, error) {
+	if client != "" {
+		if res, err, ok := r.sessions.Lookup(client, seq); ok {
+			return res, err
+		}
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if r.role != Leader {
+		leader := r.leaderID
+		r.mu.Unlock()
+		if leader != "" {
+			return nil, fmt.Errorf("%s: try %s: %w", r.cfg.ID, leader, wire.ErrNotLeader)
+		}
+		return nil, fmt.Errorf("%s: no leader elected: %w", r.cfg.ID, wire.ErrNotLeader)
+	}
+	e := entry{Term: r.term, Entry: entryName, Client: client, Seq: seq, Params: params}
+	idx := r.appendLocalLocked(e)
+	w := waiter{term: e.Term, ch: make(chan result, 1)}
+	r.waiters[idx] = append(r.waiters[idx], w)
+	lsn := r.persistAppendLocked(idx, e)
+	r.mu.Unlock()
+
+	if err := r.waitSynced(lsn); err != nil {
+		return nil, fmt.Errorf("replica %s: journal: %w", r.cfg.ID, err)
+	}
+	r.kickPeers()
+	r.maybeAdvanceCommit()
+
+	select {
+	case res := <-w.ch:
+		return res.results, res.err
+	case <-ctx.Done():
+		// The proposal stays in the log; if it commits, the session table
+		// remembers it and the client's retry replays the result.
+		return nil, ctx.Err()
+	case <-r.done:
+		return nil, ErrClosed
+	}
+}
+
+// applyLoop is the replicated state machine: commits are executed against
+// the live object strictly in log order, on one goroutine — log order IS
+// execution order, on every member, which is what carries per-key FIFO
+// across a failover.
+func (r *Replica) applyLoop() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for r.applied >= r.commitIndex && r.pendingSnap == nil && !r.closed {
+			r.applyCond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		if snap := r.pendingSnap; snap != nil {
+			r.pendingSnap = nil
+			r.mu.Unlock()
+			r.installSnapshot(snap)
+			continue
+		}
+		idx := r.applied + 1
+		e, ok := r.entryAt(idx)
+		if !ok {
+			// The entry was compacted away under us (snapshot install
+			// raced); loop and let the pendingSnap branch catch up.
+			r.mu.Unlock()
+			continue
+		}
+		r.mu.Unlock()
+
+		if s := r.cfg.Sequencer; s != nil {
+			s.Point(core.SeqMgrExecute, r.cfg.Group, e.Entry, idx)
+		}
+		var res result
+		switch {
+		case e.Entry == "":
+			// No-op barrier: commits the term, resolves nothing but the
+			// waiters' ordering guarantees.
+		case e.Client != "":
+			if results, err, ok := r.sessions.Lookup(e.Client, e.Seq); ok {
+				// The same logical call was committed twice — a failover
+				// re-propose whose first copy also survived. Apply-time
+				// dedup is what "the dedup cache doubles as the session
+				// table" buys: replay, never re-execute.
+				res = result{results: results, err: err}
+			} else {
+				results, err := r.obj.CallCtx(context.Background(), e.Entry, e.Params...)
+				r.sessions.Record(e.Client, e.Seq, results, err)
+				res = result{results: results, err: err}
+			}
+		default:
+			results, err := r.obj.CallCtx(context.Background(), e.Entry, e.Params...)
+			res = result{results: results, err: err}
+		}
+
+		r.mu.Lock()
+		r.applied = idx
+		ws := r.waiters[idx]
+		delete(r.waiters, idx)
+		compact := r.cfg.Snapshot != nil && r.applied-r.snapIndex > uint64(r.cfg.SnapshotThreshold)
+		r.mu.Unlock()
+		for _, w := range ws {
+			w.ch <- res
+		}
+		if compact {
+			r.compact()
+		}
+	}
+}
+
+// installSnapshot restores object state and sessions from a leader
+// snapshot — the catch-up path of a member that fell behind a compaction.
+// Runs on the apply loop so it can never race an entry execution.
+func (r *Replica) installSnapshot(snap *snapshotPayload) {
+	if r.cfg.Restore != nil {
+		if err := r.cfg.Restore(snap.State); err != nil {
+			r.logf("restore snapshot@%d: %v", snap.LastIndex, err)
+			return
+		}
+	}
+	r.sessions.Load(snap.Sessions)
+	r.mu.Lock()
+	if snap.LastIndex > r.applied {
+		r.applied = snap.LastIndex
+	}
+	r.mu.Unlock()
+	r.logf("installed snapshot through index %d (term %d)", snap.LastIndex, snap.LastTerm)
+}
+
+// compact takes a state snapshot at the applied frontier and drops the log
+// prefix it covers. The blob is retained for InstallSnapshot catch-up of
+// stragglers and journaled so recovery starts from it.
+func (r *Replica) compact() {
+	state, err := r.cfg.Snapshot()
+	if err != nil {
+		r.logf("snapshot: %v", err)
+		return
+	}
+	sessions := r.sessions.Dump()
+	r.mu.Lock()
+	// The apply loop is the only mutator of applied, so the state captured
+	// above is exactly the state at r.applied.
+	last := r.applied
+	if last <= r.snapIndex {
+		r.mu.Unlock()
+		return
+	}
+	lastTerm, _ := r.termAt(last)
+	blob, err := encodeSnapshot(&snapshotPayload{
+		LastIndex: last, LastTerm: lastTerm, State: state, Sessions: sessions,
+	})
+	if err != nil {
+		r.mu.Unlock()
+		r.logf("encode snapshot: %v", err)
+		return
+	}
+	r.log = append([]entry(nil), r.log[last-r.snapIndex:]...)
+	r.snapIndex, r.snapTerm, r.snapBlob = last, lastTerm, blob
+	lsn := r.persistSnapshotLocked(last, lastTerm, blob)
+	r.mu.Unlock()
+	if err := r.waitSynced(lsn); err != nil {
+		r.logf("snapshot sync: %v", err)
+	}
+	r.logf("compacted log through index %d", last)
+}
+
+// Close stops the member: waiters fail, peers disconnect, goroutines
+// drain. The underlying object is not touched — it belongs to the caller.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	ws := r.waiters
+	r.waiters = make(map[uint64][]waiter)
+	r.mu.Unlock()
+	close(r.done)
+	r.applyCond.Broadcast()
+	for _, list := range ws {
+		for _, w := range list {
+			w.ch <- result{err: ErrClosed}
+		}
+	}
+	for _, p := range r.peers {
+		p.close()
+	}
+	r.wg.Wait()
+}
+
+// --- log helpers (r.mu held) ---
+
+func (r *Replica) lastIndex() uint64 { return r.snapIndex + uint64(len(r.log)) }
+
+// termAt returns the term of the entry at idx; ok is false when idx is
+// compacted below the snapshot floor (and not the floor itself).
+func (r *Replica) termAt(idx uint64) (uint64, bool) {
+	switch {
+	case idx == r.snapIndex:
+		return r.snapTerm, true
+	case idx < r.snapIndex || idx > r.lastIndex():
+		return 0, false
+	default:
+		return r.log[idx-r.snapIndex-1].Term, true
+	}
+}
+
+func (r *Replica) entryAt(idx uint64) (entry, bool) {
+	if idx <= r.snapIndex || idx > r.lastIndex() {
+		return entry{}, false
+	}
+	return r.log[idx-r.snapIndex-1], true
+}
+
+func (r *Replica) appendLocalLocked(e entry) uint64 {
+	r.log = append(r.log, e)
+	return r.lastIndex()
+}
+
+// truncateFromLocked drops log entries at and above idx (a conflict with
+// the leader's log) and fails their waiters: those proposals are
+// definitively not committing under this lineage. Clients retry with the
+// same seq; if the entry somehow committed on the other lineage first,
+// the session table replays it.
+func (r *Replica) truncateFromLocked(idx uint64) {
+	if idx > r.lastIndex() {
+		return
+	}
+	r.log = r.log[:idx-r.snapIndex-1]
+	for wIdx, list := range r.waiters {
+		if wIdx < idx {
+			continue
+		}
+		delete(r.waiters, wIdx)
+		for _, w := range list {
+			w.ch <- result{err: fmt.Errorf("%s: proposal at %d overwritten: %w", r.cfg.ID, wIdx, wire.ErrNotLeader)}
+		}
+	}
+}
+
+// logf is lock-free (callers may hold r.mu).
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf("replica "+r.cfg.ID+": "+format, args...)
+	}
+}
+
+func idHash(id string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}

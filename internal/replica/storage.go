@@ -1,0 +1,226 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/wal"
+)
+
+// Consensus state rides the node's existing write-ahead log as
+// wal.KindReplica records, reusing the Record vocabulary instead of
+// inventing a sidecar file format: Object names the group, Entry the
+// sub-kind, Seq carries a term, CallID a log index. One wal.Store serves
+// the object journals, the ack ledger AND the consensus log, so a single
+// group-committed sync covers all three.
+//
+// Sub-kinds:
+//
+//	"state"    — hard state: Seq=term, Client=votedFor
+//	"append"   — log entry at CallID: Seq=term,
+//	             Params=[entryName, client, seq, params]
+//	"truncate" — conflict truncation: entries >= CallID are dead
+//	"snapshot" — compaction floor: CallID=lastIndex, Seq=lastTerm,
+//	             Params=[blob]
+//
+// Recovery folds the records in LSN order, which replays exactly the
+// append/truncate/snapshot history the previous incarnation performed.
+const (
+	subState    = "state"
+	subAppend   = "append"
+	subTruncate = "truncate"
+	subSnapshot = "snapshot"
+)
+
+// persistStateLocked journals term+vote; r.mu held. Returns the LSN to
+// sync through (0 when the member is in-memory only).
+func (r *Replica) persistStateLocked() uint64 {
+	if r.cfg.Store == nil {
+		return 0
+	}
+	lsn, err := r.cfg.Store.AppendReplica(&wal.Record{
+		Object: r.cfg.Group, Entry: subState, Seq: r.term, Client: r.votedFor,
+	})
+	if err != nil {
+		r.logf("persist state: %v", err)
+		return 0
+	}
+	return lsn
+}
+
+func (r *Replica) persistAppendLocked(idx uint64, e entry) uint64 {
+	if r.cfg.Store == nil {
+		return 0
+	}
+	params := e.Params
+	if params == nil {
+		params = []any{}
+	}
+	lsn, err := r.cfg.Store.AppendReplica(&wal.Record{
+		Object: r.cfg.Group, Entry: subAppend, Seq: e.Term, CallID: idx,
+		Params: []any{e.Entry, e.Client, e.Seq, params},
+	})
+	if err != nil {
+		r.logf("persist append %d: %v", idx, err)
+		return 0
+	}
+	return lsn
+}
+
+func (r *Replica) persistTruncateLocked(fromIdx uint64) uint64 {
+	if r.cfg.Store == nil {
+		return 0
+	}
+	lsn, err := r.cfg.Store.AppendReplica(&wal.Record{
+		Object: r.cfg.Group, Entry: subTruncate, CallID: fromIdx,
+	})
+	if err != nil {
+		r.logf("persist truncate %d: %v", fromIdx, err)
+		return 0
+	}
+	return lsn
+}
+
+func (r *Replica) persistSnapshotLocked(lastIdx, lastTerm uint64, blob []byte) uint64 {
+	if r.cfg.Store == nil {
+		return 0
+	}
+	lsn, err := r.cfg.Store.AppendReplica(&wal.Record{
+		Object: r.cfg.Group, Entry: subSnapshot, Seq: lastTerm, CallID: lastIdx,
+		Params: []any{blob},
+	})
+	if err != nil {
+		r.logf("persist snapshot %d: %v", lastIdx, err)
+		return 0
+	}
+	return lsn
+}
+
+// waitSynced blocks until lsn is on stable storage (no-op when in-memory
+// or when the append already failed and returned 0 — the error was logged
+// and the member keeps running degraded rather than wedging the group).
+func (r *Replica) waitSynced(lsn uint64) error {
+	if r.cfg.Store == nil || lsn == 0 {
+		return nil
+	}
+	return r.cfg.Store.WaitSynced(lsn)
+}
+
+// recover folds the staged KindReplica records of this group back into
+// term, vote, log and snapshot floor — the promises the previous
+// incarnation synced before acting on them. Called once from New, before
+// any peer contact.
+func (r *Replica) recover() error {
+	if r.cfg.Store == nil {
+		return nil
+	}
+	recs := r.cfg.Store.ReplicaRecords(r.cfg.Group)
+	for _, rec := range recs {
+		switch rec.Entry {
+		case subState:
+			r.term = rec.Seq
+			r.votedFor = rec.Client
+		case subAppend:
+			idx := rec.CallID
+			if idx <= r.snapIndex {
+				continue // compacted later in the record stream's history
+			}
+			if len(rec.Params) != 4 {
+				return fmt.Errorf("replica %s: recover: append@%d: bad params", r.cfg.ID, idx)
+			}
+			name, ok1 := rec.Params[0].(string)
+			client, ok2 := rec.Params[1].(string)
+			seq, ok3 := rec.Params[2].(uint64)
+			params, ok4 := rec.Params[3].([]any)
+			if !ok1 || !ok2 || !ok3 || !ok4 {
+				return fmt.Errorf("replica %s: recover: append@%d: bad param types", r.cfg.ID, idx)
+			}
+			// An append at an occupied index implies the truncation the
+			// live path journaled just before it; handle both shapes.
+			if idx <= r.lastIndex() {
+				r.log = r.log[:idx-r.snapIndex-1]
+			}
+			if idx != r.lastIndex()+1 {
+				return fmt.Errorf("replica %s: recover: append@%d leaves a gap after %d", r.cfg.ID, idx, r.lastIndex())
+			}
+			r.log = append(r.log, entry{Term: rec.Seq, Entry: name, Client: client, Seq: seq, Params: params})
+		case subTruncate:
+			idx := rec.CallID
+			if idx <= r.snapIndex {
+				continue
+			}
+			if idx <= r.lastIndex() {
+				r.log = r.log[:idx-r.snapIndex-1]
+			}
+		case subSnapshot:
+			if len(rec.Params) != 1 {
+				return fmt.Errorf("replica %s: recover: snapshot@%d: bad params", r.cfg.ID, rec.CallID)
+			}
+			blob, ok := rec.Params[0].([]byte)
+			if !ok {
+				return fmt.Errorf("replica %s: recover: snapshot@%d: bad blob type", r.cfg.ID, rec.CallID)
+			}
+			// Drop the covered prefix, keep any suffix beyond the floor.
+			if rec.CallID > r.snapIndex {
+				covered := rec.CallID - r.snapIndex
+				if covered >= uint64(len(r.log)) {
+					r.log = nil
+				} else {
+					r.log = append([]entry(nil), r.log[covered:]...)
+				}
+				r.snapIndex, r.snapTerm, r.snapBlob = rec.CallID, rec.Seq, blob
+			}
+		default:
+			return fmt.Errorf("replica %s: recover: unknown sub-kind %q", r.cfg.ID, rec.Entry)
+		}
+	}
+	// Rebuild the applied state from the recovered snapshot; the log
+	// suffix beyond it re-applies once the group's next leader commits it
+	// (the no-op barrier), exactly the snapshot+replay discipline of PR 6.
+	if r.snapBlob != nil {
+		snap, err := decodeSnapshot(r.snapBlob)
+		if err != nil {
+			return fmt.Errorf("replica %s: recover: %w", r.cfg.ID, err)
+		}
+		if r.cfg.Restore != nil {
+			if err := r.cfg.Restore(snap.State); err != nil {
+				return fmt.Errorf("replica %s: recover: restore: %w", r.cfg.ID, err)
+			}
+		}
+		r.sessions.Load(snap.Sessions)
+		r.applied = r.snapIndex
+		r.commitIndex = r.snapIndex
+	}
+	if len(recs) > 0 {
+		r.logf("recovered t%d vote=%q log=[%d..%d]", r.term, r.votedFor, r.snapIndex+1, r.lastIndex())
+	}
+	return nil
+}
+
+// snapshotPayload is the catch-up unit a leader ships to a straggler and
+// the compaction floor recovery restores from: object state plus the
+// session table, TOGETHER — a snapshot that remembered an acknowledged
+// call but not its effects (or vice versa) would break exactly-once.
+type snapshotPayload struct {
+	LastIndex uint64
+	LastTerm  uint64
+	State     []byte
+	Sessions  []wal.AckEntry
+}
+
+func encodeSnapshot(s *snapshotPayload) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("replica: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeSnapshot(blob []byte) (*snapshotPayload, error) {
+	var s snapshotPayload
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("replica: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

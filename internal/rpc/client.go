@@ -63,6 +63,41 @@ func DialWith(addr string, opts DialOptions) (*Remote, error) {
 	return newRemote(conn, opts), nil
 }
 
+// DialMulti connects to a replicated group: it dials the first reachable
+// address and rotates through the list on every redial, so the Remote
+// follows leadership — a link death (the leader was killed) or an
+// ErrNotLeader response (we reached a follower) bounces the transport and
+// the retry lands on the next address, same sequence number. Supplying
+// opts.Redial overrides the rotation entirely (the injection point for
+// simnet transports, which rotate in the caller's own dial function).
+func DialMulti(addrs []string, opts DialOptions) (*Remote, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rpc: dial multi: no addresses")
+	}
+	opts = opts.withDefaults()
+	if opts.Redial == nil {
+		timeout := opts.Timeout
+		var next atomic.Uint64
+		opts.Redial = func() (net.Conn, error) {
+			var lastErr error
+			for range addrs {
+				addr := addrs[int(next.Add(1)-1)%len(addrs)]
+				conn, err := net.DialTimeout("tcp", addr, timeout)
+				if err == nil {
+					return conn, nil
+				}
+				lastErr = err
+			}
+			return nil, fmt.Errorf("rpc: dial multi: all %d addresses failed: %w", len(addrs), lastErr)
+		}
+	}
+	conn, err := opts.Redial()
+	if err != nil {
+		return nil, err
+	}
+	return newRemote(conn, opts), nil
+}
+
 // DialConn wraps an established connection as a client — the injection
 // point for alternative transports such as the simulated transputer
 // network (internal/simnet).
@@ -139,6 +174,17 @@ func (r *Remote) CallWith(ctx context.Context, opts CallOptions, object, entry s
 		if attempt >= pol.Max || !retryableErr(err) || ctx.Err() != nil {
 			return nil, err
 		}
+		if errors.Is(err, ErrNotLeader) {
+			// The peer cannot commit the call — it is a follower or the
+			// group is mid-election. The link itself is healthy, so a bare
+			// retry would hit the same non-leader forever; bounce the
+			// transport so the redial (rotating through the group's
+			// addresses under DialMulti) lands the retry elsewhere. The
+			// sequence number is deliberately kept: the call may have
+			// committed on the group already, and the replicated session
+			// table turns the retry into a replay if it did.
+			r.bounceLink()
+		}
 		if errors.Is(err, core.ErrOverload) {
 			// The node shed the call: it definitively did not execute, so
 			// the retry is a fresh logical call and must carry a fresh
@@ -167,7 +213,21 @@ func retryableErr(err error) bool {
 		// A replay-wait timeout means the original execution is still in
 		// flight; retrying with the SAME sequence number (unlike overload)
 		// re-enters the wait and eventually replays its result.
-		errors.Is(err, ErrReplayTimeout)
+		errors.Is(err, ErrReplayTimeout) ||
+		// Not-the-leader means the call did not commit HERE, but may have
+		// committed on the group; same sequence number, next address.
+		errors.Is(err, ErrNotLeader)
+}
+
+// bounceLink tears the current link down so the next attempt redials. Used
+// when the transport is healthy but pointed at the wrong group member.
+func (r *Remote) bounceLink() {
+	r.mu.Lock()
+	l := r.link
+	r.mu.Unlock()
+	if l != nil {
+		l.close()
+	}
 }
 
 // healthyLink returns the live link, redialling if the current one died.

@@ -114,6 +114,27 @@ func (d *dedupCache) complete(key dedupKey, e *dedupEntry, results []any, errMsg
 	d.mu.Unlock()
 }
 
+// forget releases waiting duplicates with the given response, then drops
+// the entry so future arrivals of the same (client, seq) re-execute. Used
+// for retryable routing outcomes: a follower's not-leader rejection must
+// not be pinned as "the" response for a call the client will retry — same
+// seq — against the next leader. Caching it would poison every retry with
+// a replayed rejection and the call could never land anywhere.
+func (d *dedupCache) forget(key dedupKey, e *dedupEntry, results []any, errMsg string, kind errKind) {
+	e.results = results
+	e.errMsg = errMsg
+	e.errKind = kind
+	d.mu.Lock()
+	e.state.Store(1)
+	if e.done != nil {
+		close(e.done)
+	}
+	if d.entries[key] == e {
+		delete(d.entries, key)
+	}
+	d.mu.Unlock()
+}
+
 // preload seeds a completed entry recovered from the durability layer, so
 // a (client, seq) retried across a node restart replays its on-disk
 // response instead of re-executing. Recovered entries arrive snapshot

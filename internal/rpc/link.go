@@ -80,6 +80,7 @@ type linkHooks struct {
 	rec        *trace.Recorder // nil-safe event sink
 	durable    *wal.Store      // durability store (nodes with -data-dir only)
 	replayWait time.Duration   // duplicate wait bound; 0 = unbounded
+	flushGrace time.Duration   // graceful-close flush bound; 0 = 1s default, < 0 = none
 }
 
 // link is one end of a connection: it can issue requests, serve requests
@@ -623,7 +624,16 @@ func (l *link) serveRequest(f *frame) {
 	// The body runs inline: serveRequest already has its own goroutine, so
 	// the gob-era hand-off through an inner goroutine and result channel
 	// is gone — one goroutine and one channel fewer per request.
-	results, err := obj.CallCtx(ctx, entryName, params...)
+	var results []any
+	var err error
+	if sc, needsSession := obj.(sessionCallable); needsSession && client != "" {
+		// Session-aware objects (consensus-replicated) carry the caller's
+		// at-most-once identity into the replicated log, so a retry after a
+		// failover replays on the new leader instead of re-executing.
+		results, err = sc.CallSession(ctx, client, seq, entryName, params)
+	} else {
+		results, err = obj.CallCtx(ctx, entryName, params...)
+	}
 	r := frame{Kind: frameResponse, ID: id, Results: results}
 	if err != nil {
 		r.Results = nil
@@ -662,7 +672,14 @@ func (l *link) serveRequest(f *frame) {
 		// and any duplicate) still waits on the ack LSN before
 		// sending, and the snapshot writer dumps the dedup table
 		// before collecting object state (docs/DURABILITY.md).
-		l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+		// Not-leader rejections are released but not cached: the client
+		// retries the SAME seq against the new leader, and a pinned
+		// rejection would replay forever (see dedupCache.forget).
+		if r.ErrKind == errNotLeader {
+			l.hooks.dedup.forget(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+		} else {
+			l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+		}
 	}
 	if ackLSN != 0 {
 		if aerr := l.hooks.durable.WaitSynced(ackLSN); aerr != nil {
@@ -813,8 +830,13 @@ func (l *link) finishServe(id uint64, client string, seq uint64, entry *dedupEnt
 	}
 	if entry != nil {
 		// Record the outcome even if the arrival link is already dead: the
-		// retry that replaces it replays from here.
-		l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+		// retry that replaces it replays from here — except not-leader
+		// rejections, which must not be pinned against the retried seq.
+		if r.ErrKind == errNotLeader {
+			l.hooks.dedup.forget(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+		} else {
+			l.hooks.dedup.complete(dedupKey{client, seq}, entry, r.Results, r.Err, r.ErrKind)
+		}
 	}
 	if !l.trySendResponse(&r) {
 		go l.sendResponse(&r)
@@ -921,10 +943,19 @@ func (l *link) close() {
 }
 
 // flushPending waits, briefly and best-effort, until the write queue is
-// empty and no combiner is mid-batch. Bounded: a peer that stopped
-// reading must not turn a graceful close into a hang.
+// empty and no combiner is mid-batch. Bounded by the owner's flush grace
+// (NodeOptions.FlushGrace; 1s when unset): a peer that stopped reading
+// must not turn a graceful close into a hang. A negative grace skips the
+// wait entirely — teardown-speed over response delivery.
 func (l *link) flushPending() {
-	deadline := time.Now().Add(time.Second)
+	grace := l.hooks.flushGrace
+	if grace == 0 {
+		grace = time.Second
+	}
+	if grace < 0 {
+		return
+	}
+	deadline := time.Now().Add(grace)
 	l.wmu.Lock()
 	for (len(l.wbuf) > 0 || l.writing) && !l.closedLocked() {
 		l.wmu.Unlock()

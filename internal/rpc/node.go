@@ -79,26 +79,7 @@ func NewNodeWith(name string, opts NodeOptions) *Node {
 
 // dedupDump snapshots the cache's completed entries for inclusion in a
 // durability checkpoint, in completion order.
-func (n *Node) dedupDump() []wal.AckEntry {
-	d := n.dedup
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	out := make([]wal.AckEntry, 0, len(d.order))
-	for _, key := range d.order {
-		e, ok := d.entries[key]
-		if !ok {
-			continue
-		}
-		if !e.completed() {
-			continue // in-flight: its ack is not on disk yet either
-		}
-		out = append(out, wal.AckEntry{
-			Client: key.client, Seq: key.seq,
-			Results: e.results, ErrMsg: e.errMsg, ErrKind: int32(e.errKind),
-		})
-	}
-	return out
-}
+func (n *Node) dedupDump() []wal.AckEntry { return n.dedup.dump() }
 
 // Name reports the node's name.
 func (n *Node) Name() string { return n.name }
@@ -172,6 +153,7 @@ func (n *Node) hooks() linkHooks {
 		rec:        n.opts.Trace,
 		durable:    n.opts.Durable,
 		replayWait: replayWait,
+		flushGrace: n.opts.FlushGrace,
 	}
 }
 

@@ -171,6 +171,14 @@ type NodeOptions struct {
 	// serve goroutine forever). 0 selects the 30s default; negative
 	// disables the bound.
 	ReplayWait time.Duration
+	// FlushGrace bounds how long a graceful link close waits for queued
+	// response frames to reach the wire before tearing the connection
+	// down — the bound that keeps a peer who stopped reading from turning
+	// Close into a hang. 0 selects the historical 1s; negative skips the
+	// flush wait entirely (teardown speed over response delivery — a
+	// deliberately failing-over replica uses this so a wedged follower
+	// cannot slow its exit).
+	FlushGrace time.Duration
 }
 
 func randomClientID() string {

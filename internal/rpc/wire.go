@@ -43,6 +43,7 @@ const (
 	errOverload      = wire.ErrKindOverload
 	errPoisoned      = wire.ErrKindPoisoned
 	errReplayTimeout = wire.ErrKindReplayTimeout
+	errNotLeader     = wire.ErrKindNotLeader
 )
 
 // ChanRef names a channel published on the sending side of a call. When a
@@ -76,6 +77,15 @@ var ErrLinkClosed = errors.New("rpc: connection closed")
 // stays in the dedup cache, so a later retry of the same sequence number
 // replays it. Retryable with the SAME sequence number.
 var ErrReplayTimeout = wire.ErrReplayTimeout
+
+// ErrNotLeader is returned by a consensus-replicated object when the
+// member that received the call cannot commit it: it is a follower, or an
+// election is in flight. The call may nevertheless have committed on the
+// group (a response lost in a failover), so retries MUST keep the same
+// sequence number — the replicated session table turns the retry into a
+// replay if the original landed. Remotes built with DialMulti rotate to
+// the next group address before retrying (docs/REPLICATION.md).
+var ErrNotLeader = wire.ErrNotLeader
 
 // Register makes a user-defined type transmissible as a parameter, result
 // or message value. It must be called identically on both ends before the

@@ -55,6 +55,7 @@ type Network struct {
 	mu         sync.Mutex
 	listeners  map[string]*listener
 	partitions map[[2]string]bool
+	conns      map[string]map[*conn]struct{} // live conns by local endpoint
 	rng        *workload.RNG
 
 	kills       metrics.Counter
@@ -68,6 +69,7 @@ func New(cfg Config) *Network {
 		cfg:        cfg,
 		listeners:  make(map[string]*listener),
 		partitions: make(map[[2]string]bool),
+		conns:      make(map[string]map[*conn]struct{}),
 		rng:        workload.NewRNG(cfg.Seed),
 	}
 }
@@ -184,14 +186,68 @@ func (n *Network) jitterDelay(size int) time.Duration {
 	return d
 }
 
-// newPair builds the two half-duplex pipes of one connection.
+// newPair builds the two half-duplex pipes of one connection and registers
+// both endpoints for crash injection (Kill).
 func (n *Network) newPair(from, to string) (client, server net.Conn) {
 	c2s := newHalf(n, from, to)
 	s2c := newHalf(n, to, from)
 	c2s.twin, s2c.twin = s2c, c2s
-	client = &conn{net: n, read: s2c, write: c2s, local: from, remote: to}
-	server = &conn{net: n, read: c2s, write: s2c, local: to, remote: from}
-	return client, server
+	cc := &conn{net: n, read: s2c, write: c2s, local: from, remote: to}
+	sc := &conn{net: n, read: c2s, write: s2c, local: to, remote: from}
+	n.register(cc)
+	n.register(sc)
+	return cc, sc
+}
+
+func (n *Network) register(c *conn) {
+	n.mu.Lock()
+	set := n.conns[c.local]
+	if set == nil {
+		set = make(map[*conn]struct{})
+		n.conns[c.local] = set
+	}
+	set[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Network) unregister(c *conn) {
+	n.mu.Lock()
+	if set := n.conns[c.local]; set != nil {
+		delete(set, c)
+		if len(set) == 0 {
+			delete(n.conns, c.local)
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Kill crashes the named endpoint: every live connection touching it is
+// severed abruptly — in-flight frames are dropped, both peers observe a
+// broken link — and its listener closes, so dials fail until the endpoint
+// restarts. This models kill -9 of the process behind the address: a
+// half-written consensus message or response frame is simply gone. Restart
+// the endpoint by calling Listen with the same name (names are addresses,
+// so the revived node is reachable exactly where the dead one was — the
+// rejoin scenario of docs/REPLICATION.md). Returns how many connections
+// were severed; each counts toward the kills total in Stats. Decisions are
+// made by the caller, not the seeded fault stream, so a test can schedule
+// crashes deterministically on top of (or instead of) KillProb chaos.
+func (n *Network) Kill(name string) int {
+	n.mu.Lock()
+	lis := n.listeners[name]
+	victims := make([]*conn, 0, len(n.conns[name]))
+	for c := range n.conns[name] {
+		victims = append(victims, c)
+	}
+	n.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for _, c := range victims {
+		c.Break()
+		n.kills.Inc()
+	}
+	return len(victims)
 }
 
 type listener struct {
@@ -423,6 +479,7 @@ func (c *conn) Write(p []byte) (int, error) {
 // Close implements net.Conn: it half-closes both directions, so the peer
 // reads EOF after draining in-flight data.
 func (c *conn) Close() error {
+	c.net.unregister(c)
 	c.write.close()
 	c.read.close()
 	return nil
@@ -431,6 +488,7 @@ func (c *conn) Close() error {
 // Break severs the connection abruptly: in-flight data is lost and both
 // sides fail — the link-failure injection hook for tests.
 func (c *conn) Break() {
+	c.net.unregister(c)
 	c.write.breakLink()
 	c.read.breakLink()
 }

@@ -24,9 +24,16 @@ const (
 	// and the response. Recovery folds these into the node's at-most-once
 	// cache so a retried call is answered from disk, never re-executed.
 	KindAck
+	// KindReplica is a consensus-state record appended by internal/replica:
+	// hard state (term, vote), replicated log entries, truncations and
+	// snapshot floors for one replication group. The wal layer stores them
+	// opaquely — Object names the group, Entry the sub-kind — and recovery
+	// stages them, in LSN order, for the group's next incarnation
+	// (docs/REPLICATION.md).
+	KindReplica
 )
 
-func (k Kind) valid() bool { return k >= KindOutcome && k <= KindAck }
+func (k Kind) valid() bool { return k >= KindOutcome && k <= KindReplica }
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -35,6 +42,8 @@ func (k Kind) String() string {
 		return "outcome"
 	case KindAck:
 		return "ack"
+	case KindReplica:
+		return "replica"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

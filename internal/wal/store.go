@@ -40,6 +40,7 @@ type Store struct {
 	mu        sync.Mutex
 	journals  map[string]*ObjectJournal
 	byObject  map[string][]*Record // recovered outcomes awaiting replay
+	byGroup   map[string][]*Record // recovered consensus records by replication group
 	acks      []AckEntry           // recovered at-most-once ledger
 	dedupDump func() []AckEntry    // set by the node; completed entries only
 	snapState map[string][]byte    // recovered snapshot blobs by object
@@ -57,6 +58,7 @@ type Store struct {
 type RecoveryStats struct {
 	Outcomes   int // outcome records replayed from the log
 	Acks       int // ack records folded into the dedup seed
+	Replica    int // consensus records staged for replication groups
 	SnapshotAt uint64
 	TornBytes  int64
 	Segments   int
@@ -82,6 +84,7 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		opts:     opts,
 		journals: make(map[string]*ObjectJournal),
 		byObject: make(map[string][]*Record),
+		byGroup:  make(map[string][]*Record),
 	}
 	s.stats.TornBytes = rec.TornBytes
 	s.stats.Segments = rec.Segments
@@ -102,6 +105,9 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 				Results: r.Results, ErrMsg: r.ErrMsg, ErrKind: r.ErrKind,
 			})
 			s.stats.Acks++
+		case KindReplica:
+			s.byGroup[r.Object] = append(s.byGroup[r.Object], r)
+			s.stats.Replica++
 		}
 	}
 	return s, nil
@@ -161,6 +167,29 @@ func (s *Store) AppendAck(object, entry, client string, seq uint64, results []an
 		ErrMsg:  errMsg,
 		ErrKind: errKind,
 	})
+}
+
+// AppendReplica journals one consensus record for a replication group:
+// hard state, a log entry, a truncation or a snapshot floor. The record's
+// Kind is forced to KindReplica; internal/replica owns the sub-kind
+// vocabulary carried in rec.Entry. Callers WaitSynced on the returned LSN
+// before acting on the record (granting a vote, acknowledging an append) —
+// the same ack-before-response discipline the rpc layer uses.
+func (s *Store) AppendReplica(rec *Record) (uint64, error) {
+	rec.Kind = KindReplica
+	return s.append(rec)
+}
+
+// ReplicaRecords returns (and un-stages) the consensus records recovery
+// found for the named replication group, in LSN order. The group's next
+// incarnation folds them back into its term, vote and log before rejoining
+// its peers.
+func (s *Store) ReplicaRecords(group string) []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.byGroup[group]
+	delete(s.byGroup, group)
+	return recs
 }
 
 // WaitSynced blocks until every record up to lsn is on stable storage.

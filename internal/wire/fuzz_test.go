@@ -33,6 +33,26 @@ func FuzzWireDecode(f *testing.F) {
 			[]any{"nested", map[string]any{"k": [2]int{1, 2}}},
 			ChanRef{Name: "ch"},
 		}},
+		// Consensus traffic (internal/replica) rides the same request
+		// frames: votes, append-entries batches and snapshot installs
+		// addressed to a group's control endpoint. Seed the healthy shapes
+		// so the mutators below derive truncated votes, stale terms and
+		// absurd LSNs from realistic bytes.
+		{Kind: KindRequest, ID: 6, Object: "!raft:KV", Entry: "RequestVote",
+			Params: []any{uint64(7), "b", uint64(42), uint64(6)}, Client: "b", Seq: 9},
+		{Kind: KindRequest, ID: 7, Object: "!raft:KV", Entry: "AppendEntries",
+			Params: []any{uint64(7), "a", uint64(41), uint64(6), uint64(40), []any{
+				[]any{uint64(7), "Append", "c1", uint64(3), []any{"k", "v"}},
+				[]any{uint64(7), "", "", uint64(0), []any{}}, // no-op barrier
+			}}, Client: "a", Seq: 12},
+		// Stale term (0) and absurd LSN/prev-index (max uint64): the replica
+		// layer must reject these by value, but the codec must pass them
+		// through unharmed — they are structurally legal frames.
+		{Kind: KindRequest, ID: 8, Object: "!raft:KV", Entry: "AppendEntries",
+			Params: []any{uint64(0), "z", uint64(1<<64 - 1), uint64(1<<64 - 1), uint64(1<<64 - 1), []any{}}},
+		{Kind: KindRequest, ID: 9, Object: "!raft:KV", Entry: "InstallSnapshot",
+			Params: []any{uint64(8), "a", uint64(1 << 62), uint64(8), []byte("snapshot-blob")}},
+		{Kind: KindResponse, ID: 9, Err: "replica: not the leader", ErrKind: ErrKindNotLeader},
 	}
 	var full []byte
 	for i := range seedFrames {
@@ -46,6 +66,16 @@ func FuzzWireDecode(f *testing.F) {
 	// Truncations at assorted depths.
 	for _, cut := range []int{1, len(full) / 3, len(full) / 2, len(full) - 1} {
 		f.Add(append([]byte(nil), full[:cut]...))
+	}
+	// Truncated consensus frames: a vote and an append-entries batch cut
+	// mid-payload, the shape a leader kill leaves on the wire.
+	for i := 5; i <= 7; i++ {
+		b, err := AppendFrame(nil, &seedFrames[i], tab)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), b[:len(b)/2]...))
+		f.Add(append([]byte(nil), b[:len(b)-3]...))
 	}
 	// Byte corruption sweep (CRC must catch these).
 	corrupted := append([]byte(nil), full...)

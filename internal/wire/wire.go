@@ -56,10 +56,11 @@ const (
 	ErrKindOverload      // core.ErrOverload: admission control shed the call; retryable
 	ErrKindPoisoned      // core.ErrObjectPoisoned: object's manager died; terminal
 	ErrKindReplayTimeout // ErrReplayTimeout: duplicate gave up waiting on the primary; retryable
+	ErrKindNotLeader     // ErrNotLeader: replica cannot commit the call here; retryable, same seq
 )
 
 // Valid reports whether k is a known error kind.
-func (k ErrKind) Valid() bool { return k <= ErrKindReplayTimeout }
+func (k ErrKind) Valid() bool { return k <= ErrKindNotLeader }
 
 // Frame is the single wire message type.
 type Frame struct {
@@ -122,6 +123,15 @@ var ErrUnknownObject = errors.New("rpc: unknown object")
 // (client, seq) complete. Retryable with the SAME sequence number.
 var ErrReplayTimeout = errors.New("rpc: timed out waiting for in-flight duplicate")
 
+// ErrNotLeader is returned by a consensus-replicated object
+// (internal/replica) when the member that received a call cannot commit it:
+// no leader is known, an election is in flight, or a forward to the leader
+// failed. The call did not commit here, but it MAY have committed on the
+// group (a forwarded call whose response was lost), so retries must keep
+// the SAME sequence number — the replicated session table turns the retry
+// into a replay if the original landed (docs/REPLICATION.md).
+var ErrNotLeader = errors.New("replica: not the leader")
+
 // Validate rejects frames whose discriminants fall outside the protocol.
 // The decoder enforces the same bounds while parsing; this remains the
 // defense-in-depth hook for frames constructed in-process (tests, fuzz).
@@ -158,6 +168,8 @@ func EncodeErr(err error) (string, ErrKind) {
 		kind = ErrKindBadArity
 	case errors.Is(err, ErrReplayTimeout):
 		kind = ErrKindReplayTimeout
+	case errors.Is(err, ErrNotLeader):
+		kind = ErrKindNotLeader
 	}
 	return err.Error(), kind
 }
@@ -183,6 +195,8 @@ func DecodeErr(msg string, kind ErrKind) error {
 		return rewrap(msg, core.ErrObjectPoisoned)
 	case ErrKindReplayTimeout:
 		return rewrap(msg, ErrReplayTimeout)
+	case ErrKindNotLeader:
+		return rewrap(msg, ErrNotLeader)
 	case ErrGeneric:
 		return errors.New(msg)
 	default:

@@ -1,0 +1,54 @@
+package alps
+
+import (
+	"repro/internal/replica"
+	"repro/internal/rpc"
+)
+
+// Replication types (docs/REPLICATION.md), re-exported. A replication
+// group makes one ALPS object survive the death of its host: a
+// Raft-style replicated log carries the object's call ledger across 3+
+// nodes, the client-session table rides the log so retried calls land
+// exactly once across a failover, and a restarted member catches up from
+// a leader snapshot.
+type (
+	// Replica is one member of a replication group.
+	Replica = replica.Replica
+	// ReplicaConfig configures one member: identity, the static peer set,
+	// durability, election timing, and the snapshot/restore hooks.
+	ReplicaConfig = replica.Config
+	// ReplicaRole is a member's consensus role.
+	ReplicaRole = replica.Role
+)
+
+// Replica role values, re-exported.
+const (
+	ReplicaFollower  = replica.Follower
+	ReplicaCandidate = replica.Candidate
+	ReplicaLeader    = replica.Leader
+)
+
+// ErrNotLeader reports a call that reached a group member that is not
+// the leader. Retryable: clients built with rpc.DialMulti bounce to the
+// next address automatically, keeping the same at-most-once identity.
+var ErrNotLeader = rpc.ErrNotLeader
+
+// ReplicatedObject wraps obj — typically an *Object, but any call
+// surface works — as one member of a consensus group and publishes it on
+// node: the replicated object under cfg.Group and the consensus endpoint
+// under its control name. Committed calls apply to obj sequentially in
+// log order on every member, so per-key FIFO holds across failover.
+//
+// The member starts immediately (elections, replication); Close it
+// before closing the node.
+func ReplicatedObject(node *rpc.Node, cfg ReplicaConfig, obj rpc.Callable) (*Replica, error) {
+	rep, err := replica.New(cfg, obj)
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Publish(node); err != nil {
+		rep.Close()
+		return nil, err
+	}
+	return rep, nil
+}
