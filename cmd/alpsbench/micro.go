@@ -98,6 +98,11 @@ func microBenches() []microBench {
 		{"ShardGroup/shards=1-clients=64", microShardGroup1},
 		{"ShardGroup/shards=8-clients=64", microShardGroup8},
 		{"ReplicatedCall/replicas=3", microReplicatedCall},
+		{"ReplicatedCall/clients=1", microReplicatedCall1},
+		{"ReplicatedCall/clients=8", microReplicatedCall8},
+		{"ReplicatedCall/clients=64", microReplicatedCall64},
+		{"ReplicatedRead/replicas=3", microReplicatedRead},
+		{"ReplicatedRead/clients=64", microReplicatedRead64},
 		{"Channel/send-recv", microChannel},
 		{"GuardScanWidth/array-4096", microGuardWidth},
 		{"SimnetLink", microSimnetLink},
@@ -674,40 +679,44 @@ func microManagedCombining(b *testing.B) {
 	}
 }
 
-// benchCounter is the replicated state machine behind microReplicatedCall:
-// a single counter, so every committed entry does trivial work and the
-// measurement is the consensus pipeline, not the object body.
+// benchCounter is the replicated state machine behind the replication
+// micros: a single counter, so every committed entry does trivial work
+// and the measurement is the consensus pipeline, not the object body.
+// "Get" reads the counter without mutating it — the entry the ReadIndex
+// fast path classifies as read-only.
 type benchCounter struct {
 	mu sync.Mutex
 	n  uint64
 }
 
-func (o *benchCounter) CallCtx(context.Context, string, ...any) ([]any, error) {
+func (o *benchCounter) CallCtx(_ context.Context, entry string, _ ...any) ([]any, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.n++
+	if entry != "Get" {
+		o.n++
+	}
 	return []any{o.n}, nil
 }
 
-// microReplicatedCall measures a committed call through a 3-member
-// replication group over simnet: client -> leader -> quorum append ->
-// apply -> reply. Against E10RemoteCall/local this prices what consensus
-// costs per call; it is the headline the failover work must not ratchet.
-func microReplicatedCall(b *testing.B) {
-	b.ReportAllocs()
+// startReplBench boots a 3-member replication group over simnet, waits
+// out the first election, and returns a multiplexed client dialed at the
+// leader. All replication micros share this fixture so their numbers
+// differ only in workload shape.
+func startReplBench(b *testing.B, readOnly func(string) bool) *rpc.Remote {
+	b.Helper()
 	nw := simnet.New(simnet.Config{Seed: 7})
 	ids := []string{"A", "B", "C"}
 	peers := map[string]string{"A": "A", "B": "B", "C": "C"}
 	reps := make([]*replica.Replica, 0, len(ids))
 	nodes := make([]*rpc.Node, 0, len(ids))
-	defer func() {
+	b.Cleanup(func() {
 		for _, r := range reps {
 			r.Close()
 		}
 		for _, n := range nodes {
 			n.Close()
 		}
-	}()
+	})
 	for _, id := range ids {
 		id := id
 		rep, err := replica.New(replica.Config{
@@ -719,6 +728,7 @@ func microReplicatedCall(b *testing.B) {
 			},
 			ElectionTimeout: 60 * time.Millisecond,
 			Seed:            7,
+			ReadOnly:        readOnly,
 		}, &benchCounter{})
 		if err != nil {
 			b.Fatal(err)
@@ -758,14 +768,101 @@ func microReplicatedCall(b *testing.B) {
 		b.Fatal(err)
 	}
 	rem := rpc.DialConnWith(conn, rpc.DialOptions{ClientID: "bench-client"})
-	defer rem.Close()
+	b.Cleanup(rem.Close)
+	return rem
+}
 
+// microReplicatedCall measures a committed call through a 3-member
+// replication group over simnet: client -> leader -> quorum append ->
+// apply -> reply. Against E10RemoteCall/local this prices what consensus
+// costs per call; it is the headline the fast-path work must not ratchet.
+func microReplicatedCall(b *testing.B) {
+	b.ReportAllocs()
+	rem := startReplBench(b, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := rem.Call("KV", "Inc"); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// microReplicatedCallN drives the group with n concurrent clients over
+// one multiplexed connection — the shape where proposal combining and
+// the pipelined AppendEntries window earn their keep: many proposals in
+// flight coalesce into shared append+replicate rounds instead of paying
+// one quorum round-trip each.
+func microReplicatedCallN(b *testing.B, clients int) {
+	b.ReportAllocs()
+	rem := startReplBench(b, nil)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := rem.Call("KV", "Inc"); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func microReplicatedCall1(b *testing.B)  { microReplicatedCallN(b, 1) }
+func microReplicatedCall8(b *testing.B)  { microReplicatedCallN(b, 8) }
+func microReplicatedCall64(b *testing.B) { microReplicatedCallN(b, 64) }
+
+// microReplicatedRead prices the ReadIndex fast path: a quorum-checked
+// linearizable read served from leader state with no log append, no
+// journal sync and no per-read replication. Compare against
+// ReplicatedCall/replicas=3 — the gap is what skipping the log buys.
+func microReplicatedRead(b *testing.B) {
+	b.ReportAllocs()
+	rem := startReplBench(b, func(entry string) bool { return entry == "Get" })
+	// Commit one write so reads observe real state through the barrier.
+	if _, err := rem.Call("KV", "Inc"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rem.Call("KV", "Get"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// microReplicatedRead64 is the read path at its intended operating
+// point: one leadership-confirmation round covers every read registered
+// before its ack lands, so 64 concurrent readers share heartbeat rounds
+// instead of paying one quorum round-trip each.
+func microReplicatedRead64(b *testing.B) {
+	b.ReportAllocs()
+	rem := startReplBench(b, func(entry string) bool { return entry == "Get" })
+	if _, err := rem.Call("KV", "Inc"); err != nil {
+		b.Fatal(err)
+	}
+	const clients = 64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := rem.Call("KV", "Get"); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func microChannel(b *testing.B) {

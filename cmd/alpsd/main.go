@@ -282,6 +282,11 @@ func newServer(args []string) (*server, string, error) {
 			ElectionTimeout: et,
 			Snapshot:        snap,
 			Restore:         restore,
+			// Registry lookups are pure reads: serve them on the ReadIndex
+			// fast path — no log append, no journal sync, one shared quorum
+			// confirmation — instead of replicating every Get.
+			ReadOnly: func(entry string) bool { return entry == "Get" },
+			Metrics:  srv.nm,
 			Logf: func(format string, args ...any) {
 				fmt.Printf("alpsd: "+format+"\n", args...)
 			},
@@ -412,6 +417,17 @@ func (s *server) Close() {
 		}
 		fmt.Printf("alpsd: transport: %d B out / %d B in, %d frames out / %d in, %d flushes (%.1f frames/flush), %d dedup replays\n",
 			m.BytesSent.Value(), m.BytesRecv.Value(), sent, recv, flushes, perFlush, m.DedupHits.Value())
+		// Replication fast-path totals (leader-side; zero on followers):
+		// proposals vs rounds shows how well the combiner coalesced, the
+		// batch/window histograms whether the pipeline actually ran deep,
+		// and the read counters how many calls skipped the log entirely.
+		if s.rep != nil {
+			props, rounds := m.ReplProposals.Value(), m.ReplRounds.Value()
+			fmt.Printf("alpsd: replication: %d proposals in %d rounds (%d combined), batch %s, window %s\n",
+				props, rounds, m.ReplCombined.Value(), m.ReplBatch.String(), m.ReplWindow.String())
+			fmt.Printf("alpsd: replication reads: %d served via ReadIndex (%d confirm rounds, %d retries bounced)\n",
+				m.ReplReads.Value(), m.ReplReadRounds.Value(), m.ReplReadRetries.Value())
+		}
 	}
 	if s.d != nil {
 		_ = s.d.Close()

@@ -23,9 +23,10 @@ import (
 // defaultWatch lists the micro benchmarks gated by default: the paper's
 // headline E1 hot path, the manager Execute pipeline, the remote-call
 // path, the pipelined transport headline the wire codec bought, and the
-// quorum-committed call through a 3-member replication group — the paths
-// the roadmap optimizes hardest.
-const defaultWatch = "E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute,E10RemoteCall/remote-tcp,RemotePipelined/clients=64-conns=1,ReplicatedCall/replicas=3"
+// replication fast paths — the single-client committed call, the
+// 64-client combined/pipelined throughput shape, and the ReadIndex
+// quorum-checked read — the paths the roadmap optimizes hardest.
+const defaultWatch = "E1BoundedBuffer/alps-manager,ManagerPrimitives/managed-execute,E10RemoteCall/remote-tcp,RemotePipelined/clients=64-conns=1,ReplicatedCall/replicas=3,ReplicatedCall/clients=64,ReplicatedRead/replicas=3"
 
 // benchFile mirrors the subset of cmd/alpsbench's JSON schema we need.
 type benchFile struct {

@@ -21,7 +21,9 @@ const baseJSON = `{"label":"base","micro":[
 	{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
 	{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000},
 	{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000},
-	{"name":"ReplicatedCall/replicas=3","ns_per_op":45000}]}`
+	{"name":"ReplicatedCall/replicas=3","ns_per_op":45000},
+	{"name":"ReplicatedCall/clients=64","ns_per_op":8000},
+	{"name":"ReplicatedRead/replicas=3","ns_per_op":12000}]}`
 
 func check(t *testing.T, curJSON string, extra ...string) error {
 	t.Helper()
@@ -38,7 +40,9 @@ func TestWithinThresholdPasses(t *testing.T) {
 		{"name":"ManagerPrimitives/managed-execute","ns_per_op":1500},
 		{"name":"E10RemoteCall/remote-tcp","ns_per_op":51000},
 		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3100},
-		{"name":"ReplicatedCall/replicas=3","ns_per_op":46000}]}`)
+		{"name":"ReplicatedCall/replicas=3","ns_per_op":46000},
+		{"name":"ReplicatedCall/clients=64","ns_per_op":8200},
+		{"name":"ReplicatedRead/replicas=3","ns_per_op":12500}]}`)
 	if err != nil {
 		t.Fatalf("within-threshold run failed: %v", err)
 	}
@@ -50,7 +54,9 @@ func TestRegressionFails(t *testing.T) {
 		{"name":"ManagerPrimitives/managed-execute","ns_per_op":2000},
 		{"name":"E10RemoteCall/remote-tcp","ns_per_op":50000},
 		{"name":"RemotePipelined/clients=64-conns=1","ns_per_op":3000},
-		{"name":"ReplicatedCall/replicas=3","ns_per_op":45000}]}`)
+		{"name":"ReplicatedCall/replicas=3","ns_per_op":45000},
+		{"name":"ReplicatedCall/clients=64","ns_per_op":8000},
+		{"name":"ReplicatedRead/replicas=3","ns_per_op":12000}]}`)
 	if err == nil {
 		t.Fatal("20% regression passed")
 	}

@@ -6,7 +6,10 @@ import "fmt"
 // routing key, the issuing client, that client's per-key issue number
 // (synchronous clients number 0,1,2,... — a RETRY keeps its number), the
 // counter value the acknowledged call returned, and optional wall-clock
-// bounds (UnixNano; 0 = unknown) for the real-time check.
+// bounds (UnixNano; 0 = unknown) for the real-time check. Read marks a
+// read-only observation (the ReadIndex fast path): it returns the
+// counter without advancing it, so the oracle holds it to observation
+// rules rather than increment rules.
 type RepOp struct {
 	Key    string
 	Client string
@@ -14,6 +17,7 @@ type RepOp struct {
 	Value  uint64
 	Start  int64
 	End    int64
+	Read   bool
 }
 
 // CheckLinearizable replays a per-key increment history against the
@@ -36,15 +40,35 @@ type RepOp struct {
 //	session-order:    for each (client, key), returned values strictly
 //	                  increase in issue order — a session never observes
 //	                  the counter moving backwards across a failover.
+//	                  Reads may repeat the session's last value (two
+//	                  reads with no write between them), but never sink
+//	                  below it.
 //	real-time:        for op pairs with known bounds, an op that ENDED
 //	                  before another STARTED must hold the smaller value —
 //	                  the linearization respects wall-clock precedence,
 //	                  not just per-session order. Pairwise, O(n²) per key:
 //	                  sized for harness ledgers, not production traces.
 //
+// Reads are held to observation rules instead of increment rules: they
+// are excluded from value-duplicated and lost-update (many reads may
+// legally observe one value, and reads never mint values), and gain two
+// rules of their own:
+//
+//	stale-read:       a read that STARTED after an increment ENDED must
+//	                  observe at least that increment's value, and an
+//	                  increment that STARTED after a read ENDED must
+//	                  produce a value strictly above what the read saw —
+//	                  the ReadIndex fast path may never serve a commit
+//	                  frontier that misses an acknowledged write.
+//	read-unwritten:   end-of-run, no read observed a value above the
+//	                  key's highest acknowledged increment — a read that
+//	                  sees a value no write owns observed a double-apply
+//	                  or phantom entry.
+//
 // Together (values distinct, contiguous, session-monotonic, real-time
-// consistent) these certify the history is linearizable: order-by-value
-// is a legal linearization.
+// consistent, reads observing exactly the committed prefix) these
+// certify the history is linearizable: order-by-value is a legal
+// linearization, with each read slotted after the increment it observed.
 func CheckLinearizable(ops []RepOp) []Divergence {
 	type ck struct{ client, key string }
 	type cks struct {
@@ -62,6 +86,7 @@ func CheckLinearizable(ops []RepOp) []Divergence {
 	lastVal := make(map[ck]uint64)
 	count := make(map[string]int)
 	maxVal := make(map[string]uint64)
+	maxRead := make(map[string]uint64)
 	for i, op := range ops {
 		id := cks{op.Client, op.Key, op.Seq}
 		if first, dup := seen[id]; dup {
@@ -76,21 +101,27 @@ func CheckLinearizable(ops []RepOp) []Divergence {
 		}
 		seen[id] = i
 
-		v := kv{op.Key, op.Value}
-		if first, dup := valueAt[v]; dup {
-			divs = append(divs, Divergence{
-				Rule:  "value-duplicated",
-				Entry: op.Key,
-				Index: i,
-				Detail: fmt.Sprintf("key %q value %d observed twice (first at index %d) — a retry re-executed",
-					op.Key, op.Value, first),
-			})
+		if op.Read {
+			if op.Value > maxRead[op.Key] {
+				maxRead[op.Key] = op.Value
+			}
 		} else {
-			valueAt[v] = i
-		}
-		count[op.Key]++
-		if op.Value > maxVal[op.Key] {
-			maxVal[op.Key] = op.Value
+			v := kv{op.Key, op.Value}
+			if first, dup := valueAt[v]; dup {
+				divs = append(divs, Divergence{
+					Rule:  "value-duplicated",
+					Entry: op.Key,
+					Index: i,
+					Detail: fmt.Sprintf("key %q value %d observed twice (first at index %d) — a retry re-executed",
+						op.Key, op.Value, first),
+				})
+			} else {
+				valueAt[v] = i
+			}
+			count[op.Key]++
+			if op.Value > maxVal[op.Key] {
+				maxVal[op.Key] = op.Value
+			}
 		}
 
 		c := ck{op.Client, op.Key}
@@ -108,7 +139,9 @@ func CheckLinearizable(ops []RepOp) []Divergence {
 					op.Client, op.Key, op.Seq, want),
 			})
 		}
-		if started && op.Value <= lastVal[c] {
+		// Increments strictly advance a session's view; reads may repeat
+		// it but never regress it.
+		if started && (op.Value < lastVal[c] || (!op.Read && op.Value == lastVal[c])) {
 			divs = append(divs, Divergence{
 				Rule:  "session-order",
 				Entry: op.Key,
@@ -145,16 +178,52 @@ func CheckLinearizable(ops []RepOp) []Divergence {
 		}
 	}
 
-	// Real-time precedence, where timestamps are known.
+	// End-of-run: every value a read observed must be owned by some
+	// acknowledged increment.
+	for key, mr := range maxRead {
+		if mr > maxVal[key] {
+			divs = append(divs, Divergence{
+				Rule:  "read-unwritten",
+				Entry: key,
+				Index: -1,
+				Detail: fmt.Sprintf("key %q: a read observed value %d but the highest acknowledged increment is %d — the read saw an unowned apply",
+					key, mr, maxVal[key]),
+			})
+		}
+	}
+
+	// Real-time precedence, where timestamps are known: for a ending
+	// before b starts, b's observation must be consistent with a's effect
+	// (or observation) being already linearized. Increments must strictly
+	// advance past a preceding read's view; reads must carry at least the
+	// preceding op's value. A read that undercuts a finished increment is
+	// the stale-read class the ReadIndex quorum round exists to prevent.
 	for i, a := range ops {
 		if a.End == 0 {
 			continue
 		}
 		for j, b := range ops {
-			if i == j || b.Start == 0 || a.Key != b.Key {
+			if i == j || b.Start == 0 || a.Key != b.Key || a.End >= b.Start {
 				continue
 			}
-			if a.End < b.Start && a.Value > b.Value {
+			switch {
+			case b.Read && b.Value < a.Value:
+				divs = append(divs, Divergence{
+					Rule:  "stale-read",
+					Entry: a.Key,
+					Index: j,
+					Detail: fmt.Sprintf("key %q: read observed value %d after a call holding value %d had finished — the committed prefix was missed",
+						a.Key, b.Value, a.Value),
+				})
+			case !b.Read && a.Read && b.Value <= a.Value:
+				divs = append(divs, Divergence{
+					Rule:  "stale-read",
+					Entry: a.Key,
+					Index: j,
+					Detail: fmt.Sprintf("key %q: increment produced value %d after a read had already observed %d — the increment landed behind the read",
+						a.Key, b.Value, a.Value),
+				})
+			case !b.Read && !a.Read && a.Value > b.Value:
 				divs = append(divs, Divergence{
 					Rule:  "real-time",
 					Entry: a.Key,

@@ -66,6 +66,31 @@ func TestCheckLinearizableNegativeControls(t *testing.T) {
 			{Key: "k", Client: "p", Seq: 0, Value: 2, Start: 10, End: 20},
 			{Key: "k", Client: "q", Seq: 0, Value: 1, Start: 30, End: 40},
 		}, "real-time"},
+		{"clean history with interleaved reads", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1, Start: 10, End: 20},
+			{Key: "k", Client: "q", Seq: 0, Value: 1, Start: 30, End: 40, Read: true},
+			{Key: "k", Client: "q", Seq: 1, Value: 1, Start: 50, End: 60, Read: true},
+			{Key: "k", Client: "p", Seq: 1, Value: 2, Start: 70, End: 80},
+			{Key: "k", Client: "q", Seq: 2, Value: 2, Start: 90, End: 100, Read: true},
+		}, ""},
+		{"stale read misses a committed write", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1, Start: 10, End: 20},
+			{Key: "k", Client: "p", Seq: 1, Value: 2, Start: 30, End: 40},
+			{Key: "k", Client: "q", Seq: 0, Value: 1, Start: 50, End: 60, Read: true},
+		}, "stale-read"},
+		{"increment lands behind a finished read", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1, Start: 10, End: 20},
+			{Key: "k", Client: "q", Seq: 0, Value: 1, Start: 30, End: 40, Read: true},
+			{Key: "k", Client: "p", Seq: 1, Value: 1, Start: 50, End: 60},
+		}, "stale-read"},
+		{"read observes a value no increment owns", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 1},
+			{Key: "k", Client: "q", Seq: 0, Value: 3, Read: true},
+		}, "read-unwritten"},
+		{"session read regresses across failover", []RepOp{
+			{Key: "k", Client: "p", Seq: 0, Value: 2, Read: true},
+			{Key: "k", Client: "p", Seq: 1, Value: 1, Read: true},
+		}, "session-order"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -97,19 +122,24 @@ func (o *counterCallable) CallCtx(_ context.Context, entry string, params ...any
 		key, _ := params[0].(string)
 		o.data[key]++
 		return []any{o.data[key]}, nil
+	case "Get":
+		key, _ := params[0].(string)
+		return []any{o.data[key]}, nil
 	default:
 		return nil, fmt.Errorf("counter: unknown entry %q", entry)
 	}
 }
 
 // leaderKiller is the core.Sequencer hook that turns "kill the leader
-// mid-traffic" into a deterministic schedule: it counts SeqMgrExecute
-// points (one per applied log entry on its member) and, at the
-// configured apply count, crashes the member iff it is the leader. One
-// kill fires per run (the flag is shared group-wide); with fixed
-// network, election and workload seeds the same member dies at the same
-// applied index every time.
+// mid-traffic" into a deterministic schedule: it counts occurrences of
+// one sequencer point — SeqMgrExecute (one per applied log entry) for
+// the write soak, SeqMgrStart (emitted between ReadIndex confirmation
+// and local serve) for the read soak — and, at the configured count,
+// crashes the member iff it is the leader. One kill fires per run (the
+// flag is shared group-wide); with fixed network, election and workload
+// seeds the same member dies at the same point every time.
 type leaderKiller struct {
+	point core.SeqPoint
 	after uint64
 	count atomic.Uint64
 	fired *atomic.Bool
@@ -118,13 +148,13 @@ type leaderKiller struct {
 }
 
 func (k *leaderKiller) Point(p core.SeqPoint, _, _ string, _ uint64) {
-	if p != core.SeqMgrExecute {
+	if p != k.point {
 		return
 	}
 	if k.count.Add(1) < k.after || !k.lead() || k.fired.Swap(true) {
 		return
 	}
-	go k.crash() // async: Close waits for the apply loop this runs on
+	go k.crash() // async: Close waits for the loop this runs on
 }
 
 // TestReplicatedHistoryLinearizableAcrossLeaderKill is the acceptance
@@ -145,7 +175,7 @@ func TestReplicatedHistoryLinearizableAcrossLeaderKill(t *testing.T) {
 	for _, id := range ids {
 		id := id
 		obj := &counterCallable{data: make(map[string]uint64)}
-		killer := &leaderKiller{after: 12, fired: fired}
+		killer := &leaderKiller{point: core.SeqMgrExecute, after: 12, fired: fired}
 		rep, err := replica.New(replica.Config{
 			ID:    id,
 			Group: "KV",
@@ -263,5 +293,155 @@ func TestReplicatedHistoryLinearizableAcrossLeaderKill(t *testing.T) {
 			t.Error(d)
 		}
 		t.Fatalf("replicated history not linearizable across the leader kill (%d divergences)", len(divs))
+	}
+}
+
+// TestReadIndexHistoryLinearizableAcrossLeaderKill is the ReadIndex
+// acceptance soak: the Sequencer kills the leader INSIDE the read fast
+// path — after quorum confirmation, before the local serve — which is
+// exactly the window where a naive implementation would serve a stale
+// frontier from a deposed leader. Every acknowledged read must still
+// fit the per-key linear order: it either failed typed-retryable (and
+// the client's retry observed the new leader's committed prefix) or the
+// value it returned is consistent with every increment that finished
+// before it started.
+func TestReadIndexHistoryLinearizableAcrossLeaderKill(t *testing.T) {
+	nw := simnet.New(simnet.Config{Seed: 41})
+	ids := []string{"A", "B", "C"}
+	peers := map[string]string{"A": "A", "B": "B", "C": "C"}
+	fired := &atomic.Bool{}
+
+	type memberT struct {
+		rep  *replica.Replica
+		node *rpc.Node
+	}
+	members := make(map[string]*memberT)
+	for _, id := range ids {
+		id := id
+		obj := &counterCallable{data: make(map[string]uint64)}
+		killer := &leaderKiller{point: core.SeqMgrStart, after: 8, fired: fired}
+		rep, err := replica.New(replica.Config{
+			ID:    id,
+			Group: "KV",
+			Peers: peers,
+			Dial: func(addr string) (net.Conn, error) {
+				return nw.DialFrom(id, addr)
+			},
+			ElectionTimeout: 60 * time.Millisecond,
+			Seed:            23,
+			Sequencer:       killer,
+			ReadOnly:        func(entry string) bool { return entry == "Get" },
+		}, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := rpc.NewNode(id)
+		if err := rep.Publish(node); err != nil {
+			t.Fatal(err)
+		}
+		lis, err := nw.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = node.Serve(lis) }()
+		m := &memberT{rep: rep, node: node}
+		members[id] = m
+		killer.lead = func() bool {
+			role, _, _ := rep.Status()
+			return role == replica.Leader
+		}
+		killer.crash = func() {
+			t.Logf("sequencer: killing leader %s inside the read window", id)
+			nw.Kill(id)
+			rep.Close()
+			node.Close()
+		}
+		t.Cleanup(func() {
+			rep.Close()
+			node.Close()
+		})
+	}
+
+	keys := []string{"x", "y"}
+	const perClient = 32 // alternating Inc/Get per key; the kill fires mid-run
+	var (
+		opsMu sync.Mutex
+		ops   []RepOp
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, clientID := range []string{"alice", "bob"} {
+		clientID := clientID
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var next atomic.Uint64
+			redial := func() (net.Conn, error) {
+				var lastErr error
+				for range ids {
+					addr := ids[int(next.Add(1)-1)%len(ids)]
+					conn, err := nw.DialFrom(clientID, addr)
+					if err == nil {
+						return conn, nil
+					}
+					lastErr = err
+				}
+				return nil, fmt.Errorf("all members down: %w", lastErr)
+			}
+			conn, err := redial()
+			if err != nil {
+				errs <- err
+				return
+			}
+			rem := rpc.DialConnWith(conn, rpc.DialOptions{
+				ClientID: clientID,
+				Redial:   redial,
+				Retry: rpc.RetryPolicy{
+					Max:            200,
+					Backoff:        time.Millisecond,
+					MaxBackoff:     25 * time.Millisecond,
+					AttemptTimeout: time.Second,
+				},
+			})
+			defer rem.Close()
+			seqPerKey := make(map[string]int)
+			for i := 0; i < perClient; i++ {
+				key := keys[i%len(keys)]
+				read := i%4 >= 2 // Inc, Inc, Get, Get per key round-robin
+				entry := "Inc"
+				if read {
+					entry = "Get"
+				}
+				start := time.Now().UnixNano()
+				res, err := rem.Call("KV", entry, key)
+				end := time.Now().UnixNano()
+				if err != nil {
+					errs <- fmt.Errorf("%s: %s %s #%d: %w", clientID, entry, key, i, err)
+					return
+				}
+				op := RepOp{
+					Key: key, Client: clientID, Seq: seqPerKey[key],
+					Value: res[0].(uint64), Start: start, End: end, Read: read,
+				}
+				seqPerKey[key]++
+				opsMu.Lock()
+				ops = append(ops, op)
+				opsMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Fatal("the scheduled read-window leader kill never fired — the soak did not test the confirm-then-serve race")
+	}
+	if divs := CheckLinearizable(ops); len(divs) != 0 {
+		for _, d := range divs {
+			t.Error(d)
+		}
+		t.Fatalf("read/write history not linearizable across the read-window leader kill (%d divergences)", len(divs))
 	}
 }

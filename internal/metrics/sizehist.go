@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// SizeHist is a fixed-bucket histogram for small integer sizes — batch
+// lengths, queue depths, window occupancy. Buckets are powers of two
+// (≤1, 2, 4, … 128, >128), which is the resolution that matters for
+// "did batching happen at all, and how hard": a combining path that only
+// ever lands in the ≤1 bucket is not combining. The zero value is ready
+// to use.
+type SizeHist struct {
+	mu      sync.Mutex
+	buckets [9]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// bucketFor maps n to its power-of-two bucket index.
+func bucketFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b > 8 {
+		b = 8
+	}
+	return b
+}
+
+// Observe records one size sample (negative values clamp to zero).
+func (h *SizeHist) Observe(n int) {
+	if n < 0 {
+		n = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketFor(n)]++
+	h.count++
+	h.sum += uint64(n)
+	if uint64(n) > h.max {
+		h.max = uint64(n)
+	}
+	h.mu.Unlock()
+}
+
+// Count reports the number of observations.
+func (h *SizeHist) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the exact mean sample.
+func (h *SizeHist) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max reports the largest sample.
+func (h *SizeHist) Max() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// String renders the non-empty buckets as "≤1:12 2:3 ≤8:9 >128:1 (mean 2.4)".
+func (h *SizeHist) String() string {
+	h.mu.Lock()
+	buckets := h.buckets
+	count, sum := h.count, h.sum
+	h.mu.Unlock()
+	if count == 0 {
+		return "empty"
+	}
+	labels := [9]string{"≤1", "2", "≤4", "≤8", "≤16", "≤32", "≤64", "≤128", ">128"}
+	var b strings.Builder
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", labels[i], n)
+	}
+	fmt.Fprintf(&b, " (mean %.1f)", float64(sum)/float64(count))
+	return b.String()
+}

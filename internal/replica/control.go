@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // control is the consensus endpoint a member publishes under
@@ -19,13 +20,15 @@ type control struct {
 	r *Replica
 }
 
-// CallCtx implements rpc.Callable for the three consensus procedures.
+// CallCtx implements rpc.Callable for the four consensus procedures.
 func (c *control) CallCtx(_ context.Context, entry string, params ...any) ([]any, error) {
 	switch entry {
 	case "RequestVote":
 		return c.requestVote(params)
 	case "AppendEntries":
 		return c.appendEntries(params)
+	case "Heartbeat":
+		return c.heartbeat(params)
 	case "InstallSnapshot":
 		return c.installSnapshot(params)
 	default:
@@ -51,6 +54,7 @@ func (c *control) requestVote(params []any) ([]any, error) {
 		r.votedFor = ""
 		r.role = Follower
 		r.leaderID = ""
+		r.failReadsLocked(wire.ErrNotLeader)
 	}
 	if term < r.term {
 		reply := []any{r.term, false}
@@ -115,12 +119,31 @@ func (c *control) appendEntries(params []any) ([]any, error) {
 	r.term = term
 	if r.role != Follower {
 		r.role = Follower
+		r.failReadsLocked(wire.ErrNotLeader)
 	}
 	if stateDirty {
 		r.votedFor = ""
 	}
 	r.leaderID = leader
 	r.resetElectionDeadline()
+
+	// Pipelined frames are served on independent goroutines, so a later
+	// frame can overtake its predecessor on the way in. If this frame
+	// starts past our tail, give the in-flight predecessor a bounded
+	// moment to land before hinting the leader into a rewind — turning
+	// the common reorder into a sub-millisecond wait instead of a
+	// resend burst.
+	for spins := 0; prev > r.lastIndex() && prev > r.snapIndex && r.term == term && !r.closed && spins < 16; spins++ {
+		r.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+		r.mu.Lock()
+	}
+	if r.term != term {
+		// A newer term moved in while we waited; this frame is stale.
+		reply := []any{r.term, false, uint64(0)}
+		r.mu.Unlock()
+		return reply, nil
+	}
 
 	// Entries at or below our snapshot floor are already committed and
 	// applied here; trim them off rather than refusing the batch.
@@ -220,6 +243,55 @@ func (c *control) appendEntries(params []any) ([]any, error) {
 	return []any{curTerm, true, uint64(0)}, nil
 }
 
+// heartbeat: params [term, leaderID, confirm], reply [term, ok, confirm].
+// A pure leadership probe for the ReadIndex fast path: no prev/entries
+// consistency check, no commit advance — just "do you still recognize my
+// term", with the confirmation round echoed back so the leader can count
+// this reply toward a read quorum. Commit advertisement stays on
+// AppendEntries, whose prev check is what makes advancing commit safe; a
+// heartbeat that advanced commit over an unverified log could apply the
+// wrong entries.
+func (c *control) heartbeat(params []any) ([]any, error) {
+	term, err := asU64(params, 0)
+	leader, err2 := asStr(params, 1)
+	confirm, err3 := asU64(params, 2)
+	if err = firstErr(err, err2, err3); err != nil {
+		return nil, fmt.Errorf("replica: Heartbeat: %w", err)
+	}
+	r := c.r
+	r.mu.Lock()
+	if term < r.term {
+		reply := []any{r.term, false, confirm}
+		r.mu.Unlock()
+		return reply, nil
+	}
+	stateDirty := term > r.term
+	r.term = term
+	if r.role != Follower {
+		r.role = Follower
+		r.failReadsLocked(wire.ErrNotLeader)
+	}
+	if stateDirty {
+		r.votedFor = ""
+	}
+	r.leaderID = leader
+	r.resetElectionDeadline()
+	var lsn uint64
+	if stateDirty {
+		lsn = r.persistStateLocked()
+	}
+	curTerm := r.term
+	r.mu.Unlock()
+	if lsn != 0 {
+		// The term bump is a promise (no votes below it); sync it before
+		// the reply leaves, like every other consensus acknowledgement.
+		if err := r.waitSynced(lsn); err != nil {
+			return nil, fmt.Errorf("replica: Heartbeat: persist: %w", err)
+		}
+	}
+	return []any{curTerm, true, confirm}, nil
+}
+
 // installSnapshot: params [term, leaderID, lastIndex, lastTerm, blob],
 // reply [term]. The snapshot is journaled before the reply; the actual
 // state restore happens on the apply loop, where it cannot race an entry
@@ -251,6 +323,9 @@ func (c *control) installSnapshot(params []any) ([]any, error) {
 	}
 	stateDirty := term > r.term
 	r.term = term
+	if r.role != Follower {
+		r.failReadsLocked(wire.ErrNotLeader)
+	}
 	r.role = Follower
 	if stateDirty {
 		r.votedFor = ""

@@ -120,8 +120,30 @@ type Config struct {
 	// Sequencer, when non-nil, receives a Point callback as each commit is
 	// about to be applied (core.SeqMgrExecute with the group name and log
 	// index) — the deterministic-schedule hook the conformance harness
-	// uses to drive failover interleavings.
+	// uses to drive failover interleavings. ReadIndex reads emit
+	// core.SeqMgrStart between quorum confirmation and local serve, the
+	// window the leader-kill-during-read schedule targets.
 	Sequencer core.Sequencer
+	// ReadOnly, when non-nil, classifies entries that never mutate object
+	// state (a registry Get, a counter read). Read-only calls on the
+	// leader skip the log entirely: the ReadIndex fast path captures
+	// commitIndex, confirms leadership with one quorum round, waits for
+	// the local apply frontier, and serves from leader state — no append,
+	// no fsync, no per-read replication (docs/REPLICATION.md §9). Nil
+	// routes every call through the log (the pre-PR 9 behaviour).
+	ReadOnly func(entry string) bool
+	// CombineWindow bounds how many concurrent proposals one combining
+	// round may carry into a single append+sync+replicate cycle
+	// (default 64). FIFO submission order is preserved.
+	CombineWindow int
+	// PipelineWindow bounds AppendEntries frames in flight per peer
+	// (default 4): follower RTT, leader fsync and frame encode overlap
+	// instead of serializing. 1 reproduces stop-and-wait.
+	PipelineWindow int
+	// Metrics, when non-nil, accumulates the replication counters
+	// (rpc.Metrics.Repl*): combining ratio, batch sizes, pipeline window
+	// occupancy, ReadIndex rounds.
+	Metrics *rpc.Metrics
 	// Logf, when non-nil, receives debug lines (role changes, elections).
 	Logf func(format string, args ...any)
 }
@@ -141,6 +163,12 @@ func (c *Config) withDefaults() {
 	}
 	if c.SnapshotThreshold <= 0 {
 		c.SnapshotThreshold = 1024
+	}
+	if c.CombineWindow <= 0 {
+		c.CombineWindow = maxBatch
+	}
+	if c.PipelineWindow <= 0 {
+		c.PipelineWindow = 4
 	}
 	if c.Dial == nil {
 		c.Dial = func(addr string) (net.Conn, error) {
@@ -172,6 +200,26 @@ type waiter struct {
 	ch   chan result
 }
 
+// proposal is one client call parked in the leader's combining queue: the
+// first proposer to find the queue idle becomes the combiner and drains
+// bounded windows of its peers' proposals into single append+sync+
+// replicate rounds — the PR 7 combining-write-queue pattern one layer up
+// (and the paper's C5 request combining applied to consensus itself).
+type proposal struct {
+	entry  string
+	client string
+	seq    uint64
+	params []any
+	ch     chan result
+}
+
+// readWait parks one ReadIndex read until a quorum has acknowledged a
+// confirmation round issued at or after the read registered.
+type readWait struct {
+	confirm uint64 // round this read needs acknowledged
+	ch      chan error
+}
+
 // Replica is one member of a replication group. It implements the node's
 // serve surfaces: rpc.Callable for plain calls and the session-aware
 // CallSession for deduplicated ones; Publish registers both plus the
@@ -201,7 +249,23 @@ type Replica struct {
 
 	waiters map[uint64][]waiter
 
+	// ReadIndex state (leader side): barrierIdx is the accession barrier —
+	// reads bounce until it commits, because a fresh leader's commitIndex
+	// may predate entries its predecessor committed. confirmSeq numbers
+	// quorum confirmation rounds; reads park until their round is acked,
+	// readApply until the local apply frontier reaches their index.
+	barrierIdx uint64
+	confirmSeq uint64
+	reads      []*readWait
+	readApply  map[uint64][]chan struct{}
+
 	sessions *rpc.SessionTable
+
+	// Proposal combining queue (its own lock: enqueueing must not contend
+	// with the consensus state the combiner holds r.mu to mutate).
+	propMu    sync.Mutex
+	propQ     []proposal
+	combining bool
 
 	electionDeadline time.Time
 	rng              *workload.RNG
@@ -225,12 +289,13 @@ func New(cfg Config, obj rpc.Callable) (*Replica, error) {
 		return nil, fmt.Errorf("replica: %s is not in Peers", cfg.ID)
 	}
 	r := &Replica{
-		cfg:      cfg,
-		obj:      obj,
-		waiters:  make(map[uint64][]waiter),
-		sessions: rpc.NewSessionTable(cfg.SessionCap),
-		rng:      workload.NewRNG(cfg.Seed ^ idHash(cfg.ID)),
-		done:     make(chan struct{}),
+		cfg:       cfg,
+		obj:       obj,
+		waiters:   make(map[uint64][]waiter),
+		readApply: make(map[uint64][]chan struct{}),
+		sessions:  rpc.NewSessionTable(cfg.SessionCap),
+		rng:       workload.NewRNG(cfg.Seed ^ idHash(cfg.ID)),
+		done:      make(chan struct{}),
 	}
 	r.applyCond = sync.NewCond(&r.mu)
 	for id, addr := range cfg.Peers {
@@ -291,12 +356,142 @@ func (r *Replica) CallCtx(ctx context.Context, entryName string, params ...any) 
 // to: propose the call, wait for quorum commit and local apply, return the
 // applied result. A retry of an already-committed (client, seq) — the
 // failover case — short-circuits to the replicated session table.
+// Read-only entries (Config.ReadOnly) take the ReadIndex fast path and
+// never touch the log; everything else enters the combining queue, where
+// concurrent proposals coalesce into one append+sync+replicate round.
 func (r *Replica) CallSession(ctx context.Context, client string, seq uint64, entryName string, params []any) ([]any, error) {
 	if client != "" {
 		if res, err, ok := r.sessions.Lookup(client, seq); ok {
 			return res, err
 		}
 	}
+	if ro := r.cfg.ReadOnly; ro != nil && ro(entryName) {
+		return r.readCall(ctx, entryName, params)
+	}
+	p := proposal{entry: entryName, client: client, seq: seq, params: params, ch: make(chan result, 1)}
+	r.propMu.Lock()
+	r.propQ = append(r.propQ, p)
+	if r.combining {
+		r.propMu.Unlock()
+	} else {
+		// First proposer in becomes the combiner; it drains the queue —
+		// including proposals that arrive while it works — before retiring,
+		// so nothing is ever left parked without a drainer.
+		r.combining = true
+		r.propMu.Unlock()
+		r.combineRounds()
+	}
+
+	select {
+	case res := <-p.ch:
+		return res.results, res.err
+	case <-ctx.Done():
+		// The proposal stays in the log; if it commits, the session table
+		// remembers it and the client's retry replays the result.
+		return nil, ctx.Err()
+	case <-r.done:
+		return nil, ErrClosed
+	}
+}
+
+// combineRounds drains the proposal queue in bounded windows until it is
+// empty, then hands the combiner role back. Runs on the first proposer's
+// goroutine — the combined round's latency is the round the proposer was
+// paying anyway, minus everyone else's.
+func (r *Replica) combineRounds() {
+	var batch []proposal
+	for {
+		r.propMu.Lock()
+		n := len(r.propQ)
+		if n == 0 {
+			r.combining = false
+			r.propMu.Unlock()
+			return
+		}
+		if n > r.cfg.CombineWindow {
+			n = r.cfg.CombineWindow
+		}
+		batch = append(batch[:0], r.propQ[:n]...)
+		rest := copy(r.propQ, r.propQ[n:])
+		for i := rest; i < len(r.propQ); i++ {
+			r.propQ[i] = proposal{} // drop references for GC
+		}
+		r.propQ = r.propQ[:rest]
+		r.propMu.Unlock()
+		r.commitRound(batch)
+	}
+}
+
+// commitRound appends one window of combined proposals: one r.mu hold for
+// all the appends, ONE journal sync, one replication kick — the per-round
+// costs PR 8 paid per call, now amortized across the window.
+func (r *Replica) commitRound(batch []proposal) {
+	if m := r.cfg.Metrics; m != nil {
+		m.ReplProposals.Add(uint64(len(batch)))
+		if len(batch) > 1 {
+			m.ReplCombined.Add(uint64(len(batch) - 1))
+		}
+		m.ReplRounds.Inc()
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		failProposals(batch, ErrClosed)
+		return
+	}
+	if r.role != Leader {
+		leader := r.leaderID
+		id := r.cfg.ID
+		r.mu.Unlock()
+		if leader != "" {
+			failProposals(batch, fmt.Errorf("%s: try %s: %w", id, leader, wire.ErrNotLeader))
+		} else {
+			failProposals(batch, fmt.Errorf("%s: no leader elected: %w", id, wire.ErrNotLeader))
+		}
+		return
+	}
+	term := r.term
+	first := r.lastIndex() + 1
+	for i := range batch {
+		e := entry{Term: term, Entry: batch[i].entry, Client: batch[i].client, Seq: batch[i].seq, Params: batch[i].params}
+		idx := r.appendLocalLocked(e)
+		r.waiters[idx] = append(r.waiters[idx], waiter{term: term, ch: batch[i].ch})
+	}
+	last := r.lastIndex()
+	lsn := r.persistAppendsLocked(first, r.log[first-r.snapIndex-1:])
+	r.mu.Unlock()
+
+	if err := r.waitSynced(lsn); err != nil {
+		// The entries stay in the log and may yet commit; pull the waiters
+		// out first so a later apply cannot double-resolve them, then fail
+		// the callers — their retries hit the session table if the entries
+		// do land.
+		r.mu.Lock()
+		for idx := first; idx <= last; idx++ {
+			delete(r.waiters, idx)
+		}
+		r.mu.Unlock()
+		failProposals(batch, fmt.Errorf("replica %s: journal: %w", r.cfg.ID, err))
+		return
+	}
+	r.kickPeers()
+	r.maybeAdvanceCommit()
+}
+
+func failProposals(batch []proposal, err error) {
+	for i := range batch {
+		batch[i].ch <- result{err: err}
+	}
+}
+
+// readCall is the ReadIndex fast path: capture the commit frontier,
+// confirm we are still the leader with one quorum round (piggybacked on
+// in-flight AppendEntries when traffic is moving, a lightweight Heartbeat
+// frame when not), wait for the local apply frontier to reach the
+// captured index, and serve from local state — no log append, no fsync,
+// no per-read replication. Failures are typed retryable (wire.ErrNotLeader)
+// so DialMulti clients bounce exactly as they do for writes.
+func (r *Replica) readCall(ctx context.Context, entryName string, params []any) ([]any, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -310,37 +505,172 @@ func (r *Replica) CallSession(ctx context.Context, client string, seq uint64, en
 		}
 		return nil, fmt.Errorf("%s: no leader elected: %w", r.cfg.ID, wire.ErrNotLeader)
 	}
-	e := entry{Term: r.term, Entry: entryName, Client: client, Seq: seq, Params: params}
-	idx := r.appendLocalLocked(e)
-	w := waiter{term: e.Term, ch: make(chan result, 1)}
-	r.waiters[idx] = append(r.waiters[idx], w)
-	lsn := r.persistAppendLocked(idx, e)
+	if r.commitIndex < r.barrierIdx {
+		// Fresh leadership: until the accession barrier commits, our
+		// commitIndex may predate entries a predecessor committed, so a
+		// read here could miss acknowledged writes. Bounce retryable.
+		r.mu.Unlock()
+		if m := r.cfg.Metrics; m != nil {
+			m.ReplReadRetries.Inc()
+		}
+		return nil, fmt.Errorf("%s: accession barrier uncommitted: %w", r.cfg.ID, wire.ErrNotLeader)
+	}
+	readIndex := r.commitIndex
+	var confirm chan error
+	if len(r.peers) > 0 {
+		r.confirmSeq++
+		rw := &readWait{confirm: r.confirmSeq, ch: make(chan error, 1)}
+		r.reads = append(r.reads, rw)
+		confirm = rw.ch
+	}
 	r.mu.Unlock()
 
-	if err := r.waitSynced(lsn); err != nil {
-		return nil, fmt.Errorf("replica %s: journal: %w", r.cfg.ID, err)
+	if confirm != nil {
+		if m := r.cfg.Metrics; m != nil {
+			m.ReplReadRounds.Inc()
+		}
+		r.kickPeers()
+		select {
+		case err := <-confirm:
+			if err != nil {
+				if m := r.cfg.Metrics; m != nil {
+					m.ReplReadRetries.Inc()
+				}
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-r.done:
+			return nil, ErrClosed
+		}
 	}
-	r.kickPeers()
-	r.maybeAdvanceCommit()
-
-	select {
-	case res := <-w.ch:
-		return res.results, res.err
-	case <-ctx.Done():
-		// The proposal stays in the log; if it commits, the session table
-		// remembers it and the client's retry replays the result.
-		return nil, ctx.Err()
-	case <-r.done:
+	if err := r.awaitApplied(ctx, readIndex); err != nil {
+		return nil, err
+	}
+	if s := r.cfg.Sequencer; s != nil {
+		// The confirmed-but-not-yet-served window: the conformance
+		// leader-kill schedule injects its crash here.
+		s.Point(core.SeqMgrStart, r.cfg.Group, entryName, readIndex)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
 		return nil, ErrClosed
 	}
+	r.mu.Unlock()
+	if m := r.cfg.Metrics; m != nil {
+		m.ReplReads.Inc()
+	}
+	return r.obj.CallCtx(ctx, entryName, params...)
 }
+
+// awaitApplied parks until the apply frontier reaches idx (the apply loop
+// closes the channel) — the "wait for applied ≥ readIndex" leg of
+// ReadIndex.
+func (r *Replica) awaitApplied(ctx context.Context, idx uint64) error {
+	r.mu.Lock()
+	if r.applied >= idx {
+		r.mu.Unlock()
+		return nil
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	ch := make(chan struct{})
+	r.readApply[idx] = append(r.readApply[idx], ch)
+	r.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-r.done:
+		return ErrClosed
+	}
+}
+
+// advanceReads resolves parked reads whose confirmation round a quorum of
+// the group has acknowledged. Called from peer ack handlers whenever a
+// peer's acked round advances.
+func (r *Replica) advanceReads() {
+	r.mu.Lock()
+	if len(r.reads) == 0 || r.role != Leader {
+		r.mu.Unlock()
+		return
+	}
+	confs := make([]uint64, 0, len(r.peers))
+	for _, p := range r.peers {
+		p.mu.Lock()
+		confs = append(confs, p.confirmed)
+		p.mu.Unlock()
+	}
+	// Descending insertion sort; with self as a free ack, the quorum-th
+	// member's round is the (need-1)-th highest peer ack.
+	for i := 1; i < len(confs); i++ {
+		for j := i; j > 0 && confs[j] > confs[j-1]; j-- {
+			confs[j], confs[j-1] = confs[j-1], confs[j]
+		}
+	}
+	need := (len(r.peers)+1)/2 + 1
+	acked := confs[need-2]
+	kept := r.reads[:0]
+	var resolved []*readWait
+	for _, rw := range r.reads {
+		if rw.confirm <= acked {
+			resolved = append(resolved, rw)
+		} else {
+			kept = append(kept, rw)
+		}
+	}
+	for i := len(kept); i < len(r.reads); i++ {
+		r.reads[i] = nil
+	}
+	r.reads = kept
+	r.mu.Unlock()
+	for _, rw := range resolved {
+		rw.ch <- nil
+	}
+}
+
+// failReadsLocked fails every parked read — leadership is gone (or the
+// member is closing), so their confirmation rounds can never complete.
+// r.mu held.
+func (r *Replica) failReadsLocked(err error) {
+	for _, rw := range r.reads {
+		rw.ch <- fmt.Errorf("%s: read abandoned: %w", r.cfg.ID, err)
+	}
+	r.reads = nil
+}
+
+// resolveReadApplyLocked releases reads waiting on the apply frontier;
+// r.mu held, called by the apply loop after advancing r.applied.
+func (r *Replica) resolveReadApplyLocked() {
+	for idx, chs := range r.readApply {
+		if idx <= r.applied {
+			delete(r.readApply, idx)
+			for _, ch := range chs {
+				close(ch)
+			}
+		}
+	}
+}
+
+// applyBatch bounds how many committed entries one apply-loop drain
+// executes between lock holds — big enough to amortize the lock traffic,
+// small enough that snapshot installs and Close stay responsive.
+const applyBatch = 256
 
 // applyLoop is the replicated state machine: commits are executed against
 // the live object strictly in log order, on one goroutine — log order IS
 // execution order, on every member, which is what carries per-key FIFO
-// across a failover.
+// across a failover. The loop drains committed runs in batches: one lock
+// hold to collect the run, one to advance the frontier and gather every
+// resolved waiter, instead of two lock round-trips per entry.
 func (r *Replica) applyLoop() {
 	defer r.wg.Done()
+	var todo []entry
+	var resBuf []result
 	for {
 		r.mu.Lock()
 		for r.applied >= r.commitIndex && r.pendingSnap == nil && !r.closed {
@@ -356,49 +686,76 @@ func (r *Replica) applyLoop() {
 			r.installSnapshot(snap)
 			continue
 		}
-		idx := r.applied + 1
-		e, ok := r.entryAt(idx)
-		if !ok {
-			// The entry was compacted away under us (snapshot install
-			// raced); loop and let the pendingSnap branch catch up.
-			r.mu.Unlock()
-			continue
+		start := r.applied + 1
+		end := r.commitIndex
+		if end-start >= applyBatch {
+			end = start + applyBatch - 1
+		}
+		todo = todo[:0]
+		for idx := start; idx <= end; idx++ {
+			e, ok := r.entryAt(idx)
+			if !ok {
+				// Compacted away under us (snapshot install raced); stop the
+				// run and let the pendingSnap branch catch up.
+				break
+			}
+			todo = append(todo, e)
 		}
 		r.mu.Unlock()
-
-		if s := r.cfg.Sequencer; s != nil {
-			s.Point(core.SeqMgrExecute, r.cfg.Group, e.Entry, idx)
+		if len(todo) == 0 {
+			continue
 		}
-		var res result
-		switch {
-		case e.Entry == "":
-			// No-op barrier: commits the term, resolves nothing but the
-			// waiters' ordering guarantees.
-		case e.Client != "":
-			if results, err, ok := r.sessions.Lookup(e.Client, e.Seq); ok {
-				// The same logical call was committed twice — a failover
-				// re-propose whose first copy also survived. Apply-time
-				// dedup is what "the dedup cache doubles as the session
-				// table" buys: replay, never re-execute.
-				res = result{results: results, err: err}
-			} else {
+
+		resBuf = resBuf[:0]
+		for i := range todo {
+			e := &todo[i]
+			idx := start + uint64(i)
+			if s := r.cfg.Sequencer; s != nil {
+				s.Point(core.SeqMgrExecute, r.cfg.Group, e.Entry, idx)
+			}
+			var res result
+			switch {
+			case e.Entry == "":
+				// No-op barrier: commits the term, resolves nothing but the
+				// waiters' ordering guarantees.
+			case e.Client != "":
+				if results, err, ok := r.sessions.Lookup(e.Client, e.Seq); ok {
+					// The same logical call was committed twice — a failover
+					// re-propose whose first copy also survived. Apply-time
+					// dedup is what "the dedup cache doubles as the session
+					// table" buys: replay, never re-execute.
+					res = result{results: results, err: err}
+				} else {
+					results, err := r.obj.CallCtx(context.Background(), e.Entry, e.Params...)
+					r.sessions.Record(e.Client, e.Seq, results, err)
+					res = result{results: results, err: err}
+				}
+			default:
 				results, err := r.obj.CallCtx(context.Background(), e.Entry, e.Params...)
-				r.sessions.Record(e.Client, e.Seq, results, err)
 				res = result{results: results, err: err}
 			}
-		default:
-			results, err := r.obj.CallCtx(context.Background(), e.Entry, e.Params...)
-			res = result{results: results, err: err}
+			resBuf = append(resBuf, res)
 		}
 
 		r.mu.Lock()
-		r.applied = idx
-		ws := r.waiters[idx]
-		delete(r.waiters, idx)
+		r.applied = start + uint64(len(todo)) - 1
+		var resolved []waiter
+		var resolvedRes []result
+		for i := range todo {
+			idx := start + uint64(i)
+			if ws, ok := r.waiters[idx]; ok {
+				delete(r.waiters, idx)
+				for _, w := range ws {
+					resolved = append(resolved, w)
+					resolvedRes = append(resolvedRes, resBuf[i])
+				}
+			}
+		}
+		r.resolveReadApplyLocked()
 		compact := r.cfg.Snapshot != nil && r.applied-r.snapIndex > uint64(r.cfg.SnapshotThreshold)
 		r.mu.Unlock()
-		for _, w := range ws {
-			w.ch <- res
+		for i, w := range resolved {
+			w.ch <- resolvedRes[i]
 		}
 		if compact {
 			r.compact()
@@ -474,6 +831,7 @@ func (r *Replica) Close() {
 	r.closed = true
 	ws := r.waiters
 	r.waiters = make(map[uint64][]waiter)
+	r.failReadsLocked(ErrClosed)
 	r.mu.Unlock()
 	close(r.done)
 	r.applyCond.Broadcast()

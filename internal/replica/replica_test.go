@@ -95,8 +95,10 @@ func (m *member) crash(nw *simnet.Network) {
 }
 
 type groupOpts struct {
-	store  *wal.Store
-	thresh int // SnapshotThreshold; 0 = default
+	store    *wal.Store
+	thresh   int // SnapshotThreshold; 0 = default
+	metrics  *rpc.Metrics
+	readOnly func(string) bool
 }
 
 func startMember(t *testing.T, nw *simnet.Network, id string, peers map[string]string, seed uint64, o groupOpts) *member {
@@ -115,6 +117,8 @@ func startMember(t *testing.T, nw *simnet.Network, id string, peers map[string]s
 		SnapshotThreshold: o.thresh,
 		Snapshot:          obj.snapshot,
 		Restore:           obj.restore,
+		Metrics:           o.metrics,
+		ReadOnly:          o.readOnly,
 	}, obj)
 	if err != nil {
 		t.Fatal(err)

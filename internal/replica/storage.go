@@ -68,6 +68,24 @@ func (r *Replica) persistAppendLocked(idx uint64, e entry) uint64 {
 	return lsn
 }
 
+// persistAppendsLocked journals a combined round's run of entries
+// starting at first, returning the highest LSN that must be synced before
+// the round is acknowledged. One WaitSynced on the returned LSN covers
+// the whole run — the wal's group commit turns the window's appends into
+// a single fsync, which is the cost model the proposal combiner banks on.
+func (r *Replica) persistAppendsLocked(first uint64, entries []entry) uint64 {
+	if r.cfg.Store == nil {
+		return 0
+	}
+	var last uint64
+	for i := range entries {
+		if lsn := r.persistAppendLocked(first+uint64(i), entries[i]); lsn != 0 {
+			last = lsn
+		}
+	}
+	return last
+}
+
 func (r *Replica) persistTruncateLocked(fromIdx uint64) uint64 {
 	if r.cfg.Store == nil {
 		return 0

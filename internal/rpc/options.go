@@ -140,6 +140,21 @@ type Metrics struct {
 	// so restart/shed/poison/stall counts surface alongside the wire
 	// counters. The rpc layer itself never writes to it.
 	Supervision *metrics.Supervision
+
+	// Replication counters, written by internal/replica when its Config
+	// carries this Metrics instance (replica.Config.Metrics). They make
+	// the PR 9 fast paths observable: if ReplRounds ≈ ReplProposals the
+	// combiner never combined, if ReplWindow only ever lands in the ≤1
+	// bucket the pipeline ran stop-and-wait, and ReplReads vs ReplRounds
+	// is the fraction of traffic that skipped the log entirely.
+	ReplProposals   metrics.Counter  // proposals entering the leader's combining queue
+	ReplCombined    metrics.Counter  // proposals that rode another proposer's round
+	ReplRounds      metrics.Counter  // combined append rounds (one log sync each)
+	ReplReads       metrics.Counter  // ReadIndex reads served from leader-local state
+	ReplReadRounds  metrics.Counter  // quorum confirmation rounds issued for reads
+	ReplReadRetries metrics.Counter  // reads bounced retryable mid-protocol
+	ReplBatch       metrics.SizeHist // entries per AppendEntries frame
+	ReplWindow      metrics.SizeHist // per-peer in-flight frames at send time
 }
 
 // NodeOptions configures a Node. The zero value reproduces the classic

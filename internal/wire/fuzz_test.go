@@ -53,6 +53,19 @@ func FuzzWireDecode(f *testing.F) {
 		{Kind: KindRequest, ID: 9, Object: "!raft:KV", Entry: "InstallSnapshot",
 			Params: []any{uint64(8), "a", uint64(1 << 62), uint64(8), []byte("snapshot-blob")}},
 		{Kind: KindResponse, ID: 9, Err: "replica: not the leader", ErrKind: ErrKindNotLeader},
+		// ReadIndex control traffic: the lightweight Heartbeat frame a
+		// leader uses to confirm leadership for a read round
+		// ([term, leaderID, confirm]), its [term, ok, confirm] echo, and
+		// an AppendEntries ack carrying a piggybacked confirmation.
+		{Kind: KindRequest, ID: 10, Object: "!raft:KV", Entry: "Heartbeat",
+			Params: []any{uint64(7), "a", uint64(19)}, Client: "a", Seq: 14},
+		{Kind: KindResponse, ID: 10, Results: []any{uint64(7), true, uint64(19)}},
+		{Kind: KindResponse, ID: 7, Results: []any{uint64(7), true, uint64(0), uint64(19)}},
+		// Hostile confirmation values: a round counter from the far future
+		// and a zero-term heartbeat — structurally legal, rejected by value
+		// at the replica layer, passed through unharmed by the codec.
+		{Kind: KindRequest, ID: 11, Object: "!raft:KV", Entry: "Heartbeat",
+			Params: []any{uint64(0), "", uint64(1<<64 - 1)}},
 	}
 	var full []byte
 	for i := range seedFrames {
@@ -67,9 +80,10 @@ func FuzzWireDecode(f *testing.F) {
 	for _, cut := range []int{1, len(full) / 3, len(full) / 2, len(full) - 1} {
 		f.Add(append([]byte(nil), full[:cut]...))
 	}
-	// Truncated consensus frames: a vote and an append-entries batch cut
-	// mid-payload, the shape a leader kill leaves on the wire.
-	for i := 5; i <= 7; i++ {
+	// Truncated consensus frames: a vote, an append-entries batch and the
+	// ReadIndex heartbeat/ack shapes cut mid-payload — what a leader kill
+	// between confirmation and serve leaves on the wire.
+	for _, i := range []int{5, 6, 7, 13, 14, 16} {
 		b, err := AppendFrame(nil, &seedFrames[i], tab)
 		if err != nil {
 			f.Fatal(err)
