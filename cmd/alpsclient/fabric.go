@@ -1,0 +1,320 @@
+// Fabric subcommands: keyed appends, audits, resharding and the seeded
+// traffic driver the black-box chaos harness runs against a fabric
+// cluster (internal/fabric/e2e, docs/FABRIC.md).
+//
+//	alpsclient -fabric-members "n0=...,n1=..." fabric-append KEY SEQ
+//	alpsclient -fabric-members ... fabric-audit KEY
+//	alpsclient -fabric-members ... fabric-ring MEMBER
+//	alpsclient -fabric-members ... fabric-status MEMBER
+//	alpsclient -fabric-members ... fabric-reshard EPOCH "n0=...,n1=...,n2=..." [SEED]
+//	alpsclient -fabric-members ... -client c0 \
+//	    fabric-load PREFIX KEYS SEQS LEDGER.json [JITTER_SEED]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/workload"
+)
+
+type fabricConfig struct {
+	members string
+	seed    uint64
+	vnodes  int
+	client  string
+	timeout time.Duration
+	loadFor time.Duration
+	pace    time.Duration
+}
+
+// ringSpec builds the epoch-0 spec the cluster was booted with; routers
+// adopt any newer ring from the nodes' wrong-owner hints.
+func (c fabricConfig) ringSpec() (string, error) {
+	if c.members == "" {
+		return "", fmt.Errorf("fabric commands need -fabric-members")
+	}
+	members, err := parseMembers(c.members)
+	if err != nil {
+		return "", err
+	}
+	ring, err := fabric.NewRing(0, c.seed, c.vnodes, members)
+	if err != nil {
+		return "", err
+	}
+	return ring.Spec(), nil
+}
+
+// parseMembers parses "id=host:port,..." (the alpsd -fabric-members
+// format).
+func parseMembers(spec string) (map[string]string, error) {
+	members := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad member %q (want id=host:port)", part)
+		}
+		if _, dup := members[id]; dup {
+			return nil, fmt.Errorf("duplicate member %q", id)
+		}
+		members[id] = addr
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("no members in %q", spec)
+	}
+	return members, nil
+}
+
+func runFabric(cfg fabricConfig, rest []string) error {
+	spec, err := cfg.ringSpec()
+	if err != nil {
+		return err
+	}
+	router, err := fabric.NewRouter(spec, fabric.RouterOptions{
+		ClientID:    cfg.client,
+		DialTimeout: cfg.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+	defer cancel()
+
+	switch cmd := rest[0]; cmd {
+	case "fabric-append":
+		if len(rest) != 3 {
+			return fmt.Errorf("fabric-append needs a key and a sequence number")
+		}
+		seq, err := strconv.ParseUint(rest[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("seq: %w", err)
+		}
+		exec, err := router.Append(ctx, rest[1], seq, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok key=%s seq=%d node=%s epoch=%d count=%d info=%q\n",
+			exec.Key, exec.Seq, exec.Node, exec.Epoch, exec.Count, exec.Info)
+		return nil
+
+	case "fabric-audit":
+		if len(rest) != 2 {
+			return fmt.Errorf("fabric-audit needs a key")
+		}
+		a, err := router.Audit(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		b, err := json.Marshal(a)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+
+	case "fabric-ring":
+		if len(rest) != 2 {
+			return fmt.Errorf("fabric-ring needs a member id")
+		}
+		memberSpec, _, _, err := router.Status(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(memberSpec)
+		return nil
+
+	case "fabric-status":
+		if len(rest) != 2 {
+			return fmt.Errorf("fabric-status needs a member id")
+		}
+		memberSpec, completed, settled, err := router.Status(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		vec, err := json.Marshal(settled)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ring=%q completed=%d settled=%s\n", memberSpec, completed, vec)
+		return nil
+
+	case "fabric-reshard":
+		if len(rest) != 3 && len(rest) != 4 {
+			return fmt.Errorf(`fabric-reshard needs an epoch and a member list "id=host:port,..." (and optionally the new ring's placement seed)`)
+		}
+		epoch, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("epoch: %w", err)
+		}
+		members, err := parseMembers(rest[2])
+		if err != nil {
+			return err
+		}
+		seed := cfg.seed
+		if len(rest) == 4 {
+			// A different seed re-places every key: the chaos harness uses it
+			// to make each reshard a real migration, not just an epoch bump.
+			seed, err = strconv.ParseUint(rest[3], 10, 64)
+			if err != nil {
+				return fmt.Errorf("seed: %w", err)
+			}
+		}
+		ring, err := fabric.NewRing(epoch, seed, cfg.vnodes, members)
+		if err != nil {
+			return err
+		}
+		acked, err := router.Reshard(ctx, ring.Spec())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resharded to epoch %d: %d members acked\n", epoch, acked)
+		return nil
+
+	case "fabric-load":
+		return runFabricLoad(cfg, spec, rest[1:])
+
+	default:
+		return fmt.Errorf("unknown fabric command %q", cmd)
+	}
+}
+
+// loadLedger is the client-side ledger fabric-load writes: every
+// acknowledged execution in ack order, for the harness to merge into the
+// conformance oracle.
+type loadLedger struct {
+	Client string        `json:"client"`
+	Execs  []fabric.Exec `json:"execs"`
+	// Incomplete lists streams that did not push every sequence number
+	// through before the deadline (key -> next unacked seq). The harness
+	// fails the run if any remain after chaos heals.
+	Incomplete map[string]uint64 `json:"incomplete,omitempty"`
+}
+
+// runFabricLoad drives KEYS concurrent per-key append streams of SEQS
+// calls each, jittered by JITTER_SEED, retrying each append through
+// overloads, node deaths and handoffs until it is acknowledged or the
+// -load-deadline expires. The resulting ledger is written to LEDGER.json.
+// A sequence gap aborts immediately: it means the at-most-once ledger and
+// this client disagree, which is exactly what the oracle exists to catch.
+func runFabricLoad(cfg fabricConfig, spec string, args []string) error {
+	if len(args) != 4 && len(args) != 5 {
+		return fmt.Errorf("fabric-load needs PREFIX KEYS SEQS LEDGER.json [JITTER_SEED]")
+	}
+	prefix := args[0]
+	keys, err := strconv.Atoi(args[1])
+	if err != nil || keys <= 0 {
+		return fmt.Errorf("keys: %q", args[1])
+	}
+	seqs, err := strconv.Atoi(args[2])
+	if err != nil || seqs <= 0 {
+		return fmt.Errorf("seqs: %q", args[2])
+	}
+	ledgerPath := args[3]
+	var jitterSeed uint64 = 1
+	if len(args) == 5 {
+		jitterSeed, err = strconv.ParseUint(args[4], 10, 64)
+		if err != nil {
+			return fmt.Errorf("jitter seed: %w", err)
+		}
+	}
+
+	router, err := fabric.NewRouter(spec, fabric.RouterOptions{
+		ClientID:    cfg.client,
+		DialTimeout: cfg.timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	deadline := time.Now().Add(cfg.loadFor)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+
+	ledger := loadLedger{Client: cfg.client, Incomplete: make(map[string]uint64)}
+	var mu sync.Mutex
+	var firstGap error
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			key := fmt.Sprintf("%s-%d", prefix, k)
+			rng := workload.NewRNG(jitterSeed ^ uint64(k)*0x9e3779b97f4a7c15)
+			for seq := uint64(0); seq < uint64(seqs); seq++ {
+				for {
+					exec, err := router.Append(ctx, key, seq, nil)
+					if err == nil {
+						mu.Lock()
+						ledger.Execs = append(ledger.Execs, exec)
+						mu.Unlock()
+						break
+					}
+					var gap *fabric.GapError
+					if errors.As(err, &gap) {
+						mu.Lock()
+						if firstGap == nil {
+							firstGap = err
+						}
+						ledger.Incomplete[key] = seq
+						mu.Unlock()
+						return
+					}
+					var over *fabric.OverloadError
+					switch {
+					case errors.As(err, &over):
+						// Shed pre-execution: honour the hint, same seq.
+						time.Sleep(over.RetryAfter)
+					case ctx.Err() != nil:
+						mu.Lock()
+						ledger.Incomplete[key] = seq
+						mu.Unlock()
+						return
+					default:
+						// Retries exhausted mid-chaos (dead node, settling
+						// ring): back off and push the same seq again.
+						time.Sleep(time.Duration(10+rng.Intn(40)) * time.Millisecond)
+					}
+				}
+				// Pace/jitter between appends so streams interleave with
+				// chaos actions instead of racing ahead of them.
+				if cfg.pace > 0 {
+					ms := int(cfg.pace / time.Millisecond)
+					time.Sleep(cfg.pace/2 + time.Duration(rng.Intn(ms+1))*time.Millisecond)
+				} else if j := rng.Intn(3); j > 0 {
+					time.Sleep(time.Duration(j) * time.Millisecond)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	b, err := json.MarshalIndent(ledger, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(ledgerPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fabric-load %s: %d acks across %d keys, %d incomplete streams -> %s\n",
+		cfg.client, len(ledger.Execs), keys, len(ledger.Incomplete), ledgerPath)
+	if firstGap != nil {
+		return firstGap
+	}
+	if len(ledger.Incomplete) > 0 {
+		return fmt.Errorf("fabric-load: %d streams incomplete at deadline", len(ledger.Incomplete))
+	}
+	return nil
+}

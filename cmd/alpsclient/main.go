@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/rpc"
 )
 
@@ -39,11 +40,19 @@ const (
 	exitErr      = 1 // generic failure
 	exitOverload = 3 // server shed the call (core.ErrOverload); safe to retry
 	exitPoisoned = 4 // object poisoned (core.ErrObjectPoisoned); do not retry
+	exitGap      = 5 // fabric sequence gap (fabric.GapError): an oracle-grade
+	//                 ordering failure — do not retry, report it
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		var gap *fabric.GapError
 		switch {
+		case errors.As(err, &gap):
+			fmt.Fprintf(os.Stderr, "alpsclient: %v\n", err)
+			fmt.Fprintln(os.Stderr, "alpsclient: the fabric refused an out-of-sequence append; this client's"+
+				" stream and the server ledger disagree — an ordering failure, not a transient.")
+			os.Exit(exitGap)
 		case errors.Is(err, core.ErrOverload):
 			fmt.Fprintf(os.Stderr, "alpsclient: %v\n", err)
 			fmt.Fprintln(os.Stderr, "alpsclient: the node shed the call because the entry's pending bound"+
@@ -68,12 +77,30 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7100", "node address; comma-separate a replication group's members")
 	timeout := fs.Duration("timeout", 10*time.Second, "dial, list and per-call deadline")
 	retries := fs.Int("retries", 0, "retries after a transport failure (at-most-once safe)")
+	clientID := fs.String("client", "alpsclient", "at-most-once client identity for fabric appends")
+	fabricMembers := fs.String("fabric-members", "", `fabric epoch-0 ring membership "id=host:port,..." (fabric-* commands); newer rings are adopted from the nodes`)
+	fabricSeed := fs.Uint64("fabric-seed", 1, "fabric ring placement seed; must match the cluster's")
+	fabricVNodes := fs.Int("fabric-vnodes", 0, "fabric ring virtual nodes per member, 0 = default")
+	loadFor := fs.Duration("load-deadline", 2*time.Minute, "fabric-load: total budget to push every stream through chaos")
+	loadPace := fs.Duration("load-pace", 0, "fabric-load: mean delay between a stream's appends (jittered); 0 = full speed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (list, search, deposit, remove, read, write, put, get, print, call)")
+		return fmt.Errorf("missing command (list, search, deposit, remove, read, write, put, get, print, call, fabric-*)")
+	}
+
+	if strings.HasPrefix(rest[0], "fabric-") {
+		return runFabric(fabricConfig{
+			members: *fabricMembers,
+			seed:    *fabricSeed,
+			vnodes:  *fabricVNodes,
+			client:  *clientID,
+			timeout: *timeout,
+			loadFor: *loadFor,
+			pace:    *loadPace,
+		}, rest)
 	}
 
 	opts := rpc.DialOptions{

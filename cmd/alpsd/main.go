@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -34,6 +35,7 @@ import (
 
 	alps "repro"
 	"repro/internal/defs"
+	"repro/internal/fabric"
 	"repro/internal/objects/buffer"
 	"repro/internal/objects/dict"
 	"repro/internal/objects/rwdb"
@@ -78,6 +80,7 @@ type server struct {
 	store *alps.DurableStore // nil unless -data-dir is set
 	reg   *alps.Object       // replicated registry (-peers)
 	rep   *alps.Replica      // this node's replication-group member
+	fh    *fabric.Host       // cross-process shard fabric member (-fabric-id)
 
 	defObjs []*alps.Object
 }
@@ -106,6 +109,15 @@ func newServer(args []string) (*server, string, error) {
 		replicaID = fs.String("replica-id", "", "this member's ID in a replication group (requires -peers)")
 		peersSpec = fs.String("peers", "", `static replication-group membership "id=host:port,..." including this member; hosts the consensus-replicated Registry object`)
 		join      = fs.Bool("join", false, "rejoin an existing group quietly: triple this member's election patience so it catches up as a follower instead of forcing an election")
+
+		// Cross-process shard fabric (docs/FABRIC.md).
+		fabricID      = fs.String("fabric-id", "", "this node's member ID in the shard fabric (requires -fabric-members)")
+		fabricMembers = fs.String("fabric-members", "", `initial fabric ring membership "id=host:port,..." including this member; addresses are what peers and clients dial`)
+		fabricSeed    = fs.Uint64("fabric-seed", 1, "fabric ring placement seed; must agree across the cluster")
+		fabricEpoch   = fs.Uint64("fabric-epoch", 0, "epoch of the boot ring; a member joining an already-resharded cluster must boot at the new ring's epoch so the settle gate holds")
+		fabricVNodes  = fs.Int("fabric-vnodes", 0, "fabric ring virtual nodes per member, 0 = default")
+		fabricShards  = fs.Int("fabric-shards", 4, "fabric ledger shards on this node")
+		fabricMaxPend = fs.Int("fabric-max-pending", 0, "fabric per-shard pending append bound; beyond it appends are shed with an overload error, 0 = unbounded")
 
 		// Supervision & admission control (docs/SUPERVISION.md).
 		mgrPolicy   = fs.String("manager-policy", "failfast", "manager panic policy: failfast (poison) or restart")
@@ -295,6 +307,43 @@ func newServer(args []string) (*server, string, error) {
 			return nil, "", err
 		}
 	}
+	if *fabricID != "" || *fabricMembers != "" {
+		if *fabricID == "" || *fabricMembers == "" {
+			return nil, "", fmt.Errorf("the shard fabric needs both -fabric-id and -fabric-members")
+		}
+		members, merr := parsePeers(*fabricMembers)
+		if merr != nil {
+			return nil, "", merr
+		}
+		// The flags describe the boot ring (epoch 0 for a founding member);
+		// a newer ring recovered from the fabric journal (or learned from
+		// any peer) supersedes it.
+		ring, rerr := fabric.NewRing(*fabricEpoch, *fabricSeed, *fabricVNodes, members)
+		if rerr != nil {
+			return nil, "", rerr
+		}
+		fabricDir := ""
+		if *dataDir != "" {
+			fabricDir = filepath.Join(*dataDir, "fabric")
+		}
+		srv.fh, err = fabric.NewHost(fabric.HostOptions{
+			ID:         *fabricID,
+			Spec:       ring.Spec(),
+			Shards:     *fabricShards,
+			MaxPending: *fabricMaxPend,
+			Dir:        fabricDir,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("alpsd: fabric: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		if err := srv.node.PublishCallable("fabric", srv.fh); err != nil {
+			return nil, "", err
+		}
+		fmt.Printf("alpsd: fabric member %s, ring %s\n", *fabricID, srv.fh.Spec())
+	}
 	if *defsPath != "" {
 		src, err := os.ReadFile(*defsPath)
 		if err != nil {
@@ -404,6 +453,12 @@ func (s *server) Close() {
 	}
 	if s.node != nil {
 		s.node.Close()
+	}
+	// After the node drained (in-flight fabric calls finished) but before
+	// the shared store closes: stop the handoff loop, drop peer
+	// connections and sync the fabric journal.
+	if s.fh != nil {
+		_ = s.fh.Close()
 	}
 	if m := s.nm; m != nil {
 		// Transport totals at drain: flushes vs frames shows how well the

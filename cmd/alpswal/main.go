@@ -1,0 +1,62 @@
+// alpswal dumps a write-ahead journal directory as text, one record per
+// line, in LSN order. It exists for post-mortem forensics on the e2e
+// chaos harness's per-node data dirs: when the oracle reports a
+// divergence, the journals are the ground truth for which node executed,
+// extracted, installed or forgot what, and in which order.
+//
+//	alpswal [-grep substr] DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+func main() {
+	grep := flag.String("grep", "", "only print records whose rendering contains this substring")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: alpswal [-grep substr] DIR")
+		os.Exit(2)
+	}
+	log, recovered, err := wal.Open(flag.Arg(0), wal.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alpswal: %v\n", err)
+		os.Exit(1)
+	}
+	defer log.Close()
+	if recovered.Snapshot != nil {
+		fmt.Printf("# snapshot floor lsn=%d\n", recovered.Snapshot.LSN)
+	}
+	if recovered.TornBytes > 0 {
+		fmt.Printf("# torn tail: %d bytes truncated\n", recovered.TornBytes)
+	}
+	for _, rec := range recovered.Records {
+		line := render(rec)
+		if *grep != "" && !strings.Contains(line, *grep) {
+			continue
+		}
+		fmt.Println(line)
+	}
+}
+
+func render(rec *wal.Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lsn=%d kind=%d obj=%s entry=%s", rec.LSN, rec.Kind, rec.Object, rec.Entry)
+	if rec.Client != "" {
+		fmt.Fprintf(&b, " client=%s seq=%d", rec.Client, rec.Seq)
+	}
+	for i, p := range rec.Params {
+		switch v := p.(type) {
+		case []byte:
+			fmt.Fprintf(&b, " p%d=%dB", i, len(v))
+		default:
+			fmt.Fprintf(&b, " p%d=%v", i, v)
+		}
+	}
+	return b.String()
+}

@@ -4,47 +4,75 @@ import "fmt"
 
 // KeyedExec is one observed execution in a sharded or remote deployment's
 // ledger: the routing key, the issuing client, that client's per-key
-// sequence number (clients issue synchronously, numbering 0,1,2,...), and
-// the shard or node that executed the call.
+// sequence number (clients issue synchronously, numbering 0,1,2,...), the
+// shard or node that executed the call, and — for fabric deployments —
+// the key's placement epoch at execution time (0 when the deployment
+// never reshards).
 type KeyedExec struct {
 	Key    string
 	Client string
 	Seq    int
 	Shard  string
+	Epoch  uint64
 }
 
 // CheckKeyOrder replays an execution ledger (in observed execution order)
 // against the sharding/RPC invariants the runtime promises:
 //
-//	key-affinity:  every execution for a key lands on the same shard — the
-//	               shard.Group key router never splits a key.
+//	key-affinity:  within one placement epoch, every execution for a key
+//	               lands on the same shard — the key router never splits a
+//	               key. A key may change shard only together with an epoch
+//	               increase (a fabric handoff); single-process deployments
+//	               leave Epoch at 0 and recover the original strict rule.
+//	epoch-regress: a key's placement epoch never decreases — once a handoff
+//	               moves a key to a new home, no call executes at the old
+//	               placement again.
 //	per-key-fifo:  for each (client, key), sequence numbers execute in issue
 //	               order with no gaps — a synchronous client's calls are
-//	               totally ordered through its key's object.
-//	at-most-once:  no (client, key, seq) executes twice — the RPC dedup
-//	               ledger absorbs retries even under connection kills and
-//	               partitions.
+//	               totally ordered through its key's object, and the
+//	               drain-then-forward handoff preserves that order across
+//	               process boundaries.
+//	at-most-once:  no (client, key, seq) executes twice — the dedup ledger
+//	               absorbs retries even under connection kills, partitions
+//	               and duplicate handoff forwards.
 func CheckKeyOrder(execs []KeyedExec) []Divergence {
 	type ck struct{ client, key string }
 	type cks struct {
 		client, key string
 		seq         int
 	}
-	shardOf := make(map[string]string)
+	type placement struct {
+		shard string
+		epoch uint64
+	}
+	place := make(map[string]placement)
 	lastSeq := make(map[ck]int)
 	seen := make(map[cks]int) // index of first execution
 	var divs []Divergence
 	for i, e := range execs {
-		if prev, ok := shardOf[e.Key]; !ok {
-			shardOf[e.Key] = e.Shard
-		} else if prev != e.Shard {
-			divs = append(divs, Divergence{
-				Rule:  "key-affinity",
-				Entry: e.Key,
-				Index: i,
-				Detail: fmt.Sprintf("key %q executed on shard %q after shard %q",
-					e.Key, e.Shard, prev),
-			})
+		if prev, ok := place[e.Key]; !ok {
+			place[e.Key] = placement{e.Shard, e.Epoch}
+		} else {
+			switch {
+			case e.Epoch < prev.epoch:
+				divs = append(divs, Divergence{
+					Rule:  "epoch-regress",
+					Entry: e.Key,
+					Index: i,
+					Detail: fmt.Sprintf("key %q executed at epoch %d after epoch %d",
+						e.Key, e.Epoch, prev.epoch),
+				})
+			case e.Epoch == prev.epoch && e.Shard != prev.shard:
+				divs = append(divs, Divergence{
+					Rule:  "key-affinity",
+					Entry: e.Key,
+					Index: i,
+					Detail: fmt.Sprintf("key %q executed on shard %q after shard %q within epoch %d",
+						e.Key, e.Shard, prev.shard, e.Epoch),
+				})
+			default:
+				place[e.Key] = placement{e.Shard, e.Epoch}
+			}
 		}
 		id := cks{e.Client, e.Key, e.Seq}
 		if first, dup := seen[id]; dup {

@@ -307,35 +307,78 @@ func TestCheckKeyOrder(t *testing.T) {
 		{
 			name: "clean ledger",
 			execs: []KeyedExec{
-				{"k1", "c1", 0, "s0"},
-				{"k2", "c1", 0, "s1"},
-				{"k1", "c2", 0, "s0"},
-				{"k1", "c1", 1, "s0"},
-				{"k2", "c1", 1, "s1"},
+				{"k1", "c1", 0, "s0", 0},
+				{"k2", "c1", 0, "s1", 0},
+				{"k1", "c2", 0, "s0", 0},
+				{"k1", "c1", 1, "s0", 0},
+				{"k2", "c1", 1, "s1", 0},
 			},
 		},
 		{
 			name: "key splits across shards",
 			execs: []KeyedExec{
-				{"k1", "c1", 0, "s0"},
-				{"k1", "c1", 1, "s2"},
+				{"k1", "c1", 0, "s0", 0},
+				{"k1", "c1", 1, "s2", 0},
 			},
 			rules: []string{"key-affinity"},
 		},
 		{
 			name: "per-key FIFO violated",
 			execs: []KeyedExec{
-				{"k1", "c1", 1, "s0"},
-				{"k1", "c1", 0, "s0"},
+				{"k1", "c1", 1, "s0", 0},
+				{"k1", "c1", 0, "s0", 0},
 			},
 			rules: []string{"per-key-fifo", "per-key-fifo"},
 		},
 		{
 			name: "duplicate execution",
 			execs: []KeyedExec{
-				{"k1", "c1", 0, "s0"},
-				{"k1", "c1", 0, "s0"},
-				{"k1", "c1", 1, "s0"},
+				{"k1", "c1", 0, "s0", 0},
+				{"k1", "c1", 0, "s0", 0},
+				{"k1", "c1", 1, "s0", 0},
+			},
+			rules: []string{"at-most-once"},
+		},
+		{
+			// A handoff is a shard change accompanied by an epoch bump:
+			// legal, and FIFO continues across the move.
+			name: "handoff moves key with epoch bump",
+			execs: []KeyedExec{
+				{"k1", "c1", 0, "n0", 1},
+				{"k1", "c1", 1, "n0", 1},
+				{"k1", "c1", 2, "n3", 2},
+				{"k1", "c2", 0, "n3", 2},
+			},
+		},
+		{
+			// Same-epoch shard change is still a split even when a later
+			// epoch made moves legal for other keys.
+			name: "key splits within an epoch",
+			execs: []KeyedExec{
+				{"k1", "c1", 0, "n0", 2},
+				{"k1", "c1", 1, "n3", 2},
+			},
+			rules: []string{"key-affinity"},
+		},
+		{
+			// An execution at the old placement after the key moved on:
+			// the old owner kept serving a key it handed off.
+			name: "epoch regresses",
+			execs: []KeyedExec{
+				{"k1", "c1", 0, "n0", 1},
+				{"k1", "c1", 1, "n3", 2},
+				{"k1", "c1", 2, "n0", 1},
+			},
+			rules: []string{"epoch-regress"},
+		},
+		{
+			// Duplicate handoff forward executed twice at the new home:
+			// at-most-once must still catch it across the epoch boundary.
+			name: "duplicate across handoff",
+			execs: []KeyedExec{
+				{"k1", "c1", 0, "n0", 1},
+				{"k1", "c1", 1, "n0", 1},
+				{"k1", "c1", 1, "n3", 2},
 			},
 			rules: []string{"at-most-once"},
 		},

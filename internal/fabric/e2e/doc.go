@@ -1,0 +1,11 @@
+// Package e2e holds the fabric's black-box chaos harness. All of the
+// machinery lives in _test.go files: the tests build the real alpsd and
+// alpsclient binaries, boot a multi-node fabric cluster on loopback TCP
+// behind partitionable proxy listeners, drive seeded mixed traffic from
+// separate client processes, apply hundreds of seeded chaos actions
+// (SIGKILL + restart, partitions, live reshards, overload bursts), and
+// then replay every client-side ledger through the conformance oracle —
+// zero lost calls, zero duplicated executions, per-key FIFO across live
+// reshards. Failures print a deterministic reproducer seed; see
+// docs/FABRIC.md and docs/TESTING.md.
+package e2e

@@ -1,0 +1,103 @@
+package e2e
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// proxy is a partitionable TCP forwarder. The cluster advertises proxy
+// addresses in -fabric-members, so every byte between peers — and
+// between clients and nodes — crosses one of these. Stop() simulates a
+// network partition of the node behind it: the listener closes and every
+// live connection is severed; Start() heals it on the same address.
+type proxy struct {
+	addr   string // advertised (stable across Stop/Start cycles)
+	target string // the node's real listen address
+
+	mu    sync.Mutex
+	lis   net.Listener
+	conns map[net.Conn]struct{}
+}
+
+func newProxy(addr, target string) *proxy {
+	return &proxy{addr: addr, target: target, conns: make(map[net.Conn]struct{})}
+}
+
+// Start begins (or resumes) forwarding. Idempotent.
+func (p *proxy) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lis != nil {
+		return nil
+	}
+	lis, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return err
+	}
+	p.lis = lis
+	go p.accept(lis)
+	return nil
+}
+
+// Stop severs the node: no new connections, and every existing one dies
+// mid-stream — exactly what a partition looks like to both ends.
+func (p *proxy) Stop() {
+	p.mu.Lock()
+	lis := p.lis
+	p.lis = nil
+	conns := p.conns
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	if lis != nil {
+		_ = lis.Close()
+	}
+	for c := range conns {
+		_ = c.Close()
+	}
+}
+
+func (p *proxy) accept(lis net.Listener) {
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		go p.forward(lis, c)
+	}
+}
+
+func (p *proxy) forward(lis net.Listener, c net.Conn) {
+	up, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.lis != lis {
+		// A Stop() raced this accept; sever instead of leaking a healed
+		// path through a partition.
+		p.mu.Unlock()
+		_ = c.Close()
+		_ = up.Close()
+		return
+	}
+	p.conns[c] = struct{}{}
+	p.conns[up] = struct{}{}
+	p.mu.Unlock()
+	done := func() {
+		_ = c.Close()
+		_ = up.Close()
+		p.mu.Lock()
+		delete(p.conns, c)
+		delete(p.conns, up)
+		p.mu.Unlock()
+	}
+	go func() {
+		_, _ = io.Copy(up, c)
+		done()
+	}()
+	_, _ = io.Copy(c, up)
+	done()
+}

@@ -1,0 +1,1016 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// HostOptions configures one fabric node.
+type HostOptions struct {
+	// ID is this node's member id; it must appear in Spec.
+	ID string
+	// Spec is the initial ring (Ring.Spec format). A newer ring recovered
+	// from the journal, or learned from any peer or client, supersedes it.
+	Spec string
+	// Shards is the ledger shard count (default 4).
+	Shards int
+	// MaxPending bounds each ledger shard's pending Append calls; beyond
+	// it the shard sheds with core.ErrOverload (0 = unbounded).
+	MaxPending int
+	// Dir, when non-empty, holds the fabric's write-ahead journal: every
+	// executed append, handoff step and ring advance is synced there
+	// before acknowledgement, and recovery replays it so a SIGKILL loses
+	// nothing acknowledged.
+	Dir string
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// maxForwardHops bounds the moved-forwarding chain; past it the caller is
+// told to re-resolve instead (guards against routing loops while specs
+// disagree mid-reshard).
+const maxForwardHops = 4
+
+// Host is one fabric node: a key-affine ledger group, the node's view of
+// the ring, the drain-then-forward handoff worker and the settled-vector
+// bookkeeping. Publish it on an rpc.Node as a Callable (conventionally
+// under the name "fabric") and route client calls through a Router.
+type Host struct {
+	id    string
+	group *shard.Group
+	log   *wal.Log // nil when durability is off
+	logf  func(format string, args ...any)
+
+	mu        sync.Mutex
+	ring      *Ring
+	known     map[string]string // every member id -> addr ever seen
+	settled   map[string]uint64 // member -> highest settled epoch
+	completed uint64            // own outgoing obligations done through this epoch
+	conns     map[string]*hostConn
+	closed    bool
+
+	// gateEpoch caches the highest epoch whose fresh-create gate has been
+	// observed satisfied; the gate is monotone, so the cache never lies.
+	gateEpoch  atomic.Uint64
+	refreshing atomic.Bool
+
+	kick    chan struct{}
+	closeCh chan struct{}
+	done    chan struct{}
+}
+
+type hostConn struct {
+	addr string
+	rem  *rpc.Remote
+}
+
+// NewHost builds a node: recovers the journal (when Dir is set), restores
+// the ledger, and starts the handoff worker. The returned Host is ready
+// to publish.
+func NewHost(opts HostOptions) (*Host, error) {
+	ring, err := ParseSpec(opts.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if !ring.Has(opts.ID) {
+		return nil, fmt.Errorf("fabric: member %q is not in ring %q", opts.ID, opts.Spec)
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = 4
+	}
+	h := &Host{
+		id:      opts.ID,
+		logf:    opts.Logf,
+		ring:    ring,
+		known:   make(map[string]string),
+		settled: make(map[string]uint64),
+		conns:   make(map[string]*hostConn),
+		kick:    make(chan struct{}, 1),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if h.logf == nil {
+		h.logf = func(string, ...any) {}
+	}
+	for _, id := range ring.Members() {
+		h.known[id] = ring.Addr(id)
+	}
+
+	var states map[string]*keyState
+	var installed map[string]uint64
+	if opts.Dir != "" {
+		log, recovered, err := wal.Open(opts.Dir, wal.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("fabric: open journal: %w", err)
+		}
+		h.log = log
+		states, installed, err = h.replay(recovered.Records)
+		if err != nil {
+			_ = log.Close()
+			return nil, err
+		}
+	}
+	h.completed = h.settled[h.id]
+
+	h.group, err = newLedger(opts.Shards, opts.MaxPending, opts.ID, h.journalRecord)
+	if err != nil {
+		if h.log != nil {
+			_ = h.log.Close()
+		}
+		return nil, err
+	}
+	restore := func(key string, b []byte) error {
+		_, err := h.group.Call("Restore", key, b, installed[key])
+		return err
+	}
+	for key, st := range states {
+		b, err := encodeState(st)
+		if err == nil {
+			err = restore(key, b)
+		}
+		if err != nil {
+			_ = h.group.Close()
+			if h.log != nil {
+				_ = h.log.Close()
+			}
+			return nil, fmt.Errorf("fabric: restore key %q: %w", key, err)
+		}
+	}
+	// Keys whose entry was forgotten keep their install-arbitration memory:
+	// a crashed source re-pushing a move that completed here long ago must
+	// still be answered "dup", not handed a second life for a stale image.
+	for key := range installed {
+		if _, resident := states[key]; resident {
+			continue
+		}
+		if err := restore(key, nil); err != nil {
+			_ = h.group.Close()
+			if h.log != nil {
+				_ = h.log.Close()
+			}
+			return nil, fmt.Errorf("fabric: restore install memory %q: %w", key, err)
+		}
+	}
+	if n := len(states); n > 0 {
+		h.logf("fabric: recovered %d keys, ring epoch %d, settled self@%d", n, h.ring.Epoch(), h.completed)
+	}
+
+	go h.handoffLoop()
+	h.kickHandoff()
+	return h, nil
+}
+
+// replay folds the recovered journal, in LSN order, back into the node's
+// pre-serve state: the newest ring, the settled vector, every key's
+// ledger entry (including tombstones, so unfinished handoffs resume) and
+// the per-key install-arbitration memory.
+func (h *Host) replay(records []*wal.Record) (map[string]*keyState, map[string]uint64, error) {
+	states := make(map[string]*keyState)
+	installed := make(map[string]uint64)
+	for _, rec := range records {
+		if rec.Object != journalObject {
+			continue
+		}
+		switch rec.Entry {
+		case "advance":
+			spec, _ := rec.Params[0].(string)
+			ring, err := ParseSpec(spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fabric: journal advance (lsn %d): %w", rec.LSN, err)
+			}
+			if ring.Epoch() > h.ring.Epoch() {
+				h.ring = ring
+			}
+			for _, id := range ring.Members() {
+				h.known[id] = ring.Addr(id)
+			}
+		case "append":
+			key, _ := rec.Params[0].(string)
+			epoch, _ := rec.Params[1].(uint64)
+			count, _ := rec.Params[2].(uint64)
+			st := states[key]
+			if st == nil {
+				st = newKeyState(epoch)
+				states[key] = st
+			}
+			st.Count = count
+			// The journaled epoch is the placement epoch the append ran at,
+			// and it ran here: the dedup tail must reproduce the original
+			// acknowledgement after recovery.
+			st.Clients[rec.Client] = clientRec{Seq: rec.Seq, Count: count, Epoch: epoch, Node: h.id}
+		case "extract":
+			key, _ := rec.Params[0].(string)
+			destSpec, _ := rec.Params[1].(string)
+			b, _ := rec.Params[2].([]byte)
+			st, err := decodeState(b)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fabric: journal extract (lsn %d): %w", rec.LSN, err)
+			}
+			st.Moved = true
+			st.MovedSpec = destSpec
+			states[key] = st
+		case "install":
+			key, _ := rec.Params[0].(string)
+			epoch, _ := rec.Params[1].(uint64)
+			b, _ := rec.Params[2].([]byte)
+			st, err := decodeState(b)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fabric: journal install (lsn %d): %w", rec.LSN, err)
+			}
+			// Only accepted installs are journaled, so every record feeds the
+			// arbitration memory (fence form: epoch+1).
+			if epoch+1 > installed[key] {
+				installed[key] = epoch + 1
+			}
+			// Mirror the ledger's lineage precedence (Count, then epoch) so
+			// recovery reproduces exactly the accept/reject decisions the
+			// live node made.
+			if cur := states[key]; cur != nil {
+				if st.Count < cur.Count || (st.Count == cur.Count && epoch <= cur.Epoch) {
+					continue
+				}
+			}
+			st.Epoch = epoch
+			st.Moved = false
+			st.MovedSpec = ""
+			states[key] = st
+		case "forget":
+			key, _ := rec.Params[0].(string)
+			delete(states, key)
+		case "settled":
+			member, _ := rec.Params[0].(string)
+			epoch, _ := rec.Params[1].(uint64)
+			if epoch > h.settled[member] {
+				h.settled[member] = epoch
+			}
+		}
+	}
+	return states, installed, nil
+}
+
+// journalRecord persists one record with group-commit durability. The
+// ledger bodies call it before acknowledging any mutation.
+func (h *Host) journalRecord(rec *wal.Record) error {
+	if h.log == nil {
+		return nil
+	}
+	lsn, err := h.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	return h.log.WaitSynced(lsn)
+}
+
+// ID reports the node's member id.
+func (h *Host) ID() string { return h.id }
+
+// Spec reports the node's current ring spec.
+func (h *Host) Spec() string { return h.ringSnapshot().Spec() }
+
+func (h *Host) ringSnapshot() *Ring {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ring
+}
+
+func (h *Host) completedLevel() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.completed
+}
+
+// adopt parses spec and, when it names a newer epoch than the node's
+// current ring, journals and installs it and wakes the handoff worker.
+// Ring knowledge spreads through every message that carries a spec —
+// Install, Settled, Status, Reshard, forwards — so one Reshard call
+// anywhere eventually reaches every node.
+func (h *Host) adopt(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	ring, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	if ring.Epoch() <= h.ring.Epoch() {
+		h.mu.Unlock()
+		return nil
+	}
+	// Journal the advance before the new ring steers a single call: a
+	// node must never acknowledge routing decisions it would forget.
+	if err := h.journalRecord(&wal.Record{
+		Kind: wal.KindOutcome, Object: journalObject, Entry: "advance",
+		Params: []any{ring.Spec()},
+	}); err != nil {
+		h.mu.Unlock()
+		return fmt.Errorf("fabric: journal advance: %w", err)
+	}
+	h.ring = ring
+	for _, id := range ring.Members() {
+		h.known[id] = ring.Addr(id)
+	}
+	h.mu.Unlock()
+	h.logf("fabric: %s adopted ring epoch %d (%d members)", h.id, ring.Epoch(), len(ring.Members()))
+	h.kickHandoff()
+	return nil
+}
+
+// recordSettled folds one member's settled epoch into the vector.
+func (h *Host) recordSettled(member string, epoch uint64) {
+	h.mu.Lock()
+	if h.closed || epoch <= h.settled[member] {
+		h.mu.Unlock()
+		return
+	}
+	h.settled[member] = epoch
+	h.mu.Unlock()
+	if err := h.journalRecord(&wal.Record{
+		Kind: wal.KindOutcome, Object: journalObject, Entry: "settled",
+		Params: []any{member, epoch},
+	}); err != nil {
+		h.logf("fabric: journal settled(%s@%d): %v", member, epoch, err)
+	}
+}
+
+// gateOK reports whether fresh keys may be created at epoch: every other
+// member this node has ever seen must have settled through epoch, which
+// guarantees no prior owner still holds (or has in transit) dedup history
+// for a key this node now owns. The predicate is monotone, so a satisfied
+// epoch is cached.
+func (h *Host) gateOK(epoch uint64) bool {
+	if h.gateEpoch.Load() >= epoch {
+		return true
+	}
+	h.mu.Lock()
+	ok := true
+	for id := range h.known {
+		if id == h.id {
+			continue
+		}
+		if h.settled[id] < epoch {
+			ok = false
+			break
+		}
+	}
+	h.mu.Unlock()
+	if ok {
+		for {
+			cur := h.gateEpoch.Load()
+			if cur >= epoch || h.gateEpoch.CompareAndSwap(cur, epoch) {
+				break
+			}
+		}
+	}
+	return ok
+}
+
+// CallCtx implements rpc.Callable: the node's wire surface.
+//
+//	Append(key, client, seq, payload[, hops, spec]) -> (status, member, epoch, count, info)
+//	Install(key, epoch, state, spec)                -> (status)
+//	Settled(member, epoch, spec)                    -> (status)
+//	Reshard(spec)                                   -> (status, spec)
+//	Ring()                                          -> (spec)
+//	Status([spec])                                  -> (member, spec, completed, settledJSON)
+//	Audit(key)                                      -> (status, state, spec)
+func (h *Host) CallCtx(ctx context.Context, entry string, params ...core.Value) ([]core.Value, error) {
+	switch entry {
+	case "Append":
+		key, kok := param[string](params, 0)
+		client, cok := param[string](params, 1)
+		seq, sok := param[uint64](params, 2)
+		if !kok || !cok || !sok || len(params) < 4 || (len(params) != 4 && len(params) != 6) {
+			return nil, fmt.Errorf("fabric: Append(key, client, seq, payload[, hops, spec]): %w", core.ErrBadArity)
+		}
+		payload, _ := param[[]byte](params, 3)
+		var hops uint64
+		if len(params) == 6 {
+			hops, _ = param[uint64](params, 4)
+			spec, _ := param[string](params, 5)
+			if err := h.adopt(spec); err != nil && !errors.Is(err, ErrClosed) {
+				h.logf("fabric: adopt from forward: %v", err)
+			}
+		}
+		return h.append(ctx, key, client, seq, payload, hops)
+	case "Install":
+		key, kok := param[string](params, 0)
+		epoch, eok := param[uint64](params, 1)
+		state, bok := param[[]byte](params, 2)
+		spec, pok := param[string](params, 3)
+		if !kok || !eok || !bok || !pok || len(params) != 4 {
+			return nil, fmt.Errorf("fabric: Install(key, epoch, state, spec): %w", core.ErrBadArity)
+		}
+		if err := h.adopt(spec); err != nil {
+			return nil, err
+		}
+		ring := h.ringSnapshot()
+		if epoch < ring.Epoch() && ring.Owner(key) != h.id {
+			// A lagging source is delivering a placement this node's ring
+			// has moved past. This node is the move transaction's arbiter:
+			// if its install memory says the transaction already completed,
+			// answer dup (the lineage lives downstream — re-accepting would
+			// resurrect a stale, executable replica next to the live copy).
+			// A first delivery is REFUSED with the current spec instead of
+			// accepted: never-accepted means the source still holds the
+			// key's unique lineage head, so it can safely re-pin the push
+			// at the newer ring — and it stays unsettled until the image
+			// lands at the serving owner, which is what holds that owner's
+			// fresh-create gate closed ahead of the state's arrival.
+			// Accepting here (this node is settled) would park the image on
+			// a node the ring no longer routes to and open that gate with
+			// the history still in flight.
+			chk, err := h.group.CallCtx(ctx, "InstallCheck", key, epoch)
+			if err != nil {
+				return nil, err
+			}
+			if st, _ := chk[0].(string); st == statusDup {
+				return []core.Value{statusDup, ring.Spec()}, nil
+			}
+			return []core.Value{statusWrongOwner, ring.Spec()}, nil
+		}
+		res, err := h.group.CallCtx(ctx, "Install", key, epoch, state)
+		if err != nil {
+			return nil, err
+		}
+		if st, _ := res[0].(string); st == statusOK && h.ringSnapshot().Owner(key) != h.id {
+			// The ring advanced while the install was in flight: the key
+			// just landed misplaced. Wake the handoff worker, which moves
+			// misplaced residents even when already settled.
+			h.kickHandoff()
+		}
+		return []core.Value{res[0], h.Spec()}, nil
+	case "Settled":
+		member, mok := param[string](params, 0)
+		epoch, eok := param[uint64](params, 1)
+		spec, pok := param[string](params, 2)
+		if !mok || !eok || !pok || len(params) != 3 {
+			return nil, fmt.Errorf("fabric: Settled(member, epoch, spec): %w", core.ErrBadArity)
+		}
+		if err := h.adopt(spec); err != nil {
+			return nil, err
+		}
+		h.recordSettled(member, epoch)
+		return []core.Value{statusOK}, nil
+	case "Reshard":
+		spec, pok := param[string](params, 0)
+		if !pok || len(params) != 1 {
+			return nil, fmt.Errorf("fabric: Reshard(spec): %w", core.ErrBadArity)
+		}
+		if err := h.adopt(spec); err != nil {
+			return nil, err
+		}
+		return []core.Value{statusOK, h.Spec()}, nil
+	case "Ring":
+		return []core.Value{h.Spec()}, nil
+	case "Status":
+		if len(params) == 1 {
+			if spec, ok := param[string](params, 0); ok {
+				if err := h.adopt(spec); err != nil && !errors.Is(err, ErrClosed) {
+					h.logf("fabric: adopt from status: %v", err)
+				}
+			}
+		}
+		h.mu.Lock()
+		vec, err := json.Marshal(h.settled)
+		completed := h.completed
+		h.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return []core.Value{h.id, h.Spec(), completed, vec}, nil
+	case "Audit":
+		key, kok := param[string](params, 0)
+		if !kok || len(params) != 1 {
+			return nil, fmt.Errorf("fabric: Audit(key): %w", core.ErrBadArity)
+		}
+		res, err := h.group.CallCtx(ctx, "Audit", key)
+		if err != nil {
+			return nil, err
+		}
+		return []core.Value{res[0], res[1], h.Spec()}, nil
+	default:
+		return nil, fmt.Errorf("fabric: %q: %w", entry, core.ErrUnknownEntry)
+	}
+}
+
+// param extracts a typed parameter, tolerating short slices.
+func param[T any](params []core.Value, i int) (T, bool) {
+	var zero T
+	if i >= len(params) {
+		return zero, false
+	}
+	v, ok := params[i].(T)
+	if !ok {
+		return zero, false
+	}
+	return v, ok
+}
+
+// append serves one keyed append: route into the ledger, then translate
+// the shard's verdict into the wire tuple — serving, forwarding past a
+// tombstone, or telling the caller to re-resolve/back off.
+func (h *Host) append(ctx context.Context, key, client string, seq uint64, payload []byte, hops uint64) ([]core.Value, error) {
+	ring := h.ringSnapshot()
+	owned := ring.Owner(key) == h.id
+	gate := false
+	if owned {
+		gate = h.gateOK(ring.Epoch())
+		if !gate {
+			// Only consulted for fresh keys, but kick anti-entropy now so
+			// a blocked create converges without waiting for gossip luck.
+			defer h.refreshSettled()
+		}
+	}
+	res, err := h.group.CallCtx(ctx, "Append", key, client, seq, payload, owned, gate, ring.Epoch())
+	if err != nil {
+		return nil, err
+	}
+	status, _ := res[0].(string)
+	epoch, _ := res[1].(uint64)
+	count, _ := res[2].(uint64)
+	info, _ := res[3].(string)
+	node, _ := res[4].(string)
+	switch status {
+	case statusOK:
+		// The ledger names the member that actually executed the append —
+		// for a deduplicated retry that is the ORIGINAL node, which may not
+		// be this one.
+		if node == "" {
+			node = h.id
+		}
+		return []core.Value{status, node, epoch, count, info}, nil
+	case statusGap:
+		return []core.Value{status, h.id, epoch, count, info}, nil
+	case statusWrongOwner:
+		return []core.Value{statusWrongOwner, h.id, ring.Epoch(), uint64(0), ring.Spec()}, nil
+	case statusRetry:
+		return []core.Value{statusRetry, h.id, ring.Epoch(), uint64(0), info}, nil
+	case statusMoved:
+		return h.forward(ctx, key, client, seq, payload, hops, info)
+	default:
+		return nil, fmt.Errorf("fabric: unexpected ledger status %q", status)
+	}
+}
+
+// forward relays an append past a tombstone to the key's next home,
+// carrying the ORIGINAL client identity so the destination's dedup ledger
+// absorbs retries and duplicate forwards alike.
+func (h *Host) forward(ctx context.Context, key, client string, seq uint64, payload []byte, hops uint64, movedSpec string) ([]core.Value, error) {
+	if hops >= maxForwardHops {
+		return []core.Value{statusRetry, h.id, h.ringSnapshot().Epoch(), uint64(0), "hops"}, nil
+	}
+	// Resolve against the newest ring we can see: the tombstone's spec,
+	// or the node's current ring if it has moved further ahead.
+	dest, err := ParseSpec(movedSpec)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: tombstone spec: %w", err)
+	}
+	if cur := h.ringSnapshot(); cur.Epoch() > dest.Epoch() {
+		dest = cur
+	}
+	target := dest.Owner(key)
+	if target == h.id {
+		// The key's state moved out but a newer ring routes it back here;
+		// the in-flight install will land shortly.
+		return []core.Value{statusRetry, h.id, dest.Epoch(), uint64(0), "returning"}, nil
+	}
+	rem, err := h.conn(target, dest.Addr(target))
+	if err != nil {
+		return []core.Value{statusRetry, h.id, dest.Epoch(), uint64(0), "forward-dial"}, nil
+	}
+	res, err := rem.CallCtx(ctx, "fabric", "Append", key, client, seq, payload, hops+1, dest.Spec())
+	if err != nil {
+		if errors.Is(err, core.ErrOverload) {
+			return nil, err
+		}
+		h.dropConn(target)
+		return []core.Value{statusRetry, h.id, dest.Epoch(), uint64(0), "forward-link"}, nil
+	}
+	out := make([]core.Value, len(res))
+	copy(out, res)
+	return out, nil
+}
+
+// refreshSettled pulls Status from every member whose settled epoch lags
+// the current ring, folding their levels (and any newer ring) back in.
+// It is the anti-entropy path that revives gossip after crashes: a
+// settled broadcast a node missed while dead is re-learned here the
+// first time a blocked fresh-create asks for it.
+func (h *Host) refreshSettled() {
+	if !h.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer h.refreshing.Store(false)
+		ring := h.ringSnapshot()
+		epoch := ring.Epoch()
+		h.mu.Lock()
+		var stale []string
+		for id := range h.known {
+			if id != h.id && h.settled[id] < epoch {
+				stale = append(stale, id)
+			}
+		}
+		h.mu.Unlock()
+		for _, id := range stale {
+			if h.isClosed() {
+				return
+			}
+			h.pollStatus(id)
+		}
+	}()
+}
+
+// pollStatus asks one member for its settled level, exchanging ring specs
+// both ways.
+func (h *Host) pollStatus(member string) {
+	addr := h.addrOf(member)
+	if addr == "" {
+		return
+	}
+	rem, err := h.conn(member, addr)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	res, err := rem.CallCtx(ctx, "fabric", "Status", h.Spec())
+	cancel()
+	if err != nil {
+		h.dropConn(member)
+		return
+	}
+	if len(res) != 4 {
+		return
+	}
+	id, _ := res[0].(string)
+	spec, _ := res[1].(string)
+	completed, _ := res[2].(uint64)
+	if err := h.adopt(spec); err != nil && !errors.Is(err, ErrClosed) {
+		h.logf("fabric: adopt from status poll: %v", err)
+	}
+	if id != "" {
+		h.recordSettled(id, completed)
+	}
+	if vec, ok := res[3].([]byte); ok && len(vec) > 0 {
+		var m map[string]uint64
+		if json.Unmarshal(vec, &m) == nil {
+			for mid, e := range m {
+				h.recordSettled(mid, e)
+			}
+		}
+	}
+}
+
+func (h *Host) addrOf(member string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if a := h.ring.Addr(member); a != "" {
+		return a
+	}
+	return h.known[member]
+}
+
+// conn returns a cached connection to member at addr, dialing outside the
+// host lock.
+func (h *Host) conn(member, addr string) (*rpc.Remote, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("fabric: no address for member %q", member)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c := h.conns[member]; c != nil && c.addr == addr {
+		rem := c.rem
+		h.mu.Unlock()
+		return rem, nil
+	}
+	h.mu.Unlock()
+	// Fresh identity per dialed connection: a reconnect sharing the old
+	// one would have the peer's replay cache answer this connection's
+	// early calls with the previous connection's cached responses — an
+	// aliased Install "ok" here would let pushInstall forget state that
+	// never landed.
+	linkID, err := linkIdentity("fabric-" + h.id)
+	if err != nil {
+		return nil, err
+	}
+	rem, err := rpc.DialWith(addr, rpc.DialOptions{
+		Timeout:  2 * time.Second,
+		ClientID: linkID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		rem.Close()
+		return nil, ErrClosed
+	}
+	if c := h.conns[member]; c != nil && c.addr == addr {
+		// Lost a dial race. Keep the cached link — it may already carry
+		// in-flight calls (closing it would interrupt them) — and discard
+		// ours.
+		cached := c.rem
+		h.mu.Unlock()
+		rem.Close()
+		return cached, nil
+	}
+	if old := h.conns[member]; old != nil {
+		// The member moved: the old-address link is stale.
+		old.rem.Close()
+	}
+	h.conns[member] = &hostConn{addr: addr, rem: rem}
+	h.mu.Unlock()
+	return rem, nil
+}
+
+func (h *Host) dropConn(member string) {
+	h.mu.Lock()
+	c := h.conns[member]
+	delete(h.conns, member)
+	h.mu.Unlock()
+	if c != nil {
+		c.rem.Close()
+	}
+}
+
+func (h *Host) kickHandoff() {
+	select {
+	case h.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (h *Host) isClosed() bool {
+	select {
+	case <-h.closeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// handoffLoop is the node's single handoff worker: whenever the ring
+// advances past the node's settled level it drains and pushes every
+// resident key the new ring places elsewhere, then declares itself
+// settled. One worker means extractions are serial per node — deliberate:
+// handoff throughput is bounded by the destination's install rate anyway,
+// and a single in-order pass makes crash recovery a plain re-run.
+func (h *Host) handoffLoop() {
+	defer close(h.done)
+	h.broadcastSettled()
+	for {
+		select {
+		case <-h.closeCh:
+			return
+		case <-h.kick:
+		}
+		for h.runHandoff() {
+			if h.isClosed() {
+				return
+			}
+		}
+	}
+}
+
+// runHandoff performs one pass against a ring snapshot; it reports
+// whether the ring advanced meanwhile and another pass is needed. The
+// pass also runs when the node is already settled but holds misplaced
+// residents — a late install (accepted mid-advance) or a recovered
+// journal can land state the current ring places elsewhere, and it must
+// move out even though no epoch boundary is being crossed.
+func (h *Host) runHandoff() bool {
+	ring := h.ringSnapshot()
+	moving := h.residentKeysNotOwnedBy(ring)
+	if h.completedLevel() >= ring.Epoch() && len(moving) == 0 {
+		return false
+	}
+	h.logf("fabric: %s handoff to epoch %d: %d keys moving", h.id, ring.Epoch(), len(moving))
+	for _, key := range moving {
+		if h.isClosed() {
+			return false
+		}
+		res, err := h.group.Call("Extract", key, ring.Spec())
+		if err != nil {
+			h.logf("fabric: extract %q: %v", key, err)
+			return false
+		}
+		status, _ := res[0].(string)
+		if status == statusNone || status == statusRetry {
+			// None: already gone. Retry: the key was installed under a
+			// ring newer than this pass's snapshot — it is not misplaced
+			// and must not be pushed back into its own wake; a later
+			// pass re-evaluates it under a fresher ring.
+			continue
+		}
+		state, _ := res[1].([]byte)
+		if !h.pushInstall(key, state) {
+			return false
+		}
+		if _, err := h.group.Call("Forget", key); err != nil {
+			h.logf("fabric: forget %q: %v", key, err)
+			return false
+		}
+	}
+	h.setCompleted(ring.Epoch())
+	h.broadcastSettled()
+	return h.ringSnapshot().Epoch() > ring.Epoch()
+}
+
+// residentKeysNotOwnedBy enumerates this node's resident keys (tombstones
+// included, so interrupted pushes resume) that ring places elsewhere.
+func (h *Host) residentKeysNotOwnedBy(ring *Ring) []string {
+	results, err := h.group.Broadcast(context.Background(), "Keys")
+	if err != nil {
+		h.logf("fabric: enumerate keys: %v", err)
+	}
+	var out []string
+	for _, res := range results {
+		if len(res) != 1 {
+			continue
+		}
+		b, _ := res[0].([]byte)
+		var m map[string]bool
+		if json.Unmarshal(b, &m) != nil {
+			continue
+		}
+		for key := range m {
+			if ring.Owner(key) != h.id {
+				out = append(out, key)
+			}
+		}
+	}
+	return out
+}
+
+// pushInstall delivers one extracted key to its new home, retrying with
+// backoff until the destination acknowledges (it may be dead or
+// partitioned — the e2e chaos plan restarts and heals, and the push must
+// survive until then). The delivery is PINNED to the ring the key was
+// extracted under (the tombstone's MovedSpec, travelling inside state):
+// the pinned destination is the move transaction's arbiter — only it can
+// tell a first delivery from a crashed source's re-push of a transaction
+// that already completed (dup from its journal-backed install memory).
+// The ONE re-targeting the push ever does is on the arbiter's explicit
+// wrong-owner refusal: never-accepted means this image is still the
+// key's unique lineage head — no downstream copy can exist — so re-
+// pinning it at the arbiter's newer ring is fork-free. Pushing anywhere
+// without that verdict could land a stale image next to the live copy
+// and fork the lineage. Returns false only when the host is closing.
+func (h *Host) pushInstall(key string, state []byte) bool {
+	dest := h.ringSnapshot()
+	if st, err := decodeState(state); err == nil && st.MovedSpec != "" {
+		if ring, err := ParseSpec(st.MovedSpec); err == nil {
+			dest = ring
+		}
+	}
+	backoff := 10 * time.Millisecond
+	for {
+		if h.isClosed() {
+			return false
+		}
+		target := dest.Owner(key)
+		if target == h.id {
+			// A refusal chain led the key back home: install locally (the
+			// lineage guard in the ledger keeps this idempotent) and let
+			// the handoff rescan move it again if the current ring says so.
+			if _, err := h.group.Call("Install", key, dest.Epoch(), state); err == nil {
+				h.kickHandoff()
+				return true
+			}
+			h.sleep(backoff)
+			continue
+		}
+		rem, err := h.conn(target, dest.Addr(target))
+		if err == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+			res, cerr := rem.CallCtx(ctx, "fabric", "Install", key, dest.Epoch(), state, dest.Spec())
+			cancel()
+			if cerr == nil && len(res) >= 1 {
+				var spec string
+				if len(res) >= 2 {
+					spec, _ = res[1].(string)
+					if err := h.adopt(spec); err != nil && !errors.Is(err, ErrClosed) {
+						h.logf("fabric: adopt from install reply: %v", err)
+					}
+				}
+				switch status, _ := res[0].(string); status {
+				case statusWrongOwner:
+					// The arbiter never accepted this transaction and its
+					// ring has moved past the pinned placement: re-pin at
+					// the ring it returned and deliver the head there.
+					if ring, err := ParseSpec(spec); err == nil && ring.Epoch() > dest.Epoch() {
+						dest = ring
+						continue
+					}
+				case statusRetry:
+					// Transient at the destination; keep pushing.
+				default:
+					return true // ok, dup or stale: the move is complete
+				}
+			} else if cerr != nil {
+				h.dropConn(target)
+			}
+		}
+		h.sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// setCompleted records the node's own settled level.
+func (h *Host) setCompleted(epoch uint64) {
+	h.mu.Lock()
+	if epoch > h.completed {
+		h.completed = epoch
+	}
+	h.mu.Unlock()
+	h.recordSettled(h.id, epoch)
+	h.logf("fabric: %s settled through epoch %d", h.id, epoch)
+}
+
+// broadcastSettled announces the node's settled level to every known
+// member, best effort — a peer that misses it (dead, partitioned) pulls
+// it later via refreshSettled.
+func (h *Host) broadcastSettled() {
+	completed := h.completedLevel()
+	if completed == 0 {
+		return
+	}
+	spec := h.Spec()
+	h.mu.Lock()
+	members := make([]string, 0, len(h.known))
+	for id := range h.known {
+		if id != h.id {
+			members = append(members, id)
+		}
+	}
+	h.mu.Unlock()
+	for _, id := range members {
+		if h.isClosed() {
+			return
+		}
+		rem, err := h.conn(id, h.addrOf(id))
+		if err != nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, err = rem.CallCtx(ctx, "fabric", "Settled", h.id, completed, spec)
+		cancel()
+		if err != nil {
+			h.dropConn(id)
+		}
+	}
+}
+
+func (h *Host) sleep(d time.Duration) {
+	select {
+	case <-h.closeCh:
+	case <-time.After(d):
+	}
+}
+
+// Close stops the handoff worker, closes peer connections, the ledger and
+// the journal, in that order.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := h.conns
+	h.conns = make(map[string]*hostConn)
+	h.mu.Unlock()
+	close(h.closeCh)
+	<-h.done
+	for _, c := range conns {
+		c.rem.Close()
+	}
+	err := h.group.Close()
+	if h.log != nil {
+		if cerr := h.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

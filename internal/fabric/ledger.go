@@ -1,0 +1,400 @@
+// The ledger is the fabric's per-node state machine: a shard.Group whose
+// replicas each own a disjoint slice of the node's resident keys. Every
+// entry is routed by key through the group's key-affinity router and
+// executed inline on the shard's manager, so one key's calls — appends,
+// the Extract tombstone, Install, Forget — form a single FIFO stream.
+// That ordering is what makes drain-then-forward work: an Extract queued
+// behind in-flight Appends executes only after they finish, and every
+// Append queued after it observes the tombstone and is forwarded instead.
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// Ledger entry statuses. They travel as plain result values (not errors)
+// because only the sentinel error kinds survive the wire codec; a typed
+// status tuple keeps the protocol's full vocabulary intact end to end.
+const (
+	statusOK         = "ok"          // executed (or deduplicated) here
+	statusDup        = "dup"         // idempotent repeat of a completed step
+	statusNone       = "none"        // key not resident
+	statusMoved      = "moved"       // tombstone: forward to the key's new home
+	statusWrongOwner = "wrong-owner" // this node never owned the key; re-resolve
+	statusRetry      = "retry"       // transient: ring still settling, try again
+	statusGap        = "gap"         // client sequence gap: oracle-grade failure
+	statusStale      = "stale"       // install older than resident state
+)
+
+// journalFn persists one fabric record (append + group-commit sync)
+// before the mutation it describes is acknowledged. nil disables
+// durability.
+type journalFn func(rec *wal.Record) error
+
+// newLedger builds the node's ledger group: shards key-affine replicas
+// holding keyState maps. maxPending bounds each shard's pending Append
+// calls with reject-newest shedding (core.ErrOverload), the admission
+// control the router surfaces as a typed OverloadError.
+func newLedger(shards, maxPending int, nodeID string, journal journalFn) (*shard.Group, error) {
+	return shard.New("Fabric", shards,
+		func(i int, shardName string) (*core.Object, error) {
+			return newLedgerShard(shardName, maxPending, nodeID, journal)
+		},
+		shard.WithKey("Append", shard.StringKey(0)),
+		shard.WithKey("Extract", shard.StringKey(0)),
+		shard.WithKey("Install", shard.StringKey(0)),
+		shard.WithKey("InstallCheck", shard.StringKey(0)),
+		shard.WithKey("Forget", shard.StringKey(0)),
+		shard.WithKey("Audit", shard.StringKey(0)),
+		shard.WithKey("Restore", shard.StringKey(0)),
+	)
+}
+
+// newLedgerShard builds one replica. The states map is confined to the
+// shard's manager: every entry is intercepted and executed inline on the
+// manager process, so bodies need no locking and observe a total order.
+func newLedgerShard(name string, maxPending int, nodeID string, journal journalFn) (*core.Object, error) {
+	states := make(map[string]*keyState)
+	// installed is the shard's move-arbitration memory: per key, one past
+	// the highest epoch at which an install was ever accepted here (0 =
+	// never), kept past Forget. A crashed source that re-pushes a
+	// completed move transaction is answered "dup" from this memory —
+	// re-accepting the image after the key moved on would resurrect a
+	// stale, executable replica of the lineage. Rebuilt from journal
+	// install records on recovery.
+	installed := make(map[string]uint64)
+
+	record := func(rec *wal.Record) error {
+		if journal == nil {
+			return nil
+		}
+		return journal(rec)
+	}
+
+	// Append(key, client, seq, payload, owned, gate, epoch) ->
+	// (status, epoch, count, info, node). owned/gate/epoch are the host's
+	// view of the current ring at routing time; the body re-checks them
+	// only for fresh keys — resident state always wins, which is precisely
+	// the grandfathering window that lets the old owner drain queued calls
+	// before the tombstone lands. For deduplicated retries, epoch/node
+	// are the ORIGINAL execution's, read from the client's dedup tail.
+	appendBody := func(inv *core.Invocation) error {
+		key, _ := inv.Param(0).(string)
+		client, _ := inv.Param(1).(string)
+		seq, _ := inv.Param(2).(uint64)
+		owned, _ := inv.Param(4).(bool)
+		gate, _ := inv.Param(5).(bool)
+		epoch, _ := inv.Param(6).(uint64)
+		st := states[key]
+		if st == nil {
+			switch {
+			case !owned:
+				inv.Return(statusWrongOwner, uint64(0), uint64(0), "", "")
+				return nil
+			case !gate:
+				// A prior owner may still hold this key's dedup history;
+				// creating a parallel fresh history here would lose it.
+				inv.Return(statusRetry, uint64(0), uint64(0), "settle", "")
+				return nil
+			case seq != 0:
+				// The client is ahead of a key this node has never seen:
+				// its history is still in flight — the settle gate holds
+				// the fresh path closed while any source is known-unsettled,
+				// but a late image can land at its arbiter after the source
+				// settled, and the rescan's re-push takes a moment. Back
+				// off without creating state; only a resident entry can
+				// prove a genuine sequence gap.
+				inv.Return(statusRetry, epoch, uint64(0), "arriving", "")
+				return nil
+			}
+			st = newKeyState(epoch)
+			states[key] = st
+		}
+		if st.Moved {
+			inv.Return(statusMoved, st.Epoch, uint64(0), st.MovedSpec, "")
+			return nil
+		}
+		if cr, known := st.Clients[client]; known && seq <= cr.Seq {
+			if seq == cr.Seq {
+				// Retry or duplicate forward of the client's last append:
+				// answer from the ledger, never re-execute — and describe
+				// the ORIGINAL execution (its epoch and node), not the
+				// key's current placement, so a retry answered after a
+				// migration doesn't fabricate an epoch-regressing ack.
+				inv.Return(statusOK, cr.Epoch, cr.Count, "dup", cr.Node)
+				return nil
+			}
+			inv.Return(statusOK, st.Epoch, uint64(0), "dup-old", "")
+			return nil
+		}
+		want := uint64(0)
+		if cr, known := st.Clients[client]; known {
+			want = cr.Seq + 1
+		}
+		if seq != want {
+			inv.Return(statusGap, st.Epoch, want, "", "")
+			return nil
+		}
+		prev, hadPrev := st.Clients[client]
+		st.Count++
+		st.Clients[client] = clientRec{Seq: seq, Count: st.Count, Epoch: st.Epoch, Node: nodeID}
+		if err := record(&wal.Record{
+			Kind: wal.KindOutcome, Object: journalObject, Entry: "append",
+			Client: client, Seq: seq,
+			Params: []any{key, st.Epoch, st.Count},
+		}); err != nil {
+			// Never acknowledge an unjournaled execution: roll the
+			// mutation back and fail the call.
+			st.Count--
+			if hadPrev {
+				st.Clients[client] = prev
+			} else {
+				delete(st.Clients, client)
+			}
+			return fmt.Errorf("fabric: journal append: %w", err)
+		}
+		inv.Return(statusOK, st.Epoch, st.Count, "", nodeID)
+		return nil
+	}
+
+	// Extract(key, destSpec) -> (status, state). Plants the tombstone and
+	// returns the serialized ledger entry for the push to the new owner.
+	// Repeats return "dup" with the same state, so a crashed handoff can
+	// simply re-extract on restart.
+	extractBody := func(inv *core.Invocation) error {
+		key, _ := inv.Param(0).(string)
+		destSpec, _ := inv.Param(1).(string)
+		st := states[key]
+		if st == nil {
+			inv.Return(statusNone, []byte(nil))
+			return nil
+		}
+		if st.Moved {
+			b, err := encodeState(st)
+			if err != nil {
+				return err
+			}
+			inv.Return(statusDup, b)
+			return nil
+		}
+		if spec, err := ParseSpec(destSpec); err == nil && st.Epoch > spec.Epoch() {
+			// The key arrived under a ring NEWER than the handoff pass's
+			// snapshot: the pass raced the install, and the key is not
+			// misplaced — it is home under the ring that carried it here.
+			// Extracting it pinned at the older ring would push it back
+			// into its own wake, where the previous owner's install
+			// memory (correctly) answers dup and both sides would then
+			// forget the only live copy. Skip; a pass under a ring at
+			// least as new as the resident epoch moves it if it is still
+			// misplaced then. This also keeps a key's placement epoch
+			// monotone along its lineage, which is what makes the
+			// install memory a sound arbiter in the first place.
+			inv.Return(statusRetry, []byte(nil))
+			return nil
+		}
+		st.Moved = true
+		st.MovedSpec = destSpec
+		b, err := encodeState(st)
+		if err != nil {
+			st.Moved = false
+			st.MovedSpec = ""
+			return err
+		}
+		if err := record(&wal.Record{
+			Kind: wal.KindOutcome, Object: journalObject, Entry: "extract",
+			Params: []any{key, destSpec, b},
+		}); err != nil {
+			st.Moved = false
+			st.MovedSpec = ""
+			return fmt.Errorf("fabric: journal extract: %w", err)
+		}
+		inv.Return(statusOK, b)
+		return nil
+	}
+
+	// Install(key, epoch, state) -> (status). Applies the handed-off
+	// ledger entry at its new home. Precedence is by lineage: Count only
+	// grows along a key's single history, so the image with the higher
+	// Count is always the newer one regardless of which ring epoch carried
+	// it — a crashed handoff's re-pushed (stale, lower-Count) image must
+	// never displace a live copy, and a returning live copy must displace
+	// the tombstone it left behind. Ties break by placement epoch, which
+	// keeps duplicate pushes idempotent.
+	installBody := func(inv *core.Invocation) error {
+		key, _ := inv.Param(0).(string)
+		epoch, _ := inv.Param(1).(uint64)
+		b, _ := inv.Param(2).([]byte)
+		if epoch < installed[key] {
+			// This move transaction (or a later one) already delivered
+			// here; the pushing source can safely Forget. The state may
+			// have moved on since — answering dup instead of re-accepting
+			// is what keeps one installable image per key in flight.
+			inv.Return(statusDup)
+			return nil
+		}
+		ns, err := decodeState(b)
+		if err != nil {
+			return err
+		}
+		if st := states[key]; st != nil {
+			if ns.Count < st.Count || (ns.Count == st.Count && epoch <= st.Epoch) {
+				if st.Moved {
+					inv.Return(statusStale)
+				} else {
+					inv.Return(statusDup)
+				}
+				return nil
+			}
+		}
+		ns.Epoch = epoch
+		ns.Moved = false
+		ns.MovedSpec = ""
+		prev := states[key]
+		states[key] = ns
+		if err := record(&wal.Record{
+			Kind: wal.KindOutcome, Object: journalObject, Entry: "install",
+			Params: []any{key, epoch, b},
+		}); err != nil {
+			if prev != nil {
+				states[key] = prev
+			} else {
+				delete(states, key)
+			}
+			return fmt.Errorf("fabric: journal install: %w", err)
+		}
+		installed[key] = epoch + 1
+		inv.Return(statusOK)
+		return nil
+	}
+
+	// InstallCheck(key, epoch) -> (status). Read-only probe of the
+	// arbitration memory: "dup" when an install at epoch (or later) was
+	// already accepted here, "none" otherwise. The host consults it before
+	// refusing a stale-placement push — a completed transaction is
+	// answered "dup" from memory, a first delivery is sent back to the
+	// source to re-pin at the current ring.
+	installCheckBody := func(inv *core.Invocation) error {
+		key, _ := inv.Param(0).(string)
+		epoch, _ := inv.Param(1).(uint64)
+		if epoch < installed[key] {
+			inv.Return(statusDup)
+		} else {
+			inv.Return(statusNone)
+		}
+		return nil
+	}
+
+	// Forget(key) -> (status). Drops a tombstone once the install it
+	// covers has been acknowledged; late calls for the key then take the
+	// wrong-owner path instead of the forward path. Only tombstones are
+	// ever dropped — live state can leave a node exclusively via Extract.
+	forgetBody := func(inv *core.Invocation) error {
+		key, _ := inv.Param(0).(string)
+		st := states[key]
+		if st == nil || !st.Moved {
+			inv.Return(statusNone)
+			return nil
+		}
+		delete(states, key)
+		if err := record(&wal.Record{
+			Kind: wal.KindOutcome, Object: journalObject, Entry: "forget",
+			Params: []any{key},
+		}); err != nil {
+			states[key] = st
+			return fmt.Errorf("fabric: journal forget: %w", err)
+		}
+		inv.Return(statusOK)
+		return nil
+	}
+
+	// Audit(key) -> (status, state). Read-only snapshot of the key's
+	// ledger entry for the conformance oracle's convergence check.
+	auditBody := func(inv *core.Invocation) error {
+		key, _ := inv.Param(0).(string)
+		st := states[key]
+		if st == nil {
+			inv.Return(statusNone, []byte(nil))
+			return nil
+		}
+		b, err := encodeState(st)
+		if err != nil {
+			return err
+		}
+		inv.Return(statusOK, b)
+		return nil
+	}
+
+	// Restore(key, state, installedFence) -> (status). Recovery-only bulk
+	// load, replayed from the journal before the node serves traffic;
+	// never journaled itself. state may be empty for keys whose entry was
+	// forgotten but whose install memory (the fence, epoch+1 form) must
+	// survive the restart.
+	restoreBody := func(inv *core.Invocation) error {
+		key, _ := inv.Param(0).(string)
+		b, _ := inv.Param(1).([]byte)
+		fence, _ := inv.Param(2).(uint64)
+		if fence > installed[key] {
+			installed[key] = fence
+		}
+		if len(b) == 0 {
+			inv.Return(statusOK)
+			return nil
+		}
+		st, err := decodeState(b)
+		if err != nil {
+			return err
+		}
+		states[key] = st
+		inv.Return(statusOK)
+		return nil
+	}
+
+	// Keys() -> (json). Resident keys with their moved flag, one shard's
+	// worth; the host broadcasts and merges.
+	keysBody := func(inv *core.Invocation) error {
+		m := make(map[string]bool, len(states))
+		for k, st := range states {
+			m[k] = st.Moved
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		inv.Return(b)
+		return nil
+	}
+
+	return core.New(name,
+		core.WithEntry(core.EntrySpec{Name: "Append", Params: 7, Results: 5, Body: appendBody,
+			MaxPending: maxPending, Shed: core.ShedRejectNewest}),
+		core.WithEntry(core.EntrySpec{Name: "Extract", Params: 2, Results: 2, Body: extractBody}),
+		core.WithEntry(core.EntrySpec{Name: "Install", Params: 3, Results: 1, Body: installBody}),
+		core.WithEntry(core.EntrySpec{Name: "InstallCheck", Params: 2, Results: 1, Body: installCheckBody}),
+		core.WithEntry(core.EntrySpec{Name: "Forget", Params: 1, Results: 1, Body: forgetBody}),
+		core.WithEntry(core.EntrySpec{Name: "Audit", Params: 1, Results: 2, Body: auditBody}),
+		core.WithEntry(core.EntrySpec{Name: "Restore", Params: 3, Results: 1, Body: restoreBody}),
+		core.WithEntry(core.EntrySpec{Name: "Keys", Results: 1, Body: keysBody}),
+		core.WithManager(func(m *core.Mgr) {
+			_ = m.Loop(
+				core.OnAccept("Append", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("Extract", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("Install", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("InstallCheck", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("Forget", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("Audit", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("Restore", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+				core.OnAccept("Keys", func(a *core.Accepted) { _, _ = m.Execute(a) }),
+			)
+		}, core.Intercept("Append"), core.Intercept("Extract"), core.Intercept("Install"),
+			core.Intercept("InstallCheck"), core.Intercept("Forget"), core.Intercept("Audit"),
+			core.Intercept("Restore"), core.Intercept("Keys")),
+	)
+}
+
+// journalObject names fabric records in the shared write-ahead log.
+const journalObject = "fabric"

@@ -1,0 +1,181 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) map[string]string {
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("n%02d", i)] = fmt.Sprintf("127.0.0.1:%d", 7100+i)
+	}
+	return m
+}
+
+// TestRingDeterministicPlacement: the same (epoch, seed, vnodes, members)
+// must place every key identically across independently-built rings —
+// placement is a pure function, never dependent on map iteration order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 0xdeadbeef} {
+		a, err := NewRing(3, seed, 128, testMembers(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewRing(3, seed, 128, testMembers(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 10000; k++ {
+			key := fmt.Sprintf("key-%d", k)
+			if a.Owner(key) != b.Owner(key) {
+				t.Fatalf("seed %d key %s: %s vs %s", seed, key, a.Owner(key), b.Owner(key))
+			}
+		}
+	}
+}
+
+// TestRingSpecRoundTrip: Spec/ParseSpec must reproduce the identical
+// placement — specs are how rings travel between processes.
+func TestRingSpecRoundTrip(t *testing.T) {
+	r, err := NewRing(9, 42, 64, testMembers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ParseSpec(r.Spec())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", r.Spec(), err)
+	}
+	if r2.Epoch() != 9 || r2.Seed() != 42 || r2.VNodes() != 64 {
+		t.Fatalf("round trip lost header: %q -> epoch %d seed %d vnodes %d",
+			r.Spec(), r2.Epoch(), r2.Seed(), r2.VNodes())
+	}
+	for k := 0; k < 5000; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		if r.Owner(key) != r2.Owner(key) {
+			t.Fatalf("key %s moved across spec round trip", key)
+		}
+	}
+	if r2.Addr("n02") != "127.0.0.1:7102" {
+		t.Fatalf("addr lost: %q", r2.Addr("n02"))
+	}
+}
+
+func TestRingSpecRejects(t *testing.T) {
+	for _, bad := range []string{
+		"", "1;2;3", "x;2;128;a=b", "1;y;128;a=b", "1;2;0;a=b",
+		"1;2;128;", "1;2;128;a", "1;2;128;a=b,a=c", "1;2;128;=x", "1;2;128;a=",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if _, err := NewRing(1, 0, 128, map[string]string{"a;b": "x"}); err == nil {
+		t.Error("member id with delimiter accepted")
+	}
+	if _, err := NewRing(1, 0, 128, nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+}
+
+// TestRingMovement: growing N members to N+1 must move at most 2/(N+1) of
+// the keyspace — the consistent-hashing contract that makes live
+// resharding affordable. (Ideal is 1/(N+1); the factor-2 bound leaves room
+// for vnode variance while still catching a modulo-style rehash, which
+// would move ~N/(N+1) of all keys.)
+func TestRingMovement(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{3, 4, 7} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			old, err := NewRing(1, seed, 128, testMembers(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			grown, err := NewRing(2, seed, 128, testMembers(n+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				from, to := old.Owner(key), grown.Owner(key)
+				if from != to {
+					moved++
+					// Movement must only flow toward the new member: a key
+					// relocating between two old members is gratuitous churn.
+					if to != fmt.Sprintf("n%02d", n) {
+						t.Fatalf("n=%d seed %d: key %s moved %s -> %s (not the new member)",
+							n, seed, key, from, to)
+					}
+				}
+			}
+			limit := 2 * keys / (n + 1)
+			if moved > limit {
+				t.Fatalf("n=%d seed %d: %d/%d keys moved on grow, limit %d", n, seed, moved, keys, limit)
+			}
+			if moved == 0 {
+				t.Fatalf("n=%d seed %d: no keys moved to the new member", n, seed)
+			}
+		}
+	}
+}
+
+// TestRingBalance: at 128 vnodes every member's share of a large keyspace
+// must stay within 15% of fair share, for several member counts and seeds.
+func TestRingBalance(t *testing.T) {
+	const keys = 40000
+	for _, n := range []int{3, 4, 6, 8} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			r, err := NewRing(1, seed, 128, testMembers(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make(map[string]int)
+			for k := 0; k < keys; k++ {
+				counts[r.Owner(fmt.Sprintf("key-%d", k))]++
+			}
+			fair := float64(keys) / float64(n)
+			for id, c := range counts {
+				dev := (float64(c) - fair) / fair
+				if dev > 0.15 || dev < -0.15 {
+					t.Fatalf("n=%d seed %d: member %s holds %d keys (fair %.0f, dev %+.1f%%)",
+						n, seed, id, c, fair, dev*100)
+				}
+			}
+			if len(counts) != n {
+				t.Fatalf("n=%d seed %d: only %d members own keys", n, seed, len(counts))
+			}
+		}
+	}
+}
+
+// TestRingN2NMovement: the N→2N reshard the e2e harness drives mid-traffic
+// moves roughly half the keyspace and nothing between surviving members.
+func TestRingN2NMovement(t *testing.T) {
+	const keys = 20000
+	old, err := NewRing(1, 7, 128, testMembers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := NewRing(2, 7, 128, testMembers(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		from, to := old.Owner(key), doubled.Owner(key)
+		if from == to {
+			continue
+		}
+		moved++
+		if old.Has(to) {
+			t.Fatalf("key %s moved between old members %s -> %s", key, from, to)
+		}
+	}
+	// Doubling should hand the new half of the ring ~1/2 of the keys;
+	// accept a generous band around it.
+	if moved < keys/4 || moved > 3*keys/4 {
+		t.Fatalf("N->2N moved %d/%d keys, expected roughly half", moved, keys)
+	}
+}

@@ -1,0 +1,424 @@
+package fabric
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// RouterOptions configures a client-side Router.
+type RouterOptions struct {
+	// ClientID is the stable identity under which appends are issued (it
+	// is the dedup key on the ledger, so it must survive reconnects and
+	// even process restarts of the client when exactly-once matters).
+	ClientID string
+	// Retries bounds how many retriable responses (node down, ring
+	// settling, handoff in flight) one Append absorbs before giving up
+	// with ErrRetriesExhausted (default 64; the context deadline cuts it
+	// shorter).
+	Retries int
+	// RetryBase is the backoff before the first settle/link retry
+	// (default 5ms, doubling to 250ms).
+	RetryBase time.Duration
+	// DialTimeout bounds each TCP connect (default 2s).
+	DialTimeout time.Duration
+}
+
+// Exec is one acknowledged append: who executed it, at which placement
+// epoch, and the key's running count after it. Feed these (in
+// acknowledgement order per client) to conformance.CheckKeyOrder to
+// verify the fabric's ordering promises from the outside.
+type Exec struct {
+	Key    string
+	Client string
+	Seq    uint64
+	Node   string // member that executed the call
+	Epoch  uint64 // key's placement epoch at execution
+	Count  uint64 // key count after this append
+	Info   string // "" for a fresh execution, "dup" when answered from the ledger
+}
+
+// Audit is one key's server-side ledger entry, fetched from its owner.
+type Audit struct {
+	Key     string
+	Node    string
+	Found   bool
+	Epoch   uint64
+	Count   uint64
+	Clients map[string]uint64 // client -> highest executed seq
+}
+
+// Router routes keyed appends to the owning fabric node, adopting newer
+// ring specs from wrong-owner hints, propagating overload as typed
+// errors and absorbing the transient statuses a live reshard produces.
+// Safe for concurrent use.
+type Router struct {
+	opts RouterOptions
+
+	mu     sync.Mutex
+	ring   *Ring
+	conns  map[string]*hostConn
+	closed bool
+}
+
+// linkIdentity salts base with a fresh nonce, producing the transport
+// at-most-once identity for ONE dialed connection. Each rpc.Remote
+// numbers its calls from 1 and the nodes' replay cache keys on
+// (identity, call number), so two connections sharing an identity — a
+// reconnect after dropConn, or two processes running the same client —
+// would replay the first connection's cached responses to the second's
+// unrelated calls. Exactly-once for appends is the ledger's job, keyed
+// on the stable ClientID that travels as a call parameter; the link
+// identity only has to be unique per connection.
+func linkIdentity(base string) (string, error) {
+	nonce := make([]byte, 6)
+	if _, err := rand.Read(nonce); err != nil {
+		return "", fmt.Errorf("fabric: link nonce: %w", err)
+	}
+	return base + "#" + hex.EncodeToString(nonce), nil
+}
+
+// NewRouter builds a router from an initial ring spec.
+func NewRouter(spec string, opts RouterOptions) (*Router, error) {
+	ring, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ClientID == "" {
+		return nil, errors.New("fabric: RouterOptions.ClientID is required")
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 64
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 5 * time.Millisecond
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	return &Router{opts: opts, ring: ring, conns: make(map[string]*hostConn)}, nil
+}
+
+// Ring reports the router's current ring spec.
+func (r *Router) Ring() string { return r.ringSnapshot().Spec() }
+
+func (r *Router) ringSnapshot() *Ring {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring
+}
+
+// adopt installs a newer ring spec (no-op otherwise).
+func (r *Router) adopt(spec string) {
+	ring, err := ParseSpec(spec)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if ring.Epoch() > r.ring.Epoch() {
+		r.ring = ring
+	}
+	r.mu.Unlock()
+}
+
+// Append executes one keyed append with at-most-once semantics: it may
+// retry internally across node failures, wrong-owner bounces, overloads
+// and live handoffs, because the (ClientID, key, seq) identity makes
+// every retry idempotent. Sequence numbers must be issued densely
+// (0,1,2,...) per (ClientID, key), one in flight at a time.
+//
+// Errors: *OverloadError after the retry budget drowns in shed responses
+// (callers see the owning node and a backoff hint), *GapError for a
+// sequence gap (oracle-grade failure — do not retry), ErrRetriesExhausted
+// when the fabric kept answering transient statuses, or the context's
+// error.
+func (r *Router) Append(ctx context.Context, key string, seq uint64, payload []byte) (Exec, error) {
+	var lastStatus string
+	var lastErr error
+	backoff := r.opts.RetryBase
+	for attempt := 0; attempt < r.opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Exec{}, err
+		}
+		if r.isClosed() {
+			return Exec{}, ErrClosed
+		}
+		ring := r.ringSnapshot()
+		owner := ring.Owner(key)
+		rem, err := r.conn(owner, ring.Addr(owner))
+		if err != nil {
+			lastStatus, lastErr = "dial", err
+			if serr := r.sleep(ctx, backoff); serr != nil {
+				return Exec{}, serr
+			}
+			backoff = bump(backoff)
+			continue
+		}
+		res, err := rem.CallCtx(ctx, "fabric", "Append", key, r.opts.ClientID, seq, payload)
+		if err != nil {
+			if errors.Is(err, core.ErrOverload) {
+				return Exec{}, &OverloadError{Node: owner, RetryAfter: backoff, Err: err}
+			}
+			if ctx.Err() != nil {
+				return Exec{}, ctx.Err()
+			}
+			// Link-level failure: the call may or may not have executed;
+			// retrying the same seq is safe against the dedup ledger.
+			r.dropConn(owner)
+			lastStatus, lastErr = "link", err
+			if serr := r.sleep(ctx, backoff); serr != nil {
+				return Exec{}, serr
+			}
+			backoff = bump(backoff)
+			continue
+		}
+		if len(res) != 5 {
+			return Exec{}, fmt.Errorf("fabric: malformed append response (%d values)", len(res))
+		}
+		status, _ := res[0].(string)
+		member, _ := res[1].(string)
+		epoch, _ := res[2].(uint64)
+		count, _ := res[3].(uint64)
+		info, _ := res[4].(string)
+		switch status {
+		case statusOK:
+			return Exec{Key: key, Client: r.opts.ClientID, Seq: seq, Node: member, Epoch: epoch, Count: count, Info: info}, nil
+		case statusGap:
+			return Exec{}, &GapError{Key: key, Client: r.opts.ClientID, Seq: seq, Expect: count}
+		case statusWrongOwner:
+			// The node's ring is newer (or ours is): adopt and go again
+			// without consuming backoff — this is the fast re-resolve.
+			r.adopt(info)
+			lastStatus, lastErr = status, nil
+		case statusRetry, statusMoved:
+			lastStatus, lastErr = status, nil
+			if serr := r.sleep(ctx, backoff); serr != nil {
+				return Exec{}, serr
+			}
+			backoff = bump(backoff)
+		default:
+			return Exec{}, fmt.Errorf("fabric: unexpected append status %q", status)
+		}
+	}
+	if lastErr != nil {
+		return Exec{}, fmt.Errorf("%w after %d attempts (last: %s): %v", ErrRetriesExhausted, r.opts.Retries, lastStatus, lastErr)
+	}
+	return Exec{}, fmt.Errorf("%w after %d attempts (last status %q)", ErrRetriesExhausted, r.opts.Retries, lastStatus)
+}
+
+// Audit fetches one key's server-side ledger entry from its current
+// owner, following ring updates like Append does.
+func (r *Router) Audit(ctx context.Context, key string) (Audit, error) {
+	backoff := r.opts.RetryBase
+	var last error
+	for attempt := 0; attempt < r.opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Audit{}, err
+		}
+		ring := r.ringSnapshot()
+		owner := ring.Owner(key)
+		rem, err := r.conn(owner, ring.Addr(owner))
+		if err == nil {
+			var res []any
+			res, err = rem.CallCtx(ctx, "fabric", "Audit", key)
+			if err == nil && len(res) == 3 {
+				status, _ := res[0].(string)
+				spec, _ := res[2].(string)
+				r.adopt(spec)
+				if owner != r.ringSnapshot().Owner(key) {
+					continue // ring moved on; re-ask the real owner
+				}
+				switch status {
+				case statusOK:
+					b, _ := res[1].([]byte)
+					st, derr := decodeState(b)
+					if derr != nil {
+						return Audit{}, derr
+					}
+					if st.Moved {
+						break // handoff still in flight; back off and re-ask
+					}
+					a := Audit{Key: key, Node: owner, Found: true, Epoch: st.Epoch, Count: st.Count,
+						Clients: make(map[string]uint64, len(st.Clients))}
+					for c, cr := range st.Clients {
+						a.Clients[c] = cr.Seq
+					}
+					return a, nil
+				case statusNone:
+					return Audit{Key: key, Node: owner}, nil
+				}
+			}
+		}
+		if err != nil {
+			r.dropConn(owner)
+			last = err
+		}
+		if serr := r.sleep(ctx, backoff); serr != nil {
+			return Audit{}, serr
+		}
+		backoff = bump(backoff)
+	}
+	return Audit{}, fmt.Errorf("%w: audit %q: %v", ErrRetriesExhausted, key, last)
+}
+
+// Reshard broadcasts a new ring spec to every member of both the current
+// and the new ring, returning how many acknowledged. One acknowledgement
+// is enough for eventual convergence (specs gossip), but the count lets
+// operators see partition effects.
+func (r *Router) Reshard(ctx context.Context, spec string) (int, error) {
+	ring, err := ParseSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	old := r.ringSnapshot()
+	if ring.Epoch() <= old.Epoch() {
+		return 0, fmt.Errorf("fabric: reshard spec epoch %d is not newer than current %d", ring.Epoch(), old.Epoch())
+	}
+	targets := make(map[string]string)
+	for _, id := range old.Members() {
+		targets[id] = old.Addr(id)
+	}
+	for _, id := range ring.Members() {
+		targets[id] = ring.Addr(id)
+	}
+	acked := 0
+	for id, addr := range targets {
+		rem, err := r.conn(id, addr)
+		if err != nil {
+			continue
+		}
+		if _, err := rem.CallCtx(ctx, "fabric", "Reshard", spec); err != nil {
+			r.dropConn(id)
+			continue
+		}
+		acked++
+	}
+	if acked == 0 {
+		return 0, fmt.Errorf("fabric: reshard to epoch %d reached no member", ring.Epoch())
+	}
+	r.adopt(spec)
+	return acked, nil
+}
+
+// Status asks one member for its view: ring spec, settled level and
+// settled vector. The router adopts any newer spec it learns.
+func (r *Router) Status(ctx context.Context, member string) (spec string, completed uint64, settled map[string]uint64, err error) {
+	ring := r.ringSnapshot()
+	rem, err := r.conn(member, ring.Addr(member))
+	if err != nil {
+		return "", 0, nil, err
+	}
+	res, err := rem.CallCtx(ctx, "fabric", "Status", ring.Spec())
+	if err != nil {
+		r.dropConn(member)
+		return "", 0, nil, err
+	}
+	if len(res) != 4 {
+		return "", 0, nil, fmt.Errorf("fabric: malformed status response (%d values)", len(res))
+	}
+	spec, _ = res[1].(string)
+	completed, _ = res[2].(uint64)
+	if b, ok := res[3].([]byte); ok && len(b) > 0 {
+		_ = json.Unmarshal(b, &settled)
+	}
+	r.adopt(spec)
+	return spec, completed, settled, nil
+}
+
+func (r *Router) conn(member, addr string) (*rpc.Remote, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("fabric: no address for member %q", member)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c := r.conns[member]; c != nil && c.addr == addr {
+		rem := c.rem
+		r.mu.Unlock()
+		return rem, nil
+	}
+	r.mu.Unlock()
+	linkID, err := linkIdentity(r.opts.ClientID)
+	if err != nil {
+		return nil, err
+	}
+	rem, err := rpc.DialWith(addr, rpc.DialOptions{
+		Timeout:  r.opts.DialTimeout,
+		ClientID: linkID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		rem.Close()
+		return nil, ErrClosed
+	}
+	if old := r.conns[member]; old != nil {
+		old.rem.Close()
+	}
+	r.conns[member] = &hostConn{addr: addr, rem: rem}
+	r.mu.Unlock()
+	return rem, nil
+}
+
+func (r *Router) dropConn(member string) {
+	r.mu.Lock()
+	c := r.conns[member]
+	delete(r.conns, member)
+	r.mu.Unlock()
+	if c != nil {
+		c.rem.Close()
+	}
+}
+
+func (r *Router) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *Router) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func bump(d time.Duration) time.Duration {
+	if d >= 250*time.Millisecond {
+		return d
+	}
+	return d * 2
+}
+
+// Close closes every member connection.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	conns := r.conns
+	r.conns = make(map[string]*hostConn)
+	r.mu.Unlock()
+	for _, c := range conns {
+		c.rem.Close()
+	}
+}

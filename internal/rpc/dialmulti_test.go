@@ -1,0 +1,237 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// whoCallable answers every call with its node's name, so tests can
+// observe which member of a multi-address group actually served.
+type whoCallable struct{ id string }
+
+func (w *whoCallable) CallCtx(ctx context.Context, entry string, params ...any) ([]any, error) {
+	return []any{w.id}, nil
+}
+
+// multiMember is one address slot in a DialMulti group: the port is
+// reserved up front so the address is stable across start/stop cycles.
+type multiMember struct {
+	id   string
+	addr string
+	node *Node
+}
+
+func reserveMultiAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = lis.Addr().String()
+		_ = lis.Close()
+	}
+	return addrs
+}
+
+func (m *multiMember) start(t *testing.T) {
+	t.Helper()
+	m.node = NewNode(m.id)
+	if err := m.node.PublishCallable("Who", &whoCallable{id: m.id}); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", m.addr)
+	if err != nil {
+		t.Fatalf("member %s listen %s: %v", m.id, m.addr, err)
+	}
+	go func() { _ = m.node.Serve(lis) }()
+}
+
+func (m *multiMember) stop() {
+	if m.node != nil {
+		m.node.Close()
+		m.node = nil
+	}
+}
+
+func whoServes(t *testing.T, rem *Remote) string {
+	t.Helper()
+	res, err := rem.CallWith(context.Background(),
+		CallOptions{Retry: &RetryPolicy{Max: 8, Backoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}},
+		"Who", "Who")
+	if err != nil {
+		t.Fatalf("Who: %v", err)
+	}
+	id, _ := res[0].(string)
+	return id
+}
+
+// TestDialMultiRotation is the table-driven rotation suite: which member
+// serves, and which typed error surfaces, as group membership comes and
+// goes around a multi-address Remote.
+func TestDialMultiRotation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, members []*multiMember, addrs []string)
+	}{
+		{
+			// The initial dial rotates past dead members and lands on the
+			// only live one, wherever it sits in the list.
+			name: "initial dial skips dead members",
+			run: func(t *testing.T, members []*multiMember, addrs []string) {
+				members[2].start(t)
+				defer members[2].stop()
+				rem, err := DialMulti(addrs, DialOptions{ClientID: "c-skip"})
+				if err != nil {
+					t.Fatalf("DialMulti with one live member: %v", err)
+				}
+				defer rem.Close()
+				if id := whoServes(t, rem); id != "m2" {
+					t.Fatalf("served by %s, want m2", id)
+				}
+			},
+		},
+		{
+			// No live members at all: the dial fails with an error that
+			// names the full rotation, wrapping the last dial failure.
+			name: "all members down",
+			run: func(t *testing.T, members []*multiMember, addrs []string) {
+				_, err := DialMulti(addrs, DialOptions{Timeout: time.Second})
+				if err == nil {
+					t.Fatal("DialMulti succeeded with no live members")
+				}
+				if !strings.Contains(err.Error(), fmt.Sprintf("all %d addresses failed", len(addrs))) {
+					t.Fatalf("error does not report the full rotation: %v", err)
+				}
+				var ne net.Error
+				if !errors.As(err, &ne) && !errors.Is(err, net.ErrClosed) {
+					// Connection-refused surfaces as *net.OpError; the typed
+					// chain must survive DialMulti's wrapping.
+					t.Fatalf("underlying dial error lost: %v", err)
+				}
+			},
+		},
+		{
+			// The serving member dies mid-stream; the next call redials,
+			// rotates to a different live member, and completes.
+			name: "failover rotates to surviving member",
+			run: func(t *testing.T, members []*multiMember, addrs []string) {
+				members[0].start(t)
+				members[1].start(t)
+				defer members[0].stop()
+				defer members[1].stop()
+				rem, err := DialMulti(addrs, DialOptions{ClientID: "c-failover"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rem.Close()
+				first := whoServes(t, rem)
+				if first != "m0" && first != "m1" {
+					t.Fatalf("served by %s, want m0 or m1", first)
+				}
+				// Kill the member that served; the survivor must take over.
+				for _, m := range members {
+					if m.id == first {
+						m.stop()
+					}
+				}
+				second := whoServes(t, rem)
+				if second == first {
+					t.Fatalf("still served by dead member %s", first)
+				}
+				if second != "m0" && second != "m1" {
+					t.Fatalf("served by %s after failover, want the survivor", second)
+				}
+			},
+		},
+		{
+			// A member that left comes back as the only live one; the
+			// rotation finds it again instead of pinning to the dead set.
+			name: "single member recovers",
+			run: func(t *testing.T, members []*multiMember, addrs []string) {
+				members[0].start(t)
+				rem, err := DialMulti(addrs, DialOptions{ClientID: "c-recover"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rem.Close()
+				if id := whoServes(t, rem); id != "m0" {
+					t.Fatalf("served by %s, want m0", id)
+				}
+				members[0].stop()
+				// The whole group is down: a bounded call must fail with the
+				// typed link error, not hang.
+				_, err = rem.CallWith(context.Background(),
+					CallOptions{Retry: &RetryPolicy{Max: 2, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}},
+					"Who", "Who")
+				if !errors.Is(err, ErrLinkClosed) {
+					t.Fatalf("call with group down: %v, want ErrLinkClosed", err)
+				}
+				// A different member recovers; the same Remote rotates onto it.
+				members[1].start(t)
+				defer members[1].stop()
+				if id := whoServes(t, rem); id != "m1" {
+					t.Fatalf("served by %s after recovery, want m1", id)
+				}
+			},
+		},
+		{
+			// Retry budgets are bounded: with the group down, a call with
+			// Retry.Max=N makes exactly N+1 attempts (observable as N+1
+			// redial probes of the full rotation) and then fails typed.
+			name: "bounded retry with typed error",
+			run: func(t *testing.T, members []*multiMember, addrs []string) {
+				members[0].start(t)
+				rem, err := DialMulti(addrs, DialOptions{ClientID: "c-bounded"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rem.Close()
+				if id := whoServes(t, rem); id != "m0" {
+					t.Fatalf("served by %s, want m0", id)
+				}
+				members[0].stop()
+				start := time.Now()
+				_, err = rem.CallWith(context.Background(),
+					CallOptions{Retry: &RetryPolicy{Max: 3, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}},
+					"Who", "Who")
+				if err == nil {
+					t.Fatal("call succeeded with every member down")
+				}
+				if !errors.Is(err, ErrLinkClosed) {
+					t.Fatalf("exhausted call error %v, want ErrLinkClosed", err)
+				}
+				if elapsed := time.Since(start); elapsed > 10*time.Second {
+					t.Fatalf("bounded retry took %v; budget leak", elapsed)
+				}
+			},
+		},
+		{
+			// An empty address list is a configuration error, reported
+			// immediately.
+			name: "no addresses",
+			run: func(t *testing.T, members []*multiMember, addrs []string) {
+				if _, err := DialMulti(nil, DialOptions{}); err == nil {
+					t.Fatal("DialMulti(nil) succeeded")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addrs := reserveMultiAddrs(t, 3)
+			members := make([]*multiMember, len(addrs))
+			for i := range members {
+				members[i] = &multiMember{id: fmt.Sprintf("m%d", i), addr: addrs[i]}
+				t.Cleanup(members[i].stop)
+			}
+			tc.run(t, members, addrs)
+		})
+	}
+}

@@ -194,6 +194,32 @@ func (g *Group) CallCtx(ctx context.Context, entry string, params ...core.Value)
 	return res, err
 }
 
+// Broadcast invokes entry on every shard concurrently and returns the
+// per-shard results, index-aligned with Shard(i). It is the complement of
+// keyed routing for entries that aggregate state scattered across shards
+// (the fabric host enumerates its resident keys this way); errors are
+// joined, with each shard's slot left nil on failure.
+func (g *Group) Broadcast(ctx context.Context, entry string, params ...core.Value) ([][]core.Value, error) {
+	results := make([][]core.Value, len(g.shards))
+	errs := make([]error, len(g.shards))
+	var wg sync.WaitGroup
+	for i, obj := range g.shards {
+		wg.Add(1)
+		go func(i int, obj *core.Object) {
+			defer wg.Done()
+			g.inflight[i].Add(1)
+			res, err := obj.CallCtx(ctx, entry, params...)
+			g.inflight[i].Add(-1)
+			if errors.Is(err, core.ErrObjectPoisoned) {
+				g.down[i].Store(true)
+			}
+			results[i], errs[i] = res, err
+		}(i, obj)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
 // route picks the shard index for one call: key affinity when the entry
 // has a KeyFunc that yields a key, power-of-two-choices otherwise.
 func (g *Group) route(entry string, params []core.Value) int {

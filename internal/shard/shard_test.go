@@ -1,6 +1,7 @@
 package shard_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -287,5 +288,52 @@ func TestCloseJoinsErrors(t *testing.T) {
 	}
 	if _, err := g.Call("Ping"); !errors.Is(err, core.ErrClosed) {
 		t.Fatalf("call after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestBroadcast fans one call out to every shard and gathers the results
+// index-aligned; a poisoned shard contributes its error (joined) while the
+// healthy shards still answer.
+func TestBroadcast(t *testing.T) {
+	g, err := shard.New("bcast", 4, poisonable, shard.WithKey("Get", shard.StringKey(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	res, err := g.Broadcast(context.Background(), "Ping")
+	if err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("broadcast returned %d result sets, want 4", len(res))
+	}
+	for i, r := range res {
+		if len(r) != 1 || r[0].(int) != i {
+			t.Fatalf("shard %d answered %v, want its own index", i, r)
+		}
+	}
+
+	// Poison one shard directly, then broadcast again: the dead shard's
+	// slot is nil and the joined error carries its poison, but the rest
+	// still answer.
+	_, _ = g.Shard(2).Call("Get", "boom")
+	res, err = g.Broadcast(context.Background(), "Ping")
+	if err == nil || !errors.Is(err, core.ErrObjectPoisoned) {
+		t.Fatalf("broadcast over poisoned shard: err = %v, want ErrObjectPoisoned", err)
+	}
+	for i, r := range res {
+		if i == 2 {
+			if r != nil {
+				t.Fatalf("poisoned shard produced results %v", r)
+			}
+			continue
+		}
+		if len(r) != 1 || r[0].(int) != i {
+			t.Fatalf("shard %d answered %v after sibling poison", i, r)
+		}
+	}
+	if down := g.Down(); len(down) != 1 || down[0] != 2 {
+		t.Fatalf("Down() = %v, want [2]", down)
 	}
 }

@@ -1,0 +1,63 @@
+// Package testutil holds the deadline-derived wait helpers the soak,
+// chaos and e2e suites share. Deriving polling budgets from the test
+// binary's own -timeout (t.Deadline) instead of fixed wall-clock sleeps
+// keeps slow machines (race-instrumented, loaded CI) honest: waits return
+// as soon as the event happens and only ever fail when the event
+// genuinely never happened (docs/TESTING.md).
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitBudget returns how long a polling wait may run: until just before
+// the test binary's own deadline (-timeout), or 30s when none is set.
+func WaitBudget(t testing.TB) time.Time {
+	t.Helper()
+	type deadliner interface{ Deadline() (time.Time, bool) }
+	if d, ok := t.(deadliner); ok {
+		if deadline, ok := d.Deadline(); ok {
+			// Leave a grace period so a failed wait reports through t.Fatalf
+			// with diagnostics rather than the panic of a timed-out binary.
+			return deadline.Add(-2 * time.Second)
+		}
+	}
+	return time.Now().Add(30 * time.Second)
+}
+
+// WaitUntil polls cond every millisecond until it holds, failing the test
+// with desc if the budget runs out.
+func WaitUntil(t testing.TB, desc string, cond func() bool) {
+	t.Helper()
+	deadline := WaitBudget(t)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", desc)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// SettleGoroutines waits for the goroutine count to return to (close to)
+// its pre-test level after shutdown, GC-ing between polls; on timeout it
+// fails with a full stack dump. Runtime-internal goroutines may linger, so
+// a small tolerance is allowed.
+func SettleGoroutines(t testing.TB, before int) {
+	t.Helper()
+	deadline := WaitBudget(t)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			stack := make([]byte, 1<<16)
+			n := runtime.Stack(stack, true)
+			t.Fatalf("goroutines: before %d, after %d — leak?\n%s", before, after, stack[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

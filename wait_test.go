@@ -1,58 +1,27 @@
 package alps_test
 
 import (
-	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
-// waitBudget returns how long a polling wait may run: until just before the
-// test binary's own deadline (-timeout), or 30s when none is set. Deriving
-// waits from the deadline instead of fixed wall-clock sleeps keeps the soak
-// and chaos tests honest on slow (race-instrumented, loaded-CI) machines.
+// The soak and chaos suites' wait helpers live in internal/testutil so the
+// fabric e2e harness (and any future package) can share them; these thin
+// wrappers keep the existing call sites unchanged.
+
 func waitBudget(t *testing.T) time.Time {
 	t.Helper()
-	if deadline, ok := t.Deadline(); ok {
-		// Leave a grace period so a failed wait reports through t.Fatalf
-		// with diagnostics rather than the panic of a timed-out binary.
-		return deadline.Add(-2 * time.Second)
-	}
-	return time.Now().Add(30 * time.Second)
+	return testutil.WaitBudget(t)
 }
 
-// waitUntil polls cond every millisecond until it holds, failing the test
-// with desc if the budget runs out. Use it in place of "sleep long enough"
-// waits: it returns as soon as the event happens and only ever fails when
-// the event genuinely never happened.
 func waitUntil(t *testing.T, desc string, cond func() bool) {
 	t.Helper()
-	deadline := waitBudget(t)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", desc)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitUntil(t, desc, cond)
 }
 
-// settleGoroutines waits for the goroutine count to return to (close to)
-// its pre-test level after shutdown, GC-ing between polls; on timeout it
-// fails with a full stack dump. Runtime-internal goroutines may linger, so
-// a small tolerance is allowed.
 func settleGoroutines(t *testing.T, before int) {
 	t.Helper()
-	deadline := waitBudget(t)
-	for {
-		runtime.GC()
-		after := runtime.NumGoroutine()
-		if after <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			stack := make([]byte, 1<<16)
-			n := runtime.Stack(stack, true)
-			t.Fatalf("goroutines: before %d, after %d — leak?\n%s", before, after, stack[:n])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	testutil.SettleGoroutines(t, before)
 }
